@@ -1,0 +1,56 @@
+//! Group-communication comparison: wall-clock cost of fully delivering
+//! 100 multicasts (all-to-all) under Raincore vs the broadcast baselines.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raincore_broadcast::{BroadcastCluster, Mode};
+use raincore_net::SimNetConfig;
+use raincore_sim::{Cluster, ClusterConfig};
+use raincore_types::{DeliveryMode, Duration, NodeId, SessionConfig};
+use std::hint::black_box;
+
+const N: u32 = 4;
+const MSGS: u32 = 100;
+
+fn raincore_run() -> usize {
+    let cfg = ClusterConfig {
+        session: SessionConfig::for_cluster(N).with_token_rate(N, 100.0),
+        ..Default::default()
+    };
+    let mut c = Cluster::founding(N, cfg).unwrap();
+    c.run_for(Duration::from_millis(100));
+    for k in 0..MSGS {
+        c.multicast(NodeId(k % N), DeliveryMode::Agreed, Bytes::from(vec![k as u8; 64]))
+            .unwrap();
+    }
+    c.run_for(Duration::from_secs(2));
+    c.deliveries(NodeId(0)).len()
+}
+
+fn baseline_run(mode: Mode) -> usize {
+    let mut c = BroadcastCluster::new(N, mode, SimNetConfig::default(), Duration::from_millis(20));
+    for k in 0..MSGS {
+        c.multicast(NodeId(k % N), Bytes::from(vec![k as u8; 64]));
+    }
+    c.run_for(Duration::from_secs(2));
+    c.deliveries(NodeId(0)).len()
+}
+
+fn bench_multicast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multicast/deliver_100_msgs_4_nodes");
+    g.sample_size(10);
+    g.bench_function("raincore_token", |b| b.iter(|| black_box(raincore_run())));
+    for (label, mode) in [
+        ("fanout_unreliable", Mode::Unreliable),
+        ("fanout_acked", Mode::Reliable),
+        ("sequencer_2pc", Mode::Sequenced),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &m| {
+            b.iter(|| black_box(baseline_run(m)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_multicast);
+criterion_main!(benches);

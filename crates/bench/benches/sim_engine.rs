@@ -1,0 +1,58 @@
+//! Simulator substrate benchmarks: the network event queue and the ring
+//! container — everything else's cost floor.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use raincore_net::{Addr, Datagram, SimNet, SimNetConfig};
+use raincore_types::{Duration, NodeId, Ring, Time};
+use std::hint::black_box;
+
+fn bench_simnet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine/simnet");
+    const PKTS: u64 = 10_000;
+    g.throughput(Throughput::Elements(PKTS));
+    g.bench_function("send_pop_10k", |b| {
+        b.iter(|| {
+            let mut net = SimNet::new(SimNetConfig {
+                bandwidth_bps: 100_000_000,
+                ..Default::default()
+            });
+            for i in 0..PKTS {
+                let d = Datagram::data(
+                    Addr::primary(NodeId((i % 8) as u32)),
+                    Addr::primary(NodeId(((i + 1) % 8) as u32)),
+                    Bytes::from_static(&[0u8; 64]),
+                );
+                net.send(Time::ZERO + Duration::from_nanos(i), d);
+            }
+            black_box(net.pop_arrivals(Time::ZERO + Duration::from_secs(10)).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine/ring");
+    let ring = Ring::from_iter((0..64).map(NodeId));
+    g.bench_function("next_after_64", |b| {
+        b.iter(|| {
+            let mut cur = NodeId(0);
+            for _ in 0..64 {
+                cur = black_box(ring.next_after(cur).unwrap());
+            }
+            cur
+        })
+    });
+    g.bench_function("merge_64_64", |b| {
+        let other = Ring::from_iter((32..96).map(NodeId));
+        b.iter(|| {
+            let mut r = ring.clone();
+            r.merge(&other);
+            black_box(r.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simnet, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Whole-protocol benchmark: wall-clock cost of simulating one virtual
+//! second of a quiet token ring, by cluster size. This is the sim-engine
+//! + session-stack hot path (token receive → copy → forward).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raincore_sim::{Cluster, ClusterConfig};
+use raincore_types::{Duration, NodeId, SessionConfig};
+use std::hint::black_box;
+
+fn cfg(n: u32) -> ClusterConfig {
+    ClusterConfig {
+        session: SessionConfig::for_cluster(n).with_token_rate(n, 20.0),
+        ..Default::default()
+    }
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_ring/one_virtual_second");
+    g.sample_size(10);
+    for n in [2u32, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cluster = Cluster::founding(n, cfg(n)).unwrap();
+                cluster.run_for(Duration::from_secs(1));
+                black_box(cluster.metrics(NodeId(0)).tokens_received)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

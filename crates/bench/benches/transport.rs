@@ -1,0 +1,67 @@
+//! Transport-layer benchmark: reliable send → ack → delivered, including
+//! fragmentation of large messages.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use raincore_net::{Addr, SimNet, SimNetConfig};
+use raincore_transport::{Endpoint, PeerTable};
+use raincore_types::{Incarnation, NodeId, Time, TransportConfig};
+use std::hint::black_box;
+
+fn pump_one_message(size: usize) -> u64 {
+    let peers = PeerTable::full_mesh([NodeId(0), NodeId(1)], 1);
+    let mk = |id: u32| {
+        Endpoint::new(
+            NodeId(id),
+            Incarnation::FIRST,
+            vec![Addr::primary(NodeId(id))],
+            peers.clone(),
+            TransportConfig::default(),
+        )
+        .unwrap()
+    };
+    let (mut a, mut b) = (mk(0), mk(1));
+    let mut net = SimNet::new(SimNetConfig::default());
+    let mut now = Time::ZERO;
+    a.send(now, NodeId(1), Bytes::from(vec![0u8; size])).unwrap();
+    loop {
+        let mut moved = false;
+        for ep in [&mut a, &mut b] {
+            while let Some(d) = ep.poll_outgoing() {
+                net.send(now, d);
+                moved = true;
+            }
+        }
+        let arrivals = net.pop_arrivals(now);
+        let had = !arrivals.is_empty();
+        for d in arrivals {
+            if d.dst.node == NodeId(0) {
+                a.on_datagram(now, d);
+            } else {
+                b.on_datagram(now, d);
+            }
+        }
+        if moved || had {
+            continue;
+        }
+        match net.next_arrival() {
+            Some(t) => now = t,
+            None => break,
+        }
+    }
+    b.stats().msgs_received
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport/send_ack_deliver");
+    for size in [64usize, 1400, 16 * 1024, 64 * 1024] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            b.iter(|| black_box(pump_one_message(s)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! A3 — redundant-links ablation (§2.1).
+//!
+//! Paper: "The Transport Service allows each node to have multiple
+//! physical addresses. This allows redundant links between the nodes in
+//! the group, therefore makes the group more resilient to link failures
+//! and less likely being partitioned."
+
+use raincore_bench::experiments::redundant_links;
+use raincore_bench::report::Table;
+
+fn main() {
+    println!("A3: unplug one NIC of a member — does membership churn?\n");
+    let mut t =
+        Table::new(["NICs/node", "membership changes (5 s)", "full membership kept"]);
+    for nics in [1u8, 2] {
+        let r = redundant_links(nics);
+        t.row([
+            r.nics.to_string(),
+            r.membership_changes.to_string(),
+            r.full_membership.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nWith a second physical address the transport fails over between links");
+    println!("and the failure never reaches the membership layer.");
+}

@@ -1,0 +1,23 @@
+//! A1 — token-rate ablation: overhead vs multicast latency.
+//!
+//! The paper's design knob: the token travels "at a regular time
+//! interval". A faster token (higher `L`) delivers multicasts sooner but
+//! wakes every CPU more often — the trade-off behind "L task-switching
+//! actions … per second".
+
+use raincore_bench::experiments::latency_at_rate;
+use raincore_bench::report::{f, Table};
+use raincore_types::DeliveryMode;
+
+fn main() {
+    println!("A1: token rounds/s (L) vs agreed-multicast latency and CPU wake-ups\n");
+    let mut t = Table::new(["L (rounds/s)", "latency (ms)", "task switches/s/node"]);
+    for &l in &[1.0f64, 2.0, 5.0, 10.0, 25.0, 50.0] {
+        let (lat, sw) = latency_at_rate(4, l, DeliveryMode::Agreed, 8);
+        t.row([f(l, 0), f(lat * 1e3, 2), f(sw, 1)]);
+        eprintln!("  done L={l}");
+    }
+    t.print();
+    println!("\nLatency falls roughly as 1/L while the per-node wake-up rate grows");
+    println!("as L — pick the token rate to match the freshness the cluster needs.");
+}

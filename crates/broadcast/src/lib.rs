@@ -1,0 +1,33 @@
+//! Broadcast-style group communication baselines (§4.1 comparison points).
+//!
+//! The paper argues that in a unicast networking environment the token
+//! protocol beats "broadcast-based" group communication on CPU
+//! task-switching and network overhead. To measure that claim, this crate
+//! implements the baselines the paper reasons about, emulated over unicast
+//! exactly as §4.1 describes ("broadcast messages are achieved by sending
+//! multiple unicast messages"):
+//!
+//! * [`Mode::Unreliable`] — plain fan-out: each multicast is `N-1`
+//!   unicast packets; no acknowledgements, no ordering guarantee.
+//! * [`Mode::Reliable`] — acknowledged fan-out with retransmission:
+//!   `2(N-1)` packets per multicast; atomic-ish but receivers can
+//!   disagree on delivery order.
+//! * [`Mode::Sequenced`] — a sequencer-based two-phase commit giving
+//!   atomicity *and* total order: submit → prepare → prepared → commit
+//!   (→ committed), the "up to 6·M·N task-switching actions" regime the
+//!   paper cites for consistent ordering.
+//!
+//! Every node counts `events_processed` — protocol messages it had to
+//! wake up for — using the same definition as the session layer's
+//! `task_switches`, so the §4.1 table compares like with like.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod node;
+pub mod wire;
+
+pub use harness::BroadcastCluster;
+pub use node::{BroadcastEvent, BroadcastNode, BroadcastStats, Mode};
+pub use wire::BMsg;

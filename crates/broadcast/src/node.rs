@@ -1,0 +1,341 @@
+//! The baseline protocol node.
+
+use crate::wire::BMsg;
+use bytes::Bytes;
+use raincore_net::{Addr, Datagram, PacketClass};
+use raincore_transport::dedup::DedupWindow;
+use raincore_types::wire::{WireDecode, WireEncode};
+use raincore_types::{Duration, MsgId, NodeId, OriginSeq, Time};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Which baseline protocol a node speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Plain unicast fan-out: `N-1` packets per multicast, no guarantees.
+    Unreliable,
+    /// Acknowledged fan-out with retransmission: `2(N-1)` packets per
+    /// multicast; reliable but receivers may disagree on order.
+    Reliable,
+    /// Sequencer-based two-phase commit: atomic + totally ordered; the
+    /// high-overhead regime of §4.1 (the sequencer is the lowest node id).
+    Sequenced,
+}
+
+/// Counters (the `events_processed` field is the §4.1 task-switch metric,
+/// counted identically to the session layer's `task_switches`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BroadcastStats {
+    /// Protocol messages this node woke up to process.
+    pub events_processed: u64,
+    /// Multicasts originated here.
+    pub msgs_sent: u64,
+    /// Deliveries to the application.
+    pub deliveries: u64,
+    /// Packets this node put on the wire.
+    pub packets_sent: u64,
+    /// Retransmitted packets (reliable mode).
+    pub retransmissions: u64,
+}
+
+/// Events surfaced to the application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BroadcastEvent {
+    /// A multicast was delivered.
+    Delivery {
+        /// Originating node.
+        origin: NodeId,
+        /// Per-origin sequence.
+        oseq: OriginSeq,
+        /// Payload.
+        payload: Bytes,
+    },
+    /// A multicast this node originated completed (reliable: all acks in;
+    /// sequenced: committed and delivered locally; unreliable: fired).
+    Complete {
+        /// The sequence returned by `multicast`.
+        oseq: OriginSeq,
+    },
+}
+
+#[derive(Debug)]
+struct PendingPub {
+    payload: Bytes,
+    unacked: BTreeSet<NodeId>,
+    next_retry: Time,
+}
+
+#[derive(Debug)]
+struct SeqSlot {
+    awaiting: BTreeSet<NodeId>,
+}
+
+/// One baseline-protocol endpoint. Sans-io, like the session node.
+#[derive(Debug)]
+pub struct BroadcastNode {
+    id: NodeId,
+    mode: Mode,
+    members: Vec<NodeId>,
+    retry_timeout: Duration,
+    next_oseq: OriginSeq,
+    outbox: VecDeque<Datagram>,
+    events: VecDeque<BroadcastEvent>,
+    stats: BroadcastStats,
+    /// Reliable-mode sender bookkeeping.
+    pending: BTreeMap<OriginSeq, PendingPub>,
+    /// Reliable-mode receiver dedup (retransmissions).
+    seen: HashMap<NodeId, DedupWindow>,
+    // --- sequenced mode ---
+    /// Sequencer: next global slot to assign.
+    next_gseq: u64,
+    /// Sequencer: slots awaiting phase-1 acks.
+    slots: BTreeMap<u64, SeqSlot>,
+    /// Sequencer: lowest slot not yet committed (commits are in order).
+    next_commit: u64,
+    /// Receiver: prepared-but-uncommitted slots.
+    prepared: BTreeMap<u64, (NodeId, OriginSeq, Bytes)>,
+    /// Receiver: committed slots awaiting in-order delivery.
+    committed: BTreeSet<u64>,
+    /// Receiver: next slot to deliver.
+    next_deliver: u64,
+}
+
+impl BroadcastNode {
+    /// Creates a node. `members` must include `id`; the lowest member id
+    /// acts as the sequencer in [`Mode::Sequenced`].
+    pub fn new(id: NodeId, members: Vec<NodeId>, mode: Mode, retry_timeout: Duration) -> Self {
+        BroadcastNode {
+            id,
+            mode,
+            members,
+            retry_timeout,
+            next_oseq: OriginSeq::default(),
+            outbox: VecDeque::new(),
+            events: VecDeque::new(),
+            stats: BroadcastStats::default(),
+            pending: BTreeMap::new(),
+            seen: HashMap::new(),
+            next_gseq: 0,
+            slots: BTreeMap::new(),
+            next_commit: 0,
+            prepared: BTreeMap::new(),
+            committed: BTreeSet::new(),
+            next_deliver: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BroadcastStats {
+        self.stats
+    }
+
+    fn sequencer(&self) -> NodeId {
+        *self.members.iter().min().expect("non-empty members")
+    }
+
+    fn others(&self) -> Vec<NodeId> {
+        self.members.iter().copied().filter(|&m| m != self.id).collect()
+    }
+
+    fn emit(&mut self, to: NodeId, msg: &BMsg) {
+        self.outbox.push_back(Datagram {
+            src: Addr::primary(self.id),
+            dst: Addr::primary(to),
+            class: PacketClass::Control,
+            payload: msg.encode_to_bytes(),
+        });
+        self.stats.packets_sent += 1;
+    }
+
+    fn deliver(&mut self, origin: NodeId, oseq: OriginSeq, payload: Bytes) {
+        self.stats.deliveries += 1;
+        self.events.push_back(BroadcastEvent::Delivery { origin, oseq, payload });
+        if origin == self.id && self.mode == Mode::Sequenced {
+            self.events.push_back(BroadcastEvent::Complete { oseq });
+        }
+    }
+
+    /// Originates a multicast to the whole group.
+    pub fn multicast(&mut self, now: Time, payload: Bytes) -> OriginSeq {
+        let oseq = self.next_oseq;
+        self.next_oseq = oseq.next();
+        self.stats.msgs_sent += 1;
+        match self.mode {
+            Mode::Unreliable => {
+                let msg = BMsg::Pub { origin: self.id, oseq, payload: payload.clone() };
+                for m in self.others() {
+                    self.emit(m, &msg);
+                }
+                self.deliver(self.id, oseq, payload);
+                self.events.push_back(BroadcastEvent::Complete { oseq });
+            }
+            Mode::Reliable => {
+                let msg = BMsg::Pub { origin: self.id, oseq, payload: payload.clone() };
+                let unacked: BTreeSet<NodeId> = self.others().into_iter().collect();
+                for m in &unacked {
+                    self.emit(*m, &msg);
+                }
+                self.deliver(self.id, oseq, payload.clone());
+                if unacked.is_empty() {
+                    self.events.push_back(BroadcastEvent::Complete { oseq });
+                } else {
+                    self.pending.insert(
+                        oseq,
+                        PendingPub { payload, unacked, next_retry: now + self.retry_timeout },
+                    );
+                }
+            }
+            Mode::Sequenced => {
+                if self.id == self.sequencer() {
+                    self.assign_slot(self.id, oseq, payload);
+                } else {
+                    let msg = BMsg::Submit { origin: self.id, oseq, payload };
+                    self.emit(self.sequencer(), &msg);
+                }
+            }
+        }
+        oseq
+    }
+
+    /// Sequencer: assign the next global slot and run phase 1.
+    fn assign_slot(&mut self, origin: NodeId, oseq: OriginSeq, payload: Bytes) {
+        let gseq = self.next_gseq;
+        self.next_gseq += 1;
+        let awaiting: BTreeSet<NodeId> = self.others().into_iter().collect();
+        let msg = BMsg::Prepare { gseq, origin, oseq, payload: payload.clone() };
+        for m in &awaiting {
+            self.emit(*m, &msg);
+        }
+        self.prepared.insert(gseq, (origin, oseq, payload));
+        self.slots.insert(gseq, SeqSlot { awaiting });
+        self.try_commit();
+    }
+
+    /// Sequencer: commit fully-prepared slots, strictly in order.
+    fn try_commit(&mut self) {
+        while let Some(slot) = self.slots.get(&self.next_commit) {
+            if !slot.awaiting.is_empty() {
+                return;
+            }
+            let gseq = self.next_commit;
+            self.slots.remove(&gseq);
+            self.next_commit += 1;
+            self.committed.insert(gseq);
+            let msg = BMsg::Commit { gseq };
+            for m in self.others() {
+                self.emit(m, &msg);
+            }
+            self.drain_deliverable();
+        }
+    }
+
+    /// Receiver: deliver committed slots in global order.
+    fn drain_deliverable(&mut self) {
+        while self.committed.contains(&self.next_deliver) {
+            let Some((origin, oseq, payload)) = self.prepared.remove(&self.next_deliver) else {
+                return; // commit arrived before prepare (reordered network)
+            };
+            self.committed.remove(&self.next_deliver);
+            self.next_deliver += 1;
+            self.deliver(origin, oseq, payload);
+        }
+    }
+
+    /// Feeds a received datagram.
+    pub fn on_datagram(&mut self, _now: Time, dgram: Datagram) {
+        let Ok(msg) = BMsg::decode_from_bytes(&dgram.payload) else {
+            return;
+        };
+        self.stats.events_processed += 1;
+        match msg {
+            BMsg::Pub { origin, oseq, payload } => {
+                if self.mode == Mode::Reliable {
+                    self.emit(origin, &BMsg::Ack { origin, oseq });
+                    let fresh = self.seen.entry(origin).or_default().insert(MsgId(oseq.0));
+                    if !fresh {
+                        return;
+                    }
+                }
+                self.deliver(origin, oseq, payload);
+            }
+            BMsg::Ack { oseq, .. } => {
+                if let Some(p) = self.pending.get_mut(&oseq) {
+                    p.unacked.remove(&dgram.src.node);
+                    if p.unacked.is_empty() {
+                        self.pending.remove(&oseq);
+                        self.events.push_back(BroadcastEvent::Complete { oseq });
+                    }
+                }
+            }
+            BMsg::Submit { origin, oseq, payload } => {
+                if self.id == self.sequencer() {
+                    self.assign_slot(origin, oseq, payload);
+                }
+            }
+            BMsg::Prepare { gseq, origin, oseq, payload } => {
+                self.prepared.entry(gseq).or_insert((origin, oseq, payload));
+                self.emit(self.sequencer(), &BMsg::Prepared { gseq });
+                self.drain_deliverable();
+            }
+            BMsg::Prepared { gseq } => {
+                if let Some(slot) = self.slots.get_mut(&gseq) {
+                    slot.awaiting.remove(&dgram.src.node);
+                    self.try_commit();
+                }
+            }
+            BMsg::Commit { gseq } => {
+                self.committed.insert(gseq);
+                self.emit(self.sequencer(), &BMsg::Committed { gseq });
+                self.drain_deliverable();
+            }
+            BMsg::Committed { .. } => {
+                // Sequencer-side cleanup acknowledgement; counted as a
+                // processing event (it woke the CPU) and nothing more.
+            }
+        }
+    }
+
+    /// Advances retransmission timers (reliable mode).
+    pub fn on_tick(&mut self, now: Time) {
+        if self.mode != Mode::Reliable {
+            return;
+        }
+        let due: Vec<OriginSeq> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.next_retry <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for oseq in due {
+            let (payload, targets) = {
+                let p = self.pending.get_mut(&oseq).expect("due");
+                p.next_retry = now + self.retry_timeout;
+                (p.payload.clone(), p.unacked.iter().copied().collect::<Vec<_>>())
+            };
+            for m in targets {
+                let msg = BMsg::Pub { origin: self.id, oseq, payload: payload.clone() };
+                self.emit(m, &msg);
+                self.stats.retransmissions += 1;
+            }
+        }
+    }
+
+    /// Earliest retransmission deadline, if any.
+    pub fn next_wakeup(&self) -> Option<Time> {
+        self.pending.values().map(|p| p.next_retry).min()
+    }
+
+    /// Drains one outgoing datagram.
+    pub fn poll_outgoing(&mut self) -> Option<Datagram> {
+        self.outbox.pop_front()
+    }
+
+    /// Drains one application event.
+    pub fn poll_event(&mut self) -> Option<BroadcastEvent> {
+        self.events.pop_front()
+    }
+}

@@ -1,0 +1,87 @@
+//! Events surfaced by the session service to the layers above it.
+
+use bytes::Bytes;
+use raincore_types::{DeliveryMode, GroupId, NodeId, OriginSeq, Ring};
+
+/// A multicast message delivered to the application, in agreed (total)
+/// order (§2.6).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Originating node.
+    pub origin: NodeId,
+    /// Per-origin sequence number.
+    pub seq: OriginSeq,
+    /// Consistency level the originator requested.
+    pub mode: DeliveryMode,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+/// Everything the session service can tell the application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// A multicast message is delivered. Deliveries happen in the same
+    /// (token) order at every member — the *agreed ordering* guarantee;
+    /// `Safe`-mode messages are additionally delayed until every member
+    /// is known to have received them.
+    Delivery(Delivery),
+    /// A multicast this node originated has been received by every member
+    /// of the group — the atomicity confirmation (the token came back
+    /// around, §2.6).
+    MulticastAtomic {
+        /// The sequence returned by `multicast`.
+        seq: OriginSeq,
+    },
+    /// The authoritative membership recorded on the token changed.
+    MembershipChanged {
+        /// The new ring.
+        ring: Ring,
+        /// Members that appeared.
+        added: Vec<NodeId>,
+        /// Members that disappeared.
+        removed: Vec<NodeId>,
+    },
+    /// The master lock (EATING state, §2.7) was acquired: until
+    /// `release_master` is called, no other node is EATING and this node's
+    /// changes to global data are authoritative.
+    MasterAcquired,
+    /// The master lock was released and the token forwarded.
+    MasterReleased,
+    /// This node entered the STARVING state and is invoking the 911
+    /// protocol (diagnostics).
+    Starving,
+    /// This node won the 911 vote and regenerated the token (§2.3).
+    TokenRegenerated {
+        /// Sequence number of the regenerated token.
+        seq: u64,
+    },
+    /// Two sub-groups merged into one (§2.4); this node performed the
+    /// token merge.
+    Merged {
+        /// Group id of the sub-group that was absorbed.
+        absorbed: GroupId,
+    },
+    /// The node shut itself down (critical resource lost, or `leave`).
+    ShutDown {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raincore_types::DeliveryMode;
+
+    #[test]
+    fn delivery_is_plain_data() {
+        let d = Delivery {
+            origin: NodeId(1),
+            seq: OriginSeq(4),
+            mode: DeliveryMode::Agreed,
+            payload: Bytes::from_static(b"x"),
+        };
+        let e = SessionEvent::Delivery(d.clone());
+        assert_eq!(e, SessionEvent::Delivery(d));
+    }
+}

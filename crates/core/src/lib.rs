@@ -1,0 +1,36 @@
+//! The Raincore Distributed Session Service (§2 of Fan & Bruck, IPPS 2001).
+//!
+//! A fault-tolerant token-ring protocol providing, over *unicast* links:
+//!
+//! * **group membership** — the circulating TOKEN carries the
+//!   authoritative membership; aggressive failure detection via the
+//!   transport's failure-on-delivery notification removes dead successors
+//!   in a single hop (§2.2, §2.5);
+//! * **reliable atomic multicast with consistent ordering** — messages are
+//!   piggybacked on the token ("the token is the locomotive"); *agreed*
+//!   (total) ordering costs nothing extra, *safe* delivery costs one extra
+//!   round (§2.6);
+//! * **token recovery and join** — the 911 protocol regenerates a lost
+//!   token exactly once (from the newest surviving copy) and doubles as
+//!   the join path, which automatically heals link failures and
+//!   failure-detector false alarms (§2.3);
+//! * **split-brain handling** — critical-resource monitors, BODYODOR
+//!   discovery beacons and the deadlock-free group merge protocol (§2.4);
+//! * **mutual exclusion** — the EATING state is a fault-tolerant master
+//!   lock (§2.7), on which `raincore-dlm` builds named data locks.
+//!
+//! The central type is [`SessionNode`]; applications drive it through a
+//! simulator or runtime and consume [`SessionEvent`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod metrics;
+pub mod node;
+pub mod open;
+
+pub use events::{Delivery, SessionEvent};
+pub use open::{unwrap_open, wrap_open, OpenClient, OpenOutcome};
+pub use metrics::SessionMetrics;
+pub use node::{SessionNode, StartMode};

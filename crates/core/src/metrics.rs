@@ -1,0 +1,47 @@
+//! Session-layer counters.
+//!
+//! `task_switches` is the paper's §4.1 metric: the number of times the
+//! node's CPU must switch from regular traffic processing to
+//! group-communication processing. In this implementation it increments
+//! once per *session-layer message processed* (a token arrival, a 911
+//! call or verdict, a discovery beacon) — which is exactly `L` per second
+//! per node during steady state, the figure the paper compares against
+//! `M·N` for broadcast protocols. Transport-level acknowledgements are
+//! accounted separately in `raincore-transport`'s stats so the comparison
+//! can be made with or without them.
+
+/// Counters maintained by every [`crate::SessionNode`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionMetrics {
+    /// Group-communication processing wake-ups (the §4.1 CPU metric).
+    pub task_switches: u64,
+    /// Tokens accepted.
+    pub tokens_received: u64,
+    /// Tokens forwarded to a successor.
+    pub tokens_sent: u64,
+    /// Token self-passes (single-member ring rounds).
+    pub self_passes: u64,
+    /// Tokens discarded as stale (sequence number not newer than the
+    /// local high-water mark — the duplicate-token elimination rule).
+    pub stale_tokens_dropped: u64,
+    /// 911 calls sent.
+    pub calls911_sent: u64,
+    /// 911 calls received (regeneration votes and join requests).
+    pub calls911_received: u64,
+    /// Discovery beacons sent.
+    pub beacons_sent: u64,
+    /// Discovery beacons received.
+    pub beacons_received: u64,
+    /// Tokens regenerated after winning a 911 vote.
+    pub regenerations: u64,
+    /// Sub-group merges performed by this node.
+    pub merges: u64,
+    /// Multicasts originated.
+    pub multicasts_sent: u64,
+    /// Multicast deliveries to the application.
+    pub deliveries: u64,
+    /// Open-group submissions relayed into the group (§2.6).
+    pub open_relayed: u64,
+    /// Failure-on-delivery notifications acted upon (members removed).
+    pub failures_detected: u64,
+}

@@ -1,0 +1,1715 @@
+//! The Raincore session node: one instance per cluster member.
+//!
+//! [`SessionNode`] implements §2.2–2.7 of the paper as a sans-io state
+//! machine over the Raincore Transport Service. A driver (the
+//! deterministic simulator, or the threaded UDP runtime) feeds it
+//! datagrams and time and drains datagrams and [`SessionEvent`]s.
+//!
+//! ## State machine
+//!
+//! A node is HUNGRY (no token), EATING (holds the token) or STARVING
+//! (HUNGRY past the timeout — token suspected lost, 911 in progress).
+//! Normal operation alternates HUNGRY ↔ EATING as the token circulates.
+//!
+//! ## Implementation notes beyond the paper's text
+//!
+//! The paper's proofs assume an accurate failure-on-delivery detector.
+//! Over a real lossy network the detector can false-alarm *after the
+//! target actually received the token* (all acknowledgements lost), which
+//! would briefly create two tokens. Three rules restore convergence and
+//! are documented here because they are load-bearing:
+//!
+//! * **Strictly-newer acceptance** — a node accepts a (non-TBM) token
+//!   only if its sequence number exceeds `last_seen_seq`, the maximum of
+//!   every sequence number this node has ever *received or sent*. The two
+//!   tokens produced by a false alarm carry the same hop count, so
+//!   whichever reaches a common node second is discarded and the ring
+//!   converges back to one token.
+//! * **911 compares copy seqs** — a 911 call carries the seq of the
+//!   caller's last *received copy* (not `last_seen_seq`): regeneration
+//!   must happen from the newest surviving copy so piggybacked multicast
+//!   messages are not lost. Ties (both zero at bootstrap) break toward
+//!   the lower node id.
+//! * **Regeneration jumps the seq by copy+2** — the regenerated token
+//!   must out-rank `last_seen_seq` on every live node, and a node that
+//!   *sent* the lost token has `last_seen_seq = copy_seq + 1`.
+//!
+//! TBM (to-be-merged) tokens belong to a *different* group's numbering
+//! and skip the staleness check entirely; the merge assigns the merged
+//! token `max(seq_a, seq_b) + 1` so both sides accept it.
+
+use crate::events::{Delivery, SessionEvent};
+use crate::metrics::SessionMetrics;
+use bytes::Bytes;
+use raincore_net::Datagram;
+use raincore_transport::dedup::DedupWindow;
+use raincore_transport::{Endpoint, PeerTable, TransportEvent};
+use raincore_types::config::DetectionMode;
+use raincore_types::wire::{WireDecode, WireEncode};
+use raincore_types::{
+    Attached, BodyOdor, Call911, DeliveryMode, Error, GroupId, Incarnation, MsgId,
+    NodeId, OriginSeq, Reply911, Result, Ring, SessionConfig, SessionMsg, Time, Token,
+    TransportConfig, Verdict911,
+};
+use raincore_net::Addr;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// How a node enters the world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StartMode {
+    /// Start with a configured initial membership; the lowest id in the
+    /// ring founds the token. This is how a cluster is normally booted.
+    Founding(Ring),
+    /// Start alone with no token and ask to join via the 911 protocol
+    /// (§2.3): "When a new node wishes to participate in the membership,
+    /// it sends a 911 message to any node in the group."
+    Joining,
+    /// Start as a singleton group holding its own token; rely on the
+    /// discovery/merge protocol (§2.4) to coalesce with others.
+    Isolated,
+}
+
+/// What an in-flight transport send was carrying, so completion and
+/// failure notifications can be routed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SendKind {
+    Token,
+    Call911 { req_id: u64 },
+    Reply,
+    Beacon,
+}
+
+#[derive(Debug)]
+struct Forwarding {
+    msg_id: MsgId,
+    token: Token,
+}
+
+#[derive(Debug)]
+struct PendingDelivery {
+    origin: NodeId,
+    seq: OriginSeq,
+    mode: DeliveryMode,
+    payload: Bytes,
+    /// Agreed messages are born ready; safe messages become ready when
+    /// this node observes that every member has received them.
+    ready: bool,
+}
+
+impl PendingDelivery {
+    fn key(&self) -> (NodeId, OriginSeq) {
+        (self.origin, self.seq)
+    }
+}
+
+#[derive(Debug)]
+struct Vote911 {
+    req_id: u64,
+    awaiting: BTreeSet<NodeId>,
+    /// Members that failed-on-delivery during the vote; excluded from the
+    /// regenerated membership.
+    excluded: Vec<NodeId>,
+}
+
+#[derive(Debug)]
+enum State {
+    Hungry { since: Time },
+    Eating { token: Token, deadline: Time },
+    /// `vote` is `None` when the node has no membership to poll (a fresh
+    /// joiner probing the group with join-911s).
+    Starving { vote: Option<Vote911>, retry_at: Time },
+    Down,
+}
+
+/// The Raincore Distributed Session Service endpoint for one node.
+///
+/// See the crate documentation for the protocol description and the
+/// module documentation for the state machine.
+#[derive(Debug)]
+pub struct SessionNode {
+    id: NodeId,
+    cfg: SessionConfig,
+    transport: Endpoint,
+    state: State,
+    /// Local view of the membership, refreshed from each token.
+    ring: Ring,
+    /// Local copy of the last received token (§2.3: "each node makes a
+    /// local copy of the TOKEN after each time the node receives it").
+    last_copy: Option<Token>,
+    /// Max token seq ever received *or sent* — acceptance high-water mark.
+    last_seen_seq: u64,
+    /// Token currently in flight to a successor, until acknowledged.
+    forwarding: Option<Forwarding>,
+    /// TBM token held while waiting for our own group's token (§2.4).
+    held_tbm: Option<Token>,
+    /// Node we should hand a TBM token to at the next pass (we saw its
+    /// BODYODOR and its group id is lower than ours).
+    merge_target: Option<NodeId>,
+    /// Join requests (from 911s of non-members) to add at the next pass.
+    pending_joins: Vec<NodeId>,
+    /// Multicasts queued until we next hold the token.
+    outgoing: VecDeque<(OriginSeq, DeliveryMode, Bytes)>,
+    next_origin_seq: OriginSeq,
+    /// Exactly-once delivery tracking per origin.
+    delivered: HashMap<NodeId, DedupWindow>,
+    /// Relay-side deduplication of open-group submissions (§2.6).
+    open_dedup: HashMap<NodeId, DedupWindow>,
+    /// Hold-back queue: messages seen but not yet delivered, in token
+    /// order. The front blocks the rest until it is deliverable, which
+    /// keeps the total order consistent across delivery modes.
+    holdback: VecDeque<PendingDelivery>,
+    /// Kind of every in-flight transport send.
+    inflight: HashMap<MsgId, SendKind>,
+    req_counter: u64,
+    /// Round-robin index over `eligible` for join probes.
+    join_probe_idx: usize,
+    next_beacon: Time,
+    master_requested: bool,
+    master_held: bool,
+    /// Critical resources (§2.4): name → up. Any `false` shuts the node
+    /// down.
+    resources: HashMap<String, bool>,
+    events: VecDeque<SessionEvent>,
+    metrics: SessionMetrics,
+}
+
+impl SessionNode {
+    /// Creates a session node.
+    ///
+    /// * `local_addrs` — this node's physical addresses (one per NIC).
+    /// * `peers` — physical addresses of every node we may talk to
+    ///   (normally the whole eligible membership).
+    /// * `start` — see [`StartMode`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: NodeId,
+        inc: Incarnation,
+        cfg: SessionConfig,
+        tcfg: TransportConfig,
+        local_addrs: Vec<Addr>,
+        peers: PeerTable,
+        start: StartMode,
+        now: Time,
+    ) -> Result<Self> {
+        cfg.validate().map_err(Error::Config)?;
+        let transport = Endpoint::new(id, inc, local_addrs, peers, tcfg)?;
+        let mut node = SessionNode {
+            id,
+            transport,
+            state: State::Hungry { since: now },
+            ring: Ring::from_iter([id]),
+            last_copy: None,
+            last_seen_seq: 0,
+            forwarding: None,
+            held_tbm: None,
+            merge_target: None,
+            pending_joins: Vec::new(),
+            outgoing: VecDeque::new(),
+            next_origin_seq: OriginSeq::default(),
+            delivered: HashMap::new(),
+            open_dedup: HashMap::new(),
+            holdback: VecDeque::new(),
+            inflight: HashMap::new(),
+            req_counter: 0,
+            join_probe_idx: 0,
+            next_beacon: now + cfg.beacon_period,
+            master_requested: false,
+            master_held: false,
+            resources: HashMap::new(),
+            events: VecDeque::new(),
+            metrics: SessionMetrics::default(),
+            cfg,
+        };
+        match start {
+            StartMode::Founding(ring) => {
+                if !ring.contains(id) {
+                    return Err(Error::Config("initial ring must contain the local node"));
+                }
+                node.ring = ring.clone();
+                if ring.group_id() == Some(GroupId(id)) {
+                    // Lowest id founds the token.
+                    let token = Token::founding(ring);
+                    node.last_seen_seq = token.seq;
+                    node.last_copy = Some(token.clone());
+                    node.become_eating(now, token);
+                }
+            }
+            StartMode::Joining => {
+                node.send_join_probe(now);
+                node.state = State::Starving {
+                    vote: None,
+                    retry_at: now + node.cfg.starving_retry,
+                };
+            }
+            StartMode::Isolated => {
+                let token = Token::founding(Ring::from_iter([id]));
+                node.last_seen_seq = token.seq;
+                node.last_copy = Some(token.clone());
+                node.become_eating(now, token);
+            }
+        }
+        Ok(node)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// Local view of the group membership.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// This node's current group id (lowest member of its view).
+    pub fn group_id(&self) -> GroupId {
+        self.ring.group_id().unwrap_or(GroupId(self.id))
+    }
+
+    /// True while the node holds the token (EATING, §2.2).
+    pub fn is_eating(&self) -> bool {
+        matches!(self.state, State::Eating { .. })
+    }
+
+    /// True once the node has shut itself down.
+    pub fn is_down(&self) -> bool {
+        matches!(self.state, State::Down)
+    }
+
+    /// Current state name, for traces and tests.
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            State::Hungry { .. } => "HUNGRY",
+            State::Eating { .. } => "EATING",
+            State::Starving { .. } => "STARVING",
+            State::Down => "DOWN",
+        }
+    }
+
+    /// Sequence number of the last received token copy (0 = never).
+    pub fn last_copy_seq(&self) -> u64 {
+        self.last_copy.as_ref().map_or(0, |t| t.seq)
+    }
+
+    /// Counter snapshot.
+    pub fn metrics(&self) -> SessionMetrics {
+        self.metrics
+    }
+
+    /// Transport-layer counter snapshot.
+    pub fn transport_stats(&self) -> raincore_transport::TransportStats {
+        self.transport.stats()
+    }
+
+    /// Mutable access to the transport peer table — e.g. to register the
+    /// addresses of a late joiner or of an external open-group client so
+    /// it can be acknowledged (§2.6).
+    pub fn transport_peers_mut(&mut self) -> &mut PeerTable {
+        self.transport.peers_mut()
+    }
+
+    /// True if the master lock is currently held by this node.
+    pub fn holds_master(&self) -> bool {
+        self.master_held
+    }
+
+    // ------------------------------------------------------------------
+    // Application API
+    // ------------------------------------------------------------------
+
+    /// Queues `payload` for reliable atomic multicast to the whole group
+    /// with the requested consistency `mode` (§2.6). The message is
+    /// attached to the token at the next pass. Returns the origin
+    /// sequence number; [`SessionEvent::MulticastAtomic`] fires with the
+    /// same number once every member has received the message.
+    pub fn multicast(&mut self, mode: DeliveryMode, payload: Bytes) -> Result<OriginSeq> {
+        if self.is_down() {
+            return Err(Error::ShutDown);
+        }
+        if payload.len() > self.cfg.max_payload {
+            return Err(Error::PayloadTooLarge { size: payload.len(), max: self.cfg.max_payload });
+        }
+        let seq = self.next_origin_seq;
+        self.next_origin_seq = seq.next();
+        self.outgoing.push_back((seq, mode, payload));
+        Ok(seq)
+    }
+
+    /// Requests the master lock (§2.7). The lock is granted the next time
+    /// this node holds the token ([`SessionEvent::MasterAcquired`]); the
+    /// token is then *retained* — pausing the ring — until
+    /// [`SessionNode::release_master`].
+    pub fn request_master(&mut self) -> Result<()> {
+        if self.is_down() {
+            return Err(Error::ShutDown);
+        }
+        self.master_requested = true;
+        if self.is_eating() && !self.master_held {
+            self.master_held = true;
+            self.events.push_back(SessionEvent::MasterAcquired);
+        }
+        Ok(())
+    }
+
+    /// Releases the master lock and immediately forwards the token.
+    pub fn release_master(&mut self, now: Time) -> Result<()> {
+        if !self.master_held {
+            return Err(Error::InvalidLockOp("master lock not held"));
+        }
+        self.master_requested = false;
+        self.master_held = false;
+        self.events.push_back(SessionEvent::MasterReleased);
+        if self.is_eating() {
+            self.pass_token(now);
+        }
+        Ok(())
+    }
+
+    /// Declares a named critical resource (§2.4), initially up.
+    pub fn add_critical_resource(&mut self, name: impl Into<String>) {
+        self.resources.insert(name.into(), true);
+    }
+
+    /// Updates a critical resource's health. If any resource is down the
+    /// node shuts itself down — the paper's split-brain prevention: only
+    /// the partition that still reaches the shared resource survives.
+    pub fn set_resource(&mut self, now: Time, name: &str, up: bool) {
+        self.resources.insert(name.to_string(), up);
+        if !up && !self.is_down() {
+            self.shutdown(now, format!("critical resource '{name}' lost"));
+        }
+    }
+
+    /// Voluntarily leaves the group and shuts down. If this node holds
+    /// the token it removes itself from the membership and forwards the
+    /// token so the ring continues without interruption.
+    pub fn leave(&mut self, now: Time) {
+        if !self.is_down() {
+            self.shutdown(now, "voluntary leave".to_string());
+        }
+    }
+
+    fn shutdown(&mut self, now: Time, reason: String) {
+        if let State::Eating { token, .. } = &mut self.state {
+            let mut token = token.clone();
+            token.ring.remove(self.id);
+            if !token.ring.is_empty() {
+                // Hand the token off cleanly before going dark: the first
+                // member after our old ring position that is still in the
+                // (self-removed) membership.
+                token.seq += 1;
+                let next = self
+                    .ring
+                    .successors_of(self.id)
+                    .into_iter()
+                    .find(|n| token.ring.contains(*n));
+                if let Some(next) = next {
+                    let msg = SessionMsg::Token(token).encode_to_bytes();
+                    if let Ok(mid) = self.transport.send(now, next, msg) {
+                        self.inflight.insert(mid, SendKind::Token);
+                        self.metrics.tokens_sent += 1;
+                    }
+                }
+            }
+        }
+        self.master_held = false;
+        self.master_requested = false;
+        self.state = State::Down;
+        self.events.push_back(SessionEvent::ShutDown { reason });
+    }
+
+    // ------------------------------------------------------------------
+    // Driver interface (sans-io)
+    // ------------------------------------------------------------------
+
+    /// Feeds a received datagram into the node.
+    pub fn on_datagram(&mut self, now: Time, dgram: Datagram) {
+        if self.is_down() {
+            return;
+        }
+        self.transport.on_datagram(now, dgram);
+        self.drain_transport(now);
+    }
+
+    /// Advances timers to `now`.
+    pub fn on_tick(&mut self, now: Time) {
+        if self.is_down() {
+            return;
+        }
+        self.transport.on_tick(now);
+        self.drain_transport(now);
+        if self.is_down() {
+            return;
+        }
+
+        match &self.state {
+            State::Eating { deadline, .. } => {
+                if now >= *deadline && !self.master_held {
+                    self.pass_token(now);
+                }
+            }
+            State::Hungry { since } => {
+                if now.since(*since) >= self.cfg.hungry_timeout {
+                    self.enter_starving(now);
+                }
+            }
+            State::Starving { retry_at, .. } => {
+                if now >= *retry_at {
+                    self.enter_starving(now); // re-call with a fresh req id
+                }
+            }
+            State::Down => {}
+        }
+
+        if now >= self.next_beacon {
+            self.send_beacons(now);
+            self.next_beacon = now + self.cfg.beacon_period;
+        }
+    }
+
+    /// Earliest instant at which [`SessionNode::on_tick`] has work to do.
+    pub fn next_wakeup(&self) -> Option<Time> {
+        if self.is_down() {
+            return None;
+        }
+        let mut earliest = self.transport.next_wakeup();
+        let mut consider = |t: Time| {
+            earliest = Some(earliest.map_or(t, |e: Time| e.min(t)));
+        };
+        match &self.state {
+            State::Eating { deadline, .. } => {
+                if !self.master_held {
+                    consider(*deadline);
+                }
+            }
+            State::Hungry { since } => consider(*since + self.cfg.hungry_timeout),
+            State::Starving { retry_at, .. } => consider(*retry_at),
+            State::Down => {}
+        }
+        if self.has_absent_eligible() {
+            consider(self.next_beacon);
+        }
+        earliest
+    }
+
+    /// Drains one outgoing datagram, if any.
+    pub fn poll_outgoing(&mut self) -> Option<Datagram> {
+        self.transport.poll_outgoing()
+    }
+
+    /// Drains one application event, if any.
+    pub fn poll_event(&mut self) -> Option<SessionEvent> {
+        self.events.pop_front()
+    }
+
+    // ------------------------------------------------------------------
+    // Transport event handling
+    // ------------------------------------------------------------------
+
+    fn drain_transport(&mut self, now: Time) {
+        while let Some(ev) = self.transport.poll_event() {
+            if self.is_down() {
+                return;
+            }
+            match ev {
+                TransportEvent::Received { from, payload } => {
+                    if let Ok(msg) = SessionMsg::decode_from_bytes(&payload) {
+                        self.metrics.task_switches += 1;
+                        self.on_session_msg(now, from, msg);
+                    }
+                }
+                TransportEvent::Delivered { msg_id, .. } => {
+                    self.inflight.remove(&msg_id);
+                    if self.forwarding.as_ref().is_some_and(|f| f.msg_id == msg_id) {
+                        self.forwarding = None;
+                    }
+                }
+                TransportEvent::DeliveryFailed { msg_id, to } => {
+                    let kind = self.inflight.remove(&msg_id);
+                    self.on_delivery_failed(now, msg_id, to, kind);
+                }
+            }
+        }
+    }
+
+    fn on_session_msg(&mut self, now: Time, from: NodeId, msg: SessionMsg) {
+        match msg {
+            SessionMsg::Token(t) => self.on_token(now, t),
+            SessionMsg::Call911(c) => self.on_call911(now, from, c),
+            SessionMsg::Reply911(r) => self.on_reply911(now, r),
+            SessionMsg::BodyOdor(b) => self.on_beacon(b),
+            SessionMsg::Open(o) => self.on_open(o),
+        }
+    }
+
+    /// Open group communication (§2.6): a non-member handed us a message
+    /// to forward to the whole group. Deduplicate per (sender, seq) —
+    /// the external client may retry toward us — and multicast the
+    /// payload in an envelope that preserves the external origin.
+    fn on_open(&mut self, o: raincore_types::messages::OpenSubmit) {
+        if !self.ring.contains(self.id) {
+            return;
+        }
+        let fresh = self.open_dedup.entry(o.from).or_default().insert(MsgId(o.seq.0));
+        if !fresh {
+            return;
+        }
+        let envelope = crate::open::wrap_open(o.from, o.seq, &o.payload);
+        if self.multicast(DeliveryMode::Agreed, envelope).is_ok() {
+            self.metrics.open_relayed += 1;
+        }
+    }
+
+    fn on_delivery_failed(&mut self, now: Time, msg_id: MsgId, to: NodeId, kind: Option<SendKind>) {
+        match kind {
+            Some(SendKind::Token) => {
+                self.metrics.failures_detected += 1;
+                let aggressive = self.cfg.detection == DetectionMode::Aggressive;
+                if self.forwarding.as_ref().is_some_and(|f| f.msg_id == msg_id) {
+                    // The pass we are blocked on failed: skip the dead
+                    // successor and hand the token onward (§2.2).
+                    let mut f = self.forwarding.take().expect("checked");
+                    if aggressive {
+                        f.token.ring.remove(to);
+                        self.remove_member_locally(to);
+                    }
+                    self.resend_token(now, f.token, to);
+                } else if aggressive {
+                    // A stale pass failed after we already moved on: still
+                    // treat it as a failure detection of `to`.
+                    self.remove_member_locally(to);
+                    if let State::Eating { token, .. } = &mut self.state {
+                        token.ring.remove(to);
+                    }
+                }
+            }
+            Some(SendKind::Call911 { .. }) => {
+                // A 911 voter is unreachable. Failure-on-delivery is a
+                // failure detection of the *target* (§2.2) no matter
+                // which request carried it — the starving-retry period
+                // can be shorter than the transport's detection time, so
+                // the notification may belong to an earlier call and must
+                // still count against the current vote.
+                if self.cfg.detection == DetectionMode::Aggressive {
+                    self.remove_member_locally(to);
+                }
+                if let State::Starving { vote: Some(v), .. } = &mut self.state {
+                    v.awaiting.remove(&to);
+                    if !v.excluded.contains(&to) {
+                        v.excluded.push(to);
+                    }
+                    if v.awaiting.is_empty() {
+                        self.regenerate(now);
+                    }
+                }
+            }
+            Some(SendKind::Reply) | Some(SendKind::Beacon) | None => {
+                // Verdicts and beacons are best-effort.
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Token handling
+    // ------------------------------------------------------------------
+
+    fn on_token(&mut self, now: Time, t: Token) {
+        if t.tbm {
+            self.on_tbm_token(now, t);
+            return;
+        }
+        if t.seq <= self.last_seen_seq {
+            // Duplicate-token elimination (see module docs).
+            self.metrics.stale_tokens_dropped += 1;
+            return;
+        }
+        if !t.ring.contains(self.id) {
+            // We are not in this membership (we were excluded and the 911
+            // rejoin has not completed). Do not touch the token.
+            self.metrics.stale_tokens_dropped += 1;
+            return;
+        }
+        self.last_seen_seq = t.seq;
+        self.last_copy = Some(t.clone());
+        if let State::Eating { token: held, .. } = &mut self.state {
+            // Two tokens converged on us (false-alarm fork). Absorb: keep
+            // the newer ring, preserve any messages only the old one had.
+            let mut t = t;
+            for m in held.msgs.drain(..) {
+                if !t.msgs.iter().any(|x| x.key() == m.key()) {
+                    t.msgs.push(m);
+                }
+            }
+            self.become_eating(now, t);
+            return;
+        }
+        self.become_eating(now, t);
+    }
+
+    fn on_tbm_token(&mut self, now: Time, mut t: Token) {
+        match &self.state {
+            State::Eating { .. } => {
+                // Our own token is in hand: merge right away.
+                let State::Eating { token: ours, .. } =
+                    std::mem::replace(&mut self.state, State::Hungry { since: now })
+                else {
+                    unreachable!()
+                };
+                let merged = self.merge_tokens(ours, t);
+                self.last_copy = Some(merged.clone());
+                self.last_seen_seq = merged.seq;
+                self.become_eating(now, merged);
+            }
+            _ if self.last_copy.is_none() => {
+                // We never had a token of our own (fresh joiner): the TBM
+                // token simply becomes ours.
+                t.tbm = false;
+                t.seq += 1;
+                self.last_seen_seq = t.seq;
+                self.last_copy = Some(t.clone());
+                self.metrics.merges += 1;
+                self.become_eating(now, t);
+            }
+            _ => {
+                // Hold it until our own group's token arrives (§2.4).
+                self.held_tbm = Some(t);
+            }
+        }
+    }
+
+    /// Merges our token with a held TBM token (§2.4): union membership,
+    /// concatenate multicast messages, out-rank both sequence numbers.
+    fn merge_tokens(&mut self, mut ours: Token, other: Token) -> Token {
+        // The absorbed group is the other token's membership *without* us
+        // (a TBM token already contains the node it was handed to).
+        let absorbed = other
+            .ring
+            .iter()
+            .filter(|&n| n != self.id)
+            .min()
+            .map(GroupId)
+            .unwrap_or(GroupId(self.id));
+        for m in other.msgs {
+            if !ours.msgs.iter().any(|x| x.key() == m.key()) {
+                ours.msgs.push(m);
+            }
+        }
+        ours.ring.merge(&other.ring);
+        ours.seq = ours.seq.max(other.seq) + 1;
+        ours.tbm = false;
+        self.metrics.merges += 1;
+        self.events.push_back(SessionEvent::Merged { absorbed });
+        ours
+    }
+
+    /// Accepts `token` and enters EATING: refresh membership, process
+    /// piggybacked messages, grant a pending master request.
+    fn become_eating(&mut self, now: Time, mut token: Token) {
+        if let Some(tbm) = self.held_tbm.take() {
+            token = self.merge_tokens(token, tbm);
+            self.last_copy = Some(token.clone());
+            self.last_seen_seq = token.seq;
+        }
+        self.sync_membership(&token.ring);
+        self.process_attachments(&mut token);
+        self.metrics.tokens_received += 1;
+        let deadline = now + self.cfg.token_hold;
+        self.state = State::Eating { token, deadline };
+        if self.master_requested && !self.master_held {
+            self.master_held = true;
+            self.events.push_back(SessionEvent::MasterAcquired);
+        }
+    }
+
+    /// Marks, buffers, delivers and retires piggybacked multicast
+    /// messages (§2.6).
+    ///
+    /// Delivery order is the *token order*: messages enter a local
+    /// hold-back queue the first time they are seen (the token's message
+    /// list is append-only modulo retirement, so every member buffers
+    /// them in the same global order), and the queue drains strictly from
+    /// the front. A safe message that is not yet known to be received by
+    /// everyone blocks everything queued behind it — this is what makes
+    /// the total order hold *across* delivery modes, exactly as "the
+    /// message ordering on the token decides the message ordering on each
+    /// of the nodes".
+    fn process_attachments(&mut self, token: &mut Token) {
+        let ring = token.ring.clone();
+        for m in &mut token.msgs {
+            m.mark_seen(self.id);
+            self.buffer_message(m);
+            if m.mode == DeliveryMode::Safe && m.seen_by_all(&ring) {
+                // Every member has it: deliverable (§2.6's extra round).
+                m.mark_confirmed(self.id);
+                if let Some(p) = self.holdback.iter_mut().find(|p| p.key() == m.key()) {
+                    p.ready = true;
+                }
+            }
+        }
+        self.drain_holdback();
+        // Retire completed messages. The *originator* retires its own
+        // (and emits the atomicity confirmation); anyone may retire a
+        // message whose originator has left the membership.
+        let mut retired: Vec<OriginSeq> = Vec::new();
+        let my_id = self.id;
+        token.msgs.retain(|m| {
+            let done = match m.mode {
+                DeliveryMode::Agreed => m.seen_by_all(&ring),
+                DeliveryMode::Safe => m.confirmed_by_all(&ring),
+            };
+            let responsible = m.origin == my_id || !ring.contains(m.origin);
+            if done && responsible {
+                if m.origin == my_id {
+                    retired.push(m.seq);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        for seq in retired {
+            self.events.push_back(SessionEvent::MulticastAtomic { seq });
+        }
+    }
+
+    /// Adds a newly seen message to the hold-back queue (idempotent).
+    fn buffer_message(&mut self, m: &Attached) {
+        let key = m.key();
+        let already_delivered =
+            self.delivered.get(&m.origin).is_some_and(|w| w.contains(MsgId(m.seq.0)));
+        if already_delivered || self.holdback.iter().any(|p| p.key() == key) {
+            return;
+        }
+        self.holdback.push_back(PendingDelivery {
+            origin: m.origin,
+            seq: m.seq,
+            mode: m.mode,
+            payload: m.payload.clone(),
+            ready: m.mode == DeliveryMode::Agreed,
+        });
+    }
+
+    /// Delivers the ready prefix of the hold-back queue, in token order.
+    fn drain_holdback(&mut self) {
+        while let Some(front) = self.holdback.front() {
+            if !front.ready {
+                return; // an unsafe-to-deliver message blocks the rest
+            }
+            let p = self.holdback.pop_front().expect("front exists");
+            let fresh = self.delivered.entry(p.origin).or_default().insert(MsgId(p.seq.0));
+            if fresh {
+                self.metrics.deliveries += 1;
+                self.events.push_back(SessionEvent::Delivery(Delivery {
+                    origin: p.origin,
+                    seq: p.seq,
+                    mode: p.mode,
+                    payload: p.payload,
+                }));
+            }
+        }
+    }
+
+    /// Forwards the token to the next member: attach queued multicasts,
+    /// admit pending joiners, hand off a TBM token if a merge is due.
+    fn pass_token(&mut self, now: Time) {
+        let State::Eating { token, .. } =
+            std::mem::replace(&mut self.state, State::Hungry { since: now })
+        else {
+            return;
+        };
+        let mut token = token;
+
+        // Attach queued multicasts at the latest possible moment. The
+        // attach position *is* the message's place in the agreed total
+        // order; the originator buffers its own message here and delivers
+        // it through the same hold-back discipline as everyone else (so
+        // an earlier not-yet-safe message still blocks it). The token has
+        // bounded capacity: what does not fit waits for a later pass
+        // (backpressure that keeps hop latency bounded under bursts).
+        let mut attached_any = false;
+        while token.msgs.len() < self.cfg.max_attached {
+            let Some((seq, mode, payload)) = self.outgoing.pop_front() else { break };
+            let a = Attached::new(self.id, seq, mode, payload);
+            self.buffer_message(&a);
+            token.msgs.push(a);
+            self.metrics.multicasts_sent += 1;
+            attached_any = true;
+        }
+        if attached_any {
+            self.drain_holdback();
+        }
+
+        // Admit joiners right after ourselves so the token reaches them
+        // immediately (§2.3: "it then sends the TOKEN to the new node").
+        let joins: Vec<NodeId> = std::mem::take(&mut self.pending_joins);
+        for j in joins {
+            if j != self.id {
+                token.ring.insert_after(self.id, j);
+            }
+        }
+
+        // Merge handoff (§2.4): add the BODYODOR sender, flag the token
+        // TBM, and send it to that node instead of our normal successor.
+        if let Some(target) = self.merge_target.take() {
+            if !token.ring.contains(target) {
+                token.ring.insert_after(self.id, target);
+                token.tbm = true;
+                token.seq += 1;
+                self.last_seen_seq = self.last_seen_seq.max(token.seq);
+                self.sync_membership(&token.ring);
+                self.send_token(now, token, target);
+                return;
+            }
+        }
+
+        self.sync_membership(&token.ring);
+        token.seq += 1;
+        self.last_seen_seq = self.last_seen_seq.max(token.seq);
+        let next = token.ring.next_after(self.id).unwrap_or(self.id);
+        if next == self.id {
+            // Singleton ring: the pass is a self-pass.
+            self.metrics.self_passes += 1;
+            self.last_copy = Some(token.clone());
+            self.become_eating(now, token);
+        } else {
+            self.send_token(now, token, next);
+        }
+    }
+
+    fn send_token(&mut self, now: Time, token: Token, to: NodeId) {
+        // Refresh our local copy with the outgoing token: it carries the
+        // multicasts we just attached, and if the receiver dies with the
+        // only post-attach copy, regeneration must not lose them.
+        self.last_copy = Some(token.clone());
+        let bytes = SessionMsg::Token(token.clone()).encode_to_bytes();
+        match self.transport.send(now, to, bytes) {
+            Ok(msg_id) => {
+                self.inflight.insert(msg_id, SendKind::Token);
+                self.forwarding = Some(Forwarding { msg_id, token });
+                self.metrics.tokens_sent += 1;
+                self.state = State::Hungry { since: now };
+            }
+            Err(_) => {
+                // No transport addresses for the successor: treat exactly
+                // like an immediate failure-on-delivery.
+                self.metrics.failures_detected += 1;
+                let mut token = token;
+                if self.cfg.detection == DetectionMode::Aggressive {
+                    token.ring.remove(to);
+                    self.remove_member_locally(to);
+                }
+                self.resend_token(now, token, to);
+            }
+        }
+    }
+
+    /// Re-sends the token after a failed pass, walking successors.
+    fn resend_token(&mut self, now: Time, mut token: Token, failed: NodeId) {
+        // If the failed pass was a TBM handoff the merge is aborted: the
+        // token must not reach a normal successor still flagged TBM.
+        token.tbm = false;
+        let next = if self.cfg.detection == DetectionMode::Aggressive {
+            token.ring.next_after(self.id)
+        } else {
+            // Timeout-only mode keeps the dead member in the ring and
+            // merely skips it for this pass.
+            self.ring
+                .successors_of(self.id)
+                .into_iter()
+                .find(|&n| n != failed && token.ring.contains(n))
+        };
+        match next {
+            Some(n) if n != self.id => self.send_token(now, token, n),
+            _ => {
+                // Nobody else reachable. Under aggressive detection we
+                // are now a singleton group; under timeout-only we keep
+                // the membership and retry on the next pass.
+                if self.cfg.detection == DetectionMode::Aggressive {
+                    token.ring = Ring::from_iter([self.id]);
+                }
+                self.sync_membership(&token.ring);
+                self.last_copy = Some(token.clone());
+                self.become_eating(now, token);
+            }
+        }
+    }
+
+    fn remove_member_locally(&mut self, node: NodeId) {
+        if self.ring.remove(node) {
+            let ring = self.ring.clone();
+            self.events.push_back(SessionEvent::MembershipChanged {
+                ring,
+                added: Vec::new(),
+                removed: vec![node],
+            });
+        }
+        if let Some(copy) = &mut self.last_copy {
+            copy.ring.remove(node);
+        }
+    }
+
+    fn sync_membership(&mut self, new_ring: &Ring) {
+        if self.ring == *new_ring {
+            return;
+        }
+        let added: Vec<NodeId> = new_ring.iter().filter(|n| !self.ring.contains(*n)).collect();
+        let removed: Vec<NodeId> = self.ring.iter().filter(|n| !new_ring.contains(*n)).collect();
+        self.ring = new_ring.clone();
+        if added.is_empty() && removed.is_empty() {
+            return; // same members, new order — not an application-visible change
+        }
+        self.events.push_back(SessionEvent::MembershipChanged {
+            ring: new_ring.clone(),
+            added,
+            removed,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // 911: token recovery and join (§2.3)
+    // ------------------------------------------------------------------
+
+    fn enter_starving(&mut self, now: Time) {
+        self.events.push_back(SessionEvent::Starving);
+        if self.ring.len() <= 1 {
+            // No membership to poll: probe the eligible list for a group
+            // to join.
+            self.send_join_probe(now);
+            self.state =
+                State::Starving { vote: None, retry_at: now + self.cfg.starving_retry };
+            return;
+        }
+        self.req_counter += 1;
+        let req_id = self.req_counter;
+        let call = Call911 { from: self.id, last_token_seq: self.last_copy_seq(), req_id };
+        let bytes = SessionMsg::Call911(call).encode_to_bytes();
+        let mut awaiting = BTreeSet::new();
+        for member in self.ring.iter().filter(|&m| m != self.id) {
+            match self.transport.send(now, member, bytes.clone()) {
+                Ok(mid) => {
+                    self.inflight.insert(mid, SendKind::Call911 { req_id });
+                    awaiting.insert(member);
+                    self.metrics.calls911_sent += 1;
+                }
+                Err(_) => {
+                    // Unknown address: cannot vote, exclude.
+                }
+            }
+        }
+        if awaiting.is_empty() {
+            // Nobody to ask: regenerate alone.
+            self.state = State::Starving {
+                vote: Some(Vote911 { req_id, awaiting, excluded: Vec::new() }),
+                retry_at: now + self.cfg.starving_retry,
+            };
+            self.regenerate(now);
+            return;
+        }
+        self.state = State::Starving {
+            vote: Some(Vote911 { req_id, awaiting, excluded: Vec::new() }),
+            retry_at: now + self.cfg.starving_retry,
+        };
+    }
+
+    fn send_join_probe(&mut self, now: Time) {
+        let candidates: Vec<NodeId> = self
+            .cfg
+            .eligible
+            .iter()
+            .copied()
+            .filter(|&n| n != self.id)
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let target = candidates[self.join_probe_idx % candidates.len()];
+        self.join_probe_idx += 1;
+        self.req_counter += 1;
+        let call = Call911 {
+            from: self.id,
+            last_token_seq: self.last_copy_seq(),
+            req_id: self.req_counter,
+        };
+        if let Ok(mid) =
+            self.transport.send(now, target, SessionMsg::Call911(call).encode_to_bytes())
+        {
+            self.inflight.insert(mid, SendKind::Call911 { req_id: self.req_counter });
+            self.metrics.calls911_sent += 1;
+        }
+    }
+
+    fn on_call911(&mut self, now: Time, _wire_from: NodeId, call: Call911) {
+        self.metrics.calls911_received += 1;
+        if call.from == self.id {
+            return;
+        }
+        if !self.ring.contains(call.from) {
+            // §2.3: a 911 from a non-member is a join request. This also
+            // heals link failures and failure-detector false alarms.
+            if self.cfg.eligible.contains(&call.from)
+                && !self.pending_joins.contains(&call.from)
+            {
+                self.pending_joins.push(call.from);
+            }
+            return;
+        }
+        // Regeneration vote. Deny if the token demonstrably exists here
+        // (we hold or are forwarding it), if our local copy is more
+        // recent, or — on a tie — if our id is lower (bootstrap
+        // tie-break; distinct real copies always have distinct seqs).
+        let my_copy = self.last_copy_seq();
+        let verdict = if self.is_eating() || self.forwarding.is_some() {
+            Verdict911::Deny { newer_seq: self.last_seen_seq }
+        } else if my_copy > call.last_token_seq
+            || (my_copy == call.last_token_seq && self.id < call.from)
+        {
+            Verdict911::Deny { newer_seq: my_copy }
+        } else {
+            Verdict911::Grant
+        };
+        let reply = Reply911 { from: self.id, req_id: call.req_id, verdict };
+        if let Ok(mid) =
+            self.transport.send(now, call.from, SessionMsg::Reply911(reply).encode_to_bytes())
+        {
+            self.inflight.insert(mid, SendKind::Reply);
+        }
+    }
+
+    fn on_reply911(&mut self, now: Time, reply: Reply911) {
+        let State::Starving { vote: Some(v), .. } = &mut self.state else {
+            return;
+        };
+        if reply.req_id != v.req_id {
+            return; // stale verdict from an earlier call
+        }
+        match reply.verdict {
+            Verdict911::Grant => {
+                v.awaiting.remove(&reply.from);
+                if v.awaiting.is_empty() {
+                    self.regenerate(now);
+                }
+            }
+            Verdict911::Deny { .. } => {
+                // Someone has a newer copy or the token itself; it (or
+                // its holder) will keep the ring alive. Back to HUNGRY
+                // with a fresh timeout.
+                self.state = State::Hungry { since: now };
+            }
+        }
+    }
+
+    /// Won the vote: regenerate the token from our local copy (§2.3).
+    fn regenerate(&mut self, now: Time) {
+        let State::Starving { vote, .. } =
+            std::mem::replace(&mut self.state, State::Hungry { since: now })
+        else {
+            return;
+        };
+        let excluded = vote.map(|v| v.excluded).unwrap_or_default();
+        let mut token = self
+            .last_copy
+            .clone()
+            .unwrap_or_else(|| Token::founding(Ring::from_iter([self.id])));
+        for x in excluded {
+            token.ring.remove(x);
+        }
+        token.ring.push(self.id); // ensure we are present
+        token.tbm = false;
+        // Out-rank every live node's acceptance mark (see module docs).
+        token.seq = token.seq.max(self.last_seen_seq) + 2;
+        self.last_seen_seq = token.seq;
+        self.last_copy = Some(token.clone());
+        self.metrics.regenerations += 1;
+        self.events.push_back(SessionEvent::TokenRegenerated { seq: token.seq });
+        self.become_eating(now, token);
+    }
+
+    // ------------------------------------------------------------------
+    // Discovery and merge (§2.4)
+    // ------------------------------------------------------------------
+
+    fn has_absent_eligible(&self) -> bool {
+        self.cfg.eligible.iter().any(|&n| n != self.id && !self.ring.contains(n))
+    }
+
+    fn send_beacons(&mut self, now: Time) {
+        // Only a node that is actually part of a functioning group (it
+        // has or has seen a token) advertises itself.
+        if self.last_copy.is_none() {
+            return;
+        }
+        let beacon = BodyOdor { from: self.id, group: self.group_id() };
+        let bytes = SessionMsg::BodyOdor(beacon).encode_to_bytes();
+        let absent: Vec<NodeId> = self
+            .cfg
+            .eligible
+            .iter()
+            .copied()
+            .filter(|&n| n != self.id && !self.ring.contains(n))
+            .collect();
+        for n in absent {
+            if let Ok(mid) = self.transport.send(now, n, bytes.clone()) {
+                self.inflight.insert(mid, SendKind::Beacon);
+                self.metrics.beacons_sent += 1;
+            }
+        }
+    }
+
+    fn on_beacon(&mut self, b: BodyOdor) {
+        self.metrics.beacons_received += 1;
+        if b.from == self.id || self.ring.contains(b.from) {
+            return;
+        }
+        if !self.cfg.eligible.contains(&b.from) {
+            return;
+        }
+        // §2.4 tie-break: the beacon is a join request iff the sender's
+        // group id is lower than ours — the higher group hands its token
+        // down, so multi-way merges cannot deadlock.
+        if b.group < self.group_id() {
+            self.merge_target = Some(b.from);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raincore_types::Duration;
+
+    fn cfg(n: u32) -> SessionConfig {
+        SessionConfig::for_cluster(n)
+    }
+
+    fn mk(id: u32, n: u32, start: StartMode) -> SessionNode {
+        let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+        SessionNode::new(
+            NodeId(id),
+            Incarnation::FIRST,
+            cfg(n),
+            TransportConfig::default(),
+            vec![Addr::primary(NodeId(id))],
+            PeerTable::full_mesh(nodes, 1),
+            start,
+            Time::ZERO,
+        )
+        .unwrap()
+    }
+
+    fn drain(n: &mut SessionNode) -> Vec<SessionEvent> {
+        let mut out = vec![];
+        while let Some(e) = n.poll_event() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn lowest_id_founds_token() {
+        let ring = Ring::from([0, 1, 2]);
+        let a = mk(0, 3, StartMode::Founding(ring.clone()));
+        assert!(a.is_eating());
+        assert_eq!(a.state_name(), "EATING");
+        let b = mk(1, 3, StartMode::Founding(ring));
+        assert!(!b.is_eating());
+        assert_eq!(b.state_name(), "HUNGRY");
+    }
+
+    #[test]
+    fn founding_requires_self_in_ring() {
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let err = SessionNode::new(
+            NodeId(9),
+            Incarnation::FIRST,
+            cfg(3),
+            TransportConfig::default(),
+            vec![Addr::primary(NodeId(9))],
+            PeerTable::full_mesh(nodes, 1),
+            StartMode::Founding(Ring::from([0, 1, 2])),
+            Time::ZERO,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn isolated_node_is_singleton_group() {
+        let a = mk(5, 8, StartMode::Isolated);
+        assert!(a.is_eating());
+        assert_eq!(a.ring().as_slice(), &[NodeId(5)]);
+        assert_eq!(a.group_id(), GroupId(NodeId(5)));
+    }
+
+    #[test]
+    fn singleton_multicast_delivers_on_self_pass() {
+        let mut a = mk(0, 1, StartMode::Isolated);
+        let seq = a.multicast(DeliveryMode::Agreed, Bytes::from_static(b"solo")).unwrap();
+        assert_eq!(seq, OriginSeq(0));
+        // Self-pass happens at the token-hold deadline.
+        a.on_tick(Time::ZERO + a.config().token_hold);
+        let evs = drain(&mut a);
+        assert!(
+            evs.iter().any(|e| matches!(e, SessionEvent::Delivery(d) if d.payload == Bytes::from_static(b"solo"))),
+            "got {evs:?}"
+        );
+        assert!(evs.iter().any(|e| matches!(e, SessionEvent::MulticastAtomic { seq: OriginSeq(0) })));
+        assert_eq!(a.metrics().self_passes, 1);
+    }
+
+    #[test]
+    fn singleton_safe_multicast_also_completes() {
+        let mut a = mk(0, 1, StartMode::Isolated);
+        a.multicast(DeliveryMode::Safe, Bytes::from_static(b"safe")).unwrap();
+        a.on_tick(Time::ZERO + a.config().token_hold);
+        // Safe needs a second look: one more self-pass.
+        a.on_tick(Time::ZERO + a.config().token_hold.saturating_mul(2));
+        let evs = drain(&mut a);
+        assert!(evs.iter().any(|e| matches!(e, SessionEvent::Delivery(_))), "{evs:?}");
+        assert!(evs.iter().any(|e| matches!(e, SessionEvent::MulticastAtomic { .. })));
+    }
+
+    #[test]
+    fn payload_size_enforced() {
+        let mut a = mk(0, 1, StartMode::Isolated);
+        let huge = Bytes::from(vec![0u8; a.config().max_payload + 1]);
+        assert!(matches!(
+            a.multicast(DeliveryMode::Agreed, huge),
+            Err(Error::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn master_lock_holds_the_ring() {
+        let mut a = mk(0, 1, StartMode::Isolated);
+        a.request_master().unwrap();
+        let evs = drain(&mut a);
+        assert!(evs.contains(&SessionEvent::MasterAcquired), "eating node acquires at once");
+        assert!(a.holds_master());
+        // Deadline passes but the lock pins the token.
+        a.on_tick(Time::ZERO + Duration::from_secs(10));
+        assert!(a.is_eating());
+        assert_eq!(a.metrics().self_passes, 0);
+        a.release_master(Time::ZERO + Duration::from_secs(10)).unwrap();
+        assert!(drain(&mut a).contains(&SessionEvent::MasterReleased));
+        assert!(!a.holds_master());
+        assert_eq!(a.metrics().self_passes, 1, "release forwards the token");
+        assert!(a.release_master(Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn hungry_node_starves_and_regenerates_alone() {
+        // Node 1 in a 2-ring; node 0 never speaks (it is not running).
+        let mut b = mk(1, 2, StartMode::Founding(Ring::from([0, 1])));
+        assert_eq!(b.state_name(), "HUNGRY");
+        let t1 = Time::ZERO + b.config().hungry_timeout;
+        b.on_tick(t1);
+        assert_eq!(b.state_name(), "STARVING");
+        assert!(drain(&mut b).contains(&SessionEvent::Starving));
+        // The 911 to node 0 fails on delivery → node 0 excluded → b
+        // regenerates as a singleton.
+        let mut now = t1;
+        for _ in 0..200 {
+            if let Some(w) = b.next_wakeup() {
+                now = w.max(now);
+                b.on_tick(now);
+                while b.poll_outgoing().is_some() {} // node 0 is a black hole
+            }
+            if b.is_eating() {
+                break;
+            }
+        }
+        assert!(b.is_eating(), "regenerated after failure-on-delivery of the 911");
+        assert_eq!(b.ring().as_slice(), &[NodeId(1)]);
+        assert_eq!(b.metrics().regenerations, 1);
+        let evs = drain(&mut b);
+        assert!(evs.iter().any(|e| matches!(e, SessionEvent::TokenRegenerated { .. })));
+    }
+
+    #[test]
+    fn deny_when_copy_is_newer() {
+        let mut a = mk(0, 3, StartMode::Founding(Ring::from([0, 1, 2])));
+        // a founded and is EATING → must deny.
+        a.on_call911(
+            Time::ZERO,
+            NodeId(1),
+            Call911 { from: NodeId(1), last_token_seq: 0, req_id: 1 },
+        );
+        let out = a.poll_outgoing().expect("a reply datagram");
+        // The reply is a transport DATA frame; decode through the frame.
+        let f = raincore_transport::Frame::decode_from_bytes(&out.payload).unwrap();
+        let raincore_transport::Frame::Data { payload, .. } = f else { panic!() };
+        let SessionMsg::Reply911(r) = SessionMsg::decode_from_bytes(&payload).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(r.verdict, Verdict911::Deny { .. }));
+    }
+
+    #[test]
+    fn equal_seq_tie_breaks_toward_lower_id() {
+        // Node 1 (HUNGRY, copy seq 0) votes on calls with seq 0.
+        let b = mk(1, 6, StartMode::Founding(Ring::from([1, 2, 5])));
+        assert_eq!(b.state_name(), "EATING"); // 1 is lowest → founded
+        // Make a non-eating voter: node 2.
+        let mut c = mk(2, 6, StartMode::Founding(Ring::from([1, 2, 5])));
+        assert_eq!(c.state_name(), "HUNGRY");
+        // Caller id 5 > voter id 2 → voter denies (lower id has priority).
+        c.on_call911(
+            Time::ZERO,
+            NodeId(5),
+            Call911 { from: NodeId(5), last_token_seq: 0, req_id: 7 },
+        );
+        let out = c.poll_outgoing().expect("reply");
+        let f = raincore_transport::Frame::decode_from_bytes(&out.payload).unwrap();
+        let raincore_transport::Frame::Data { payload, .. } = f else { panic!() };
+        let SessionMsg::Reply911(r) = SessionMsg::decode_from_bytes(&payload).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(r.verdict, Verdict911::Deny { .. }));
+        // Caller id 1 < voter id 2 → but 1 is a member… caller 1 with
+        // equal seq gets a Grant from 2.
+        let mut c2 = mk(2, 6, StartMode::Founding(Ring::from([1, 2, 5])));
+        c2.on_call911(
+            Time::ZERO,
+            NodeId(1),
+            Call911 { from: NodeId(1), last_token_seq: 0, req_id: 8 },
+        );
+        let out = c2.poll_outgoing().expect("reply");
+        let f = raincore_transport::Frame::decode_from_bytes(&out.payload).unwrap();
+        let raincore_transport::Frame::Data { payload, .. } = f else { panic!() };
+        let SessionMsg::Reply911(r) = SessionMsg::decode_from_bytes(&payload).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.verdict, Verdict911::Grant);
+        let _ = b;
+    }
+
+    #[test]
+    fn call911_from_non_member_is_join_request() {
+        let mut a = mk(0, 4, StartMode::Founding(Ring::from([0, 1])));
+        a.on_call911(
+            Time::ZERO,
+            NodeId(3),
+            Call911 { from: NodeId(3), last_token_seq: 0, req_id: 1 },
+        );
+        assert!(a.poll_outgoing().is_none(), "join requests get no verdict");
+        // Next pass admits the joiner right after us: ring 0,3,1.
+        a.on_tick(Time::ZERO + a.config().token_hold);
+        assert_eq!(a.ring().as_slice(), &[NodeId(0), NodeId(3), NodeId(1)]);
+    }
+
+    #[test]
+    fn ineligible_node_cannot_join() {
+        let mut a = mk(0, 2, StartMode::Founding(Ring::from([0, 1])));
+        a.on_call911(
+            Time::ZERO,
+            NodeId(77),
+            Call911 { from: NodeId(77), last_token_seq: 0, req_id: 1 },
+        );
+        a.on_tick(Time::ZERO + a.config().token_hold);
+        assert!(!a.ring().contains(NodeId(77)));
+    }
+
+    #[test]
+    fn stale_token_discarded() {
+        let mut a = mk(0, 2, StartMode::Founding(Ring::from([0, 1])));
+        let seen = a.metrics().tokens_received;
+        // A token with seq 1 == our last_seen (we founded with seq 1).
+        a.on_token(Time::ZERO, Token::founding(Ring::from([0, 1])));
+        assert_eq!(a.metrics().stale_tokens_dropped, 1);
+        assert_eq!(a.metrics().tokens_received, seen);
+    }
+
+    #[test]
+    fn token_without_self_not_touched() {
+        let mut b = mk(1, 3, StartMode::Founding(Ring::from([0, 1, 2])));
+        let mut t = Token::founding(Ring::from([0, 2]));
+        t.seq = 50;
+        b.on_token(Time::ZERO, t);
+        assert_eq!(b.state_name(), "HUNGRY");
+        assert_eq!(b.metrics().stale_tokens_dropped, 1);
+    }
+
+    #[test]
+    fn beacon_from_lower_group_triggers_merge_handoff() {
+        // Node 2 is an isolated singleton group g2.
+        let mut c = mk(2, 4, StartMode::Isolated);
+        // Beacon from node 0, group g0 < g2 → on our next pass we hand a
+        // TBM token to node 0.
+        c.on_beacon(BodyOdor { from: NodeId(0), group: GroupId(NodeId(0)) });
+        c.on_tick(Time::ZERO + c.config().token_hold);
+        let d = c.poll_outgoing().expect("TBM token datagram");
+        let f = raincore_transport::Frame::decode_from_bytes(&d.payload).unwrap();
+        let raincore_transport::Frame::Data { payload, .. } = f else { panic!() };
+        let SessionMsg::Token(t) = SessionMsg::decode_from_bytes(&payload).unwrap() else {
+            panic!()
+        };
+        assert!(t.tbm);
+        assert!(t.ring.contains(NodeId(0)));
+        assert!(t.ring.contains(NodeId(2)));
+        assert_eq!(d.dst.node, NodeId(0));
+    }
+
+    #[test]
+    fn beacon_from_higher_group_ignored() {
+        let mut a = mk(0, 4, StartMode::Isolated);
+        a.on_beacon(BodyOdor { from: NodeId(3), group: GroupId(NodeId(3)) });
+        a.on_tick(Time::ZERO + a.config().token_hold);
+        // Self-pass, no TBM handoff.
+        assert!(a.is_eating());
+        assert_eq!(a.metrics().self_passes, 1);
+        assert!(!a.ring().contains(NodeId(3)));
+    }
+
+    #[test]
+    fn tbm_token_merges_with_held_token() {
+        // Node 0 is isolated (eating its own token, group g0).
+        let mut a = mk(0, 4, StartMode::Isolated);
+        // TBM token arrives from group {2,3} with node 0 added.
+        let mut tbm = Token::founding(Ring::from([2, 3, 0]));
+        tbm.seq = 9;
+        tbm.tbm = true;
+        a.on_token(Time::ZERO, tbm);
+        assert!(a.is_eating());
+        assert_eq!(a.metrics().merges, 1);
+        let evs = drain(&mut a);
+        assert!(evs.iter().any(|e| matches!(e, SessionEvent::Merged { absorbed: GroupId(NodeId(2)) })));
+        assert!(a.ring().contains(NodeId(2)));
+        assert!(a.ring().contains(NodeId(3)));
+        assert_eq!(a.group_id(), GroupId(NodeId(0)));
+        // Merged seq out-ranks both sides.
+        assert!(a.last_copy_seq() >= 10);
+    }
+
+    #[test]
+    fn joiner_accepts_tbm_directly() {
+        let mut j = mk(3, 4, StartMode::Joining);
+        assert_eq!(j.state_name(), "STARVING");
+        let mut tbm = Token::founding(Ring::from([0, 1, 3]));
+        tbm.seq = 4;
+        tbm.tbm = true;
+        j.on_token(Time::ZERO, tbm);
+        assert!(j.is_eating());
+        assert!(j.ring().contains(NodeId(0)));
+    }
+
+    #[test]
+    fn critical_resource_loss_shuts_down() {
+        let mut a = mk(0, 2, StartMode::Isolated);
+        a.add_critical_resource("uplink");
+        a.set_resource(Time::ZERO, "uplink", false);
+        assert!(a.is_down());
+        let evs = drain(&mut a);
+        assert!(evs.iter().any(
+            |e| matches!(e, SessionEvent::ShutDown { reason } if reason.contains("uplink"))
+        ));
+        // Down node refuses everything.
+        assert!(matches!(a.multicast(DeliveryMode::Agreed, Bytes::new()), Err(Error::ShutDown)));
+        assert_eq!(a.next_wakeup(), None);
+    }
+
+    #[test]
+    fn leaving_while_eating_forwards_token_without_self() {
+        let ring = Ring::from([0, 1, 2]);
+        let mut a = mk(0, 3, StartMode::Founding(ring));
+        assert!(a.is_eating());
+        a.leave(Time::ZERO);
+        assert!(a.is_down());
+        let d = a.poll_outgoing().expect("token handoff on leave");
+        assert_eq!(d.dst.node, NodeId(1));
+        let f = raincore_transport::Frame::decode_from_bytes(&d.payload).unwrap();
+        let raincore_transport::Frame::Data { payload, .. } = f else { panic!() };
+        let SessionMsg::Token(t) = SessionMsg::decode_from_bytes(&payload).unwrap() else {
+            panic!()
+        };
+        assert!(!t.ring.contains(NodeId(0)));
+        assert_eq!(t.ring.as_slice(), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn next_wakeup_covers_state_deadlines() {
+        let a = mk(1, 2, StartMode::Founding(Ring::from([0, 1])));
+        // HUNGRY → wakeup at hungry timeout (beacons not needed: full ring).
+        assert_eq!(a.next_wakeup(), Some(Time::ZERO + a.config().hungry_timeout));
+        let b = mk(0, 1, StartMode::Isolated);
+        assert_eq!(b.next_wakeup(), Some(Time::ZERO + b.config().token_hold));
+    }
+
+    #[test]
+    fn beacons_go_to_absent_eligible_only() {
+        let mut a = mk(0, 3, StartMode::Isolated); // eligible {0,1,2}, ring {0}
+        a.on_tick(Time::ZERO + a.config().beacon_period);
+        let mut dsts = vec![];
+        while let Some(d) = a.poll_outgoing() {
+            let f = raincore_transport::Frame::decode_from_bytes(&d.payload).unwrap();
+            if let raincore_transport::Frame::Data { payload, .. } = f {
+                if let Ok(SessionMsg::BodyOdor(b)) = SessionMsg::decode_from_bytes(&payload) {
+                    assert_eq!(b.from, NodeId(0));
+                    assert_eq!(b.group, GroupId(NodeId(0)));
+                    dsts.push(d.dst.node);
+                }
+            }
+        }
+        dsts.sort();
+        assert_eq!(dsts, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(a.metrics().beacons_sent, 2);
+    }
+}
+
+#[cfg(test)]
+mod holdback_tests {
+    //! Direct token-injection tests of the hold-back delivery discipline
+    //! (§2.6 cross-mode total order).
+
+    use super::*;
+    use raincore_types::{Attached, Duration};
+
+    fn mk(id: u32) -> SessionNode {
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        SessionNode::new(
+            NodeId(id),
+            Incarnation::FIRST,
+            SessionConfig::for_cluster(3),
+            TransportConfig::default(),
+            vec![Addr::primary(NodeId(id))],
+            PeerTable::full_mesh(nodes, 1),
+            StartMode::Founding(Ring::from([0, 1, 2])),
+            Time::ZERO,
+        )
+        .unwrap()
+    }
+
+    fn deliveries(n: &mut SessionNode) -> Vec<(NodeId, OriginSeq)> {
+        let mut out = vec![];
+        while let Some(ev) = n.poll_event() {
+            if let SessionEvent::Delivery(d) = ev {
+                out.push((d.origin, d.seq));
+            }
+        }
+        out
+    }
+
+    fn attached(origin: u32, seq: u64, mode: DeliveryMode, seen: &[u32]) -> Attached {
+        let mut a = Attached::new(NodeId(origin), OriginSeq(seq), mode, Bytes::from_static(b"p"));
+        a.seen = seen.iter().map(|&i| NodeId(i)).collect();
+        a
+    }
+
+    #[test]
+    fn incomplete_safe_message_blocks_later_agreed() {
+        let mut n = mk(1); // HUNGRY (node 0 founded)
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 10;
+        t.msgs = vec![
+            attached(0, 0, DeliveryMode::Safe, &[0]),   // not seen by all yet
+            attached(2, 0, DeliveryMode::Agreed, &[2, 0]),
+        ];
+        n.on_token(Time::ZERO, t);
+        assert!(n.is_eating());
+        assert_eq!(deliveries(&mut n), vec![], "safe head blocks the agreed message");
+
+        // Next round: the safe message is now seen by everyone.
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 13;
+        t.msgs = vec![
+            attached(0, 0, DeliveryMode::Safe, &[0, 2, 1]),
+            attached(2, 0, DeliveryMode::Agreed, &[2, 0, 1]),
+        ];
+        n.on_token(Time::ZERO + Duration::from_millis(20), t);
+        assert_eq!(
+            deliveries(&mut n),
+            vec![(NodeId(0), OriginSeq(0)), (NodeId(2), OriginSeq(0))],
+            "both delivered, in token order"
+        );
+    }
+
+    #[test]
+    fn agreed_before_safe_delivers_immediately() {
+        let mut n = mk(1);
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 10;
+        t.msgs = vec![
+            attached(0, 0, DeliveryMode::Agreed, &[0]),
+            attached(0, 1, DeliveryMode::Safe, &[0]),
+        ];
+        n.on_token(Time::ZERO, t);
+        assert_eq!(
+            deliveries(&mut n),
+            vec![(NodeId(0), OriginSeq(0))],
+            "the agreed head delivers; only the safe tail waits"
+        );
+    }
+
+    #[test]
+    fn own_attachment_behind_blocked_safe_waits_too() {
+        let mut n = mk(1);
+        // Queue a local multicast while hungry.
+        n.multicast(DeliveryMode::Agreed, Bytes::from_static(b"mine")).unwrap();
+        // Token arrives with a blocked safe message at the head.
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 10;
+        t.msgs = vec![attached(0, 0, DeliveryMode::Safe, &[0])];
+        n.on_token(Time::ZERO, t);
+        // Pass the token: our message attaches *behind* the safe one.
+        n.on_tick(Time::ZERO + n.config().token_hold);
+        assert_eq!(
+            deliveries(&mut n),
+            vec![],
+            "own agreed message must not jump the blocked safe message"
+        );
+        // Once the safe message completes, both deliver in order.
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 20;
+        t.msgs = vec![
+            attached(0, 0, DeliveryMode::Safe, &[0, 1, 2]),
+            attached(1, 0, DeliveryMode::Agreed, &[1, 0, 2]),
+        ];
+        n.on_token(Time::ZERO + Duration::from_millis(50), t);
+        assert_eq!(
+            deliveries(&mut n),
+            vec![(NodeId(0), OriginSeq(0)), (NodeId(1), OriginSeq(0))]
+        );
+    }
+
+    #[test]
+    fn duplicate_attachment_across_rounds_delivers_once() {
+        let mut n = mk(1);
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 10;
+        t.msgs = vec![attached(0, 0, DeliveryMode::Agreed, &[0])];
+        n.on_token(Time::ZERO, t);
+        // The same message rides the next round too (not yet retired).
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 13;
+        t.msgs = vec![attached(0, 0, DeliveryMode::Agreed, &[0, 1, 2])];
+        n.on_token(Time::ZERO + Duration::from_millis(20), t);
+        assert_eq!(deliveries(&mut n).len(), 1, "exactly-once despite re-seeing it");
+    }
+
+    #[test]
+    fn safe_readiness_survives_token_retirement() {
+        // A safe message observed incomplete, then the token arrives with
+        // it already complete AND retires it in the same pass at another
+        // node — this node must still deliver from its hold-back copy.
+        let mut n = mk(1);
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 10;
+        t.msgs = vec![attached(0, 0, DeliveryMode::Safe, &[0])];
+        n.on_token(Time::ZERO, t);
+        assert_eq!(deliveries(&mut n), vec![]);
+        // Next round: message now seen by all (still on token).
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 13;
+        t.msgs = vec![attached(0, 0, DeliveryMode::Safe, &[0, 2, 1])];
+        n.on_token(Time::ZERO + Duration::from_millis(20), t);
+        assert_eq!(deliveries(&mut n), vec![(NodeId(0), OriginSeq(0))]);
+    }
+}

@@ -1,0 +1,480 @@
+//! The replicated versioned key-value store.
+
+use crate::ops::{decode_i64, encode_i64, DataOp};
+use bytes::Bytes;
+use raincore_session::{SessionEvent, SessionNode};
+use raincore_types::{DeliveryMode, NodeId, Result, Time};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A value plus its per-key version (monotonically incremented by every
+/// applied write to that key).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// Version at which the value was written (1 = first write).
+    pub version: u64,
+    /// The value.
+    pub value: Bytes,
+}
+
+/// Events emitted by the store. Identical (and identically ordered) on
+/// every replica; filter on `by` for local interest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataEvent {
+    /// A key was written (put, successful CAS, add, or snapshot merge).
+    Updated {
+        /// Key.
+        key: String,
+        /// New version.
+        version: u64,
+        /// New value.
+        value: Bytes,
+        /// Writer.
+        by: NodeId,
+    },
+    /// A key was deleted.
+    Deleted {
+        /// Key.
+        key: String,
+        /// Deleter.
+        by: NodeId,
+    },
+    /// A CAS lost its race (the observed version was stale).
+    CasFailed {
+        /// Key.
+        key: String,
+        /// Version the writer expected.
+        expected: u64,
+        /// Version actually current when the op was applied.
+        actual: u64,
+        /// Writer.
+        by: NodeId,
+    },
+}
+
+/// One replica of the shared store. Reads are local; writes go through
+/// [`DataStore::put`]/[`cas`](DataStore::cas)/… which multicast ops, and
+/// land when [`DataStore::on_event`] processes the delivery.
+#[derive(Debug)]
+pub struct DataStore {
+    me: NodeId,
+    entries: BTreeMap<String, VersionedValue>,
+    /// Last version of deleted keys: a recreated key continues its
+    /// version sequence, so a stale CAS can never win against a
+    /// delete-and-recreate (no ABA).
+    graveyard: BTreeMap<String, u64>,
+    events: VecDeque<DataEvent>,
+    /// Leader state-transfer pending (new members appeared).
+    snapshot_due: bool,
+}
+
+impl DataStore {
+    /// Creates the replica for node `me`.
+    pub fn new(me: NodeId) -> Self {
+        DataStore {
+            me,
+            entries: BTreeMap::new(),
+            graveyard: BTreeMap::new(),
+            events: VecDeque::new(),
+            snapshot_due: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Local reads
+    // ------------------------------------------------------------------
+
+    /// Reads a key (local, no network).
+    pub fn get(&self, key: &str) -> Option<&VersionedValue> {
+        self.entries.get(key)
+    }
+
+    /// Reads a counter maintained by [`DataStore::add`] (absent = 0).
+    pub fn get_i64(&self, key: &str) -> i64 {
+        self.get(key).and_then(|v| decode_i64(&v.value)).unwrap_or(0)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, versioned value)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &VersionedValue)> {
+        self.entries.iter()
+    }
+
+    // ------------------------------------------------------------------
+    // Writes (multicast; applied on delivery)
+    // ------------------------------------------------------------------
+
+    /// Unconditional write.
+    pub fn put(&mut self, session: &mut SessionNode, key: &str, value: Bytes) -> Result<()> {
+        self.send(session, DataOp::Put { key: key.into(), value, by: self.me })
+    }
+
+    /// Unconditional delete.
+    pub fn delete(&mut self, session: &mut SessionNode, key: &str) -> Result<()> {
+        self.send(session, DataOp::Delete { key: key.into(), by: self.me })
+    }
+
+    /// Compare-and-swap: succeeds only if the key's version is still
+    /// `expect_version` when the op is applied (0 = key never written).
+    /// Exactly one of several concurrent CAS attempts wins; losers get
+    /// [`DataEvent::CasFailed`]. Versions are monotonic across deletion
+    /// (a recreated key continues its sequence), so a CAS taken before a
+    /// delete can never succeed against the recreated key (no ABA).
+    pub fn cas(
+        &mut self,
+        session: &mut SessionNode,
+        key: &str,
+        expect_version: u64,
+        value: Bytes,
+    ) -> Result<()> {
+        self.send(
+            session,
+            DataOp::Cas { key: key.into(), expect_version, value, by: self.me },
+        )
+    }
+
+    /// Atomic integer add (read-modify-write arbitrated by the total
+    /// order; concurrent adds all apply).
+    pub fn add(&mut self, session: &mut SessionNode, key: &str, delta: i64) -> Result<()> {
+        self.send(session, DataOp::Add { key: key.into(), delta, by: self.me })
+    }
+
+    fn send(&mut self, session: &mut SessionNode, op: DataOp) -> Result<()> {
+        session.multicast(DeliveryMode::Agreed, op.to_payload())?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Event feed
+    // ------------------------------------------------------------------
+
+    /// Feeds one session event into the replica; call with *every* event
+    /// in order. `now` is used for leader-driven state transfer.
+    pub fn on_event(&mut self, _now: Time, ev: &SessionEvent, session: &mut SessionNode) {
+        match ev {
+            SessionEvent::Delivery(d) => {
+                if let Some(op) = DataOp::from_payload(&d.payload) {
+                    self.apply(&op);
+                }
+            }
+            SessionEvent::MembershipChanged { added, .. }
+                if !added.is_empty() && !self.entries.is_empty() => {
+                    // Someone joined without our state; the leader ships a
+                    // snapshot so they converge.
+                    self.snapshot_due = true;
+                }
+            _ => {}
+        }
+        if self.snapshot_due && self.is_leader(session) {
+            self.snapshot_due = false;
+            let entries: Vec<(String, u64, Bytes)> = self
+                .entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.version, v.value.clone()))
+                .collect();
+            let _ = self.send(session, DataOp::Snapshot { by: self.me, entries });
+        }
+    }
+
+    fn is_leader(&self, session: &SessionNode) -> bool {
+        session.ring().group_id().map(|g| g.lowest_member()) == Some(self.me)
+    }
+
+    /// Applies one op to the local table (public so tests and replay
+    /// tools can drive a replica directly).
+    pub fn apply(&mut self, op: &DataOp) {
+        match op {
+            DataOp::Put { key, value, by } => self.write(key, value.clone(), *by),
+            DataOp::Delete { key, by } => {
+                if let Some(old) = self.entries.remove(key) {
+                    self.graveyard.insert(key.clone(), old.version);
+                    self.events.push_back(DataEvent::Deleted { key: key.clone(), by: *by });
+                }
+            }
+            DataOp::Cas { key, expect_version, value, by } => {
+                // An absent key "remembers" its last version (graveyard),
+                // so recreate-after-delete cannot be raced by a stale CAS.
+                let current = self
+                    .entries
+                    .get(key)
+                    .map(|v| v.version)
+                    .or_else(|| self.graveyard.get(key).copied())
+                    .unwrap_or(0);
+                if current == *expect_version {
+                    self.write(key, value.clone(), *by);
+                } else {
+                    self.events.push_back(DataEvent::CasFailed {
+                        key: key.clone(),
+                        expected: *expect_version,
+                        actual: current,
+                        by: *by,
+                    });
+                }
+            }
+            DataOp::Add { key, delta, by } => {
+                let current = self.get_i64(key);
+                self.write(key, encode_i64(current + delta), *by);
+            }
+            DataOp::Snapshot { by, entries } => {
+                for (key, version, value) in entries {
+                    let newer = self.entries.get(key).is_none_or(|v| v.version < *version);
+                    if newer {
+                        self.entries.insert(
+                            key.clone(),
+                            VersionedValue { version: *version, value: value.clone() },
+                        );
+                        self.events.push_back(DataEvent::Updated {
+                            key: key.clone(),
+                            version: *version,
+                            value: value.clone(),
+                            by: *by,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, key: &str, value: Bytes, by: NodeId) {
+        let floor = self.graveyard.get(key).copied().unwrap_or(0);
+        let version = self.entries.get(key).map_or(floor, |v| v.version) + 1;
+        self.entries.insert(key.to_string(), VersionedValue { version, value: value.clone() });
+        self.events.push_back(DataEvent::Updated { key: key.to_string(), version, value, by });
+    }
+
+    /// Drains one store event.
+    pub fn poll_event(&mut self) -> Option<DataEvent> {
+        self.events.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(s: &mut DataStore) -> Vec<DataEvent> {
+        let mut out = vec![];
+        while let Some(e) = s.poll_event() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn put_get_delete_with_versions() {
+        let mut s = DataStore::new(NodeId(0));
+        s.apply(&DataOp::Put { key: "a".into(), value: Bytes::from_static(b"1"), by: NodeId(1) });
+        assert_eq!(s.get("a").unwrap().version, 1);
+        s.apply(&DataOp::Put { key: "a".into(), value: Bytes::from_static(b"2"), by: NodeId(2) });
+        assert_eq!(s.get("a").unwrap().version, 2);
+        assert_eq!(&s.get("a").unwrap().value[..], b"2");
+        s.apply(&DataOp::Delete { key: "a".into(), by: NodeId(1) });
+        assert!(s.get("a").is_none());
+        assert!(s.is_empty());
+        let evs = drain(&mut s);
+        assert_eq!(evs.len(), 3);
+        assert!(matches!(&evs[2], DataEvent::Deleted { key, .. } if key == "a"));
+    }
+
+    #[test]
+    fn cas_single_winner() {
+        // Two writers CAS from the same observed version; the total order
+        // lets exactly one through.
+        let mut s = DataStore::new(NodeId(0));
+        s.apply(&DataOp::Put { key: "x".into(), value: Bytes::from_static(b"base"), by: NodeId(0) });
+        drain(&mut s);
+        s.apply(&DataOp::Cas {
+            key: "x".into(),
+            expect_version: 1,
+            value: Bytes::from_static(b"A"),
+            by: NodeId(1),
+        });
+        s.apply(&DataOp::Cas {
+            key: "x".into(),
+            expect_version: 1,
+            value: Bytes::from_static(b"B"),
+            by: NodeId(2),
+        });
+        assert_eq!(&s.get("x").unwrap().value[..], b"A");
+        let evs = drain(&mut s);
+        assert!(matches!(&evs[0], DataEvent::Updated { by: NodeId(1), .. }));
+        assert!(matches!(
+            &evs[1],
+            DataEvent::CasFailed { by: NodeId(2), expected: 1, actual: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn cas_on_absent_key_uses_version_zero() {
+        let mut s = DataStore::new(NodeId(0));
+        s.apply(&DataOp::Cas {
+            key: "new".into(),
+            expect_version: 0,
+            value: Bytes::from_static(b"init"),
+            by: NodeId(1),
+        });
+        assert_eq!(s.get("new").unwrap().version, 1);
+        s.apply(&DataOp::Cas {
+            key: "new".into(),
+            expect_version: 0,
+            value: Bytes::from_static(b"again"),
+            by: NodeId(2),
+        });
+        assert_eq!(&s.get("new").unwrap().value[..], b"init", "second create loses");
+    }
+
+    #[test]
+    fn versions_monotonic_across_delete_no_cas_aba() {
+        let mut s = DataStore::new(NodeId(0));
+        s.apply(&DataOp::Put { key: "k".into(), value: Bytes::from_static(b"v1"), by: NodeId(0) });
+        // A reader observed version 1, then the key was deleted and
+        // recreated.
+        s.apply(&DataOp::Delete { key: "k".into(), by: NodeId(1) });
+        s.apply(&DataOp::Put { key: "k".into(), value: Bytes::from_static(b"v2"), by: NodeId(2) });
+        assert_eq!(s.get("k").unwrap().version, 2, "version continued, not reset");
+        // The stale CAS (expect 1) must lose against the recreated key.
+        s.apply(&DataOp::Cas {
+            key: "k".into(),
+            expect_version: 1,
+            value: Bytes::from_static(b"stale"),
+            by: NodeId(3),
+        });
+        assert_eq!(&s.get("k").unwrap().value[..], b"v2", "ABA prevented");
+    }
+
+    #[test]
+    fn add_is_commutative_in_effect() {
+        let mut s = DataStore::new(NodeId(0));
+        s.apply(&DataOp::Add { key: "n".into(), delta: 5, by: NodeId(1) });
+        s.apply(&DataOp::Add { key: "n".into(), delta: -2, by: NodeId(2) });
+        s.apply(&DataOp::Add { key: "n".into(), delta: 10, by: NodeId(0) });
+        assert_eq!(s.get_i64("n"), 13);
+        assert_eq!(s.get("n").unwrap().version, 3);
+        assert_eq!(s.get_i64("absent"), 0);
+    }
+
+    #[test]
+    fn snapshot_merges_by_version() {
+        let mut s = DataStore::new(NodeId(5));
+        // Local has a newer "a", older "b", and no "c".
+        s.apply(&DataOp::Put { key: "a".into(), value: Bytes::from_static(b"l1"), by: NodeId(5) });
+        s.apply(&DataOp::Put { key: "a".into(), value: Bytes::from_static(b"l2"), by: NodeId(5) });
+        s.apply(&DataOp::Put { key: "b".into(), value: Bytes::from_static(b"old"), by: NodeId(5) });
+        drain(&mut s);
+        s.apply(&DataOp::Snapshot {
+            by: NodeId(0),
+            entries: vec![
+                ("a".into(), 1, Bytes::from_static(b"stale")),
+                ("b".into(), 9, Bytes::from_static(b"fresh")),
+                ("c".into(), 4, Bytes::from_static(b"new")),
+            ],
+        });
+        assert_eq!(&s.get("a").unwrap().value[..], b"l2", "local newer wins");
+        assert_eq!(&s.get("b").unwrap().value[..], b"fresh");
+        assert_eq!(s.get("b").unwrap().version, 9);
+        assert_eq!(&s.get("c").unwrap().value[..], b"new");
+        assert_eq!(drain(&mut s).len(), 2, "only merged keys emit events");
+    }
+
+    #[test]
+    fn replicas_converge_from_same_op_stream() {
+        let ops = vec![
+            DataOp::Put { key: "k".into(), value: Bytes::from_static(b"1"), by: NodeId(0) },
+            DataOp::Add { key: "n".into(), delta: 3, by: NodeId(1) },
+            DataOp::Cas {
+                key: "k".into(),
+                expect_version: 1,
+                value: Bytes::from_static(b"2"),
+                by: NodeId(2),
+            },
+            DataOp::Delete { key: "missing".into(), by: NodeId(0) },
+        ];
+        let run = |me: u32| {
+            let mut s = DataStore::new(NodeId(me));
+            for op in &ops {
+                s.apply(op);
+            }
+            let state: Vec<(String, u64, Bytes)> =
+                s.iter().map(|(k, v)| (k.clone(), v.version, v.value.clone())).collect();
+            let evs = drain(&mut s);
+            (state, evs)
+        };
+        assert_eq!(run(0), run(7));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_op() -> impl Strategy<Value = DataOp> {
+        let key = prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("c".to_string())];
+        let node = (0u32..4).prop_map(NodeId);
+        prop_oneof![
+            (key.clone(), proptest::collection::vec(any::<u8>(), 0..8), node.clone()).prop_map(
+                |(key, v, by)| DataOp::Put { key, value: Bytes::from(v), by }
+            ),
+            (key.clone(), node.clone()).prop_map(|(key, by)| DataOp::Delete { key, by }),
+            (key.clone(), 0u64..5, proptest::collection::vec(any::<u8>(), 0..8), node.clone())
+                .prop_map(|(key, expect_version, v, by)| DataOp::Cas {
+                    key,
+                    expect_version,
+                    value: Bytes::from(v),
+                    by
+                }),
+            (key, -10i64..10, node).prop_map(|(key, delta, by)| DataOp::Add { key, delta, by }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_replicas_converge_and_versions_grow(
+            ops in proptest::collection::vec(arb_op(), 0..60)
+        ) {
+            let mut a = DataStore::new(NodeId(0));
+            let mut b = DataStore::new(NodeId(3));
+            let mut last_version: std::collections::BTreeMap<String, u64> = Default::default();
+            for op in &ops {
+                a.apply(op);
+                b.apply(op);
+                // Versions never decrease on surviving keys.
+                for (k, v) in a.iter() {
+                    let prev = last_version.entry(k.clone()).or_insert(0);
+                    prop_assert!(v.version >= *prev, "version regressed on {}", k);
+                    *prev = v.version;
+                }
+            }
+            let sa: Vec<_> = a.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            let sb: Vec<_> = b.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            prop_assert_eq!(sa, sb, "replicas diverged");
+        }
+
+        #[test]
+        fn prop_snapshot_merge_is_idempotent(
+            ops in proptest::collection::vec(arb_op(), 0..30)
+        ) {
+            let mut a = DataStore::new(NodeId(0));
+            for op in &ops {
+                a.apply(op);
+            }
+            let snap = DataOp::Snapshot {
+                by: NodeId(0),
+                entries: a.iter().map(|(k, v)| (k.clone(), v.version, v.value.clone())).collect(),
+            };
+            let before: Vec<_> = a.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            a.apply(&snap);
+            a.apply(&snap);
+            let after: Vec<_> = a.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            prop_assert_eq!(before, after, "self-snapshot must be a no-op");
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! The replicated lock table.
+
+use crate::ops::LockOp;
+use raincore_session::{SessionEvent, SessionNode};
+use raincore_types::{DeliveryMode, NodeId, Result};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Events surfaced by the lock manager. Emitted identically (and in the
+/// same order) on every member, since they are a pure function of the
+/// agreed delivery order; filter on `owner == me` for local interest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LockEvent {
+    /// `owner` now holds `lock`.
+    Granted {
+        /// Lock name.
+        lock: String,
+        /// New owner.
+        owner: NodeId,
+    },
+    /// `owner` released (or lost, if it crashed) `lock`.
+    Released {
+        /// Lock name.
+        lock: String,
+        /// Previous owner.
+        owner: NodeId,
+        /// True when the release was forced by a membership removal.
+        forced: bool,
+    },
+}
+
+#[derive(Debug, Default, Clone)]
+struct LockState {
+    owner: Option<NodeId>,
+    /// Reentrant acquisitions by the owner.
+    depth: u32,
+    waiters: VecDeque<NodeId>,
+}
+
+/// Summary counters for tests and monitoring.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockTableStats {
+    /// Grants performed (including re-grants to waiters).
+    pub grants: u64,
+    /// Voluntary releases.
+    pub releases: u64,
+    /// Locks force-released because their owner left the membership.
+    pub forced_releases: u64,
+}
+
+/// A replica of the distributed lock table. One per member, fed with the
+/// member's session events via [`LockManager::apply`]; lock/unlock
+/// requests go out as multicasts via [`LockManager::lock`] /
+/// [`LockManager::unlock`].
+#[derive(Debug)]
+pub struct LockManager {
+    me: NodeId,
+    table: BTreeMap<String, LockState>,
+    events: VecDeque<LockEvent>,
+    stats: LockTableStats,
+}
+
+impl LockManager {
+    /// Creates the replica for node `me`.
+    pub fn new(me: NodeId) -> Self {
+        LockManager { me, table: BTreeMap::new(), events: VecDeque::new(), stats: LockTableStats::default() }
+    }
+
+    /// Requests `lock`: multicasts an acquire op. The grant arrives later
+    /// as [`LockEvent::Granted`] with `owner == me` (same token round).
+    /// Reentrant: acquiring a lock already held by `me` deepens it.
+    pub fn lock(&mut self, session: &mut SessionNode, lock: &str) -> Result<()> {
+        let op = LockOp::Acquire { lock: lock.to_string(), node: self.me };
+        session.multicast(DeliveryMode::Agreed, op.to_payload())?;
+        Ok(())
+    }
+
+    /// Releases `lock`: multicasts a release op. Releasing a lock not
+    /// held by `me` is ignored by every replica (idempotent).
+    pub fn unlock(&mut self, session: &mut SessionNode, lock: &str) -> Result<()> {
+        let op = LockOp::Release { lock: lock.to_string(), node: self.me };
+        session.multicast(DeliveryMode::Agreed, op.to_payload())?;
+        Ok(())
+    }
+
+    /// Feeds one session event into the replica. Call this with *every*
+    /// event from the session node, in order; non-lock events are either
+    /// membership changes (owner crash handling) or ignored.
+    pub fn apply(&mut self, event: &SessionEvent) {
+        match event {
+            SessionEvent::Delivery(d) => {
+                if let Some(op) = LockOp::from_payload(&d.payload) {
+                    self.apply_op(&op);
+                }
+            }
+            SessionEvent::MembershipChanged { removed, .. } => {
+                for node in removed {
+                    self.purge_node(*node);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn apply_op(&mut self, op: &LockOp) {
+        match op {
+            LockOp::Acquire { lock, node } => {
+                let st = self.table.entry(lock.clone()).or_default();
+                match st.owner {
+                    None => {
+                        st.owner = Some(*node);
+                        st.depth = 1;
+                        self.stats.grants += 1;
+                        self.events
+                            .push_back(LockEvent::Granted { lock: lock.clone(), owner: *node });
+                    }
+                    Some(owner) if owner == *node => {
+                        st.depth += 1; // reentrant
+                    }
+                    Some(_) => {
+                        if !st.waiters.contains(node) {
+                            st.waiters.push_back(*node);
+                        }
+                    }
+                }
+            }
+            LockOp::Release { lock, node } => {
+                let Some(st) = self.table.get_mut(lock) else { return };
+                if st.owner != Some(*node) {
+                    // Not the owner (or a stale release): drop any queued
+                    // interest instead.
+                    st.waiters.retain(|w| w != node);
+                    return;
+                }
+                if st.depth > 1 {
+                    st.depth -= 1;
+                    return;
+                }
+                self.stats.releases += 1;
+                self.events.push_back(LockEvent::Released {
+                    lock: lock.clone(),
+                    owner: *node,
+                    forced: false,
+                });
+                self.grant_next(lock.clone());
+            }
+        }
+    }
+
+    /// Forced cleanup when `node` leaves the membership: its locks are
+    /// released and it disappears from every waiter queue.
+    fn purge_node(&mut self, node: NodeId) {
+        let names: Vec<String> = self.table.keys().cloned().collect();
+        for lock in names {
+            let st = self.table.get_mut(&lock).expect("present");
+            st.waiters.retain(|w| *w != node);
+            if st.owner == Some(node) {
+                self.stats.forced_releases += 1;
+                self.events.push_back(LockEvent::Released {
+                    lock: lock.clone(),
+                    owner: node,
+                    forced: true,
+                });
+                self.grant_next(lock);
+            }
+        }
+    }
+
+    fn grant_next(&mut self, lock: String) {
+        let st = self.table.get_mut(&lock).expect("present");
+        match st.waiters.pop_front() {
+            Some(next) => {
+                st.owner = Some(next);
+                st.depth = 1;
+                self.stats.grants += 1;
+                self.events.push_back(LockEvent::Granted { lock, owner: next });
+            }
+            None => {
+                st.owner = None;
+                st.depth = 0;
+            }
+        }
+    }
+
+    /// Current owner of `lock`, if any.
+    pub fn owner(&self, lock: &str) -> Option<NodeId> {
+        self.table.get(lock).and_then(|s| s.owner)
+    }
+
+    /// True if this replica's node holds `lock`.
+    pub fn held_by_me(&self, lock: &str) -> bool {
+        self.owner(lock) == Some(self.me)
+    }
+
+    /// Nodes queued behind the owner of `lock`.
+    pub fn waiters(&self, lock: &str) -> Vec<NodeId> {
+        self.table.get(lock).map(|s| s.waiters.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Drains one lock event.
+    pub fn poll_event(&mut self) -> Option<LockEvent> {
+        self.events.pop_front()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LockTableStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acquire(lm: &mut LockManager, lock: &str, node: u32) {
+        lm.apply_op(&LockOp::Acquire { lock: lock.into(), node: NodeId(node) });
+    }
+
+    fn release(lm: &mut LockManager, lock: &str, node: u32) {
+        lm.apply_op(&LockOp::Release { lock: lock.into(), node: NodeId(node) });
+    }
+
+    fn drain(lm: &mut LockManager) -> Vec<LockEvent> {
+        let mut out = vec![];
+        while let Some(e) = lm.poll_event() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_grant_order() {
+        let mut lm = LockManager::new(NodeId(0));
+        acquire(&mut lm, "l", 1);
+        acquire(&mut lm, "l", 2);
+        acquire(&mut lm, "l", 3);
+        assert_eq!(lm.owner("l"), Some(NodeId(1)));
+        assert_eq!(lm.waiters("l"), vec![NodeId(2), NodeId(3)]);
+        release(&mut lm, "l", 1);
+        assert_eq!(lm.owner("l"), Some(NodeId(2)));
+        release(&mut lm, "l", 2);
+        assert_eq!(lm.owner("l"), Some(NodeId(3)));
+        release(&mut lm, "l", 3);
+        assert_eq!(lm.owner("l"), None);
+        let evs = drain(&mut lm);
+        let grants: Vec<NodeId> = evs
+            .iter()
+            .filter_map(|e| match e {
+                LockEvent::Granted { owner, .. } => Some(*owner),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(grants, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn reentrant_depth() {
+        let mut lm = LockManager::new(NodeId(1));
+        acquire(&mut lm, "l", 1);
+        acquire(&mut lm, "l", 1);
+        release(&mut lm, "l", 1);
+        assert!(lm.held_by_me("l"), "still held after matching one release");
+        release(&mut lm, "l", 1);
+        assert_eq!(lm.owner("l"), None);
+    }
+
+    #[test]
+    fn non_owner_release_is_ignored_but_cancels_waiting() {
+        let mut lm = LockManager::new(NodeId(0));
+        acquire(&mut lm, "l", 1);
+        acquire(&mut lm, "l", 2);
+        release(&mut lm, "l", 2); // waiter gives up
+        assert_eq!(lm.owner("l"), Some(NodeId(1)));
+        assert!(lm.waiters("l").is_empty());
+        release(&mut lm, "l", 9); // total stranger
+        assert_eq!(lm.owner("l"), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn duplicate_acquire_while_waiting_not_queued_twice() {
+        let mut lm = LockManager::new(NodeId(0));
+        acquire(&mut lm, "l", 1);
+        acquire(&mut lm, "l", 2);
+        acquire(&mut lm, "l", 2);
+        assert_eq!(lm.waiters("l"), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn owner_crash_forces_release_and_regrants() {
+        let mut lm = LockManager::new(NodeId(0));
+        acquire(&mut lm, "a", 1);
+        acquire(&mut lm, "a", 2);
+        acquire(&mut lm, "b", 1);
+        drain(&mut lm);
+        lm.apply(&SessionEvent::MembershipChanged {
+            ring: raincore_types::Ring::from([0, 2]),
+            added: vec![],
+            removed: vec![NodeId(1)],
+        });
+        assert_eq!(lm.owner("a"), Some(NodeId(2)), "waiter inherited");
+        assert_eq!(lm.owner("b"), None, "no waiter → free");
+        let evs = drain(&mut lm);
+        assert!(evs.contains(&LockEvent::Released { lock: "a".into(), owner: NodeId(1), forced: true }));
+        assert!(evs.contains(&LockEvent::Released { lock: "b".into(), owner: NodeId(1), forced: true }));
+        assert_eq!(lm.stats().forced_releases, 2);
+    }
+
+    #[test]
+    fn crashed_waiter_purged_from_queue() {
+        let mut lm = LockManager::new(NodeId(0));
+        acquire(&mut lm, "l", 1);
+        acquire(&mut lm, "l", 2);
+        acquire(&mut lm, "l", 3);
+        lm.apply(&SessionEvent::MembershipChanged {
+            ring: raincore_types::Ring::from([0, 1, 3]),
+            added: vec![],
+            removed: vec![NodeId(2)],
+        });
+        release(&mut lm, "l", 1);
+        assert_eq!(lm.owner("l"), Some(NodeId(3)), "skipped the dead waiter");
+    }
+
+    #[test]
+    fn replicas_agree_given_same_event_sequence() {
+        let ops = vec![
+            LockOp::Acquire { lock: "x".into(), node: NodeId(1) },
+            LockOp::Acquire { lock: "x".into(), node: NodeId(2) },
+            LockOp::Acquire { lock: "y".into(), node: NodeId(2) },
+            LockOp::Release { lock: "x".into(), node: NodeId(1) },
+            LockOp::Acquire { lock: "x".into(), node: NodeId(3) },
+            LockOp::Release { lock: "x".into(), node: NodeId(2) },
+        ];
+        let run = |me: u32| {
+            let mut lm = LockManager::new(NodeId(me));
+            for op in &ops {
+                lm.apply_op(op);
+            }
+            let mut evs = vec![];
+            while let Some(e) = lm.poll_event() {
+                evs.push(e);
+            }
+            (lm.owner("x"), lm.owner("y"), evs)
+        };
+        let a = run(0);
+        let b = run(5);
+        assert_eq!(a, b, "replicas are a pure function of the op sequence");
+        assert_eq!(a.0, Some(NodeId(3)));
+    }
+}

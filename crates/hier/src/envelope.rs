@@ -1,0 +1,80 @@
+//! The global-multicast envelope relayed between rings.
+
+use bytes::Bytes;
+use raincore_types::wire::{Reader, WireDecode, WireEncode, Writer};
+use raincore_types::{NodeId, OriginSeq};
+
+/// Magic prefix identifying a hierarchical envelope inside a multicast.
+pub const MAGIC: &[u8; 4] = b"RCHG";
+
+/// Which relay stage an envelope is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Travelling up: originator's leaf ring → leader (→ top ring).
+    Up,
+    /// Travelling down: leader → its leaf ring → members deliver.
+    Down,
+}
+
+/// Wraps a global multicast payload.
+pub fn wrap_global(origin: NodeId, seq: OriginSeq, stage: Stage, payload: &[u8]) -> Bytes {
+    let mut w = Writer::with_capacity(payload.len() + 12);
+    for &b in MAGIC {
+        w.put_u8(b);
+    }
+    origin.encode(&mut w);
+    seq.encode(&mut w);
+    w.put_u8(match stage {
+        Stage::Up => 0,
+        Stage::Down => 1,
+    });
+    w.put_bytes(payload);
+    w.finish()
+}
+
+/// Recovers `(origin, seq, stage, payload)`; `None` if the payload is
+/// not a hierarchical envelope.
+pub fn unwrap_global(payload: &[u8]) -> Option<(NodeId, OriginSeq, Stage, Bytes)> {
+    let rest = payload.strip_prefix(&MAGIC[..])?;
+    let mut r = Reader::new(rest);
+    let origin = NodeId::decode(&mut r).ok()?;
+    let seq = OriginSeq::decode(&mut r).ok()?;
+    let stage = match r.get_u8().ok()? {
+        0 => Stage::Up,
+        1 => Stage::Down,
+        _ => return None,
+    };
+    let inner = r.get_bytes().ok()?;
+    r.expect_end().ok()?;
+    Some((origin, seq, stage, inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_both_stages() {
+        for stage in [Stage::Up, Stage::Down] {
+            let b = wrap_global(NodeId(7), OriginSeq(3), stage, b"data");
+            assert_eq!(
+                unwrap_global(&b),
+                Some((NodeId(7), OriginSeq(3), stage, Bytes::from_static(b"data")))
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_and_malformed_rejected() {
+        assert_eq!(unwrap_global(b"RCDTxxx"), None);
+        assert_eq!(unwrap_global(b""), None);
+        // Bad stage byte.
+        let mut b = wrap_global(NodeId(1), OriginSeq(0), Stage::Up, b"x").to_vec();
+        b[4 + 1 + 1] = 9; // origin(1B varint) + seq(1B varint) then stage
+        assert_eq!(unwrap_global(&b), None);
+        // Trailing garbage.
+        let mut b = wrap_global(NodeId(1), OriginSeq(0), Stage::Up, b"x").to_vec();
+        b.push(0);
+        assert_eq!(unwrap_global(&b), None);
+    }
+}

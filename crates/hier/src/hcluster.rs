@@ -1,0 +1,375 @@
+//! The hierarchical cluster harness.
+//!
+//! Builds `groups × group_size` leaf members plus one *top persona* per
+//! group — the second session stack the leaf leader runs as a member of
+//! the leader ring. In the simulator a persona is a separate host
+//! (co-located with its leader in a real deployment); the relay between
+//! a leader's two stacks is performed by the harness pump, which runs
+//! the simulation in small slices and moves envelopes between rings at
+//! slice boundaries.
+
+use crate::envelope::{unwrap_global, wrap_global, Stage};
+use bytes::Bytes;
+use raincore_session::StartMode;
+use raincore_sim::{Cluster, ClusterBuilder, ClusterConfig};
+use raincore_types::{
+    DeliveryMode, Duration, NodeId, OriginSeq, Result, Ring, SessionConfig, Time,
+    TransportConfig,
+};
+use std::collections::BTreeMap;
+
+/// Node-id offset of the top-ring personas.
+pub const TOP_BASE: u32 = 100_000;
+
+/// Hierarchy parameters.
+#[derive(Clone, Debug)]
+pub struct HierConfig {
+    /// Number of leaf groups (`G`).
+    pub groups: u32,
+    /// Members per leaf group (`K`); total members `N = G·K`.
+    pub group_size: u32,
+    /// Token hold time used in every ring (leaf and top).
+    pub token_hold: Duration,
+    /// Transport configuration.
+    pub transport: TransportConfig,
+    /// Network model.
+    pub net: raincore_net::SimNetConfig,
+    /// Pump slice: envelopes are relayed between rings at most this long
+    /// after they become available (keep it well under a token round).
+    pub relay_slice: Duration,
+}
+
+impl Default for HierConfig {
+    fn default() -> Self {
+        HierConfig {
+            groups: 4,
+            group_size: 4,
+            token_hold: Duration::from_millis(2),
+            transport: TransportConfig {
+                retry_timeout: Duration::from_millis(10),
+                ..Default::default()
+            },
+            net: raincore_net::SimNetConfig::default(),
+            relay_slice: Duration::from_millis(1),
+        }
+    }
+}
+
+/// A hierarchical Raincore deployment under simulation. See the crate
+/// docs for the protocol.
+pub struct HierCluster {
+    cluster: Cluster,
+    cfg: HierConfig,
+    next_seq: BTreeMap<NodeId, OriginSeq>,
+    /// How many leaf deliveries each leader has already relayed upward.
+    leaf_scanned: BTreeMap<NodeId, usize>,
+    /// How many top deliveries each persona has already injected downward.
+    top_scanned: BTreeMap<NodeId, usize>,
+}
+
+impl HierCluster {
+    /// Builds the hierarchy at t = 0.
+    pub fn new(cfg: HierConfig) -> Result<HierCluster> {
+        let ccfg = ClusterConfig {
+            transport: cfg.transport.clone(),
+            net: cfg.net.clone(),
+            ..Default::default()
+        };
+        let mut builder = ClusterBuilder::new(ccfg);
+
+        let base_session = |eligible: Vec<NodeId>| SessionConfig {
+            token_hold: cfg.token_hold,
+            hungry_timeout: cfg.token_hold.saturating_mul(
+                u64::from(cfg.group_size.max(cfg.groups)) * 8,
+            ).max(Duration::from_millis(200)),
+            starving_retry: Duration::from_millis(100),
+            beacon_period: Duration::from_millis(200),
+            eligible,
+            ..SessionConfig::default()
+        };
+
+        // Leaf groups: ids [g·K, (g+1)·K); eligible restricted to the
+        // group so leaf rings never merge across groups.
+        for g in 0..cfg.groups {
+            let ids: Vec<NodeId> =
+                (0..cfg.group_size).map(|k| NodeId(g * cfg.group_size + k)).collect();
+            let ring = Ring::from_iter(ids.iter().copied());
+            for &id in &ids {
+                builder = builder.member_with(
+                    id,
+                    StartMode::Founding(ring.clone()),
+                    base_session(ids.clone()),
+                );
+            }
+        }
+        // Top ring: one persona per group leader.
+        let top_ids: Vec<NodeId> = (0..cfg.groups).map(|g| NodeId(TOP_BASE + g)).collect();
+        let top_ring = Ring::from_iter(top_ids.iter().copied());
+        for &id in &top_ids {
+            builder = builder.member_with(
+                id,
+                StartMode::Founding(top_ring.clone()),
+                base_session(top_ids.clone()),
+            );
+        }
+        Ok(HierCluster {
+            cluster: builder.build()?,
+            cfg,
+            next_seq: BTreeMap::new(),
+            leaf_scanned: BTreeMap::new(),
+            top_scanned: BTreeMap::new(),
+        })
+    }
+
+    /// Ids of all leaf members.
+    pub fn member_ids(&self) -> Vec<NodeId> {
+        (0..self.cfg.groups * self.cfg.group_size).map(NodeId).collect()
+    }
+
+    /// The leaf group index of a member.
+    pub fn group_of(&self, member: NodeId) -> u32 {
+        member.raw() / self.cfg.group_size
+    }
+
+    /// The leaf leader of a group (its lowest member).
+    pub fn leader_of(&self, group: u32) -> NodeId {
+        NodeId(group * self.cfg.group_size)
+    }
+
+    /// The top-ring persona of a group's leader.
+    pub fn persona_of(&self, group: u32) -> NodeId {
+        NodeId(TOP_BASE + group)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.cluster.now()
+    }
+
+    /// Read access to the underlying flat cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable access to the underlying flat cluster (fault injection).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Originates a global (whole-hierarchy) multicast from a leaf
+    /// member.
+    pub fn multicast_global(&mut self, from: NodeId, payload: Bytes) -> Result<OriginSeq> {
+        let seq = *self.next_seq.entry(from).or_default();
+        self.next_seq.insert(from, seq.next());
+        let env = wrap_global(from, seq, Stage::Up, &payload);
+        self.cluster.multicast(from, DeliveryMode::Agreed, env)?;
+        Ok(seq)
+    }
+
+    /// Runs the hierarchy for `d`, pumping the inter-ring relays.
+    pub fn run_for(&mut self, d: Duration) {
+        let end = self.cluster.now() + d;
+        loop {
+            let now = self.cluster.now();
+            if now >= end {
+                return;
+            }
+            let slice = self.cfg.relay_slice.min(end.since(now));
+            let t = now + slice;
+            self.cluster.run_until(t);
+            self.pump_relays();
+        }
+    }
+
+    /// Moves freshly delivered envelopes between the rings: leaders lift
+    /// UP-stage envelopes from their own group into the top ring; every
+    /// persona pushes top-ring envelopes DOWN into its leaf ring.
+    fn pump_relays(&mut self) {
+        for g in 0..self.cfg.groups {
+            let leader = self.leader_of(g);
+            let persona = self.persona_of(g);
+
+            // Leaf → top: only the origin group's leader lifts.
+            let start = *self.leaf_scanned.get(&leader).unwrap_or(&0);
+            let lifts: Vec<Bytes> = self
+                .cluster
+                .deliveries(leader)
+                .iter()
+                .skip(start)
+                .filter_map(|d| unwrap_global(&d.payload))
+                .filter(|(origin, _, stage, _)| {
+                    *stage == Stage::Up && self.group_of(*origin) == g
+                })
+                .map(|(origin, seq, _, inner)| wrap_global(origin, seq, Stage::Up, &inner))
+                .collect();
+            self.leaf_scanned.insert(leader, self.cluster.deliveries(leader).len());
+            for env in lifts {
+                let _ = self.cluster.multicast(persona, DeliveryMode::Agreed, env);
+            }
+
+            // Top → leaf: every persona injects DOWN in top-ring order —
+            // which is therefore the global delivery order everywhere.
+            let start = *self.top_scanned.get(&persona).unwrap_or(&0);
+            let downs: Vec<Bytes> = self
+                .cluster
+                .deliveries(persona)
+                .iter()
+                .skip(start)
+                .filter_map(|d| unwrap_global(&d.payload))
+                .filter(|(_, _, stage, _)| *stage == Stage::Up)
+                .map(|(origin, seq, _, inner)| wrap_global(origin, seq, Stage::Down, &inner))
+                .collect();
+            self.top_scanned.insert(persona, self.cluster.deliveries(persona).len());
+            for env in downs {
+                let _ = self.cluster.multicast(leader, DeliveryMode::Agreed, env);
+            }
+        }
+    }
+
+    /// Global deliveries observed by a leaf member, in delivery order:
+    /// `(origin, seq, payload)` of every DOWN-stage envelope.
+    pub fn global_deliveries(&self, member: NodeId) -> Vec<(NodeId, OriginSeq, Bytes)> {
+        self.cluster
+            .deliveries(member)
+            .iter()
+            .filter_map(|d| unwrap_global(&d.payload))
+            .filter(|(_, _, stage, _)| *stage == Stage::Down)
+            .map(|(o, s, _, p)| (o, s, p))
+            .collect()
+    }
+
+    /// Group-communication wake-ups per member, including the top-ring
+    /// persona's share for leaders (the leader runs both stacks).
+    pub fn task_switches(&self, member: NodeId) -> u64 {
+        let mut total =
+            self.cluster.session(member).map(|s| s.metrics().task_switches).unwrap_or(0);
+        let g = self.group_of(member);
+        if member == self.leader_of(g) {
+            total += self
+                .cluster
+                .session(self.persona_of(g))
+                .map(|s| s.metrics().task_switches)
+                .unwrap_or(0);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(groups: u32, k: u32) -> HierCluster {
+        HierCluster::new(HierConfig { groups, group_size: k, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn leaf_rings_form_independently() {
+        let mut h = build(3, 3);
+        h.run_for(Duration::from_secs(1));
+        // Each leaf group is its own converged ring; no cross-merges.
+        for g in 0..3 {
+            let leader = h.leader_of(g);
+            let ring = h.cluster().session(leader).unwrap().ring().clone();
+            assert_eq!(ring.len(), 3, "group {g}: {ring:?}");
+            for m in ring.iter() {
+                assert_eq!(h.group_of(m), g, "member {m} leaked across groups");
+            }
+        }
+        // The top ring contains every persona.
+        let top = h.cluster().session(h.persona_of(0)).unwrap().ring().clone();
+        assert_eq!(top.len(), 3);
+    }
+
+    #[test]
+    fn global_multicast_reaches_every_member_in_total_order() {
+        let mut h = build(3, 3);
+        h.run_for(Duration::from_secs(1));
+        // Concurrent sends from different groups.
+        for i in 0..6u8 {
+            let from = NodeId(u32::from(i) % 9);
+            h.multicast_global(from, Bytes::from(vec![i])).unwrap();
+        }
+        h.run_for(Duration::from_secs(3));
+        let reference = h.global_deliveries(NodeId(0));
+        assert_eq!(reference.len(), 6, "all six messages delivered: {reference:?}");
+        for m in h.member_ids() {
+            assert_eq!(
+                h.global_deliveries(m),
+                reference,
+                "member {m} disagrees on the global total order"
+            );
+        }
+    }
+
+    #[test]
+    fn origin_group_also_delivers_exactly_once() {
+        let mut h = build(2, 4);
+        h.run_for(Duration::from_secs(1));
+        h.multicast_global(NodeId(1), Bytes::from_static(b"once")).unwrap();
+        h.run_for(Duration::from_secs(2));
+        for m in h.member_ids() {
+            let got = h.global_deliveries(m);
+            assert_eq!(got.len(), 1, "member {m}: {got:?}");
+            assert_eq!(got[0].0, NodeId(1));
+        }
+    }
+
+    #[test]
+    fn non_leader_overhead_tracks_leaf_ring_not_total_size() {
+        // A non-leader member's wake-up rate depends on its leaf ring
+        // (size K), not on the total member count N = G·K.
+        let mut small = build(2, 4); // N = 8
+        let mut large = build(8, 4); // N = 32, same K
+        small.run_for(Duration::from_secs(2));
+        large.run_for(Duration::from_secs(2));
+        let probe_small = small.task_switches(NodeId(1)); // non-leader
+        let probe_large = large.task_switches(NodeId(1));
+        let ratio = probe_large as f64 / probe_small.max(1) as f64;
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "leaf overhead should be N-independent: small={probe_small} large={probe_large}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::hcluster::tests_support::build;
+
+    #[test]
+    fn non_leader_crash_heals_leaf_ring_and_global_multicast_continues() {
+        let mut h = build(2, 4);
+        h.run_for(Duration::from_secs(1));
+        // Crash a non-leader member of group 1 (ids 4..8, leader 4).
+        h.cluster_mut().crash(NodeId(6));
+        h.run_for(Duration::from_secs(2));
+        let ring = h.cluster().session(h.leader_of(1)).unwrap().ring().clone();
+        assert_eq!(ring.len(), 3, "leaf ring healed: {ring:?}");
+        assert!(!ring.contains(NodeId(6)));
+        // Global multicast still reaches every live member.
+        h.multicast_global(NodeId(1), Bytes::from_static(b"post-crash")).unwrap();
+        h.run_for(Duration::from_secs(2));
+        for m in h.member_ids() {
+            if m == NodeId(6) {
+                continue;
+            }
+            assert!(
+                h.global_deliveries(m)
+                    .iter()
+                    .any(|(_, _, p)| p == &Bytes::from_static(b"post-crash")),
+                "member {m} missed the post-crash multicast"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+
+    pub(crate) fn build(groups: u32, k: u32) -> HierCluster {
+        HierCluster::new(HierConfig { groups, group_size: k, ..Default::default() }).unwrap()
+    }
+}

@@ -1,0 +1,44 @@
+//! Hierarchical Raincore — the paper's §5 scalability extension.
+//!
+//! "The Group Communication Protocols are being extended to address more
+//! challenging scenarios. For example, we are currently working on the
+//! hierarchical design that extends the scalability of the protocol."
+//!
+//! A flat token ring's round time grows linearly with the member count:
+//! with `N` nodes at hold time `h`, a multicast waits `O(N·h)` to
+//! circulate, and the hungry timeout (and with it failure recovery) must
+//! scale with `N`. The hierarchical design splits `N = G × K` nodes into
+//! `G` **leaf rings** of `K` nodes. The **leader** of each leaf ring
+//! (its lowest member) also runs a second session stack that is a member
+//! of one **top ring** of `G` leaders.
+//!
+//! Global multicast is a two-stage relay with a strict delivery rule
+//! that preserves *total order across the whole hierarchy*:
+//!
+//! 1. the originator multicasts an UP-stage envelope in its leaf ring;
+//! 2. its leader forwards the envelope into the top ring;
+//! 3. every leader delivers the top-ring multicast — the **top ring's
+//!    agreed order is the global order** — and re-injects the envelope
+//!    DOWN into its own leaf ring;
+//! 4. members deliver only DOWN-stage envelopes, deduplicated by
+//!    `(origin, seq)`.
+//!
+//! Every member (including the origin's own group) therefore delivers in
+//! the top ring's order. The cost is one extra ring traversal of
+//! latency for the origin's own group; the win is that each node's token
+//! wake-up rate is set by its *leaf* ring size `K` (leaders additionally
+//! pay the top ring of size `G`), not by `N` — measured by the
+//! `exp_ablation_hier` experiment.
+//!
+//! Leaf groups are kept from merging with each other by giving each
+//! member an eligible membership restricted to its own leaf ring (§2.4's
+//! Eligible Membership doing double duty as a partition *boundary*).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod envelope;
+pub mod hcluster;
+
+pub use envelope::{unwrap_global, wrap_global, Stage};
+pub use hcluster::{HierCluster, HierConfig};

@@ -1,0 +1,193 @@
+//! Packet and byte accounting.
+//!
+//! The paper's network-overhead analysis (§4.1) counts *packets on the
+//! network* and their sizes: a broadcast-based protocol puts `(N-1)²`
+//! packets of `M` bytes on the wire for an all-to-all multicast (doubled
+//! with acknowledgements), while the token protocol puts `N` packets of
+//! `N·M` bytes. These counters are how the reproduction measures exactly
+//! that, split by node and by traffic class.
+
+use crate::addr::{Datagram, PacketClass};
+use raincore_types::NodeId;
+use std::collections::BTreeMap;
+
+/// Packet and byte counters for one traffic class.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Number of packets.
+    pub pkts: u64,
+    /// Sum of wire bytes (payload + fixed header overhead).
+    pub bytes: u64,
+}
+
+impl ClassCounts {
+    fn add(&mut self, d: &Datagram) {
+        self.pkts += 1;
+        self.bytes += d.wire_bytes();
+    }
+}
+
+/// Per-node counters: sent, received, and dropped, each per class.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Datagrams this node put on the wire.
+    pub sent: [ClassCounts; PacketClass::COUNT],
+    /// Datagrams delivered to this node.
+    pub recv: [ClassCounts; PacketClass::COUNT],
+    /// Datagrams addressed from/to this node that the network dropped
+    /// (loss, down link/NIC/node, or partition), counted at the sender.
+    pub dropped: [ClassCounts; PacketClass::COUNT],
+}
+
+impl NodeStats {
+    /// Sent counters for one class.
+    pub fn sent_class(&self, c: PacketClass) -> ClassCounts {
+        self.sent[c.index()]
+    }
+
+    /// Received counters for one class.
+    pub fn recv_class(&self, c: PacketClass) -> ClassCounts {
+        self.recv[c.index()]
+    }
+
+    /// Dropped counters for one class.
+    pub fn dropped_class(&self, c: PacketClass) -> ClassCounts {
+        self.dropped[c.index()]
+    }
+}
+
+/// Whole-network accounting, per node plus totals.
+#[derive(Clone, Default, Debug)]
+pub struct NetStats {
+    nodes: BTreeMap<NodeId, NodeStats>,
+}
+
+impl NetStats {
+    /// Creates empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a successful enqueue onto the wire.
+    pub fn record_sent(&mut self, d: &Datagram) {
+        self.nodes.entry(d.src.node).or_default().sent[d.class.index()].add(d);
+    }
+
+    /// Records a delivery.
+    pub fn record_recv(&mut self, d: &Datagram) {
+        self.nodes.entry(d.dst.node).or_default().recv[d.class.index()].add(d);
+    }
+
+    /// Records a drop (attributed to the sender).
+    pub fn record_dropped(&mut self, d: &Datagram) {
+        self.nodes.entry(d.src.node).or_default().dropped[d.class.index()].add(d);
+    }
+
+    /// Counters for one node (zeros if the node never appeared).
+    pub fn node(&self, id: NodeId) -> NodeStats {
+        self.nodes.get(&id).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(node, stats)` pairs in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeStats)> {
+        self.nodes.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Total packets put on the wire in `class` across all nodes
+    /// (successfully enqueued; includes ones later lost in flight).
+    pub fn total_sent(&self, class: PacketClass) -> ClassCounts {
+        self.fold(|n| n.sent[class.index()])
+    }
+
+    /// Total packets delivered in `class` across all nodes.
+    pub fn total_recv(&self, class: PacketClass) -> ClassCounts {
+        self.fold(|n| n.recv[class.index()])
+    }
+
+    /// Total packets dropped in `class` across all nodes.
+    pub fn total_dropped(&self, class: PacketClass) -> ClassCounts {
+        self.fold(|n| n.dropped[class.index()])
+    }
+
+    /// Resets every counter to zero (e.g. after a warm-up phase, so the
+    /// measurement window excludes group formation).
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
+    fn fold(&self, f: impl Fn(&NodeStats) -> ClassCounts) -> ClassCounts {
+        let mut total = ClassCounts::default();
+        for n in self.nodes.values() {
+            let c = f(n);
+            total.pkts += c.pkts;
+            total.bytes += c.bytes;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use bytes::Bytes;
+
+    fn dg(src: u32, dst: u32, class: PacketClass, len: usize) -> Datagram {
+        Datagram {
+            src: Addr::primary(NodeId(src)),
+            dst: Addr::primary(NodeId(dst)),
+            class,
+            payload: Bytes::from(vec![0u8; len]),
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_per_class() {
+        let mut s = NetStats::new();
+        let d1 = dg(0, 1, PacketClass::Control, 100);
+        let d2 = dg(0, 1, PacketClass::Data, 1000);
+        s.record_sent(&d1);
+        s.record_sent(&d2);
+        s.record_recv(&d2);
+        assert_eq!(s.node(NodeId(0)).sent_class(PacketClass::Control).pkts, 1);
+        assert_eq!(s.node(NodeId(0)).sent_class(PacketClass::Control).bytes, 142);
+        assert_eq!(s.node(NodeId(0)).sent_class(PacketClass::Data).bytes, 1042);
+        assert_eq!(s.node(NodeId(1)).recv_class(PacketClass::Data).pkts, 1);
+        assert_eq!(s.node(NodeId(1)).recv_class(PacketClass::Control).pkts, 0);
+    }
+
+    #[test]
+    fn totals_sum_over_nodes() {
+        let mut s = NetStats::new();
+        for src in 0..3u32 {
+            s.record_sent(&dg(src, (src + 1) % 3, PacketClass::Control, 10));
+        }
+        let t = s.total_sent(PacketClass::Control);
+        assert_eq!(t.pkts, 3);
+        assert_eq!(t.bytes, 3 * 52);
+        assert_eq!(s.total_recv(PacketClass::Control).pkts, 0);
+    }
+
+    #[test]
+    fn drops_attributed_to_sender() {
+        let mut s = NetStats::new();
+        s.record_dropped(&dg(2, 0, PacketClass::Data, 5));
+        assert_eq!(s.node(NodeId(2)).dropped_class(PacketClass::Data).pkts, 1);
+        assert_eq!(s.total_dropped(PacketClass::Data).pkts, 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = NetStats::new();
+        s.record_sent(&dg(0, 1, PacketClass::Data, 1));
+        s.reset();
+        assert_eq!(s.total_sent(PacketClass::Data).pkts, 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn unknown_node_reads_zero() {
+        let s = NetStats::new();
+        assert_eq!(s.node(NodeId(99)), NodeStats::default());
+    }
+}

@@ -1,0 +1,231 @@
+//! Real UDP backend.
+//!
+//! The production Raincore implementation "uses UDP as the packet sending
+//! and receiving interface" (§2.1). [`UdpNet`] provides the same
+//! [`Datagram`] vocabulary as the simulator over real
+//! [`std::net::UdpSocket`]s, so the protocol state machines run unchanged
+//! on an actual network (see the `udp_cluster` example).
+//!
+//! Each logical [`Addr`] (node + NIC index) maps to one socket address;
+//! multiple NICs per node are simply multiple bound sockets, giving real
+//! redundant links exactly as the paper describes.
+//!
+//! A small header travels in front of every payload so the receiver learns
+//! the *logical* source address and traffic class:
+//! `varint(src.node) · u8(src.nic) · u8(class) · payload`.
+
+use crate::addr::{Addr, Datagram, PacketClass};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use raincore_types::wire::{Reader, WireDecode, WireEncode, Writer};
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+const MAX_DGRAM: usize = 65_536;
+
+fn encode_header(d: &Datagram) -> Bytes {
+    let mut w = Writer::with_capacity(d.payload.len() + 8);
+    d.src.encode(&mut w);
+    d.class.encode(&mut w);
+    w.put_bytes(&d.payload);
+    w.finish()
+}
+
+fn decode_header(buf: &[u8], dst: Addr) -> Option<Datagram> {
+    let mut r = Reader::new(buf);
+    let src = Addr::decode(&mut r).ok()?;
+    let class = PacketClass::decode(&mut r).ok()?;
+    let payload = r.get_bytes().ok()?;
+    r.expect_end().ok()?;
+    Some(Datagram { src, dst, class, payload })
+}
+
+/// A UDP-backed datagram network endpoint for one node.
+///
+/// Binds one socket per local NIC and spawns a reader thread per socket;
+/// received datagrams are queued on an internal channel and drained with
+/// [`UdpNet::try_recv`] / [`UdpNet::recv_timeout`].
+pub struct UdpNet {
+    sockets: HashMap<Addr, UdpSocket>,
+    peers: HashMap<Addr, SocketAddr>,
+    rx: Receiver<Datagram>,
+    stop: Arc<AtomicBool>,
+    readers: Vec<JoinHandle<()>>,
+}
+
+impl UdpNet {
+    /// Binds sockets for every `(local logical addr, socket addr)` pair
+    /// and records the peer map used to resolve destination [`Addr`]s.
+    ///
+    /// Pass `0` ports to let the OS choose; the chosen addresses are
+    /// readable via [`UdpNet::local_socket_addr`].
+    pub fn bind(
+        local: &[(Addr, SocketAddr)],
+        peers: HashMap<Addr, SocketAddr>,
+    ) -> std::io::Result<Self> {
+        let (tx, rx) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut sockets = HashMap::new();
+        let mut readers = Vec::new();
+        for &(laddr, saddr) in local {
+            let sock = UdpSocket::bind(saddr)?;
+            sock.set_read_timeout(Some(std::time::Duration::from_millis(100)))?;
+            let reader_sock = sock.try_clone()?;
+            sockets.insert(laddr, sock);
+            readers.push(spawn_reader(reader_sock, laddr, tx.clone(), stop.clone()));
+        }
+        Ok(UdpNet { sockets, peers, rx, stop, readers })
+    }
+
+    /// The OS socket address actually bound for a local logical address.
+    pub fn local_socket_addr(&self, addr: Addr) -> Option<SocketAddr> {
+        self.sockets.get(&addr).and_then(|s| s.local_addr().ok())
+    }
+
+    /// Registers (or updates) the socket address of a peer's logical
+    /// address.
+    pub fn add_peer(&mut self, addr: Addr, saddr: SocketAddr) {
+        self.peers.insert(addr, saddr);
+    }
+
+    /// Sends a datagram. `dgram.src` must be one of the locally bound
+    /// addresses and `dgram.dst` must be a known peer.
+    pub fn send(&self, dgram: &Datagram) -> std::io::Result<()> {
+        let sock = self.sockets.get(&dgram.src).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "unbound source addr")
+        })?;
+        let to = self.peers.get(&dgram.dst).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "unknown peer addr")
+        })?;
+        sock.send_to(&encode_header(dgram), to)?;
+        Ok(())
+    }
+
+    /// Dequeues one received datagram without blocking.
+    pub fn try_recv(&self) -> Option<Datagram> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Dequeues one received datagram, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Datagram> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+impl Drop for UdpNet {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn spawn_reader(
+    sock: UdpSocket,
+    local: Addr,
+    tx: Sender<Datagram>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("raincore-udp-rx-{local}"))
+        .spawn(move || {
+            let mut buf = vec![0u8; MAX_DGRAM];
+            while !stop.load(Ordering::SeqCst) {
+                match sock.recv_from(&mut buf) {
+                    Ok((n, _from)) => {
+                        if let Some(d) = decode_header(&buf[..n], local) {
+                            if tx.send(d).is_err() {
+                                return; // receiver side gone
+                            }
+                        }
+                        // Undecodable datagrams (foreign traffic) are dropped,
+                        // exactly like garbage on a real port.
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => return,
+                }
+            }
+        })
+        .expect("spawn udp reader thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raincore_types::NodeId;
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let d = Datagram::data(
+            Addr::new(NodeId(3), 1),
+            Addr::primary(NodeId(9)),
+            Bytes::from_static(b"abc"),
+        );
+        let buf = encode_header(&d);
+        let got = decode_header(&buf, Addr::primary(NodeId(9))).unwrap();
+        assert_eq!(got, d);
+    }
+
+    #[test]
+    fn garbage_header_rejected() {
+        assert!(decode_header(&[0xff, 0xff, 0xff], Addr::primary(NodeId(0))).is_none());
+        assert!(decode_header(&[], Addr::primary(NodeId(0))).is_none());
+    }
+
+    #[test]
+    fn two_endpoints_exchange_datagrams() {
+        let a_addr = Addr::primary(NodeId(0));
+        let b_addr = Addr::primary(NodeId(1));
+        let mut a = UdpNet::bind(&[(a_addr, loopback())], HashMap::new()).unwrap();
+        let mut b = UdpNet::bind(&[(b_addr, loopback())], HashMap::new()).unwrap();
+        a.add_peer(b_addr, b.local_socket_addr(b_addr).unwrap());
+        b.add_peer(a_addr, a.local_socket_addr(a_addr).unwrap());
+
+        a.send(&Datagram::control(a_addr, b_addr, Bytes::from_static(b"ping"))).unwrap();
+        let got = b.recv_timeout(std::time::Duration::from_secs(5)).expect("datagram");
+        assert_eq!(&got.payload[..], b"ping");
+        assert_eq!(got.src, a_addr);
+        assert_eq!(got.dst, b_addr);
+
+        b.send(&Datagram::control(b_addr, a_addr, Bytes::from_static(b"pong"))).unwrap();
+        let got = a.recv_timeout(std::time::Duration::from_secs(5)).expect("datagram");
+        assert_eq!(&got.payload[..], b"pong");
+    }
+
+    #[test]
+    fn send_to_unknown_peer_errors() {
+        let a_addr = Addr::primary(NodeId(0));
+        let a = UdpNet::bind(&[(a_addr, loopback())], HashMap::new()).unwrap();
+        let err = a
+            .send(&Datagram::control(a_addr, Addr::primary(NodeId(9)), Bytes::new()))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrNotAvailable);
+        let err = a
+            .send(&Datagram::control(Addr::primary(NodeId(5)), a_addr, Bytes::new()))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrNotAvailable);
+    }
+
+    #[test]
+    fn multiple_nics_bind_separately() {
+        let n0 = Addr::new(NodeId(0), 0);
+        let n1 = Addr::new(NodeId(0), 1);
+        let net = UdpNet::bind(&[(n0, loopback()), (n1, loopback())], HashMap::new()).unwrap();
+        let s0 = net.local_socket_addr(n0).unwrap();
+        let s1 = net.local_socket_addr(n1).unwrap();
+        assert_ne!(s0.port(), s1.port());
+    }
+}

@@ -1,0 +1,135 @@
+//! Rule-based packet filter with stateful connection tracking.
+//!
+//! "Firewall is essentially a router that filters traffic according to a
+//! security policy" (§3.2). The filter evaluates new connections against
+//! an ordered rule list (first match wins, default allow) and tracks
+//! established flows so that mid-flow packets are only forwarded for
+//! connections the cluster knows about — the stateful property that makes
+//! sharing connection state across the cluster matter for fail-over.
+
+use crate::packet::FlowKey;
+use raincore_types::{NodeId, VipId};
+
+/// Verdict of a rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Forward the connection.
+    Allow,
+    /// Drop the connection.
+    Deny,
+}
+
+/// One policy rule. `None` fields are wildcards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// Matches clients whose node id falls in `[from, to]`.
+    pub client_range: Option<(NodeId, NodeId)>,
+    /// Matches a specific virtual IP.
+    pub vip: Option<VipId>,
+    /// Verdict when the rule matches.
+    pub action: Action,
+}
+
+impl Rule {
+    /// A rule that allows everything (explicit default).
+    pub fn allow_all() -> Rule {
+        Rule { client_range: None, vip: None, action: Action::Allow }
+    }
+
+    /// A rule denying a client id range on all VIPs.
+    pub fn deny_clients(from: NodeId, to: NodeId) -> Rule {
+        Rule { client_range: Some((from, to)), vip: None, action: Action::Deny }
+    }
+
+    fn matches(&self, client: NodeId, vip: VipId) -> bool {
+        if let Some((lo, hi)) = self.client_range {
+            if client < lo || client > hi {
+                return false;
+            }
+        }
+        if let Some(v) = self.vip {
+            if v != vip {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The packet filter: ordered rules plus per-node counters.
+#[derive(Clone, Debug, Default)]
+pub struct Firewall {
+    rules: Vec<Rule>,
+    /// Connections admitted.
+    pub allowed: u64,
+    /// Connections denied by policy.
+    pub denied: u64,
+}
+
+impl Firewall {
+    /// Builds a filter with the given ordered rule list (first match
+    /// wins; no match = allow).
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Firewall { rules, allowed: 0, denied: 0 }
+    }
+
+    /// Evaluates a new connection. Updates the counters.
+    pub fn admit(&mut self, flow: FlowKey, vip: VipId) -> Action {
+        let action = self
+            .rules
+            .iter()
+            .find(|r| r.matches(flow.client, vip))
+            .map_or(Action::Allow, |r| r.action);
+        match action {
+            Action::Allow => self.allowed += 1,
+            Action::Deny => self.denied += 1,
+        }
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(client: u32) -> FlowKey {
+        FlowKey { client: NodeId(client), id: 0 }
+    }
+
+    #[test]
+    fn default_is_allow() {
+        let mut fw = Firewall::new(vec![]);
+        assert_eq!(fw.admit(flow(5), VipId(0)), Action::Allow);
+        assert_eq!(fw.allowed, 1);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut fw = Firewall::new(vec![
+            Rule { client_range: Some((NodeId(10), NodeId(20))), vip: None, action: Action::Deny },
+            Rule::allow_all(),
+        ]);
+        assert_eq!(fw.admit(flow(15), VipId(0)), Action::Deny);
+        assert_eq!(fw.admit(flow(9), VipId(0)), Action::Allow);
+        assert_eq!(fw.admit(flow(21), VipId(0)), Action::Allow);
+        assert_eq!((fw.allowed, fw.denied), (2, 1));
+    }
+
+    #[test]
+    fn vip_scoped_rule() {
+        let mut fw = Firewall::new(vec![Rule {
+            client_range: None,
+            vip: Some(VipId(1)),
+            action: Action::Deny,
+        }]);
+        assert_eq!(fw.admit(flow(1), VipId(1)), Action::Deny);
+        assert_eq!(fw.admit(flow(1), VipId(2)), Action::Allow);
+    }
+
+    #[test]
+    fn deny_clients_helper() {
+        let mut fw = Firewall::new(vec![Rule::deny_clients(NodeId(0), NodeId(0))]);
+        assert_eq!(fw.admit(flow(0), VipId(0)), Action::Deny);
+        assert_eq!(fw.admit(flow(1), VipId(0)), Action::Allow);
+    }
+}

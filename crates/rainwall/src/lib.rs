@@ -1,0 +1,45 @@
+//! Rainwall: firewall/gateway clustering on Raincore (§3.2 of the paper).
+//!
+//! "Rainwall is a commercial application using Raincore Distributed
+//! Services to deliver a high-availability and load-balancing clustering
+//! solution for firewalls. … In addition to the Virtual IP Manager that
+//! provides coarse load balancing and traffic fail-over among the
+//! firewalls, Rainwall also includes a kernel-level software packet
+//! engine that load-balances traffic connection by connection to all
+//! firewall nodes in the cluster. The load and connection assignment
+//! information are shared among the cluster using the Raincore
+//! Distributed Session Service."
+//!
+//! This crate reproduces that system on the simulated network:
+//!
+//! * [`firewall`] — a rule-based packet filter with stateful connection
+//!   tracking (the "firewall" part of a firewall cluster);
+//! * [`engine`] — the per-connection packet engine: rendezvous-hash
+//!   connection placement over the live membership, hand-off of
+//!   connections whose handler is another member, and a connection table
+//!   shared through periodic Raincore multicasts;
+//! * [`gateway`] — the gateway node application tying together the VIP
+//!   manager (coarse balancing + fail-over), the firewall and the packet
+//!   engine;
+//! * [`traffic`] — flow-level web clients and servers (the HTTP clients
+//!   and Apache servers of the paper's benchmark lab);
+//! * [`scenario`] — one-call construction of the full benchmark topology
+//!   (G gateways + C clients + S servers on switched Fast Ethernet),
+//!   used by the Figure-3 and fail-over experiments and the tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod firewall;
+pub mod gateway;
+pub mod packet;
+pub mod scenario;
+pub mod traffic;
+
+pub use engine::{ConnEntry, PacketEngine};
+pub use firewall::{Action, Firewall, Rule};
+pub use gateway::{GatewayApp, GatewayStats};
+pub use packet::{AppPacket, FlowKey};
+pub use scenario::{Scenario, ScenarioCfg};
+pub use traffic::{ClientApp, ClientStats, ServerApp};

@@ -1,0 +1,163 @@
+//! Reusable invariant auditors.
+//!
+//! An auditor is fed the cluster after every simulation quantum (via
+//! [`Cluster::run_until_with`]) and accumulates violations of one of the
+//! paper's invariants, so tests assert whole-run properties instead of
+//! sampling end states:
+//!
+//! * [`TokenAuditor`] — §2.2/§2.5: "there exists no more than one TOKEN
+//!   in the system at any one time" — per group, at most one member is
+//!   EATING at every observable instant.
+//! * [`OrderAuditor`] — §2.6 agreed ordering: at every instant, any two
+//!   members' delivery sequences are prefix-compatible (same order, same
+//!   content; they may only differ in progress).
+//!
+//! [`Cluster::run_until_with`]: crate::Cluster::run_until_with
+
+use crate::cluster::Cluster;
+use raincore_types::{GroupId, NodeId, OriginSeq, Time};
+
+/// Whole-run check of token uniqueness per group.
+#[derive(Debug, Default)]
+pub struct TokenAuditor {
+    /// `(time, group)` of every observed violation.
+    pub violations: Vec<(Time, GroupId)>,
+    /// Number of observations taken.
+    pub observations: u64,
+    /// Max simultaneous EATING members seen anywhere (diagnostics).
+    pub max_eating: usize,
+}
+
+impl TokenAuditor {
+    /// Creates an auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes the cluster (call after every quantum).
+    pub fn observe(&mut self, c: &Cluster) {
+        self.observations += 1;
+        self.max_eating = self.max_eating.max(c.eating_nodes().len());
+        if let Some(g) = c.eating_violation() {
+            self.violations.push((c.now(), g));
+        }
+    }
+
+    /// True if no violation was ever observed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Whole-run check of delivery-order agreement.
+#[derive(Debug, Default)]
+pub struct OrderAuditor {
+    /// `(time, node a, node b)` of every observed divergence.
+    pub violations: Vec<(Time, NodeId, NodeId)>,
+    /// Number of observations taken.
+    pub observations: u64,
+}
+
+impl OrderAuditor {
+    /// Creates an auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes the cluster (call after every quantum).
+    pub fn observe(&mut self, c: &Cluster) {
+        self.observations += 1;
+        let members = c.member_ids();
+        let seqs: Vec<(NodeId, Vec<(NodeId, OriginSeq)>)> = members
+            .iter()
+            .map(|&id| (id, c.deliveries(id).iter().map(|d| (d.origin, d.seq)).collect()))
+            .collect();
+        for i in 0..seqs.len() {
+            for j in (i + 1)..seqs.len() {
+                let (a, sa) = &seqs[i];
+                let (b, sb) = &seqs[j];
+                let n = sa.len().min(sb.len());
+                if sa[..n] != sb[..n] {
+                    self.violations.push((c.now(), *a, *b));
+                }
+            }
+        }
+    }
+
+    /// True if no divergence was ever observed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use bytes::Bytes;
+    use raincore_types::{DeliveryMode, Duration};
+
+    fn fast_cfg() -> ClusterConfig {
+        let mut c = ClusterConfig::default();
+        c.session.token_hold = Duration::from_millis(2);
+        c.session.hungry_timeout = Duration::from_millis(100);
+        c.session.starving_retry = Duration::from_millis(40);
+        c.transport.retry_timeout = Duration::from_millis(10);
+        c
+    }
+
+    #[test]
+    fn quiet_run_passes_both_audits() {
+        let mut c = Cluster::founding(4, fast_cfg()).unwrap();
+        let mut tokens = TokenAuditor::new();
+        let mut orders = OrderAuditor::new();
+        for i in 0..8u8 {
+            c.multicast(NodeId(u32::from(i) % 4), DeliveryMode::Agreed, Bytes::from(vec![i]))
+                .unwrap();
+        }
+        c.run_until_with(Time::ZERO + Duration::from_secs(2), |c| {
+            tokens.observe(c);
+            orders.observe(c);
+        });
+        assert!(tokens.ok(), "{:?}", tokens.violations);
+        assert!(orders.ok(), "{:?}", orders.violations);
+        assert!(tokens.observations > 100);
+        assert_eq!(tokens.max_eating, 1);
+    }
+
+    #[test]
+    fn audits_hold_through_crash_recovery_and_merge() {
+        let mut c = Cluster::founding(4, fast_cfg()).unwrap();
+        let mut tokens = TokenAuditor::new();
+        let mut orders = OrderAuditor::new();
+        c.run_until_with(Time::ZERO + Duration::from_secs(1), |c| {
+            tokens.observe(c);
+            orders.observe(c);
+        });
+        // Crash the token holder (forces a 911 regeneration)…
+        if let Some(h) = c.eating_nodes().pop() {
+            c.crash(h);
+        }
+        let t = c.now();
+        c.run_until_with(t + Duration::from_secs(2), |c| {
+            tokens.observe(c);
+            orders.observe(c);
+        });
+        // …then partition and heal (forces a merge).
+        let live = c.live_members();
+        let (a, b) = live.split_at(live.len() / 2);
+        c.partition(&[a, b]);
+        let t = c.now();
+        c.run_until_with(t + Duration::from_secs(2), |c| {
+            orders.observe(c);
+        });
+        c.heal();
+        let t = c.now();
+        c.run_until_with(t + Duration::from_secs(4), |c| {
+            orders.observe(c);
+        });
+        assert!(c.membership_converged());
+        assert!(tokens.ok(), "{:?}", tokens.violations);
+        assert!(orders.ok(), "{:?}", orders.violations);
+    }
+}

@@ -1,0 +1,46 @@
+//! Simulation glue for an external open-group client (§2.6).
+
+use crate::app::{NodeApp, NodeCtl};
+use raincore_net::Datagram;
+use raincore_session::OpenClient;
+use raincore_types::Time;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Runs an [`OpenClient`] on a plain simulated host (no session stack).
+/// The client handle stays shared so the test/experiment can submit
+/// messages and read outcomes while the simulation runs.
+pub struct OpenClientApp {
+    client: Rc<RefCell<OpenClient>>,
+}
+
+impl OpenClientApp {
+    /// Wraps a client; returns the app and the shared handle.
+    pub fn new(client: OpenClient) -> (Self, Rc<RefCell<OpenClient>>) {
+        let client = Rc::new(RefCell::new(client));
+        (OpenClientApp { client: client.clone() }, client)
+    }
+
+    fn flush(&mut self, ctl: &mut NodeCtl<'_>) {
+        let mut c = self.client.borrow_mut();
+        while let Some(d) = c.poll_outgoing() {
+            ctl.send(d);
+        }
+    }
+}
+
+impl NodeApp for OpenClientApp {
+    fn on_control(&mut self, ctl: &mut NodeCtl<'_>, dgram: Datagram) {
+        self.client.borrow_mut().on_datagram(ctl.now, dgram);
+        self.flush(ctl);
+    }
+
+    fn on_tick(&mut self, ctl: &mut NodeCtl<'_>) {
+        self.client.borrow_mut().on_tick(ctl.now);
+        self.flush(ctl);
+    }
+
+    fn next_wakeup(&self) -> Option<Time> {
+        self.client.borrow().next_wakeup()
+    }
+}

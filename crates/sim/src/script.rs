@@ -1,0 +1,172 @@
+//! Declarative fault scripts.
+//!
+//! Experiments and tests often need a *timed* sequence of disturbances —
+//! "crash node 2 at t=5 s, heal the partition at t=8 s". A
+//! [`FaultScript`] declares those events up front and [`FaultScript::run`]
+//! interleaves them with the simulation, which keeps scenario definitions
+//! readable and reusable (and makes the experiment binaries much shorter
+//! than hand-rolled run/inject/run sequences).
+
+use crate::cluster::Cluster;
+use raincore_net::Addr;
+use raincore_session::StartMode;
+use raincore_types::{NodeId, Time};
+
+/// One disturbance.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Crash a node (process gone, packets dropped).
+    Crash(NodeId),
+    /// Restart a crashed node with the given start mode.
+    Restart(NodeId, StartMode),
+    /// Take a bidirectional link down.
+    LinkDown(NodeId, NodeId),
+    /// Bring a bidirectional link back up.
+    LinkUp(NodeId, NodeId),
+    /// Unplug one NIC's cable.
+    NicDown(Addr),
+    /// Re-plug one NIC's cable.
+    NicUp(Addr),
+    /// Partition the cluster into groups (each inner vec is one island).
+    Partition(Vec<Vec<NodeId>>),
+    /// Heal every link-level failure and partition.
+    Heal,
+}
+
+/// A timed sequence of faults.
+#[derive(Clone, Debug, Default)]
+pub struct FaultScript {
+    events: Vec<(Time, Fault)>,
+}
+
+impl FaultScript {
+    /// Creates an empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `fault` at absolute virtual time `at`.
+    pub fn at(mut self, at: Time, fault: Fault) -> Self {
+        self.events.push((at, fault));
+        self
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Runs `cluster` until `until`, applying each fault at its scheduled
+    /// time (events are sorted; events scheduled before the cluster's
+    /// current time fire immediately).
+    pub fn run(mut self, cluster: &mut Cluster, until: Time) {
+        self.events.sort_by_key(|(t, _)| *t);
+        for (t, fault) in self.events {
+            let t = t.min(until);
+            if t > cluster.now() {
+                cluster.run_until(t);
+            }
+            apply(cluster, fault);
+        }
+        if until > cluster.now() {
+            cluster.run_until(until);
+        }
+    }
+}
+
+fn apply(cluster: &mut Cluster, fault: Fault) {
+    match fault {
+        Fault::Crash(n) => cluster.crash(n),
+        Fault::Restart(n, mode) => {
+            let _ = cluster.restart(n, mode);
+        }
+        Fault::LinkDown(a, b) => cluster.set_link(a, b, false),
+        Fault::LinkUp(a, b) => cluster.set_link(a, b, true),
+        Fault::NicDown(a) => cluster.set_nic(a, false),
+        Fault::NicUp(a) => cluster.set_nic(a, true),
+        Fault::Partition(groups) => {
+            let refs: Vec<&[NodeId]> = groups.iter().map(|g| g.as_slice()).collect();
+            cluster.partition(&refs);
+        }
+        Fault::Heal => cluster.heal(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::tests_shared::fast;
+    use raincore_types::Duration;
+
+    fn secs(s: u64) -> Time {
+        Time::ZERO + Duration::from_secs(s)
+    }
+
+    #[test]
+    fn scripted_crash_restart_cycle() {
+        let mut c = Cluster::founding(4, fast()).unwrap();
+        FaultScript::new()
+            .at(secs(1), Fault::Crash(NodeId(2)))
+            .at(secs(3), Fault::Restart(NodeId(2), StartMode::Joining))
+            .run(&mut c, secs(6));
+        assert_eq!(c.now(), secs(6));
+        assert!(c.membership_converged());
+        assert_eq!(c.live_members().len(), 4);
+        // The crash really happened: node 2 regenerated its view via join.
+        assert!(c.metrics(NodeId(2)).tokens_received > 0);
+    }
+
+    #[test]
+    fn scripted_partition_and_heal_matches_manual() {
+        let script = || {
+            let mut c = Cluster::founding(4, fast()).unwrap();
+            FaultScript::new()
+                .at(secs(1), Fault::Partition(vec![
+                    vec![NodeId(0), NodeId(1)],
+                    vec![NodeId(2), NodeId(3)],
+                ]))
+                .at(secs(4), Fault::Heal)
+                .run(&mut c, secs(10));
+            (c.groups().len(), c.membership_converged(), c.steps())
+        };
+        let manual = || {
+            let mut c = Cluster::founding(4, fast()).unwrap();
+            c.run_until(secs(1));
+            c.partition(&[&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]]);
+            c.run_until(secs(4));
+            c.heal();
+            c.run_until(secs(10));
+            (c.groups().len(), c.membership_converged(), c.steps())
+        };
+        assert_eq!(script(), manual(), "script is sugar, not semantics");
+        assert_eq!(script().0, 1);
+    }
+
+    #[test]
+    fn out_of_order_and_past_events_handled() {
+        let mut c = Cluster::founding(3, fast()).unwrap();
+        c.run_until(secs(2));
+        // One event in the "past" (fires immediately), declared out of order.
+        FaultScript::new()
+            .at(secs(3), Fault::NicUp(Addr::primary(NodeId(1))))
+            .at(secs(1), Fault::NicDown(Addr::primary(NodeId(1))))
+            .run(&mut c, secs(6));
+        assert_eq!(c.now(), secs(6));
+        assert!(c.membership_converged(), "nic came back; ring healed");
+        assert_eq!(c.live_members().len(), 3);
+    }
+
+    #[test]
+    fn empty_script_just_runs() {
+        let mut c = Cluster::founding(2, fast()).unwrap();
+        let s = FaultScript::new();
+        assert!(s.is_empty());
+        s.run(&mut c, secs(1));
+        assert_eq!(c.now(), secs(1));
+    }
+}

@@ -1,0 +1,1023 @@
+//! The transport endpoint state machine.
+//!
+//! One [`Endpoint`] lives on each node. It is sans-io: the driver (the
+//! deterministic simulator or the UDP runtime) feeds it received datagrams
+//! via [`Endpoint::on_datagram`] and the current time via
+//! [`Endpoint::on_tick`], and drains outgoing datagrams
+//! ([`Endpoint::poll_outgoing`]) and upper-layer events
+//! ([`Endpoint::poll_event`]).
+
+use crate::dedup::DedupWindow;
+use crate::frame::Frame;
+use bytes::Bytes;
+use raincore_net::{Addr, Datagram, PacketClass};
+use raincore_types::config::SendStrategy;
+use raincore_types::wire::{WireDecode, WireEncode};
+use raincore_types::{Error, Incarnation, MsgId, NodeId, Result, Time, TransportConfig};
+#[cfg(test)]
+use raincore_types::Duration;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Upper bound on fragments per message: guards reassembly memory against
+/// corrupt or hostile frag counts.
+const MAX_FRAGS: u32 = 4096;
+
+/// Events surfaced to the session layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportEvent {
+    /// The destination acknowledged every fragment: the message is
+    /// delivered (atomically — the peer has the whole message).
+    Delivered {
+        /// Id returned by [`Endpoint::send`].
+        msg_id: MsgId,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// All sending efforts failed: every configured retry on every
+    /// physical address went unacknowledged. This is the paper's
+    /// *failure-on-delivery* notification — the session layer treats it
+    /// as a local-view failure detection of `to` (§2.2).
+    DeliveryFailed {
+        /// Id returned by [`Endpoint::send`].
+        msg_id: MsgId,
+        /// Destination node now suspected failed/disconnected.
+        to: NodeId,
+    },
+    /// A complete message arrived from a peer (exactly-once).
+    Received {
+        /// Originating node.
+        from: NodeId,
+        /// The reassembled payload.
+        payload: Bytes,
+    },
+}
+
+/// Addresses of every peer this endpoint may talk to.
+///
+/// Each node can expose several physical addresses (§2.1); the order of
+/// the address list is the order the [`SendStrategy::Sequential`] walk
+/// tries them in.
+#[derive(Clone, Debug, Default)]
+pub struct PeerTable {
+    map: HashMap<NodeId, Vec<Addr>>,
+}
+
+impl PeerTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A table where every node in `nodes` has `nics` addresses
+    /// (`Addr { node, nic 0..nics }`) — the simulator's convention.
+    pub fn full_mesh(nodes: impl IntoIterator<Item = NodeId>, nics: u8) -> Self {
+        let mut t = PeerTable::new();
+        for n in nodes {
+            t.set(n, (0..nics.max(1)).map(|k| Addr::new(n, k)).collect());
+        }
+        t
+    }
+
+    /// Sets (replaces) a peer's address list.
+    pub fn set(&mut self, node: NodeId, addrs: Vec<Addr>) {
+        self.map.insert(node, addrs);
+    }
+
+    /// Removes a peer entirely.
+    pub fn remove(&mut self, node: NodeId) {
+        self.map.remove(&node);
+    }
+
+    /// The peer's addresses, if known.
+    pub fn addrs(&self, node: NodeId) -> Option<&[Addr]> {
+        self.map.get(&node).map(|v| v.as_slice())
+    }
+
+    /// Number of known peers.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no peers are known.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Counters exposed for tests and experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Logical messages accepted by [`Endpoint::send`].
+    pub msgs_sent: u64,
+    /// Messages fully acknowledged.
+    pub msgs_delivered: u64,
+    /// Messages that ended in failure-on-delivery.
+    pub msgs_failed: u64,
+    /// Complete messages handed to the upper layer.
+    pub msgs_received: u64,
+    /// DATA frames put on the wire (including retransmissions).
+    pub data_frames_sent: u64,
+    /// ACK frames put on the wire.
+    pub acks_sent: u64,
+    /// DATA frame retransmissions.
+    pub retransmissions: u64,
+    /// Duplicate logical messages suppressed.
+    pub duplicates_dropped: u64,
+    /// Frames dropped because they carried a stale incarnation.
+    pub stale_dropped: u64,
+}
+
+#[derive(Debug)]
+struct PendingSend {
+    to: NodeId,
+    frags: Vec<Bytes>,
+    acked: Vec<bool>,
+    /// Index into the peer's address list (sequential strategy).
+    addr_index: usize,
+    /// Transmissions performed at the current address (sequential) or in
+    /// total (parallel).
+    attempts: u32,
+    next_retry: Time,
+}
+
+impl PendingSend {
+    fn all_acked(&self) -> bool {
+        self.acked.iter().all(|&a| a)
+    }
+}
+
+#[derive(Debug)]
+struct Reassembly {
+    frags: Vec<Option<Bytes>>,
+    received: usize,
+}
+
+/// The per-node transport endpoint. See the crate docs for semantics.
+#[derive(Debug)]
+pub struct Endpoint {
+    id: NodeId,
+    inc: Incarnation,
+    cfg: TransportConfig,
+    class: PacketClass,
+    local_addrs: Vec<Addr>,
+    peers: PeerTable,
+    next_msg_id: u64,
+    pending: BTreeMap<MsgId, PendingSend>,
+    /// Latest known incarnation and dedup window per peer.
+    dedup: HashMap<NodeId, (Incarnation, DedupWindow)>,
+    reasm: HashMap<(NodeId, MsgId), Reassembly>,
+    outbox: VecDeque<Datagram>,
+    events: VecDeque<TransportEvent>,
+    stats: TransportStats,
+}
+
+impl Endpoint {
+    /// Creates an endpoint for node `id` at incarnation `inc` with the
+    /// given local addresses (one per NIC; must be non-empty).
+    pub fn new(
+        id: NodeId,
+        inc: Incarnation,
+        local_addrs: Vec<Addr>,
+        peers: PeerTable,
+        cfg: TransportConfig,
+    ) -> Result<Self> {
+        cfg.validate().map_err(Error::Config)?;
+        if local_addrs.is_empty() {
+            return Err(Error::Config("endpoint needs at least one local address"));
+        }
+        Ok(Endpoint {
+            id,
+            inc,
+            cfg,
+            class: PacketClass::Control,
+            local_addrs,
+            peers,
+            next_msg_id: 0,
+            pending: BTreeMap::new(),
+            dedup: HashMap::new(),
+            reasm: HashMap::new(),
+            outbox: VecDeque::new(),
+            events: VecDeque::new(),
+            stats: TransportStats::default(),
+        })
+    }
+
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This endpoint's incarnation.
+    pub fn incarnation(&self) -> Incarnation {
+        self.inc
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// Mutable access to the peer table (e.g. to learn a joiner's
+    /// addresses at runtime).
+    pub fn peers_mut(&mut self) -> &mut PeerTable {
+        &mut self.peers
+    }
+
+    /// Read access to the peer table.
+    pub fn peers(&self) -> &PeerTable {
+        &self.peers
+    }
+
+    /// Sends `payload` reliably and atomically to `to`. Returns the
+    /// message id; completion is reported later as
+    /// [`TransportEvent::Delivered`] or [`TransportEvent::DeliveryFailed`].
+    pub fn send(&mut self, now: Time, to: NodeId, payload: Bytes) -> Result<MsgId> {
+        let n_addrs = self.peers.addrs(to).map(<[Addr]>::len).unwrap_or(0);
+        if n_addrs == 0 {
+            return Err(Error::UnknownNode(to));
+        }
+        let msg_id = MsgId(self.next_msg_id);
+        self.next_msg_id += 1;
+        self.stats.msgs_sent += 1;
+
+        let chunk = self.cfg.mtu;
+        let frags: Vec<Bytes> = if payload.is_empty() {
+            vec![Bytes::new()]
+        } else {
+            (0..payload.len())
+                .step_by(chunk)
+                .map(|off| payload.slice(off..payload.len().min(off + chunk)))
+                .collect()
+        };
+        let n = frags.len();
+        let mut p = PendingSend {
+            to,
+            frags,
+            acked: vec![false; n],
+            addr_index: 0,
+            attempts: 1,
+            next_retry: now + self.cfg.retry_timeout,
+        };
+        self.transmit_unacked(&mut p, msg_id);
+        self.pending.insert(msg_id, p);
+        Ok(msg_id)
+    }
+
+    /// Abandons an in-flight send without a failure notification (used
+    /// when the upper layer has already decided the peer is gone).
+    pub fn abort(&mut self, msg_id: MsgId) -> bool {
+        self.pending.remove(&msg_id).is_some()
+    }
+
+    /// Number of in-flight (unacknowledged) messages.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feeds a received datagram into the endpoint. Undecodable payloads
+    /// are dropped silently (like garbage on a UDP port).
+    pub fn on_datagram(&mut self, _now: Time, dgram: Datagram) {
+        let Ok(frame) = Frame::decode_from_bytes(&dgram.payload) else {
+            return;
+        };
+        match frame {
+            Frame::Data { from, inc, msg_id, frag_index, frag_count, payload } => {
+                self.on_data(dgram.src, dgram.dst, from, inc, msg_id, frag_index, frag_count, payload);
+            }
+            Frame::Ack { from: _, inc, msg_id, frag_index } => {
+                self.on_ack(inc, msg_id, frag_index);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_data(
+        &mut self,
+        wire_src: Addr,
+        wire_dst: Addr,
+        from: NodeId,
+        inc: Incarnation,
+        msg_id: MsgId,
+        frag_index: u32,
+        frag_count: u32,
+        payload: Bytes,
+    ) {
+        if frag_count == 0 || frag_count > MAX_FRAGS || frag_index >= frag_count {
+            return; // malformed
+        }
+        let entry = self.dedup.entry(from).or_insert_with(|| (inc, DedupWindow::new()));
+        if inc < entry.0 {
+            self.stats.stale_dropped += 1;
+            return; // ghost of the peer's previous life — no ack
+        }
+        if inc > entry.0 {
+            // Peer restarted: fresh dedup state, discard partial reassemblies.
+            *entry = (inc, DedupWindow::new());
+            self.reasm.retain(|(n, _), _| *n != from);
+        }
+
+        // Always acknowledge current-incarnation data, even duplicates:
+        // our previous ack may have been lost. Reply on the link the data
+        // arrived on.
+        let ack = Frame::Ack { from: self.id, inc, msg_id, frag_index };
+        self.outbox.push_back(Datagram {
+            src: wire_dst,
+            dst: wire_src,
+            class: self.class,
+            payload: ack.encode_to_bytes(),
+        });
+        self.stats.acks_sent += 1;
+
+        if entry.1.contains(msg_id) {
+            self.stats.duplicates_dropped += 1;
+            return;
+        }
+
+        let r = self.reasm.entry((from, msg_id)).or_insert_with(|| Reassembly {
+            frags: vec![None; frag_count as usize],
+            received: 0,
+        });
+        if r.frags.len() != frag_count as usize {
+            return; // inconsistent frag_count across fragments — corrupt
+        }
+        let slot = &mut r.frags[frag_index as usize];
+        if slot.is_none() {
+            *slot = Some(payload);
+            r.received += 1;
+        }
+        if r.received == r.frags.len() {
+            let r = self.reasm.remove(&(from, msg_id)).expect("present");
+            let total: usize = r.frags.iter().map(|f| f.as_ref().map_or(0, Bytes::len)).sum();
+            let mut whole = Vec::with_capacity(total);
+            for f in r.frags {
+                whole.extend_from_slice(&f.expect("complete"));
+            }
+            self.dedup.get_mut(&from).expect("entry").1.insert(msg_id);
+            self.stats.msgs_received += 1;
+            self.events.push_back(TransportEvent::Received { from, payload: Bytes::from(whole) });
+        }
+    }
+
+    fn on_ack(&mut self, inc: Incarnation, msg_id: MsgId, frag_index: u32) {
+        if inc != self.inc {
+            self.stats.stale_dropped += 1;
+            return; // ack for a previous life of this node
+        }
+        let Some(p) = self.pending.get_mut(&msg_id) else {
+            return; // already completed (late duplicate ack)
+        };
+        let Some(flag) = p.acked.get_mut(frag_index as usize) else {
+            return;
+        };
+        *flag = true;
+        if p.all_acked() {
+            let p = self.pending.remove(&msg_id).expect("present");
+            self.stats.msgs_delivered += 1;
+            self.events.push_back(TransportEvent::Delivered { msg_id, to: p.to });
+        }
+    }
+
+    /// Advances the retransmission machinery to `now`.
+    pub fn on_tick(&mut self, now: Time) {
+        let due: Vec<MsgId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.next_retry <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for msg_id in due {
+            let mut p = self.pending.remove(&msg_id).expect("present");
+            let n_addrs = self.peers.addrs(p.to).map(<[Addr]>::len).unwrap_or(0);
+            if n_addrs == 0 {
+                // Peer vanished from the table mid-send.
+                self.fail(msg_id, p.to);
+                continue;
+            }
+            if p.attempts >= self.cfg.max_retries {
+                let exhausted = match self.cfg.strategy {
+                    // Parallel already uses every address each attempt.
+                    SendStrategy::Parallel => true,
+                    SendStrategy::Sequential => {
+                        p.addr_index += 1;
+                        p.attempts = 0;
+                        p.addr_index >= n_addrs
+                    }
+                };
+                if exhausted {
+                    self.fail(msg_id, p.to);
+                    continue;
+                }
+            }
+            p.attempts += 1;
+            self.stats.retransmissions += 1;
+            p.next_retry = now + self.cfg.retry_timeout;
+            self.transmit_unacked(&mut p, msg_id);
+            self.pending.insert(msg_id, p);
+        }
+    }
+
+    fn fail(&mut self, msg_id: MsgId, to: NodeId) {
+        self.stats.msgs_failed += 1;
+        self.events.push_back(TransportEvent::DeliveryFailed { msg_id, to });
+    }
+
+    /// Earliest time at which [`Endpoint::on_tick`] has work to do.
+    pub fn next_wakeup(&self) -> Option<Time> {
+        self.pending.values().map(|p| p.next_retry).min()
+    }
+
+    /// Drains one outgoing datagram, if any.
+    pub fn poll_outgoing(&mut self) -> Option<Datagram> {
+        self.outbox.pop_front()
+    }
+
+    /// Drains one upper-layer event, if any.
+    pub fn poll_event(&mut self) -> Option<TransportEvent> {
+        self.events.pop_front()
+    }
+
+    fn transmit_unacked(&mut self, p: &mut PendingSend, msg_id: MsgId) {
+        let peer_addrs: Vec<Addr> = match self.peers.addrs(p.to) {
+            Some(a) if !a.is_empty() => a.to_vec(),
+            _ => return,
+        };
+        let targets: Vec<Addr> = match self.cfg.strategy {
+            SendStrategy::Sequential => {
+                let i = p.addr_index.min(peer_addrs.len() - 1);
+                vec![peer_addrs[i]]
+            }
+            SendStrategy::Parallel => peer_addrs,
+        };
+        let frag_count = p.frags.len() as u32;
+        for dst in targets {
+            // Pair the peer's k-th address with our k-th NIC so redundant
+            // links ride physically separate networks.
+            let src = self.local_addrs[(dst.nic as usize) % self.local_addrs.len()];
+            for (i, frag) in p.frags.iter().enumerate() {
+                if p.acked[i] {
+                    continue;
+                }
+                let frame = Frame::Data {
+                    from: self.id,
+                    inc: self.inc,
+                    msg_id,
+                    frag_index: i as u32,
+                    frag_count,
+                    payload: frag.clone(),
+                };
+                self.outbox.push_back(Datagram {
+                    src,
+                    dst,
+                    class: self.class,
+                    payload: frame.encode_to_bytes(),
+                });
+                self.stats.data_frames_sent += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raincore_net::{SimNet, SimNetConfig};
+
+    fn mk_pair(cfg: TransportConfig, nics: u8) -> (Endpoint, Endpoint) {
+        let peers = PeerTable::full_mesh([NodeId(0), NodeId(1)], nics);
+        let mk = |id: u32| {
+            Endpoint::new(
+                NodeId(id),
+                Incarnation::FIRST,
+                (0..nics).map(|k| Addr::new(NodeId(id), k)).collect(),
+                peers.clone(),
+                cfg.clone(),
+            )
+            .unwrap()
+        };
+        (mk(0), mk(1))
+    }
+
+    /// Drives both endpoints and the network until quiescent or `limit`.
+    fn pump(net: &mut SimNet, eps: &mut [&mut Endpoint], mut now: Time, limit: Time) -> Time {
+        loop {
+            // Drain outboxes onto the wire.
+            for ep in eps.iter_mut() {
+                while let Some(d) = ep.poll_outgoing() {
+                    net.send(now, d);
+                }
+            }
+            // Deliver anything ready now.
+            let arrivals = net.pop_arrivals(now);
+            if !arrivals.is_empty() {
+                for d in arrivals {
+                    for ep in eps.iter_mut() {
+                        if ep.local_addrs.contains(&d.dst) {
+                            ep.on_datagram(now, d.clone());
+                        }
+                    }
+                }
+                continue;
+            }
+            // Advance to the next interesting instant.
+            let mut next = net.next_arrival();
+            for ep in eps.iter() {
+                next = match (next, ep.next_wakeup()) {
+                    (None, w) => w,
+                    (t, None) => t,
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                };
+            }
+            match next {
+                Some(t) if t <= limit => {
+                    now = t;
+                    for ep in eps.iter_mut() {
+                        ep.on_tick(now);
+                    }
+                }
+                _ => return now,
+            }
+        }
+    }
+
+    fn drain_events(ep: &mut Endpoint) -> Vec<TransportEvent> {
+        let mut out = vec![];
+        while let Some(e) = ep.poll_event() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn small_message_delivers_and_acks() {
+        let (mut a, mut b) = mk_pair(TransportConfig::default(), 1);
+        let mut net = SimNet::new(SimNetConfig::default());
+        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"hello")).unwrap();
+        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(1));
+        assert_eq!(
+            drain_events(&mut a),
+            vec![TransportEvent::Delivered { msg_id: id, to: NodeId(1) }]
+        );
+        assert_eq!(
+            drain_events(&mut b),
+            vec![TransportEvent::Received { from: NodeId(0), payload: Bytes::from_static(b"hello") }]
+        );
+        assert_eq!(a.in_flight(), 0);
+        assert_eq!(b.stats().acks_sent, 1);
+    }
+
+    #[test]
+    fn empty_payload_is_a_valid_message() {
+        let (mut a, mut b) = mk_pair(TransportConfig::default(), 1);
+        let mut net = SimNet::new(SimNetConfig::default());
+        a.send(Time::ZERO, NodeId(1), Bytes::new()).unwrap();
+        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(1));
+        let ev = drain_events(&mut b);
+        assert_eq!(ev, vec![TransportEvent::Received { from: NodeId(0), payload: Bytes::new() }]);
+    }
+
+    #[test]
+    fn large_message_fragments_and_reassembles() {
+        let cfg = TransportConfig { mtu: 100, ..Default::default() };
+        let (mut a, mut b) = mk_pair(cfg, 1);
+        let mut net = SimNet::new(SimNetConfig::default());
+        let payload: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        a.send(Time::ZERO, NodeId(1), Bytes::from(payload.clone())).unwrap();
+        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(1));
+        let ev = drain_events(&mut b);
+        assert_eq!(ev.len(), 1);
+        match &ev[0] {
+            TransportEvent::Received { payload: got, .. } => assert_eq!(&got[..], &payload[..]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(a.stats().data_frames_sent, 10);
+        assert_eq!(b.stats().acks_sent, 10);
+    }
+
+    #[test]
+    fn loss_triggers_retransmission_but_single_delivery() {
+        let cfg = TransportConfig {
+            retry_timeout: Duration::from_millis(10),
+            max_retries: 20,
+            ..Default::default()
+        };
+        let (mut a, mut b) = mk_pair(cfg, 1);
+        let mut net = SimNet::new(SimNetConfig { loss: 0.4, seed: 11, ..Default::default() });
+        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"lossy")).unwrap();
+        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(10));
+        let got = drain_events(&mut b);
+        assert_eq!(
+            got.iter().filter(|e| matches!(e, TransportEvent::Received { .. })).count(),
+            1,
+            "exactly-once delivery despite loss"
+        );
+        assert_eq!(
+            drain_events(&mut a),
+            vec![TransportEvent::Delivered { msg_id: MsgId(0), to: NodeId(1) }]
+        );
+    }
+
+    #[test]
+    fn failure_on_delivery_after_retries_exhausted() {
+        let cfg = TransportConfig {
+            retry_timeout: Duration::from_millis(10),
+            max_retries: 3,
+            ..Default::default()
+        };
+        let (mut a, mut b) = mk_pair(cfg, 1);
+        let mut net = SimNet::new(SimNetConfig::default());
+        net.set_node(NodeId(1), false); // peer is dead
+        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
+        let end = pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(5));
+        assert_eq!(
+            drain_events(&mut a),
+            vec![TransportEvent::DeliveryFailed { msg_id: id, to: NodeId(1) }]
+        );
+        // 3 transmissions, 10 ms apart → failure detected at ~30 ms: fast
+        // local-view detection, as the aggressive protocol requires.
+        assert!(end <= Time::ZERO + Duration::from_millis(50), "took {end:?}");
+        assert_eq!(a.stats().data_frames_sent, 3);
+        assert_eq!(a.stats().msgs_failed, 1);
+    }
+
+    #[test]
+    fn sequential_strategy_fails_over_to_second_address() {
+        let cfg = TransportConfig {
+            retry_timeout: Duration::from_millis(10),
+            max_retries: 2,
+            strategy: SendStrategy::Sequential,
+            ..Default::default()
+        };
+        let (mut a, mut b) = mk_pair(cfg, 2);
+        let mut net = SimNet::new(SimNetConfig::default());
+        // Unplug the peer's first NIC: primary path dead, secondary alive.
+        net.set_nic(Addr::new(NodeId(1), 0), false);
+        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"via-backup")).unwrap();
+        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(5));
+        assert_eq!(
+            drain_events(&mut a),
+            vec![TransportEvent::Delivered { msg_id: id, to: NodeId(1) }]
+        );
+        let got = drain_events(&mut b);
+        assert!(matches!(&got[..], [TransportEvent::Received { .. }]));
+    }
+
+    #[test]
+    fn parallel_strategy_survives_first_link_without_waiting() {
+        let cfg = TransportConfig {
+            retry_timeout: Duration::from_millis(100),
+            max_retries: 2,
+            strategy: SendStrategy::Parallel,
+            ..Default::default()
+        };
+        let (mut a, mut b) = mk_pair(cfg, 2);
+        let mut net = SimNet::new(SimNetConfig::default());
+        net.set_nic(Addr::new(NodeId(1), 0), false);
+        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
+        let end = pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(5));
+        // Delivered via NIC 1 on the first shot: well before one retry period.
+        assert!(end < Time::ZERO + Duration::from_millis(100), "took {end:?}");
+        assert!(matches!(
+            drain_events(&mut a)[..],
+            [TransportEvent::Delivered { .. }]
+        ));
+    }
+
+    #[test]
+    fn both_addresses_dead_reports_failure() {
+        let cfg = TransportConfig {
+            retry_timeout: Duration::from_millis(5),
+            max_retries: 2,
+            strategy: SendStrategy::Sequential,
+            ..Default::default()
+        };
+        let (mut a, mut b) = mk_pair(cfg, 2);
+        let mut net = SimNet::new(SimNetConfig::default());
+        net.set_node(NodeId(1), false);
+        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
+        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(5));
+        assert_eq!(
+            drain_events(&mut a),
+            vec![TransportEvent::DeliveryFailed { msg_id: id, to: NodeId(1) }]
+        );
+        // 2 attempts on addr 0 + 2 attempts on addr 1.
+        assert_eq!(a.stats().data_frames_sent, 4);
+    }
+
+    #[test]
+    fn unknown_peer_rejected_synchronously() {
+        let (mut a, _b) = mk_pair(TransportConfig::default(), 1);
+        assert_eq!(
+            a.send(Time::ZERO, NodeId(9), Bytes::new()).unwrap_err(),
+            Error::UnknownNode(NodeId(9))
+        );
+    }
+
+    #[test]
+    fn abort_cancels_without_event() {
+        let (mut a, _b) = mk_pair(TransportConfig::default(), 1);
+        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
+        assert!(a.abort(id));
+        assert!(!a.abort(id));
+        a.on_tick(Time::ZERO + Duration::from_secs(10));
+        assert!(a.poll_event().is_none());
+        assert_eq!(a.in_flight(), 0);
+    }
+
+    #[test]
+    fn stale_incarnation_frames_are_ignored() {
+        let peers = PeerTable::full_mesh([NodeId(0), NodeId(1)], 1);
+        let mut b = Endpoint::new(
+            NodeId(1),
+            Incarnation::FIRST,
+            vec![Addr::primary(NodeId(1))],
+            peers.clone(),
+            TransportConfig::default(),
+        )
+        .unwrap();
+        // New life of node 0 speaks first…
+        let mut a_new = Endpoint::new(
+            NodeId(0),
+            Incarnation(1),
+            vec![Addr::primary(NodeId(0))],
+            peers.clone(),
+            TransportConfig::default(),
+        )
+        .unwrap();
+        a_new.send(Time::ZERO, NodeId(1), Bytes::from_static(b"new")).unwrap();
+        let d = a_new.poll_outgoing().unwrap();
+        b.on_datagram(Time::ZERO, d);
+        assert_eq!(b.stats().msgs_received, 1);
+        // …then a ghost frame from incarnation 0 arrives: dropped, no ack.
+        let mut a_old = Endpoint::new(
+            NodeId(0),
+            Incarnation(0),
+            vec![Addr::primary(NodeId(0))],
+            peers,
+            TransportConfig::default(),
+        )
+        .unwrap();
+        a_old.send(Time::ZERO, NodeId(1), Bytes::from_static(b"old")).unwrap();
+        let d = a_old.poll_outgoing().unwrap();
+        let acks_before = b.stats().acks_sent;
+        b.on_datagram(Time::ZERO, d);
+        assert_eq!(b.stats().msgs_received, 1, "ghost not delivered");
+        assert_eq!(b.stats().acks_sent, acks_before, "ghost not acked");
+        assert_eq!(b.stats().stale_dropped, 1);
+    }
+
+    #[test]
+    fn duplicate_data_reacked_but_not_redelivered() {
+        let (mut a, mut b) = mk_pair(TransportConfig::default(), 1);
+        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"dup")).unwrap();
+        let d = a.poll_outgoing().unwrap();
+        b.on_datagram(Time::ZERO, d.clone());
+        b.on_datagram(Time::ZERO, d);
+        assert_eq!(b.stats().msgs_received, 1);
+        assert_eq!(b.stats().acks_sent, 2, "duplicate still acknowledged");
+        assert_eq!(b.stats().duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn malformed_frames_dropped() {
+        let (_, mut b) = mk_pair(TransportConfig::default(), 1);
+        // Garbage payload.
+        b.on_datagram(
+            Time::ZERO,
+            Datagram::control(Addr::primary(NodeId(0)), Addr::primary(NodeId(1)), Bytes::from_static(&[0xff, 1, 2])),
+        );
+        // frag_index >= frag_count.
+        let bad = Frame::Data {
+            from: NodeId(0),
+            inc: Incarnation::FIRST,
+            msg_id: MsgId(0),
+            frag_index: 5,
+            frag_count: 2,
+            payload: Bytes::new(),
+        };
+        b.on_datagram(
+            Time::ZERO,
+            Datagram::control(
+                Addr::primary(NodeId(0)),
+                Addr::primary(NodeId(1)),
+                bad.encode_to_bytes(),
+            ),
+        );
+        assert_eq!(b.stats().msgs_received, 0);
+        assert_eq!(b.stats().acks_sent, 0);
+        assert!(b.poll_event().is_none());
+    }
+
+    #[test]
+    fn next_wakeup_tracks_earliest_retry() {
+        let cfg = TransportConfig { retry_timeout: Duration::from_millis(30), ..Default::default() };
+        let (mut a, _b) = mk_pair(cfg, 1);
+        assert_eq!(a.next_wakeup(), None);
+        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
+        assert_eq!(a.next_wakeup(), Some(Time::ZERO + Duration::from_millis(30)));
+    }
+
+    #[test]
+    fn many_messages_preserve_per_message_atomicity() {
+        let cfg = TransportConfig {
+            mtu: 64,
+            retry_timeout: Duration::from_millis(10),
+            max_retries: 30,
+            ..Default::default()
+        };
+        let (mut a, mut b) = mk_pair(cfg, 1);
+        let mut net = SimNet::new(SimNetConfig { loss: 0.25, seed: 99, ..Default::default() });
+        let mut sent = vec![];
+        for i in 0..20u8 {
+            let payload: Vec<u8> = std::iter::repeat_n(i, 150).collect();
+            sent.push(payload.clone());
+            a.send(Time::ZERO, NodeId(1), Bytes::from(payload)).unwrap();
+        }
+        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(30));
+        let mut got: Vec<Vec<u8>> = drain_events(&mut b)
+            .into_iter()
+            .filter_map(|e| match e {
+                TransportEvent::Received { payload, .. } => Some(payload.to_vec()),
+                _ => None,
+            })
+            .collect();
+        got.sort();
+        let mut want = sent.clone();
+        want.sort();
+        assert_eq!(got, want, "all 20 messages delivered whole, exactly once");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    //! Additional edge-case coverage: interleaved reassembly, parallel
+    //! acknowledgement races, aborts mid-retry, and peer-table churn.
+
+    use super::*;
+    use raincore_net::{SimNet, SimNetConfig};
+    use raincore_types::Duration;
+
+    fn pair(cfg: TransportConfig) -> (Endpoint, Endpoint) {
+        let peers = PeerTable::full_mesh([NodeId(0), NodeId(1)], 1);
+        let mk = |id: u32| {
+            Endpoint::new(
+                NodeId(id),
+                Incarnation::FIRST,
+                vec![Addr::primary(NodeId(id))],
+                peers.clone(),
+                cfg.clone(),
+            )
+            .unwrap()
+        };
+        (mk(0), mk(1))
+    }
+
+    #[test]
+    fn interleaved_fragments_of_two_messages_reassemble_independently() {
+        let cfg = TransportConfig { mtu: 64, ..Default::default() };
+        let (mut a, mut b) = pair(cfg);
+        let p1: Vec<u8> = (0..=160).collect();
+        let p2: Vec<u8> = (80..=240).collect();
+        a.send(Time::ZERO, NodeId(1), Bytes::from(p1.clone())).unwrap();
+        a.send(Time::ZERO, NodeId(1), Bytes::from(p2.clone())).unwrap();
+        // Deliver all frames to b in a zig-zag order.
+        let mut frames = vec![];
+        while let Some(d) = a.poll_outgoing() {
+            frames.push(d);
+        }
+        assert_eq!(frames.len(), 6, "3 fragments each");
+        let order = [0usize, 3, 1, 4, 5, 2];
+        for &i in &order {
+            b.on_datagram(Time::ZERO, frames[i].clone());
+        }
+        let mut got = vec![];
+        while let Some(TransportEvent::Received { payload, .. }) = b.poll_event() {
+            got.push(payload.to_vec());
+        }
+        got.sort();
+        let mut want = vec![p1, p2];
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_strategy_single_delivery_despite_duplicate_paths() {
+        let cfg = TransportConfig {
+            strategy: raincore_types::config::SendStrategy::Parallel,
+            ..Default::default()
+        };
+        let peers = PeerTable::full_mesh([NodeId(0), NodeId(1)], 2);
+        let mut a = Endpoint::new(
+            NodeId(0),
+            Incarnation::FIRST,
+            vec![Addr::new(NodeId(0), 0), Addr::new(NodeId(0), 1)],
+            peers.clone(),
+            cfg.clone(),
+        )
+        .unwrap();
+        let mut b = Endpoint::new(
+            NodeId(1),
+            Incarnation::FIRST,
+            vec![Addr::new(NodeId(1), 0), Addr::new(NodeId(1), 1)],
+            peers,
+            cfg,
+        )
+        .unwrap();
+        let mut net = SimNet::new(SimNetConfig::default());
+        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"dup-path")).unwrap();
+        // Both copies arrive; exactly one delivery, both acked.
+        while let Some(d) = a.poll_outgoing() {
+            net.send(Time::ZERO, d);
+        }
+        for d in net.pop_arrivals(Time::ZERO + Duration::from_secs(1)) {
+            if d.dst.node == NodeId(1) {
+                b.on_datagram(Time::ZERO, d);
+            }
+        }
+        let mut deliveries = 0;
+        while let Some(ev) = b.poll_event() {
+            if matches!(ev, TransportEvent::Received { .. }) {
+                deliveries += 1;
+            }
+        }
+        assert_eq!(deliveries, 1, "duplicate-path copies suppressed");
+        assert_eq!(b.stats().duplicates_dropped, 1);
+        assert_eq!(b.stats().acks_sent, 2, "both copies acknowledged");
+    }
+
+    #[test]
+    fn abort_mid_retry_stops_retransmissions() {
+        let cfg = TransportConfig {
+            retry_timeout: Duration::from_millis(10),
+            max_retries: 10,
+            ..Default::default()
+        };
+        let (mut a, _b) = pair(cfg);
+        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
+        while a.poll_outgoing().is_some() {}
+        a.on_tick(Time::ZERO + Duration::from_millis(10));
+        assert!(a.poll_outgoing().is_some(), "one retransmission happened");
+        while a.poll_outgoing().is_some() {}
+        assert!(a.abort(id));
+        a.on_tick(Time::ZERO + Duration::from_millis(100));
+        assert!(a.poll_outgoing().is_none(), "no retransmissions after abort");
+        assert_eq!(a.next_wakeup(), None);
+    }
+
+    #[test]
+    fn peer_removed_mid_send_fails_on_next_retry() {
+        let cfg = TransportConfig {
+            retry_timeout: Duration::from_millis(10),
+            max_retries: 5,
+            ..Default::default()
+        };
+        let (mut a, _b) = pair(cfg);
+        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
+        a.peers_mut().remove(NodeId(1));
+        a.on_tick(Time::ZERO + Duration::from_millis(10));
+        let mut failed = false;
+        while let Some(ev) = a.poll_event() {
+            if let TransportEvent::DeliveryFailed { msg_id, to } = ev {
+                assert_eq!(msg_id, id);
+                assert_eq!(to, NodeId(1));
+                failed = true;
+            }
+        }
+        assert!(failed, "vanished peer reported as failure-on-delivery");
+    }
+
+    #[test]
+    fn ack_for_unknown_fragment_index_ignored() {
+        let (mut a, _b) = pair(TransportConfig::default());
+        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
+        // Forge an ack with an out-of-range fragment index.
+        let bogus = Frame::Ack {
+            from: NodeId(1),
+            inc: Incarnation::FIRST,
+            msg_id: MsgId(0),
+            frag_index: 99,
+        };
+        a.on_datagram(
+            Time::ZERO,
+            raincore_net::Datagram::control(
+                Addr::primary(NodeId(1)),
+                Addr::primary(NodeId(0)),
+                raincore_types::wire::WireEncode::encode_to_bytes(&bogus),
+            ),
+        );
+        assert_eq!(a.in_flight(), 1, "message still pending");
+        assert!(a.poll_event().is_none());
+    }
+
+    #[test]
+    fn zero_byte_fragmented_boundary() {
+        // Payload exactly at the MTU boundary: one fragment, not two.
+        let cfg = TransportConfig { mtu: 100, ..Default::default() };
+        let (mut a, _b) = pair(cfg);
+        a.send(Time::ZERO, NodeId(1), Bytes::from(vec![7u8; 100])).unwrap();
+        let mut frames = 0;
+        while a.poll_outgoing().is_some() {
+            frames += 1;
+        }
+        assert_eq!(frames, 1);
+    }
+}

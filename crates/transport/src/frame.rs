@@ -1,0 +1,162 @@
+//! Transport frame format.
+//!
+//! Two frames cross the wire: `DATA` (one fragment of a logical message)
+//! and `ACK` (per-fragment acknowledgement). The incarnation field lets
+//! receivers discard ghosts of a peer's previous life and lets senders
+//! discard acknowledgements addressed to theirs.
+
+use bytes::Bytes;
+use raincore_types::wire::{Reader, WireDecode, WireEncode, WireError, WireResult, Writer};
+use raincore_types::{Incarnation, MsgId, NodeId};
+
+/// A transport-layer frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// One fragment of a logical message.
+    Data {
+        /// Sending node.
+        from: NodeId,
+        /// Sender's incarnation.
+        inc: Incarnation,
+        /// Logical message id, unique per (sender, incarnation).
+        msg_id: MsgId,
+        /// Index of this fragment.
+        frag_index: u32,
+        /// Total number of fragments in the message.
+        frag_count: u32,
+        /// Fragment payload.
+        payload: Bytes,
+    },
+    /// Acknowledgement of one fragment.
+    Ack {
+        /// Acknowledging node (the receiver of the DATA frame).
+        from: NodeId,
+        /// Incarnation of the *original sender* being acknowledged, echoed
+        /// back so a restarted sender ignores stale acks.
+        inc: Incarnation,
+        /// Message id being acknowledged.
+        msg_id: MsgId,
+        /// Fragment index being acknowledged.
+        frag_index: u32,
+    },
+}
+
+impl Frame {
+    /// Short kind string for traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Data { .. } => "DATA",
+            Frame::Ack { .. } => "ACK",
+        }
+    }
+}
+
+impl WireEncode for Frame {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Frame::Data { from, inc, msg_id, frag_index, frag_count, payload } => {
+                w.put_u8(0);
+                from.encode(w);
+                inc.encode(w);
+                msg_id.encode(w);
+                w.put_varint(u64::from(*frag_index));
+                w.put_varint(u64::from(*frag_count));
+                w.put_bytes(payload);
+            }
+            Frame::Ack { from, inc, msg_id, frag_index } => {
+                w.put_u8(1);
+                from.encode(w);
+                inc.encode(w);
+                msg_id.encode(w);
+                w.put_varint(u64::from(*frag_index));
+            }
+        }
+    }
+}
+
+impl WireDecode for Frame {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(Frame::Data {
+                from: NodeId::decode(r)?,
+                inc: Incarnation::decode(r)?,
+                msg_id: MsgId::decode(r)?,
+                frag_index: r.get_varint()? as u32,
+                frag_count: r.get_varint()? as u32,
+                payload: r.get_bytes()?,
+            }),
+            1 => Ok(Frame::Ack {
+                from: NodeId::decode(r)?,
+                inc: Incarnation::decode(r)?,
+                msg_id: MsgId::decode(r)?,
+                frag_index: r.get_varint()? as u32,
+            }),
+            tag => Err(WireError::BadTag { ty: "Frame", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_data() {
+        let f = Frame::Data {
+            from: NodeId(3),
+            inc: Incarnation(2),
+            msg_id: MsgId(77),
+            frag_index: 1,
+            frag_count: 4,
+            payload: Bytes::from_static(b"chunk"),
+        };
+        let buf = f.encode_to_bytes();
+        assert_eq!(Frame::decode_from_bytes(&buf).unwrap(), f);
+        assert_eq!(f.kind(), "DATA");
+    }
+
+    #[test]
+    fn round_trip_ack() {
+        let f = Frame::Ack { from: NodeId(9), inc: Incarnation(0), msg_id: MsgId(1), frag_index: 0 };
+        let buf = f.encode_to_bytes();
+        assert_eq!(Frame::decode_from_bytes(&buf).unwrap(), f);
+        assert_eq!(f.kind(), "ACK");
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(matches!(
+            Frame::decode_from_bytes(&[7]),
+            Err(WireError::BadTag { ty: "Frame", .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(
+            from in 0u32..1000,
+            inc in 0u32..10,
+            msg in any::<u64>(),
+            idx in 0u32..64,
+            cnt in 1u32..64,
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let f = Frame::Data {
+                from: NodeId(from),
+                inc: Incarnation(inc),
+                msg_id: MsgId(msg),
+                frag_index: idx,
+                frag_count: cnt,
+                payload: Bytes::from(payload),
+            };
+            let buf = f.encode_to_bytes();
+            prop_assert_eq!(Frame::decode_from_bytes(&buf).unwrap(), f);
+        }
+
+        #[test]
+        fn prop_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = Frame::decode_from_bytes(&data);
+        }
+    }
+}

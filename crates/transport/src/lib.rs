@@ -1,0 +1,41 @@
+//! The Raincore Transport Service (§2.1 of the paper).
+//!
+//! An *atomic* reliable unicast built on an unreliable datagram interface.
+//! It differs from TCP in exactly the three ways the paper lists:
+//!
+//! 1. **Atomic packet unicast with acknowledgement** — a message is either
+//!    completely delivered or not delivered at all; there are no
+//!    connections or streams, hence no connection state to track as nodes
+//!    come and go. Messages larger than the MTU are fragmented and
+//!    reassembled, but delivery to the upper layer is all-or-nothing.
+//! 2. **Multiple physical addresses per node** — redundant links make the
+//!    group resilient to link failures and less likely to partition. The
+//!    send strategy over the addresses is configurable:
+//!    [`SendStrategy::Sequential`] walks them one at a time,
+//!    [`SendStrategy::Parallel`] fans every transmission out on all of
+//!    them ([`SendStrategy`] lives in `raincore-types`).
+//! 3. **Notifications both ways** — the upper layer hears when the
+//!    acknowledgement arrives ([`TransportEvent::Delivered`]) *and* when
+//!    all sending efforts have failed
+//!    ([`TransportEvent::DeliveryFailed`]). The failure-on-delivery
+//!    notification is the local-view failure detector that drives the
+//!    session layer's aggressive membership protocol.
+//!
+//! The implementation is **sans-io**: an [`Endpoint`] consumes datagrams
+//! and virtual time and produces datagrams and events through small
+//! queues. The same code runs under the deterministic simulator and the
+//! real UDP runtime.
+//!
+//! [`SendStrategy`]: raincore_types::config::SendStrategy
+//! [`SendStrategy::Sequential`]: raincore_types::config::SendStrategy::Sequential
+//! [`SendStrategy::Parallel`]: raincore_types::config::SendStrategy::Parallel
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dedup;
+pub mod endpoint;
+pub mod frame;
+
+pub use endpoint::{Endpoint, PeerTable, TransportEvent, TransportStats};
+pub use frame::Frame;

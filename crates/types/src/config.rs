@@ -1,0 +1,206 @@
+//! Configuration for the transport and session layers.
+
+use crate::id::NodeId;
+use crate::time::Duration;
+
+/// How the transport uses a peer's multiple physical addresses (§2.1).
+///
+/// The Raincore Transport Service lets each node have several physical
+/// addresses (redundant links); sends can walk them sequentially or fan
+/// out in parallel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SendStrategy {
+    /// Try address 0; on retry exhaustion move to address 1; and so on.
+    Sequential,
+    /// Send every attempt on all addresses simultaneously; first ack wins.
+    Parallel,
+}
+
+/// Failure-detection mode (used by the A4 ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DetectionMode {
+    /// The paper's aggressive protocol: the *first* failure-on-delivery
+    /// notification removes the target from the membership (§2.2).
+    Aggressive,
+    /// Conservative variant: only the 911/HUNGRY timeout machinery reacts;
+    /// failure-on-delivery merely retries through successors without
+    /// eagerly editing the membership. Used as an ablation baseline.
+    TimeoutOnly,
+}
+
+/// Configuration of the Raincore Transport Service (§2.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TransportConfig {
+    /// Time to wait for an acknowledgement before retransmitting.
+    pub retry_timeout: Duration,
+    /// Number of transmissions (1 original + `max_retries - 1` retries)
+    /// per physical address before moving on / reporting failure.
+    pub max_retries: u32,
+    /// Multi-address send strategy.
+    pub strategy: SendStrategy,
+    /// Maximum bytes per network datagram; larger messages are fragmented
+    /// and reassembled by the transport.
+    pub mtu: usize,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            retry_timeout: Duration::from_millis(50),
+            max_retries: 3,
+            strategy: SendStrategy::Sequential,
+            mtu: 1400,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Validates the configuration, returning a human-readable reason on
+    /// rejection.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.max_retries == 0 {
+            return Err("max_retries must be at least 1");
+        }
+        if self.mtu < 64 {
+            return Err("mtu must be at least 64 bytes");
+        }
+        if self.retry_timeout.is_zero() {
+            return Err("retry_timeout must be positive");
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the Raincore Distributed Session Service (§2.2–2.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SessionConfig {
+    /// How long a node holds the token (EATING) before passing it on.
+    /// Together with ring size and link latency this sets `L`, the token
+    /// round frequency of §4.1.
+    pub token_hold: Duration,
+    /// How long a node may stay HUNGRY before it suspects token loss and
+    /// enters STARVING (§2.3). Should comfortably exceed one expected
+    /// token round trip.
+    pub hungry_timeout: Duration,
+    /// How long a STARVING node waits for 911 verdicts before giving up
+    /// and re-calling 911.
+    pub starving_retry: Duration,
+    /// Period of the BODYODOR discovery beacon (§2.4) — "a small message
+    /// sent with a regular, but low frequency".
+    pub beacon_period: Duration,
+    /// Every node this member may ever form a group with (the Eligible
+    /// Membership, §2.4). Must contain the local node.
+    pub eligible: Vec<NodeId>,
+    /// Maximum application payload accepted by `multicast`.
+    pub max_payload: usize,
+    /// Maximum multicast messages riding the token at once. When the
+    /// token is full, locally queued messages wait for a later pass —
+    /// backpressure that bounds token size (and hence hop latency) under
+    /// bursts.
+    pub max_attached: usize,
+    /// Failure-detection mode (Aggressive is the paper's design).
+    pub detection: DetectionMode,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            token_hold: Duration::from_millis(10),
+            hungry_timeout: Duration::from_millis(500),
+            starving_retry: Duration::from_millis(200),
+            beacon_period: Duration::from_secs(1),
+            eligible: Vec::new(),
+            max_payload: 60_000,
+            max_attached: 256,
+            detection: DetectionMode::Aggressive,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Convenience: a config whose eligible membership is nodes `0..n`.
+    pub fn for_cluster(n: u32) -> Self {
+        SessionConfig { eligible: (0..n).map(NodeId).collect(), ..Default::default() }
+    }
+
+    /// Sets the token hold time so that (ignoring network latency) a ring
+    /// of `n` nodes completes about `rounds_per_sec` token round trips per
+    /// second — the paper's `L` parameter (§4.1).
+    pub fn with_token_rate(mut self, n: u32, rounds_per_sec: f64) -> Self {
+        let round = Duration::from_secs_f64(1.0 / rounds_per_sec.max(1e-6));
+        self.token_hold = round.div(u64::from(n.max(1)));
+        self
+    }
+
+    /// Validates the configuration, returning a human-readable reason on
+    /// rejection.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.token_hold.is_zero() {
+            return Err("token_hold must be positive");
+        }
+        if self.hungry_timeout <= self.token_hold {
+            return Err("hungry_timeout must exceed token_hold");
+        }
+        if self.starving_retry.is_zero() {
+            return Err("starving_retry must be positive");
+        }
+        if self.max_payload == 0 {
+            return Err("max_payload must be positive");
+        }
+        if self.max_attached == 0 {
+            return Err("max_attached must be positive");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        TransportConfig::default().validate().unwrap();
+        SessionConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn transport_rejects_bad_values() {
+        let c = TransportConfig { max_retries: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = TransportConfig { mtu: 10, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = TransportConfig { retry_timeout: Duration::ZERO, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn session_rejects_bad_values() {
+        let c = SessionConfig { token_hold: Duration::ZERO, ..Default::default() };
+        assert!(c.validate().is_err());
+        let base = SessionConfig::default();
+        let c = SessionConfig { hungry_timeout: base.token_hold, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = SessionConfig { max_payload: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = SessionConfig { max_attached: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn for_cluster_fills_eligible() {
+        let c = SessionConfig::for_cluster(4);
+        assert_eq!(c.eligible, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn token_rate_math() {
+        // 4 nodes, 10 rounds/sec → 100 ms per round → 25 ms hold per node.
+        let c = SessionConfig::for_cluster(4).with_token_rate(4, 10.0);
+        assert_eq!(c.token_hold, Duration::from_millis(25));
+    }
+}

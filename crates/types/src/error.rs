@@ -1,0 +1,89 @@
+//! Unified error type for the Raincore crates.
+
+use crate::id::NodeId;
+use crate::wire::WireError;
+use core::fmt;
+
+/// Result alias used across the Raincore crates.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors surfaced by the Raincore stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A datagram failed to decode.
+    Wire(WireError),
+    /// The requested operation requires membership in a group, but the
+    /// local node is not currently a member (e.g. it has been excluded and
+    /// has not yet rejoined via the 911 protocol).
+    NotMember,
+    /// An operation referenced a node unknown to the local configuration.
+    UnknownNode(NodeId),
+    /// The local node has shut itself down (critical resource lost, or an
+    /// explicit `leave`), so no further protocol operations are accepted.
+    ShutDown,
+    /// A message exceeded the configured maximum payload size.
+    PayloadTooLarge {
+        /// Size of the offending payload in bytes.
+        size: usize,
+        /// Configured maximum in bytes.
+        max: usize,
+    },
+    /// A lock operation was invalid in the current lock state (e.g.
+    /// releasing a lock the caller does not hold).
+    InvalidLockOp(&'static str),
+    /// The underlying OS socket failed (real UDP runtime only).
+    Io(String),
+    /// A configuration value was rejected.
+    Config(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Wire(e) => write!(f, "wire codec error: {e}"),
+            Error::NotMember => write!(f, "local node is not a group member"),
+            Error::UnknownNode(n) => write!(f, "unknown node {n}"),
+            Error::ShutDown => write!(f, "node has shut down"),
+            Error::PayloadTooLarge { size, max } => {
+                write!(f, "payload of {size} bytes exceeds maximum {max}")
+            }
+            Error::InvalidLockOp(why) => write!(f, "invalid lock operation: {why}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Config(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<WireError> for Error {
+    fn from(e: WireError) -> Self {
+        Error::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::PayloadTooLarge { size: 10, max: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('5'));
+        assert!(Error::NotMember.to_string().contains("not a group member"));
+        assert!(Error::UnknownNode(NodeId(3)).to_string().contains("n3"));
+    }
+
+    #[test]
+    fn wire_error_converts() {
+        let e: Error = WireError::Truncated.into();
+        assert_eq!(e, Error::Wire(WireError::Truncated));
+    }
+}

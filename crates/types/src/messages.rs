@@ -1,0 +1,587 @@
+//! Session-layer message formats.
+//!
+//! Four datagrams cross the wire at the session layer (§2.2–2.4 of the
+//! paper):
+//!
+//! * [`Token`] — the unique circulating TOKEN. It carries the
+//!   authoritative membership [`Ring`], a sequence number incremented on
+//!   every hop, the TBM ("to be merged") flag used by the merge protocol,
+//!   and the piggybacked multicast messages ([`Attached`]).
+//! * [`Call911`] — the 911 request: both a token-regeneration request
+//!   (stamped with the caller's last local token sequence number) and,
+//!   when the caller is not in the receiver's membership, a join request.
+//! * [`Reply911`] — grant or denial of a 911 regeneration request.
+//! * [`BodyOdor`] — the periodic discovery beacon sent to eligible
+//!   non-members, carrying the sender's node id and current group id.
+
+use crate::id::{GroupId, NodeId, OriginSeq};
+use crate::membership::Ring;
+use crate::wire::{Reader, WireDecode, WireEncode, WireError, WireResult, Writer};
+use bytes::Bytes;
+
+/// Consistency level requested for a multicast message (§2.6).
+///
+/// *Agreed* (total) ordering falls out of the token order at no extra cost;
+/// *safe* delivery additionally waits until every member is known to have
+/// received the message, which costs one extra token round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DeliveryMode {
+    /// Deliver at first sight, in token order. Atomic + totally ordered.
+    Agreed,
+    /// Deliver only once all members of the membership have received the
+    /// message (one extra token round).
+    Safe,
+}
+
+impl WireEncode for DeliveryMode {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            DeliveryMode::Agreed => 0,
+            DeliveryMode::Safe => 1,
+        });
+    }
+}
+
+impl WireDecode for DeliveryMode {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(DeliveryMode::Agreed),
+            1 => Ok(DeliveryMode::Safe),
+            tag => Err(WireError::BadTag { ty: "DeliveryMode", tag }),
+        }
+    }
+}
+
+/// A multicast message riding the token ("the token is the locomotive for
+/// the reliable multicast transport", §2.2).
+///
+/// The `(origin, seq)` pair identifies the message globally and is the
+/// receivers' duplicate-suppression key across token-loss recovery. The
+/// `seen` set records which members have received the payload; for
+/// [`DeliveryMode::Safe`] messages the `confirmed` set records which
+/// members have *observed* that everyone received it (the extra round).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attached {
+    /// Node that originated the multicast.
+    pub origin: NodeId,
+    /// Per-origin sequence number.
+    pub seq: OriginSeq,
+    /// Requested consistency level.
+    pub mode: DeliveryMode,
+    /// Members that have received the payload so far.
+    pub seen: Vec<NodeId>,
+    /// Members that have observed `seen` cover the membership (safe mode's
+    /// second round); unused (empty) for agreed mode.
+    pub confirmed: Vec<NodeId>,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl Attached {
+    /// Creates a fresh attachment originated by `origin`; the originator
+    /// has trivially seen its own message.
+    pub fn new(origin: NodeId, seq: OriginSeq, mode: DeliveryMode, payload: Bytes) -> Self {
+        Attached { origin, seq, mode, seen: vec![origin], confirmed: Vec::new(), payload }
+    }
+
+    /// Globally unique message key.
+    pub fn key(&self) -> (NodeId, OriginSeq) {
+        (self.origin, self.seq)
+    }
+
+    /// Records that `node` has received the payload. Idempotent.
+    pub fn mark_seen(&mut self, node: NodeId) {
+        if !self.seen.contains(&node) {
+            self.seen.push(node);
+        }
+    }
+
+    /// Records that `node` has observed all-received (safe phase 2). Idempotent.
+    pub fn mark_confirmed(&mut self, node: NodeId) {
+        if !self.confirmed.contains(&node) {
+            self.confirmed.push(node);
+        }
+    }
+
+    /// True if every member of `ring` has received the payload.
+    pub fn seen_by_all(&self, ring: &Ring) -> bool {
+        ring.iter().all(|m| self.seen.contains(&m))
+    }
+
+    /// True if every member of `ring` has observed all-received.
+    pub fn confirmed_by_all(&self, ring: &Ring) -> bool {
+        ring.iter().all(|m| self.confirmed.contains(&m))
+    }
+}
+
+impl WireEncode for Attached {
+    fn encode(&self, w: &mut Writer) {
+        self.origin.encode(w);
+        self.seq.encode(w);
+        self.mode.encode(w);
+        self.seen.encode(w);
+        self.confirmed.encode(w);
+        w.put_bytes(&self.payload);
+    }
+}
+
+impl WireDecode for Attached {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(Attached {
+            origin: NodeId::decode(r)?,
+            seq: OriginSeq::decode(r)?,
+            mode: DeliveryMode::decode(r)?,
+            seen: Vec::decode(r)?,
+            confirmed: Vec::decode(r)?,
+            payload: r.get_bytes()?,
+        })
+    }
+}
+
+/// The circulating TOKEN (§2.2).
+///
+/// Exactly one token exists per group at any instant (the paper proves
+/// uniqueness from the per-hop sequence number and the 911 grant rule).
+/// The membership recorded on the token is the *authoritative* group
+/// membership; nodes refresh their local view from each token they receive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Per-hop sequence number; incremented by one on every pass. Starts
+    /// at 1 for a freshly formed group, so `0` can mean "never saw a token".
+    pub seq: u64,
+    /// Authoritative membership, in ring order.
+    pub ring: Ring,
+    /// "To Be Merged" flag (§2.4): set when this token is handed to a
+    /// lower group to be merged with that group's own token.
+    pub tbm: bool,
+    /// Piggybacked multicast messages, in global delivery order.
+    pub msgs: Vec<Attached>,
+}
+
+impl Token {
+    /// Creates the founding token of a new group with the given ring.
+    pub fn founding(ring: Ring) -> Self {
+        Token { seq: 1, ring, tbm: false, msgs: Vec::new() }
+    }
+
+    /// Group id of the membership on this token (lowest member id).
+    pub fn group_id(&self) -> Option<GroupId> {
+        self.ring.group_id()
+    }
+
+    /// Total bytes of piggybacked payloads (for accounting/tests).
+    pub fn payload_bytes(&self) -> usize {
+        self.msgs.iter().map(|m| m.payload.len()).sum()
+    }
+}
+
+impl WireEncode for Token {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.seq);
+        self.ring.encode(w);
+        w.put_bool(self.tbm);
+        self.msgs.encode(w);
+    }
+}
+
+impl WireDecode for Token {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(Token {
+            seq: r.get_varint()?,
+            ring: Ring::decode(r)?,
+            tbm: r.get_bool()?,
+            msgs: Vec::decode(r)?,
+        })
+    }
+}
+
+/// A 911 call (§2.3): request for the right to regenerate a lost token,
+/// or — when the caller is not in the receiver's membership — a join
+/// request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Call911 {
+    /// The calling node.
+    pub from: NodeId,
+    /// Sequence number on the caller's last local copy of the token
+    /// (0 if the caller has never seen a token, e.g. a brand-new node).
+    pub last_token_seq: u64,
+    /// Caller-local request id, echoed in replies so stale verdicts can be
+    /// discarded.
+    pub req_id: u64,
+}
+
+impl WireEncode for Call911 {
+    fn encode(&self, w: &mut Writer) {
+        self.from.encode(w);
+        w.put_varint(self.last_token_seq);
+        w.put_varint(self.req_id);
+    }
+}
+
+impl WireDecode for Call911 {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(Call911 {
+            from: NodeId::decode(r)?,
+            last_token_seq: r.get_varint()?,
+            req_id: r.get_varint()?,
+        })
+    }
+}
+
+/// Verdict on a 911 regeneration request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict911 {
+    /// The voter's local token copy is not newer and it does not hold the
+    /// token: the caller may regenerate as far as this voter is concerned.
+    Grant,
+    /// The voter holds the token or has a more recent local copy
+    /// (`newer_seq`); the caller must not regenerate.
+    Deny {
+        /// Sequence number of the voter's (newer) local copy, so the
+        /// caller can update its expectations.
+        newer_seq: u64,
+    },
+}
+
+impl WireEncode for Verdict911 {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Verdict911::Grant => w.put_u8(0),
+            Verdict911::Deny { newer_seq } => {
+                w.put_u8(1);
+                w.put_varint(*newer_seq);
+            }
+        }
+    }
+}
+
+impl WireDecode for Verdict911 {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(Verdict911::Grant),
+            1 => Ok(Verdict911::Deny { newer_seq: r.get_varint()? }),
+            tag => Err(WireError::BadTag { ty: "Verdict911", tag }),
+        }
+    }
+}
+
+/// Reply to a [`Call911`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reply911 {
+    /// The voting node.
+    pub from: NodeId,
+    /// Echo of the request id from the call.
+    pub req_id: u64,
+    /// The voter's verdict.
+    pub verdict: Verdict911,
+}
+
+impl WireEncode for Reply911 {
+    fn encode(&self, w: &mut Writer) {
+        self.from.encode(w);
+        w.put_varint(self.req_id);
+        self.verdict.encode(w);
+    }
+}
+
+impl WireDecode for Reply911 {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(Reply911 {
+            from: NodeId::decode(r)?,
+            req_id: r.get_varint()?,
+            verdict: Verdict911::decode(r)?,
+        })
+    }
+}
+
+/// Discovery beacon (§2.4): sent periodically, at low frequency, to nodes
+/// in the Eligible Membership that are absent from the current group
+/// membership. Carries the sender's node id and its group id; a receiver
+/// whose group id is *higher* treats it as a merge-join request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BodyOdor {
+    /// The beaconing node.
+    pub from: NodeId,
+    /// The sender's current group id (lowest member of its group).
+    pub group: GroupId,
+}
+
+impl WireEncode for BodyOdor {
+    fn encode(&self, w: &mut Writer) {
+        self.from.encode(w);
+        self.group.encode(w);
+    }
+}
+
+impl WireDecode for BodyOdor {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(BodyOdor { from: NodeId::decode(r)?, group: GroupId::decode(r)? })
+    }
+}
+
+/// An open-group submission (§2.6): a node *outside* the group sends a
+/// message to any member; that member forwards it to the whole group as
+/// an ordinary reliable multicast.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpenSubmit {
+    /// The external sender's node id (not a group member).
+    pub from: NodeId,
+    /// Sender-local sequence number, for relay-side deduplication when
+    /// the submission is retried toward a different member.
+    pub seq: OriginSeq,
+    /// The payload to multicast into the group.
+    pub payload: Bytes,
+}
+
+impl WireEncode for OpenSubmit {
+    fn encode(&self, w: &mut Writer) {
+        self.from.encode(w);
+        self.seq.encode(w);
+        w.put_bytes(&self.payload);
+    }
+}
+
+impl WireDecode for OpenSubmit {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(OpenSubmit {
+            from: NodeId::decode(r)?,
+            seq: OriginSeq::decode(r)?,
+            payload: r.get_bytes()?,
+        })
+    }
+}
+
+/// Any session-layer datagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionMsg {
+    /// The circulating token.
+    Token(Token),
+    /// 911 regeneration/join request.
+    Call911(Call911),
+    /// 911 verdict.
+    Reply911(Reply911),
+    /// Discovery beacon.
+    BodyOdor(BodyOdor),
+    /// Open-group submission from a non-member (§2.6).
+    Open(OpenSubmit),
+}
+
+impl SessionMsg {
+    /// Short human-readable kind name (for traces).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SessionMsg::Token(_) => "TOKEN",
+            SessionMsg::Call911(_) => "911",
+            SessionMsg::Reply911(_) => "911-REPLY",
+            SessionMsg::BodyOdor(_) => "BODYODOR",
+            SessionMsg::Open(_) => "OPEN",
+        }
+    }
+}
+
+impl WireEncode for SessionMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SessionMsg::Token(t) => {
+                w.put_u8(0);
+                t.encode(w);
+            }
+            SessionMsg::Call911(c) => {
+                w.put_u8(1);
+                c.encode(w);
+            }
+            SessionMsg::Reply911(rep) => {
+                w.put_u8(2);
+                rep.encode(w);
+            }
+            SessionMsg::BodyOdor(b) => {
+                w.put_u8(3);
+                b.encode(w);
+            }
+            SessionMsg::Open(o) => {
+                w.put_u8(4);
+                o.encode(w);
+            }
+        }
+    }
+}
+
+impl WireDecode for SessionMsg {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(SessionMsg::Token(Token::decode(r)?)),
+            1 => Ok(SessionMsg::Call911(Call911::decode(r)?)),
+            2 => Ok(SessionMsg::Reply911(Reply911::decode(r)?)),
+            3 => Ok(SessionMsg::BodyOdor(BodyOdor::decode(r)?)),
+            4 => Ok(SessionMsg::Open(OpenSubmit::decode(r)?)),
+            tag => Err(WireError::BadTag { ty: "SessionMsg", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ring(ids: &[u32]) -> Ring {
+        Ring::from_iter(ids.iter().map(|&i| NodeId(i)))
+    }
+
+    #[test]
+    fn attached_seen_tracking() {
+        let mut a = Attached::new(NodeId(1), OriginSeq(5), DeliveryMode::Agreed, Bytes::from_static(b"x"));
+        assert_eq!(a.seen, vec![NodeId(1)]);
+        a.mark_seen(NodeId(2));
+        a.mark_seen(NodeId(2));
+        assert_eq!(a.seen, vec![NodeId(1), NodeId(2)]);
+        assert!(!a.seen_by_all(&ring(&[1, 2, 3])));
+        a.mark_seen(NodeId(3));
+        assert!(a.seen_by_all(&ring(&[1, 2, 3])));
+        assert_eq!(a.key(), (NodeId(1), OriginSeq(5)));
+    }
+
+    #[test]
+    fn attached_confirmed_tracking() {
+        let mut a = Attached::new(NodeId(1), OriginSeq(0), DeliveryMode::Safe, Bytes::new());
+        assert!(!a.confirmed_by_all(&ring(&[1, 2])));
+        a.mark_confirmed(NodeId(1));
+        a.mark_confirmed(NodeId(2));
+        a.mark_confirmed(NodeId(2));
+        assert!(a.confirmed_by_all(&ring(&[1, 2])));
+        assert_eq!(a.confirmed.len(), 2);
+    }
+
+    #[test]
+    fn founding_token() {
+        let t = Token::founding(ring(&[3, 1, 2]));
+        assert_eq!(t.seq, 1);
+        assert!(!t.tbm);
+        assert!(t.msgs.is_empty());
+        assert_eq!(t.group_id(), Some(GroupId(NodeId(1))));
+    }
+
+    #[test]
+    fn token_payload_bytes() {
+        let mut t = Token::founding(ring(&[1]));
+        t.msgs.push(Attached::new(NodeId(1), OriginSeq(0), DeliveryMode::Agreed, Bytes::from(vec![0u8; 10])));
+        t.msgs.push(Attached::new(NodeId(1), OriginSeq(1), DeliveryMode::Agreed, Bytes::from(vec![0u8; 5])));
+        assert_eq!(t.payload_bytes(), 15);
+    }
+
+    #[test]
+    fn session_msg_kinds() {
+        assert_eq!(SessionMsg::Token(Token::founding(ring(&[1]))).kind(), "TOKEN");
+        assert_eq!(
+            SessionMsg::Call911(Call911 { from: NodeId(1), last_token_seq: 0, req_id: 1 }).kind(),
+            "911"
+        );
+        assert_eq!(
+            SessionMsg::Reply911(Reply911 {
+                from: NodeId(1),
+                req_id: 1,
+                verdict: Verdict911::Grant
+            })
+            .kind(),
+            "911-REPLY"
+        );
+        assert_eq!(
+            SessionMsg::BodyOdor(BodyOdor { from: NodeId(1), group: GroupId(NodeId(1)) }).kind(),
+            "BODYODOR"
+        );
+    }
+
+    #[test]
+    fn wire_round_trip_all_variants() {
+        let mut token = Token::founding(ring(&[1, 2, 3]));
+        token.tbm = true;
+        token.seq = 42;
+        token.msgs.push(Attached {
+            origin: NodeId(2),
+            seq: OriginSeq(7),
+            mode: DeliveryMode::Safe,
+            seen: vec![NodeId(2), NodeId(3)],
+            confirmed: vec![NodeId(2)],
+            payload: Bytes::from_static(b"payload"),
+        });
+        let cases = vec![
+            SessionMsg::Token(token),
+            SessionMsg::Call911(Call911 { from: NodeId(9), last_token_seq: 1234, req_id: 8 }),
+            SessionMsg::Reply911(Reply911 {
+                from: NodeId(1),
+                req_id: 8,
+                verdict: Verdict911::Deny { newer_seq: 2000 },
+            }),
+            SessionMsg::Reply911(Reply911 {
+                from: NodeId(1),
+                req_id: 9,
+                verdict: Verdict911::Grant,
+            }),
+            SessionMsg::BodyOdor(BodyOdor { from: NodeId(4), group: GroupId(NodeId(2)) }),
+            SessionMsg::Open(OpenSubmit {
+                from: NodeId(99),
+                seq: OriginSeq(3),
+                payload: Bytes::from_static(b"outside"),
+            }),
+        ];
+        for msg in cases {
+            let buf = msg.encode_to_bytes();
+            assert_eq!(SessionMsg::decode_from_bytes(&buf).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn decode_bad_tag_fails() {
+        let buf = [200u8, 0, 0];
+        assert!(matches!(
+            SessionMsg::decode_from_bytes(&buf),
+            Err(WireError::BadTag { ty: "SessionMsg", tag: 200 })
+        ));
+    }
+
+    prop_compose! {
+        fn arb_attached()(
+            origin in 0u32..100,
+            seq in 0u64..10_000,
+            mode in prop_oneof![Just(DeliveryMode::Agreed), Just(DeliveryMode::Safe)],
+            seen in proptest::collection::vec(0u32..100, 0..8),
+            confirmed in proptest::collection::vec(0u32..100, 0..8),
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) -> Attached {
+            Attached {
+                origin: NodeId(origin),
+                seq: OriginSeq(seq),
+                mode,
+                seen: seen.into_iter().map(NodeId).collect(),
+                confirmed: confirmed.into_iter().map(NodeId).collect(),
+                payload: Bytes::from(payload),
+            }
+        }
+    }
+
+    prop_compose! {
+        fn arb_token()(
+            seq in 0u64..u64::MAX,
+            ids in proptest::collection::btree_set(0u32..64, 0..16),
+            tbm in any::<bool>(),
+            msgs in proptest::collection::vec(arb_attached(), 0..6),
+        ) -> Token {
+            Token { seq, ring: Ring::from_iter(ids.into_iter().map(NodeId)), tbm, msgs }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_token_wire_round_trip(t in arb_token()) {
+            let msg = SessionMsg::Token(t);
+            let buf = msg.encode_to_bytes();
+            prop_assert_eq!(SessionMsg::decode_from_bytes(&buf).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = SessionMsg::decode_from_bytes(&data);
+        }
+    }
+}

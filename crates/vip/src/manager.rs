@@ -1,0 +1,396 @@
+//! The replicated VIP assignment table and the gratuitous-ARP model.
+
+use parking_lot::Mutex;
+use raincore_session::{SessionEvent, SessionNode};
+use raincore_types::wire::{Reader, WireDecode, WireEncode, Writer};
+use raincore_types::{DeliveryMode, NodeId, Result, Time, VipId};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Magic prefix identifying a VIP-manager multicast payload.
+pub const MAGIC: &[u8; 4] = b"RCIP";
+
+/// Events surfaced by the VIP manager on one node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VipEvent {
+    /// This node now owns `vip`: install the address and announce it.
+    Acquired(VipId),
+    /// This node no longer owns `vip`.
+    Lost(VipId),
+    /// This node announced `vip` to the subnet (sent when acquired).
+    /// The simulation applies it to the shared [`SubnetArp`] cache; on a
+    /// real deployment this is where the gratuitous ARP frame goes out.
+    GratuitousArp {
+        /// The announced virtual IP.
+        vip: VipId,
+        /// The new owner (this node).
+        owner: NodeId,
+    },
+}
+
+/// The simulated subnet's ARP knowledge: which physical node currently
+/// answers for each virtual IP. Shared by every host on the subnet —
+/// a gratuitous ARP is a broadcast, so all caches update at once.
+///
+/// MAC/physical addresses never move between nodes (§3.1); clients simply
+/// learn a new VIP→node binding.
+#[derive(Debug, Default)]
+pub struct SubnetArp {
+    map: Mutex<BTreeMap<VipId, NodeId>>,
+}
+
+impl SubnetArp {
+    /// Creates an empty cache behind a shared handle.
+    pub fn shared() -> Arc<SubnetArp> {
+        Arc::new(SubnetArp::default())
+    }
+
+    /// Applies a gratuitous ARP announcement.
+    pub fn announce(&self, vip: VipId, owner: NodeId) {
+        self.map.lock().insert(vip, owner);
+    }
+
+    /// Resolves a virtual IP to its current owner.
+    pub fn resolve(&self, vip: VipId) -> Option<NodeId> {
+        self.map.lock().get(&vip).copied()
+    }
+
+    /// Number of resolvable VIPs.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True if no VIP is resolvable yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+/// One batch of assignment changes, multicast by the leader under the
+/// master lock (automatic plans) or by an operator (`pinned` moves).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AssignBatch {
+    /// `(vip, new owner)` pairs.
+    pub assigns: Vec<(VipId, NodeId)>,
+    /// Operator move: the VIPs become *pinned* — excluded from automatic
+    /// rebalancing until a later automatic plan has to reassign them
+    /// (owner left the membership), which unpins them.
+    pub pinned: bool,
+}
+
+impl AssignBatch {
+    /// Encodes the batch as a multicast payload.
+    pub fn to_payload(&self) -> bytes::Bytes {
+        let mut w = Writer::new();
+        for &b in MAGIC {
+            w.put_u8(b);
+        }
+        w.put_bool(self.pinned);
+        w.put_varint(self.assigns.len() as u64);
+        for (vip, node) in &self.assigns {
+            vip.encode(&mut w);
+            node.encode(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Decodes a multicast payload; `None` if it is not a VIP batch.
+    pub fn from_payload(payload: &[u8]) -> Option<AssignBatch> {
+        let rest = payload.strip_prefix(&MAGIC[..])?;
+        let mut r = Reader::new(rest);
+        let pinned = r.get_bool().ok()?;
+        let n = r.get_seq_len(2).ok()?;
+        let mut assigns = Vec::with_capacity(n);
+        for _ in 0..n {
+            assigns.push((VipId::decode(&mut r).ok()?, NodeId::decode(&mut r).ok()?));
+        }
+        r.expect_end().ok()?;
+        Some(AssignBatch { assigns, pinned })
+    }
+}
+
+/// The per-member replica of the VIP assignment table. Feed it every
+/// session event via [`VipManager::on_event`] and call
+/// [`VipManager::kick`] periodically; it does the rest.
+#[derive(Debug)]
+pub struct VipManager {
+    me: NodeId,
+    pool: Vec<VipId>,
+    assignment: BTreeMap<VipId, NodeId>,
+    /// Operator-pinned VIPs: excluded from automatic rebalancing.
+    pinned: std::collections::BTreeSet<VipId>,
+    /// Leader state: a reassignment is wanted and the master lock has
+    /// been requested.
+    plan_pending: bool,
+    events: VecDeque<VipEvent>,
+}
+
+impl VipManager {
+    /// Creates the replica for node `me` managing the given VIP pool.
+    /// The pool must be configured identically on every member.
+    pub fn new(me: NodeId, pool: Vec<VipId>) -> Self {
+        VipManager {
+            me,
+            pool,
+            assignment: BTreeMap::new(),
+            pinned: std::collections::BTreeSet::new(),
+            plan_pending: false,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// The configured pool.
+    pub fn pool(&self) -> &[VipId] {
+        &self.pool
+    }
+
+    /// Current owner of a VIP (as this replica sees it).
+    pub fn owner_of(&self, vip: VipId) -> Option<NodeId> {
+        self.assignment.get(&vip).copied()
+    }
+
+    /// VIPs currently owned by this node.
+    pub fn my_vips(&self) -> Vec<VipId> {
+        self.assignment
+            .iter()
+            .filter(|(_, &n)| n == self.me)
+            .map(|(&v, _)| v)
+            .collect()
+    }
+
+    /// Full assignment snapshot.
+    pub fn assignment(&self) -> &BTreeMap<VipId, NodeId> {
+        &self.assignment
+    }
+
+    /// Drains one VIP event.
+    pub fn poll_event(&mut self) -> Option<VipEvent> {
+        self.events.pop_front()
+    }
+
+    fn is_leader(&self, session: &SessionNode) -> bool {
+        session.ring().group_id().map(|g| g.lowest_member()) == Some(self.me)
+    }
+
+    fn needs_plan(&self, session: &SessionNode) -> bool {
+        let orphaned = self.pool.iter().any(|vip| {
+            self.assignment
+                .get(vip)
+                .is_none_or(|owner| !session.ring().contains(*owner))
+        });
+        orphaned || self.imbalanced(session)
+    }
+
+    /// §3.1: "the virtual IPs can also be moved for load balancing" —
+    /// after a member (re)joins, the spread is uneven until some VIPs
+    /// move to it. Imbalance = some member owns ≥2 more *unpinned* VIPs
+    /// than another (operator-pinned VIPs are left where they were put).
+    fn imbalanced(&self, session: &SessionNode) -> bool {
+        let loads = self.member_loads(session);
+        match (loads.values().min(), loads.values().max()) {
+            (Some(&lo), Some(&hi)) => hi >= lo + 2,
+            _ => false,
+        }
+    }
+
+    /// Unpinned VIPs per member.
+    fn member_loads(&self, session: &SessionNode) -> BTreeMap<NodeId, usize> {
+        let mut load: BTreeMap<NodeId, usize> =
+            session.ring().iter().map(|m| (m, 0)).collect();
+        for (vip, owner) in &self.assignment {
+            if self.pool.contains(vip) && !self.pinned.contains(vip) {
+                if let Some(l) = load.get_mut(owner) {
+                    *l += 1;
+                }
+            }
+        }
+        load
+    }
+
+    /// Periodic check (call every ~100 ms): the leader requests the
+    /// master lock when any VIP is unowned or owned by a departed member.
+    pub fn kick(&mut self, session: &mut SessionNode) -> Result<()> {
+        if self.plan_pending || !self.is_leader(session) || !self.needs_plan(session) {
+            return Ok(());
+        }
+        self.plan_pending = true;
+        session.request_master()
+    }
+
+    /// Administratively moves a VIP (load balancing, §3.1: "the virtual
+    /// IPs can also be moved for load balancing or other reasons").
+    pub fn move_vip(&mut self, session: &mut SessionNode, vip: VipId, to: NodeId) -> Result<()> {
+        let batch = AssignBatch { assigns: vec![(vip, to)], pinned: true };
+        session.multicast(DeliveryMode::Agreed, batch.to_payload())?;
+        Ok(())
+    }
+
+    /// Feeds one session event; call with every event, in order.
+    pub fn on_event(&mut self, now: Time, ev: &SessionEvent, session: &mut SessionNode) {
+        match ev {
+            SessionEvent::MasterAcquired => {
+                if !self.plan_pending {
+                    return; // the application holds the master for its own reasons
+                }
+                self.plan_pending = false;
+                if self.is_leader(session) {
+                    if let Some(batch) = self.compute_plan(session) {
+                        let _ = session.multicast(DeliveryMode::Agreed, batch.to_payload());
+                    }
+                }
+                let _ = session.release_master(now);
+            }
+            SessionEvent::Delivery(d) => {
+                if let Some(batch) = AssignBatch::from_payload(&d.payload) {
+                    self.apply(&batch);
+                }
+            }
+            SessionEvent::MembershipChanged { .. } => {
+                // The next kick() will notice orphaned VIPs. Nothing to do
+                // eagerly — decisions only happen under the master lock.
+            }
+            _ => {}
+        }
+    }
+
+    /// Leader: distribute unowned/orphaned VIPs over current members,
+    /// least-loaded first (ties toward lower node id) — deterministic.
+    fn compute_plan(&self, session: &SessionNode) -> Option<AssignBatch> {
+        let members: Vec<NodeId> = {
+            let mut m: Vec<NodeId> = session.ring().iter().collect();
+            m.sort();
+            m
+        };
+        if members.is_empty() {
+            return None;
+        }
+        let mut load: BTreeMap<NodeId, usize> = members.iter().map(|&m| (m, 0)).collect();
+        for (&vip, &owner) in &self.assignment {
+            if members.contains(&owner) && self.pool.contains(&vip) && !self.pinned.contains(&vip)
+            {
+                *load.get_mut(&owner).expect("member") += 1;
+            }
+        }
+        let mut assigns = Vec::new();
+        for &vip in &self.pool {
+            let ok = self.assignment.get(&vip).is_some_and(|o| members.contains(o));
+            if ok {
+                continue;
+            }
+            let (&target, _) = load.iter().min_by_key(|(id, &l)| (l, **id)).expect("non-empty");
+            assigns.push((vip, target));
+            *load.get_mut(&target).expect("member") += 1;
+        }
+        // Rebalance: while someone owns ≥2 more than someone else, move
+        // one VIP from the most- to the least-loaded member (§3.1's load
+        // balancing — e.g. after a member rejoins with zero VIPs). The
+        // choice is deterministic: lowest-numbered VIP of the overloaded
+        // member moves first.
+        let mut effective: BTreeMap<VipId, NodeId> = self
+            .assignment
+            .iter()
+            .filter(|(v, o)| {
+                self.pool.contains(v) && members.contains(o) && !self.pinned.contains(v)
+            })
+            .map(|(&v, &o)| (v, o))
+            .collect();
+        for &(v, o) in &assigns {
+            effective.insert(v, o);
+        }
+        loop {
+            let (&lo_id, &lo) = load.iter().min_by_key(|(id, &l)| (l, **id)).expect("non-empty");
+            let (&hi_id, &hi) = load
+                .iter()
+                .max_by_key(|(id, &l)| (l, u32::MAX - id.raw()))
+                .expect("non-empty");
+            if hi < lo + 2 {
+                break;
+            }
+            let victim = effective
+                .iter()
+                .find(|(_, &o)| o == hi_id)
+                .map(|(&v, _)| v)
+                .expect("overloaded member owns a vip");
+            assigns.push((victim, lo_id));
+            effective.insert(victim, lo_id);
+            *load.get_mut(&hi_id).expect("member") -= 1;
+            *load.get_mut(&lo_id).expect("member") += 1;
+        }
+        if assigns.is_empty() {
+            None
+        } else {
+            Some(AssignBatch { assigns, pinned: false })
+        }
+    }
+
+    fn apply(&mut self, batch: &AssignBatch) {
+        for &(vip, node) in &batch.assigns {
+            if !self.pool.contains(&vip) {
+                continue;
+            }
+            if batch.pinned {
+                self.pinned.insert(vip);
+            } else {
+                // An automatic plan touching a vip releases its pin.
+                self.pinned.remove(&vip);
+            }
+            let old = self.assignment.insert(vip, node);
+            if node == self.me && old != Some(self.me) {
+                self.events.push_back(VipEvent::Acquired(vip));
+                self.events.push_back(VipEvent::GratuitousArp { vip, owner: self.me });
+            } else if old == Some(self.me) && node != self.me {
+                self.events.push_back(VipEvent::Lost(vip));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_payload_round_trip() {
+        let b = AssignBatch {
+            assigns: vec![(VipId(1), NodeId(2)), (VipId(3), NodeId(0))],
+            pinned: true,
+        };
+        assert_eq!(AssignBatch::from_payload(&b.to_payload()), Some(b));
+        assert_eq!(AssignBatch::from_payload(b"RCLKxxxx"), None);
+        assert_eq!(AssignBatch::from_payload(b""), None);
+    }
+
+    #[test]
+    fn apply_emits_acquire_lose_and_arp() {
+        let mut m = VipManager::new(NodeId(1), vec![VipId(0), VipId(1)]);
+        m.apply(&AssignBatch { assigns: vec![(VipId(0), NodeId(1))], pinned: false });
+        assert_eq!(m.poll_event(), Some(VipEvent::Acquired(VipId(0))));
+        assert_eq!(
+            m.poll_event(),
+            Some(VipEvent::GratuitousArp { vip: VipId(0), owner: NodeId(1) })
+        );
+        m.apply(&AssignBatch { assigns: vec![(VipId(0), NodeId(2))], pinned: false });
+        assert_eq!(m.poll_event(), Some(VipEvent::Lost(VipId(0))));
+        assert_eq!(m.owner_of(VipId(0)), Some(NodeId(2)));
+        assert!(m.my_vips().is_empty());
+    }
+
+    #[test]
+    fn unknown_vips_ignored() {
+        let mut m = VipManager::new(NodeId(1), vec![VipId(0)]);
+        m.apply(&AssignBatch { assigns: vec![(VipId(9), NodeId(1))], pinned: false });
+        assert_eq!(m.owner_of(VipId(9)), None);
+        assert!(m.poll_event().is_none());
+    }
+
+    #[test]
+    fn subnet_arp_resolves_latest_announcement() {
+        let arp = SubnetArp::shared();
+        assert!(arp.is_empty());
+        arp.announce(VipId(1), NodeId(0));
+        arp.announce(VipId(1), NodeId(2));
+        assert_eq!(arp.resolve(VipId(1)), Some(NodeId(2)));
+        assert_eq!(arp.resolve(VipId(9)), None);
+        assert_eq!(arp.len(), 1);
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper (see EXPERIMENTS.md).
+# Runtime: a few minutes in release mode.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release -p raincore-bench --bins
+for exp in exp_taskswitch exp_netoverhead exp_fig3 exp_failover exp_medium \
+           exp_quiescent exp_ablation_tokenfreq exp_ablation_safe \
+           exp_ablation_redundant exp_ablation_detection exp_ablation_hier; do
+    echo "================================================================"
+    echo "== $exp"
+    echo "================================================================"
+    ./target/release/$exp
+    echo
+done

@@ -1,0 +1,304 @@
+//! Threaded real-time driver: runs a [`SessionNode`] over real UDP
+//! sockets.
+//!
+//! The protocol stack is sans-io; this module supplies the production
+//! driver the paper's deployment implies — one thread per node polling
+//! its sockets, feeding datagrams and wall-clock time into the state
+//! machine, and draining outgoing datagrams and events. The
+//! deterministic simulator (`raincore-sim`) drives the *same* state
+//! machine; nothing protocol-level lives here.
+//!
+//! See the `udp_cluster` example for a three-node cluster exchanging
+//! multicasts over localhost UDP.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use raincore_net::udp::UdpNet;
+use raincore_session::{SessionEvent, SessionNode};
+use raincore_types::{DeliveryMode, OriginSeq, Time};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+enum Cmd {
+    Multicast(DeliveryMode, bytes::Bytes, Sender<raincore_types::Result<OriginSeq>>),
+    RequestMaster,
+    ReleaseMaster,
+    Leave,
+}
+
+/// Handle to a session node running on its own thread over UDP.
+///
+/// Dropping the handle asks the node to leave the group and joins the
+/// thread.
+pub struct RuntimeNode {
+    cmd_tx: Sender<Cmd>,
+    event_rx: Receiver<SessionEvent>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RuntimeNode {
+    /// Spawns the driver thread for `node` over `net`.
+    ///
+    /// `node` should have been constructed with the same local addresses
+    /// that `net` has bound.
+    pub fn spawn(mut node: SessionNode, net: UdpNet) -> std::io::Result<RuntimeNode> {
+        let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
+        let (event_tx, event_rx) = unbounded::<SessionEvent>();
+        let name = format!("raincore-node-{}", node.id());
+        let handle = std::thread::Builder::new().name(name).spawn(move || {
+            let start = Instant::now();
+            let now = |start: Instant| Time(start.elapsed().as_nanos() as u64);
+            loop {
+                let t = now(start);
+                // Process commands.
+                let mut leaving = false;
+                while let Ok(cmd) = cmd_rx.try_recv() {
+                    match cmd {
+                        Cmd::Multicast(mode, payload, reply) => {
+                            let _ = reply.send(node.multicast(mode, payload));
+                        }
+                        Cmd::RequestMaster => {
+                            let _ = node.request_master();
+                        }
+                        Cmd::ReleaseMaster => {
+                            let _ = node.release_master(t);
+                        }
+                        Cmd::Leave => {
+                            node.leave(t);
+                            leaving = true;
+                        }
+                    }
+                }
+                // Drive timers and I/O.
+                node.on_tick(t);
+                while let Some(d) = node.poll_outgoing() {
+                    let _ = net.send(&d);
+                }
+                while let Some(ev) = node.poll_event() {
+                    let _ = event_tx.send(ev);
+                }
+                if leaving || node.is_down() {
+                    // Flush the handoff token, then stop.
+                    while let Some(d) = node.poll_outgoing() {
+                        let _ = net.send(&d);
+                    }
+                    return;
+                }
+                // Sleep until the next wakeup or a datagram, whichever
+                // comes first.
+                let budget = node
+                    .next_wakeup()
+                    .map(|w| w.since(now(start)).to_std())
+                    .unwrap_or(std::time::Duration::from_millis(50))
+                    .min(std::time::Duration::from_millis(50));
+                if let Some(d) = net.recv_timeout(budget) {
+                    node.on_datagram(now(start), d);
+                    // Drain any burst without sleeping.
+                    while let Some(d) = net.try_recv() {
+                        node.on_datagram(now(start), d);
+                    }
+                }
+            }
+        })?;
+        Ok(RuntimeNode { cmd_tx, event_rx, handle: Some(handle) })
+    }
+
+    /// Queues a reliable atomic multicast; returns its origin sequence.
+    pub fn multicast(
+        &self,
+        mode: DeliveryMode,
+        payload: bytes::Bytes,
+    ) -> raincore_types::Result<OriginSeq> {
+        let (tx, rx) = unbounded();
+        self.cmd_tx
+            .send(Cmd::Multicast(mode, payload, tx))
+            .map_err(|_| raincore_types::Error::ShutDown)?;
+        rx.recv().map_err(|_| raincore_types::Error::ShutDown)?
+    }
+
+    /// Requests the master lock (granted via [`SessionEvent::MasterAcquired`]).
+    pub fn request_master(&self) {
+        let _ = self.cmd_tx.send(Cmd::RequestMaster);
+    }
+
+    /// Releases the master lock.
+    pub fn release_master(&self) {
+        let _ = self.cmd_tx.send(Cmd::ReleaseMaster);
+    }
+
+    /// Leaves the group gracefully and stops the thread.
+    pub fn leave(&self) {
+        let _ = self.cmd_tx.send(Cmd::Leave);
+    }
+
+    /// Receives the next session event, waiting up to `timeout`.
+    pub fn recv_event(&self, timeout: std::time::Duration) -> Option<SessionEvent> {
+        self.event_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Receives a pending session event without blocking.
+    pub fn try_recv_event(&self) -> Option<SessionEvent> {
+        self.event_rx.try_recv().ok()
+    }
+}
+
+impl Drop for RuntimeNode {
+    fn drop(&mut self) {
+        // Best effort: ask the node to leave, then join.
+        match self.cmd_tx.try_send(Cmd::Leave) {
+            Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raincore_net::Addr;
+    use raincore_session::StartMode;
+    use raincore_transport::PeerTable;
+    use raincore_types::{
+        Duration, Incarnation, NodeId, Ring, SessionConfig, TransportConfig,
+    };
+    use std::collections::HashMap;
+    use std::net::SocketAddr;
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[test]
+    fn three_nodes_form_group_and_multicast_over_udp() {
+        let n = 3u32;
+        let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        // Bind all sockets first so every node can learn every address.
+        let nets: Vec<UdpNet> = ids
+            .iter()
+            .map(|&id| UdpNet::bind(&[(Addr::primary(id), loopback())], HashMap::new()).unwrap())
+            .collect();
+        let saddrs: Vec<SocketAddr> = ids
+            .iter()
+            .zip(&nets)
+            .map(|(&id, net)| net.local_socket_addr(Addr::primary(id)).unwrap())
+            .collect();
+        let ring = Ring::from_iter(ids.iter().copied());
+        let mut cfg = SessionConfig::for_cluster(n);
+        cfg.token_hold = Duration::from_millis(5);
+        cfg.hungry_timeout = Duration::from_millis(500);
+        let mut nodes = Vec::new();
+        for (i, mut net) in nets.into_iter().enumerate() {
+            for (j, &s) in saddrs.iter().enumerate() {
+                if i != j {
+                    net.add_peer(Addr::primary(ids[j]), s);
+                }
+            }
+            let node = SessionNode::new(
+                ids[i],
+                Incarnation::FIRST,
+                cfg.clone(),
+                TransportConfig::default(),
+                vec![Addr::primary(ids[i])],
+                PeerTable::full_mesh(ids.iter().copied(), 1),
+                StartMode::Founding(ring.clone()),
+                Time::ZERO,
+            )
+            .unwrap();
+            nodes.push(RuntimeNode::spawn(node, net).unwrap());
+        }
+        // Multicast from node 1 and expect delivery events on node 2.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        nodes[1]
+            .multicast(DeliveryMode::Agreed, bytes::Bytes::from_static(b"over-udp"))
+            .unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut delivered = false;
+        while std::time::Instant::now() < deadline && !delivered {
+            if let Some(SessionEvent::Delivery(d)) =
+                nodes[2].recv_event(std::time::Duration::from_millis(200))
+            {
+                assert_eq!(&d.payload[..], b"over-udp");
+                assert_eq!(d.origin, NodeId(1));
+                delivered = true;
+            }
+        }
+        assert!(delivered, "multicast crossed real UDP sockets");
+        for n in &nodes {
+            n.leave();
+        }
+    }
+}
+
+#[cfg(test)]
+mod master_lock_udp_tests {
+    use super::*;
+    use raincore_net::Addr;
+    use raincore_session::StartMode;
+    use raincore_transport::PeerTable;
+    use raincore_types::{Duration, Incarnation, NodeId, Ring, SessionConfig, TransportConfig};
+    use std::collections::HashMap;
+    use std::net::SocketAddr;
+
+    #[test]
+    fn master_lock_round_trips_over_udp() {
+        let loopback: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let ids = [NodeId(0), NodeId(1)];
+        let nets: Vec<UdpNet> = ids
+            .iter()
+            .map(|&id| UdpNet::bind(&[(Addr::primary(id), loopback)], HashMap::new()).unwrap())
+            .collect();
+        let saddrs: Vec<SocketAddr> = ids
+            .iter()
+            .zip(&nets)
+            .map(|(&id, n)| n.local_socket_addr(Addr::primary(id)).unwrap())
+            .collect();
+        let ring = Ring::from([0, 1]);
+        let mut cfg = SessionConfig::for_cluster(2);
+        cfg.token_hold = Duration::from_millis(5);
+        cfg.hungry_timeout = Duration::from_millis(500);
+        let mut nodes = Vec::new();
+        for (i, mut net) in nets.into_iter().enumerate() {
+            let j = 1 - i;
+            net.add_peer(Addr::primary(ids[j]), saddrs[j]);
+            let node = SessionNode::new(
+                ids[i],
+                Incarnation::FIRST,
+                cfg.clone(),
+                TransportConfig::default(),
+                vec![Addr::primary(ids[i])],
+                PeerTable::full_mesh(ids, 1),
+                StartMode::Founding(ring.clone()),
+                Time::ZERO,
+            )
+            .unwrap();
+            nodes.push(RuntimeNode::spawn(node, net).unwrap());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        nodes[1].request_master();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut acquired = false;
+        while std::time::Instant::now() < deadline && !acquired {
+            if let Some(SessionEvent::MasterAcquired) =
+                nodes[1].recv_event(std::time::Duration::from_millis(100))
+            {
+                acquired = true;
+            }
+        }
+        assert!(acquired, "master lock acquired over real UDP");
+        nodes[1].release_master();
+        let mut released = false;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while std::time::Instant::now() < deadline && !released {
+            if let Some(SessionEvent::MasterReleased) =
+                nodes[1].recv_event(std::time::Duration::from_millis(100))
+            {
+                released = true;
+            }
+        }
+        assert!(released);
+        for n in &nodes {
+            n.leave();
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Distributed Data Service integration: the replicated store running
+//! live on a cluster — shared-memory-style programming over the token
+//! ring (Figure 2 / §5 of the paper).
+
+use bytes::Bytes;
+use raincore::data::{DataEvent, DataStore};
+use raincore::prelude::*;
+use raincore::session::StartMode;
+use raincore::sim::ClusterConfig;
+
+fn fast_cfg() -> ClusterConfig {
+    let mut c = ClusterConfig::default();
+    c.session.token_hold = Duration::from_millis(2);
+    c.session.hungry_timeout = Duration::from_millis(100);
+    c.session.starving_retry = Duration::from_millis(40);
+    c.transport.retry_timeout = Duration::from_millis(10);
+    c
+}
+
+/// Pumps every node's session events into its store replica.
+fn feed(cluster: &mut Cluster, stores: &mut [DataStore]) {
+    let now = cluster.now();
+    for (i, store) in stores.iter_mut().enumerate() {
+        let id = NodeId(i as u32);
+        if !cluster.is_alive(id) {
+            continue;
+        }
+        for ev in cluster.take_events(id) {
+            let session = cluster.session_mut(id).unwrap();
+            store.on_event(now, &ev, session);
+        }
+    }
+}
+
+fn state(s: &DataStore) -> Vec<(String, u64, Bytes)> {
+    s.iter().map(|(k, v)| (k.clone(), v.version, v.value.clone())).collect()
+}
+
+#[test]
+fn replicas_converge_with_writes_from_every_node() {
+    let mut cluster = Cluster::founding(3, fast_cfg()).unwrap();
+    cluster.run_for(Duration::from_secs(1));
+    let mut stores: Vec<DataStore> = (0..3).map(|i| DataStore::new(NodeId(i))).collect();
+    for i in 0..3u32 {
+        let key = format!("owner-{i}");
+        let (store, session) = (&mut stores[i as usize], cluster.session_mut(NodeId(i)).unwrap());
+        store.put(session, &key, Bytes::from(vec![i as u8])).unwrap();
+    }
+    cluster.run_for(Duration::from_secs(1));
+    feed(&mut cluster, &mut stores);
+    let reference = state(&stores[0]);
+    assert_eq!(reference.len(), 3);
+    for (i, s) in stores.iter().enumerate() {
+        assert_eq!(state(s), reference, "replica {i}");
+    }
+}
+
+#[test]
+fn concurrent_cas_has_exactly_one_winner() {
+    let mut cluster = Cluster::founding(3, fast_cfg()).unwrap();
+    cluster.run_for(Duration::from_secs(1));
+    let mut stores: Vec<DataStore> = (0..3).map(|i| DataStore::new(NodeId(i))).collect();
+    // Seed a key, let everyone see version 1.
+    stores[0]
+        .put(cluster.session_mut(NodeId(0)).unwrap(), "leader", Bytes::from_static(b"none"))
+        .unwrap();
+    cluster.run_for(Duration::from_secs(1));
+    feed(&mut cluster, &mut stores);
+    // All three try to claim leadership from the same observed version —
+    // the classic shared-memory election, no locks involved.
+    for i in 0..3u32 {
+        let (store, session) = (&mut stores[i as usize], cluster.session_mut(NodeId(i)).unwrap());
+        store.cas(session, "leader", 1, Bytes::from(vec![i as u8])).unwrap();
+    }
+    cluster.run_for(Duration::from_secs(1));
+    feed(&mut cluster, &mut stores);
+    let winner = stores[0].get("leader").unwrap().value.clone();
+    let mut wins = 0;
+    let mut losses = 0;
+    for s in &mut stores {
+        assert_eq!(s.get("leader").unwrap().value, winner, "replicas agree on the winner");
+        assert_eq!(s.get("leader").unwrap().version, 2);
+        while let Some(ev) = s.poll_event() {
+            match ev {
+                DataEvent::Updated { key, by, .. } if key == "leader" && by == NodeId(winner[0] as u32) => {}
+                DataEvent::CasFailed { key, .. } if key == "leader" => losses += 1,
+                _ => {}
+            }
+        }
+    }
+    // Each replica observed exactly two failed CAS attempts.
+    assert_eq!(losses, 2 * 3);
+    wins += 1; // silence unused warnings in older compilers
+    let _ = wins;
+}
+
+#[test]
+fn counters_accumulate_across_nodes() {
+    let mut cluster = Cluster::founding(4, fast_cfg()).unwrap();
+    cluster.run_for(Duration::from_secs(1));
+    let mut stores: Vec<DataStore> = (0..4).map(|i| DataStore::new(NodeId(i))).collect();
+    for round in 0..5 {
+        for i in 0..4u32 {
+            let (store, session) =
+                (&mut stores[i as usize], cluster.session_mut(NodeId(i)).unwrap());
+            store.add(session, "connections", i64::from(i) + round).unwrap();
+        }
+    }
+    cluster.run_for(Duration::from_secs(2));
+    feed(&mut cluster, &mut stores);
+    // Σ over rounds r in 0..5 of (0+1+2+3 + 4r) = 5·6 + 4·(0+1+2+3+4) = 70.
+    for (i, s) in stores.iter().enumerate() {
+        assert_eq!(s.get_i64("connections"), 70, "replica {i}");
+        assert_eq!(s.get("connections").unwrap().version, 20);
+    }
+}
+
+#[test]
+fn joiner_receives_leader_snapshot() {
+    let ring = raincore_types::Ring::from([0, 1]);
+    let mut cfg = fast_cfg();
+    cfg.session.eligible = (0..3).map(NodeId).collect();
+    let mut builder = raincore::sim::ClusterBuilder::new(cfg);
+    for i in 0..2 {
+        builder = builder.member(NodeId(i), StartMode::Founding(ring.clone()));
+    }
+    let mut cluster = builder.member(NodeId(2), StartMode::Joining).build().unwrap();
+    let mut stores: Vec<DataStore> = (0..3).map(|i| DataStore::new(NodeId(i))).collect();
+
+    // Give the join a moment to complete, then seed data from node 0.
+    cluster.run_for(Duration::from_millis(100));
+    stores[0]
+        .put(cluster.session_mut(NodeId(0)).unwrap(), "config", Bytes::from_static(b"v1"))
+        .unwrap();
+    cluster.run_for(Duration::from_secs(2));
+    feed(&mut cluster, &mut stores);
+
+    // Node 2 joined after (or during) the write; whether it saw the
+    // original delivery or the snapshot, it must converge.
+    cluster.run_for(Duration::from_secs(2));
+    feed(&mut cluster, &mut stores);
+    assert_eq!(
+        stores[2].get("config").map(|v| v.value.clone()),
+        Some(Bytes::from_static(b"v1")),
+        "joiner converged via delivery or snapshot"
+    );
+}
+
+#[test]
+fn joiner_after_quiescence_synced_by_snapshot() {
+    // Harder variant: data written long before the joiner appears, so no
+    // multicast is in flight — only the snapshot can sync it.
+    let mut cluster = Cluster::founding(2, fast_cfg()).unwrap();
+    cluster.run_for(Duration::from_secs(1));
+    let mut stores: Vec<DataStore> = (0..3).map(|i| DataStore::new(NodeId(i))).collect();
+    stores[0]
+        .put(cluster.session_mut(NodeId(0)).unwrap(), "ancient", Bytes::from_static(b"truth"))
+        .unwrap();
+    stores[1]
+        .add(cluster.session_mut(NodeId(1)).unwrap(), "hits", 41)
+        .unwrap();
+    cluster.run_for(Duration::from_secs(1));
+    feed(&mut cluster, &mut stores);
+    assert_eq!(stores[0].len(), 2);
+
+    // A third node joins much later. (It is in the eligible list of the
+    // founding config because Cluster::founding(2) set eligible = {0,1},
+    // so extend the view via a restartable slot: use crash+restart of a
+    // fresh member instead — simplest is a 3-member cluster where node 2
+    // was down from the start.)
+    let mut cfg = fast_cfg();
+    cfg.session.eligible = (0..3).map(NodeId).collect();
+    let ring = raincore_types::Ring::from([0, 1, 2]);
+    let mut builder = raincore::sim::ClusterBuilder::new(cfg);
+    for i in 0..3 {
+        builder = builder.member(NodeId(i), StartMode::Founding(ring.clone()));
+    }
+    let mut cluster = builder.build().unwrap();
+    cluster.crash(NodeId(2)); // node 2 "was never up"
+    cluster.run_for(Duration::from_secs(1));
+    let mut stores: Vec<DataStore> = (0..3).map(|i| DataStore::new(NodeId(i))).collect();
+    stores[0]
+        .put(cluster.session_mut(NodeId(0)).unwrap(), "ancient", Bytes::from_static(b"truth"))
+        .unwrap();
+    cluster.run_for(Duration::from_secs(1));
+    feed(&mut cluster, &mut stores);
+
+    cluster.restart(NodeId(2), StartMode::Joining).unwrap();
+    stores[2] = DataStore::new(NodeId(2)); // fresh process, empty replica
+    cluster.run_for(Duration::from_secs(3));
+    feed(&mut cluster, &mut stores);
+    cluster.run_for(Duration::from_secs(1));
+    feed(&mut cluster, &mut stores);
+    assert_eq!(
+        stores[2].get("ancient").map(|v| v.value.clone()),
+        Some(Bytes::from_static(b"truth")),
+        "snapshot state transfer synced the joiner"
+    );
+}
