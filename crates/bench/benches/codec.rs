@@ -61,7 +61,9 @@ fn bench_frame(c: &mut Criterion) {
     let encoded = frame.encode_to_bytes();
     let mut g = c.benchmark_group("codec/frame");
     g.throughput(Throughput::Bytes(encoded.len() as u64));
-    g.bench_function("encode_1k", |b| b.iter(|| black_box(frame.encode_to_bytes())));
+    g.bench_function("encode_1k", |b| {
+        b.iter(|| black_box(frame.encode_to_bytes()))
+    });
     g.bench_function("decode_1k", |b| {
         b.iter(|| black_box(Frame::decode_from_bytes(&encoded).unwrap()))
     });

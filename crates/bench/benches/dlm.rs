@@ -14,7 +14,13 @@ fn bench_ops(c: &mut Criterion) {
         .flat_map(|k| {
             let lock = names[k % names.len()].clone();
             let node = NodeId((k % 3) as u32);
-            [LockOp::Acquire { lock: lock.clone(), node }, LockOp::Release { lock, node }]
+            [
+                LockOp::Acquire {
+                    lock: lock.clone(),
+                    node,
+                },
+                LockOp::Release { lock, node },
+            ]
         })
         .collect();
     g.throughput(Throughput::Elements(ops.len() as u64));

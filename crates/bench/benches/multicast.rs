@@ -20,8 +20,12 @@ fn raincore_run() -> usize {
     let mut c = Cluster::founding(N, cfg).unwrap();
     c.run_for(Duration::from_millis(100));
     for k in 0..MSGS {
-        c.multicast(NodeId(k % N), DeliveryMode::Agreed, Bytes::from(vec![k as u8; 64]))
-            .unwrap();
+        c.multicast(
+            NodeId(k % N),
+            DeliveryMode::Agreed,
+            Bytes::from(vec![k as u8; 64]),
+        )
+        .unwrap();
     }
     c.run_for(Duration::from_secs(2));
     c.deliveries(NodeId(0)).len()

@@ -23,7 +23,8 @@ fn pump_one_message(size: usize) -> u64 {
     let (mut a, mut b) = (mk(0), mk(1));
     let mut net = SimNet::new(SimNetConfig::default());
     let mut now = Time::ZERO;
-    a.send(now, NodeId(1), Bytes::from(vec![0u8; size])).unwrap();
+    a.send(now, NodeId(1), Bytes::from(vec![0u8; size]))
+        .unwrap();
     loop {
         let mut moved = false;
         for ep in [&mut a, &mut b] {

@@ -13,8 +13,10 @@ use raincore_bench::experiments::hier_vs_flat;
 use raincore_bench::report::{f, Table};
 
 fn main() {
-    let samples: u32 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let samples: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
     println!("A5: flat ring vs G×K hierarchy (token hold 2 ms everywhere)\n");
     let mut t = Table::new([
         "N",

@@ -10,8 +10,11 @@ use raincore_bench::report::Table;
 
 fn main() {
     println!("A3: unplug one NIC of a member — does membership churn?\n");
-    let mut t =
-        Table::new(["NICs/node", "membership changes (5 s)", "full membership kept"]);
+    let mut t = Table::new([
+        "NICs/node",
+        "membership changes (5 s)",
+        "full membership kept",
+    ]);
     for nics in [1u8, 2] {
         let r = redundant_links(nics);
         t.row([

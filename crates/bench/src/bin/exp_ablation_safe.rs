@@ -15,7 +15,12 @@ fn main() {
     for &l in &[5.0f64, 10.0, 25.0] {
         let (agreed, _) = latency_at_rate(4, l, DeliveryMode::Agreed, 8);
         let (safe, _) = latency_at_rate(4, l, DeliveryMode::Safe, 8);
-        t.row([f(l, 0), f(agreed * 1e3, 2), f(safe * 1e3, 2), f(safe / agreed, 2)]);
+        t.row([
+            f(l, 0),
+            f(agreed * 1e3, 2),
+            f(safe * 1e3, 2),
+            f(safe / agreed, 2),
+        ]);
         eprintln!("  done L={l}");
     }
     t.print();

@@ -7,19 +7,36 @@
 //! resumes."
 
 use raincore_bench::experiments::failover;
-use raincore_bench::report::{f, Table};
+use raincore_bench::report::{f, hist_table, Table};
 
 fn main() {
     println!("E4: cable unplug at t=5 s on one of two gateways\n");
     let r = failover();
     let mut t = Table::new(["t (s)", "client goodput (Mbit/s)"]);
     for (ts, mbps) in &r.series {
-        let marker = if (*ts - r.unplug_at.as_secs_f64()).abs() < 1e-9 { "  <- unplug" } else { "" };
+        let marker = if (*ts - r.unplug_at.as_secs_f64()).abs() < 1e-9 {
+            "  <- unplug"
+        } else {
+            ""
+        };
         t.row([format!("{ts:.1}{marker}"), f(*mbps, 1)]);
     }
     t.print();
-    println!("\nTraffic gap: {:.2} s (paper: under 2 s); {} flows retried.",
-        r.gap.as_secs_f64(), r.retries);
-    assert!(r.gap.as_secs_f64() < 2.0, "fail-over exceeded the paper's bound");
+    println!("\nLatency distributions (raincore-obs histograms):\n");
+    hist_table([
+        ("token rotation", r.rotation),
+        ("failure-on-delivery", r.failover_latency),
+        ("911 recovery", r.recovery),
+    ])
+    .print();
+    println!(
+        "\nTraffic gap: {:.2} s (paper: under 2 s); {} flows retried.",
+        r.gap.as_secs_f64(),
+        r.retries
+    );
+    assert!(
+        r.gap.as_secs_f64() < 2.0,
+        "fail-over exceeded the paper's bound"
+    );
     println!("PASS: fail-over hiccup is under two seconds.");
 }

@@ -7,11 +7,13 @@
 //! Usage: `exp_fig3 [secs]` (default 8 simulated seconds of measurement).
 
 use raincore_bench::experiments::fig3;
-use raincore_bench::report::{f, Table};
+use raincore_bench::report::{f, hist_table, Table};
 
 fn main() {
-    let secs: u64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     println!("E3 (Figure 3): Rainwall cluster throughput, switched Fast Ethernet\n");
     let pts = fig3(&[1, 2, 4], secs);
     let paper = [(95.0, 1.0), (187.0, 1.97), (357.0, 3.76)];
@@ -34,6 +36,12 @@ fn main() {
         ]);
     }
     t.print();
+    println!("\nToken-rotation period across the gateways (raincore-obs histograms):\n");
+    hist_table(
+        pts.iter()
+            .map(|p| (format!("{} gateway(s)", p.gateways), p.rotation)),
+    )
+    .print();
     println!("\n(The absolute numbers depend on the simulated NIC model; the paper's");
     println!("claim is the near-linear *scaling* and the <1 % group-comm CPU share.)");
 }

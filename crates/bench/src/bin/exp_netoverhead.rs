@@ -14,13 +14,20 @@ use raincore_bench::experiments::netoverhead;
 use raincore_bench::report::Table;
 
 fn main() {
-    let m: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
     println!("E2: network overhead — every node multicasts one {m}-byte message\n");
     for n in [2u32, 4, 8, 16] {
         println!("N = {n}:");
-        let mut t =
-            Table::new(["protocol", "packets", "bytes", "paper: packets", "paper: bytes"]);
+        let mut t = Table::new([
+            "protocol",
+            "packets",
+            "bytes",
+            "paper: packets",
+            "paper: bytes",
+        ]);
         for row in netoverhead(n, m) {
             t.row([
                 row.protocol.clone(),

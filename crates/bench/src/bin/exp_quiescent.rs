@@ -14,7 +14,10 @@ use raincore_bench::experiments::quiescent;
 use raincore_bench::report::Table;
 
 fn main() {
-    let n: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     println!("E6: membership agreement time after disturbance bursts (N = {n})\n");
     let mut t = Table::new([
         "simultaneous crashes",
@@ -27,7 +30,11 @@ fn main() {
     };
     for k in 1..=(n / 2) {
         let r = quiescent(n, k);
-        t.row([k.to_string(), fmt(r.shrink_convergence), fmt(r.rejoin_convergence)]);
+        t.row([
+            k.to_string(),
+            fmt(r.shrink_convergence),
+            fmt(r.rejoin_convergence),
+        ]);
         eprintln!("  done k={k}");
     }
     t.print();

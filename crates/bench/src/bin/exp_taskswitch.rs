@@ -11,12 +11,22 @@ use raincore_bench::experiments::taskswitch;
 use raincore_bench::report::{f, Table};
 
 fn main() {
-    let secs: u64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     println!("E1: group-communication task switches per second per node");
     println!("    (paper §4.1: Raincore = L;  broadcast ≥ M·N;  2PC ordered ≤ 6·M·N)\n");
     let mut t = Table::new([
-        "N", "M", "L", "raincore", "fanout+acks", "2PC(mean)", "2PC(max=seq'er)", "M*N", "6*M*N",
+        "N",
+        "M",
+        "L",
+        "raincore",
+        "fanout+acks",
+        "2PC(mean)",
+        "2PC(max=seq'er)",
+        "M*N",
+        "6*M*N",
     ]);
     for &(n, m, l) in &[
         (2u32, 10u32, 5.0f64),

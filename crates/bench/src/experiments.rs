@@ -3,9 +3,25 @@
 use bytes::Bytes;
 use raincore_broadcast::{BroadcastCluster, Mode};
 use raincore_net::{Addr, MediumKind, PacketClass, SimNetConfig};
-use raincore_sim::{Cluster, ClusterConfig};
+use raincore_obs::{HistSummary, Histogram};
 use raincore_rainwall::{Scenario, ScenarioCfg};
+use raincore_sim::{Cluster, ClusterConfig};
 use raincore_types::{DeliveryMode, Duration, NodeId, Time};
+
+/// Merges a per-node histogram (picked off each member's observability
+/// side-car) across the whole cluster into one summary.
+fn merged_hist(
+    c: &Cluster,
+    pick: impl Fn(&raincore_session::SessionNode) -> &Histogram,
+) -> HistSummary {
+    let merged = Histogram::new();
+    for id in c.member_ids() {
+        if let Some(s) = c.session(id) {
+            merged.merge_from(pick(s));
+        }
+    }
+    merged.summary()
+}
 
 /// Per-second session-layer parameters shared by the protocol experiments.
 fn proto_cfg(n: u32, l_rounds_per_sec: f64) -> ClusterConfig {
@@ -13,8 +29,7 @@ fn proto_cfg(n: u32, l_rounds_per_sec: f64) -> ClusterConfig {
         session: raincore_types::SessionConfig::for_cluster(n).with_token_rate(n, l_rounds_per_sec),
         ..Default::default()
     };
-    c.session.hungry_timeout =
-        Duration::from_secs_f64((4.0 / l_rounds_per_sec).max(0.5));
+    c.session.hungry_timeout = Duration::from_secs_f64((4.0 / l_rounds_per_sec).max(0.5));
     c.session.starving_retry = Duration::from_millis(100);
     c.session.beacon_period = Duration::from_secs(5);
     c.transport.retry_timeout = Duration::from_millis(20);
@@ -68,9 +83,12 @@ pub fn taskswitch(n: u32, m: u32, l: f64, secs: u64) -> TaskSwitchRow {
 
     // --- Baselines ---
     let run_baseline = |mode: Mode| -> Vec<f64> {
-        let mut b = BroadcastCluster::new(n, mode, SimNetConfig::default(), Duration::from_millis(20));
+        let mut b =
+            BroadcastCluster::new(n, mode, SimNetConfig::default(), Duration::from_millis(20));
         b.run_for(Duration::from_millis(100));
-        let before: Vec<u64> = (0..n).map(|i| b.stats(NodeId(i)).events_processed).collect();
+        let before: Vec<u64> = (0..n)
+            .map(|i| b.stats(NodeId(i)).events_processed)
+            .collect();
         let step = Duration::from_nanos(1_000_000_000 / u64::from(m.max(1)));
         let mut t = b.now();
         for _ in 0..(m as u64 * secs) {
@@ -92,7 +110,15 @@ pub fn taskswitch(n: u32, m: u32, l: f64, secs: u64) -> TaskSwitchRow {
     let sequenced_max = seq_rates.iter().cloned().fold(0.0, f64::max);
     let sequenced_mean = seq_rates.iter().sum::<f64>() / f64::from(n);
 
-    TaskSwitchRow { n, m, l, raincore, reliable, sequenced_max, sequenced_mean }
+    TaskSwitchRow {
+        n,
+        m,
+        l,
+        raincore,
+        reliable,
+        sequenced_max,
+        sequenced_mean,
+    }
 }
 
 fn inject_periodic(c: &mut Cluster, n: u32, m: u32, secs: u64, payload: &Bytes) {
@@ -143,7 +169,8 @@ pub fn netoverhead(n: u32, msg_bytes: usize) -> Vec<NetOverheadRow> {
     let idle_b = c.net_stats().total_sent(PacketClass::Control).bytes as i64;
     c.reset_net_stats();
     for i in 0..n {
-        c.multicast(NodeId(i), DeliveryMode::Agreed, payload.clone()).expect("multicast");
+        c.multicast(NodeId(i), DeliveryMode::Agreed, payload.clone())
+            .expect("multicast");
     }
     c.run_for(window);
     let mc_p = c.net_stats().total_sent(PacketClass::Control).pkts as i64;
@@ -187,7 +214,12 @@ pub fn netoverhead(n: u32, msg_bytes: usize) -> Vec<NetOverheadRow> {
         format!("2N(N-1) = {}", 2 * nn * (nn - 1)),
         format!(">N(N-1)·M = {}", nn * (nn - 1) * msg_bytes as u64),
     );
-    run_mode("sequencer 2PC", Mode::Sequenced, "≈4N² (4 phases)".into(), "≫".into());
+    run_mode(
+        "sequencer 2PC",
+        Mode::Sequenced,
+        "≈4N² (4 phases)".into(),
+        "≫".into(),
+    );
     rows
 }
 
@@ -206,6 +238,9 @@ pub struct Fig3Point {
     pub scaling: f64,
     /// Group-communication CPU share (50 µs per wake-up), percent.
     pub cpu_pct: f64,
+    /// Token-rotation period distribution across the gateways
+    /// (raincore-obs histogram, nanoseconds).
+    pub rotation: HistSummary,
 }
 
 /// Runs the Figure-3 benchmark for one cluster size.
@@ -232,7 +267,14 @@ pub fn fig3_point(gateways: u32, secs: u64) -> Fig3Point {
         .map(|&g| s.group_comm_cpu_share(g, Duration::from_micros(50), end.since(Time::ZERO)))
         .sum::<f64>()
         / f64::from(gateways);
-    Fig3Point { gateways, mbps, scaling: 0.0, cpu_pct: cpu * 100.0 }
+    let rotation = merged_hist(&s.cluster, |n| &n.obs().token_rotation);
+    Fig3Point {
+        gateways,
+        mbps,
+        scaling: 0.0,
+        cpu_pct: cpu * 100.0,
+        rotation,
+    }
 }
 
 /// Runs the full Figure-3 sweep (1, 2, 4 gateways by default).
@@ -263,11 +305,26 @@ pub struct FailoverResult {
     pub series: Vec<(f64, f64)>,
     /// Flows abandoned and retried during the hiccup.
     pub retries: u64,
+    /// Token-rotation period distribution across the gateways
+    /// (raincore-obs histogram, nanoseconds).
+    pub rotation: HistSummary,
+    /// Transport failure-on-delivery latency: time from first transmission
+    /// to the failure notification that triggers fail-over (nanoseconds).
+    pub failover_latency: HistSummary,
+    /// 911 token-recovery duration distribution (nanoseconds); empty when
+    /// the victim was not holding the token.
+    pub recovery: HistSummary,
 }
 
 /// Unplugs one gateway's cable mid-download and measures the hiccup.
 pub fn failover() -> FailoverResult {
-    let cfg = ScenarioCfg { gateways: 2, clients: 6, servers: 6, vips: 4, ..Default::default() };
+    let cfg = ScenarioCfg {
+        gateways: 2,
+        clients: 6,
+        servers: 6,
+        vips: 4,
+        ..Default::default()
+    };
     let bucket = cfg.bucket;
     let mut s = Scenario::build(cfg).expect("scenario");
     let unplug_at = Time::ZERO + Duration::from_secs(5);
@@ -292,8 +349,9 @@ pub fn failover() -> FailoverResult {
     let bpersec = 1_000_000_000 / bucket.as_nanos().max(1);
     let pre_from = (unplug_at.as_nanos() / bucket.as_nanos()).saturating_sub(2 * bpersec);
     let unplug_bucket = unplug_at.as_nanos() / bucket.as_nanos();
-    let pre: Vec<u64> =
-        (pre_from..unplug_bucket).map(|b| series_raw.get(&b).copied().unwrap_or(0)).collect();
+    let pre: Vec<u64> = (pre_from..unplug_bucket)
+        .map(|b| series_raw.get(&b).copied().unwrap_or(0))
+        .collect();
     let pre_avg = pre.iter().sum::<u64>() as f64 / pre.len().max(1) as f64;
     // The gap: consecutive buckets after the unplug below 50 % of the
     // pre-failure average.
@@ -324,6 +382,9 @@ pub fn failover() -> FailoverResult {
         gap: Duration::from_nanos(gap_buckets * bucket.as_nanos()),
         series,
         retries: s.retries(),
+        rotation: merged_hist(&s.cluster, |n| &n.obs().token_rotation),
+        failover_latency: merged_hist(&s.cluster, |n| &n.transport_obs().failure_latency),
+        recovery: merged_hist(&s.cluster, |n| &n.obs().recovery_911),
     }
 }
 
@@ -444,7 +505,8 @@ pub fn redundant_links(nics: u8) -> RedundantRow {
     RedundantRow {
         nics,
         membership_changes: changes,
-        full_membership: c.membership_converged() && c.live_members().len() == 4
+        full_membership: c.membership_converged()
+            && c.live_members().len() == 4
             && c.session(NodeId(0)).unwrap().ring().len() == 4,
     }
 }
@@ -533,7 +595,8 @@ pub fn quiescent(n: u32, crashes: u32) -> QuiescentRow {
     });
     // Quiet period, then everyone returns at once.
     for &v in &victims {
-        c.restart(v, raincore_session::StartMode::Joining).expect("restart");
+        c.restart(v, raincore_session::StartMode::Joining)
+            .expect("restart");
     }
     let t1 = c.now();
     let mut rejoin = None;
@@ -542,7 +605,11 @@ pub fn quiescent(n: u32, crashes: u32) -> QuiescentRow {
             rejoin = Some(c.now().since(t1));
         }
     });
-    QuiescentRow { crashes, shrink_convergence: shrink, rejoin_convergence: rejoin }
+    QuiescentRow {
+        crashes,
+        shrink_convergence: shrink,
+        rejoin_convergence: rejoin,
+    }
 }
 
 // ======================================================================
@@ -579,7 +646,9 @@ pub fn hier_vs_flat(groups: u32, group_size: u32, samples: u32) -> HierRow {
         ..Default::default()
     };
     cfg.session.token_hold = hold;
-    cfg.session.hungry_timeout = hold.saturating_mul(u64::from(n) * 8).max(Duration::from_millis(200));
+    cfg.session.hungry_timeout = hold
+        .saturating_mul(u64::from(n) * 8)
+        .max(Duration::from_millis(200));
     cfg.transport.retry_timeout = Duration::from_millis(10);
     let mut flat = Cluster::founding(n, cfg).expect("cluster");
     flat.run_for(Duration::from_secs(1));
@@ -587,7 +656,8 @@ pub fn hier_vs_flat(groups: u32, group_size: u32, samples: u32) -> HierRow {
     let mut total = Duration::ZERO;
     for k in 0..samples {
         let sent = flat.now();
-        flat.multicast(NodeId(0), DeliveryMode::Agreed, Bytes::from(vec![k as u8])).unwrap();
+        flat.multicast(NodeId(0), DeliveryMode::Agreed, Bytes::from(vec![k as u8]))
+            .unwrap();
         let before = flat.deliveries(probe).len();
         let mut at = None;
         flat.run_until_with(sent + Duration::from_secs(10), |c| {
@@ -615,7 +685,8 @@ pub fn hier_vs_flat(groups: u32, group_size: u32, samples: u32) -> HierRow {
     let mut total = Duration::ZERO;
     for k in 0..samples {
         let sent = h.now();
-        h.multicast_global(NodeId(0), Bytes::from(vec![k as u8])).unwrap();
+        h.multicast_global(NodeId(0), Bytes::from(vec![k as u8]))
+            .unwrap();
         let before = h.global_deliveries(probe).len();
         loop {
             h.run_for(Duration::from_millis(1));
@@ -633,7 +704,14 @@ pub fn hier_vs_flat(groups: u32, group_size: u32, samples: u32) -> HierRow {
     let hier_switches = h.task_switches(NodeId(1)) as f64 / elapsed;
     let hier_leader_switches = h.task_switches(NodeId(0)) as f64 / elapsed;
 
-    HierRow { n, flat_latency, flat_switches, hier_latency, hier_switches, hier_leader_switches }
+    HierRow {
+        n,
+        flat_latency,
+        flat_switches,
+        hier_latency,
+        hier_switches,
+        hier_leader_switches,
+    }
 }
 
 #[cfg(test)]
@@ -644,7 +722,12 @@ mod tests {
     fn taskswitch_raincore_tracks_l_not_mn() {
         let row = taskswitch(4, 20, 10.0, 2);
         // Raincore ≈ L per node regardless of M; baselines ≈ M·(N-1)+.
-        assert!(row.raincore < 3.0 * row.l, "raincore {:.1} vs L {}", row.raincore, row.l);
+        assert!(
+            row.raincore < 3.0 * row.l,
+            "raincore {:.1} vs L {}",
+            row.raincore,
+            row.l
+        );
         assert!(
             row.reliable > 3.0 * row.raincore,
             "reliable fan-out ({:.0}) must dwarf raincore ({:.0})",
@@ -690,7 +773,10 @@ mod tests {
     fn redundant_link_masks_cable_pull() {
         let single = redundant_links(1);
         let dual = redundant_links(2);
-        assert!(dual.full_membership, "dual-link cluster stays whole: {dual:?}");
+        assert!(
+            dual.full_membership,
+            "dual-link cluster stays whole: {dual:?}"
+        );
         assert_eq!(dual.membership_changes, 0, "failure fully masked");
         assert!(
             single.membership_changes > 0,
@@ -703,9 +789,18 @@ mod tests {
         use raincore_types::config::DetectionMode;
         let fast = detection(DetectionMode::Aggressive);
         assert!(fast.convergence.is_some(), "{fast:?}");
-        assert!(fast.convergence.unwrap() < Duration::from_secs(1), "{fast:?}");
+        assert!(
+            fast.convergence.unwrap() < Duration::from_secs(1),
+            "{fast:?}"
+        );
         let slow = detection(DetectionMode::TimeoutOnly);
-        assert!(slow.convergence.is_none(), "timeout-only never edits membership: {slow:?}");
-        assert!(slow.rounds_after < fast.rounds_after, "rounds degrade: {slow:?} vs {fast:?}");
+        assert!(
+            slow.convergence.is_none(),
+            "timeout-only never edits membership: {slow:?}"
+        );
+        assert!(
+            slow.rounds_after < fast.rounds_after,
+            "rounds degrade: {slow:?} vs {fast:?}"
+        );
     }
 }

@@ -1,4 +1,8 @@
-//! Minimal aligned-table printer for experiment output.
+//! Minimal aligned-table printer for experiment output, plus histogram
+//! summary rendering so every `exp_*` binary reports latency
+//! *distributions* (p50/p90/p99/max) and not just means.
+
+use raincore_obs::{fmt_ns, HistSummary};
 
 /// A text table: header row plus data rows, printed with aligned columns.
 #[derive(Debug, Default)]
@@ -10,7 +14,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a data row (padded/truncated to the header width).
@@ -63,6 +70,24 @@ pub fn f(v: f64, digits: usize) -> String {
     format!("{v:.digits$}")
 }
 
+/// Builds an aligned table of labeled nanosecond histogram summaries:
+/// `metric  n  p50  p90  p99  max` (values human-formatted via
+/// [`fmt_ns`]).
+pub fn hist_table<S: Into<String>>(rows: impl IntoIterator<Item = (S, HistSummary)>) -> Table {
+    let mut t = Table::new(["metric", "n", "p50", "p90", "p99", "max"]);
+    for (label, s) in rows {
+        t.row([
+            label.into(),
+            s.count.to_string(),
+            fmt_ns(s.p50),
+            fmt_ns(s.p90),
+            fmt_ns(s.p99),
+            fmt_ns(s.max),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +117,17 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(2.0, 0), "2");
+    }
+
+    #[test]
+    fn hist_table_renders_percentiles() {
+        let h = raincore_obs::Histogram::new();
+        for v in [1_000_000u64, 2_000_000, 3_000_000] {
+            h.record(v);
+        }
+        let s = hist_table([("token rotation", h.summary())]).render();
+        assert!(s.contains("p50") && s.contains("p99"), "{s}");
+        assert!(s.contains("token rotation"), "{s}");
+        assert!(s.contains("ms"), "human-formatted nanoseconds: {s}");
     }
 }

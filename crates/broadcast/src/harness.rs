@@ -121,11 +121,20 @@ impl BroadcastCluster {
     }
 
     fn drain(&mut self, id: NodeId) {
-        let Some(n) = self.nodes.get_mut(&id) else { return };
+        let Some(n) = self.nodes.get_mut(&id) else {
+            return;
+        };
         while let Some(ev) = n.poll_event() {
             match ev {
-                BroadcastEvent::Delivery { origin, oseq, payload } => {
-                    self.deliveries.entry(id).or_default().push((origin, oseq, payload));
+                BroadcastEvent::Delivery {
+                    origin,
+                    oseq,
+                    payload,
+                } => {
+                    self.deliveries
+                        .entry(id)
+                        .or_default()
+                        .push((origin, oseq, payload));
                 }
                 BroadcastEvent::Complete { oseq } => {
                     self.completes.entry(id).or_default().push(oseq);
@@ -230,12 +239,18 @@ mod tests {
     #[test]
     fn sequenced_gives_identical_total_order() {
         let c = run(Mode::Sequenced, 4, 5);
-        let reference: Vec<(NodeId, OriginSeq)> =
-            c.deliveries(NodeId(0)).iter().map(|(o, s, _)| (*o, *s)).collect();
+        let reference: Vec<(NodeId, OriginSeq)> = c
+            .deliveries(NodeId(0))
+            .iter()
+            .map(|(o, s, _)| (*o, *s))
+            .collect();
         assert_eq!(reference.len(), 20);
         for i in 1..4 {
-            let got: Vec<(NodeId, OriginSeq)> =
-                c.deliveries(NodeId(i)).iter().map(|(o, s, _)| (*o, *s)).collect();
+            let got: Vec<(NodeId, OriginSeq)> = c
+                .deliveries(NodeId(i))
+                .iter()
+                .map(|(o, s, _)| (*o, *s))
+                .collect();
             assert_eq!(got, reference, "node {i} must agree on the total order");
         }
         for i in 0..4 {
@@ -246,8 +261,14 @@ mod tests {
     #[test]
     fn sequenced_costs_far_more_packets_than_plain_fanout() {
         let n = 4u32;
-        let plain = run(Mode::Unreliable, n, 1).net_stats().total_sent(PacketClass::Control).pkts;
-        let seq = run(Mode::Sequenced, n, 1).net_stats().total_sent(PacketClass::Control).pkts;
+        let plain = run(Mode::Unreliable, n, 1)
+            .net_stats()
+            .total_sent(PacketClass::Control)
+            .pkts;
+        let seq = run(Mode::Sequenced, n, 1)
+            .net_stats()
+            .total_sent(PacketClass::Control)
+            .pkts;
         assert!(
             seq >= 3 * plain,
             "2PC ({seq} pkts) should dwarf plain fan-out ({plain} pkts)"

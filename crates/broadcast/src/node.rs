@@ -138,7 +138,11 @@ impl BroadcastNode {
     }
 
     fn others(&self) -> Vec<NodeId> {
-        self.members.iter().copied().filter(|&m| m != self.id).collect()
+        self.members
+            .iter()
+            .copied()
+            .filter(|&m| m != self.id)
+            .collect()
     }
 
     fn emit(&mut self, to: NodeId, msg: &BMsg) {
@@ -153,7 +157,11 @@ impl BroadcastNode {
 
     fn deliver(&mut self, origin: NodeId, oseq: OriginSeq, payload: Bytes) {
         self.stats.deliveries += 1;
-        self.events.push_back(BroadcastEvent::Delivery { origin, oseq, payload });
+        self.events.push_back(BroadcastEvent::Delivery {
+            origin,
+            oseq,
+            payload,
+        });
         if origin == self.id && self.mode == Mode::Sequenced {
             self.events.push_back(BroadcastEvent::Complete { oseq });
         }
@@ -166,7 +174,11 @@ impl BroadcastNode {
         self.stats.msgs_sent += 1;
         match self.mode {
             Mode::Unreliable => {
-                let msg = BMsg::Pub { origin: self.id, oseq, payload: payload.clone() };
+                let msg = BMsg::Pub {
+                    origin: self.id,
+                    oseq,
+                    payload: payload.clone(),
+                };
                 for m in self.others() {
                     self.emit(m, &msg);
                 }
@@ -174,7 +186,11 @@ impl BroadcastNode {
                 self.events.push_back(BroadcastEvent::Complete { oseq });
             }
             Mode::Reliable => {
-                let msg = BMsg::Pub { origin: self.id, oseq, payload: payload.clone() };
+                let msg = BMsg::Pub {
+                    origin: self.id,
+                    oseq,
+                    payload: payload.clone(),
+                };
                 let unacked: BTreeSet<NodeId> = self.others().into_iter().collect();
                 for m in &unacked {
                     self.emit(*m, &msg);
@@ -185,7 +201,11 @@ impl BroadcastNode {
                 } else {
                     self.pending.insert(
                         oseq,
-                        PendingPub { payload, unacked, next_retry: now + self.retry_timeout },
+                        PendingPub {
+                            payload,
+                            unacked,
+                            next_retry: now + self.retry_timeout,
+                        },
                     );
                 }
             }
@@ -193,7 +213,11 @@ impl BroadcastNode {
                 if self.id == self.sequencer() {
                     self.assign_slot(self.id, oseq, payload);
                 } else {
-                    let msg = BMsg::Submit { origin: self.id, oseq, payload };
+                    let msg = BMsg::Submit {
+                        origin: self.id,
+                        oseq,
+                        payload,
+                    };
                     self.emit(self.sequencer(), &msg);
                 }
             }
@@ -206,7 +230,12 @@ impl BroadcastNode {
         let gseq = self.next_gseq;
         self.next_gseq += 1;
         let awaiting: BTreeSet<NodeId> = self.others().into_iter().collect();
-        let msg = BMsg::Prepare { gseq, origin, oseq, payload: payload.clone() };
+        let msg = BMsg::Prepare {
+            gseq,
+            origin,
+            oseq,
+            payload: payload.clone(),
+        };
         for m in &awaiting {
             self.emit(*m, &msg);
         }
@@ -252,7 +281,11 @@ impl BroadcastNode {
         };
         self.stats.events_processed += 1;
         match msg {
-            BMsg::Pub { origin, oseq, payload } => {
+            BMsg::Pub {
+                origin,
+                oseq,
+                payload,
+            } => {
                 if self.mode == Mode::Reliable {
                     self.emit(origin, &BMsg::Ack { origin, oseq });
                     let fresh = self.seen.entry(origin).or_default().insert(MsgId(oseq.0));
@@ -271,12 +304,21 @@ impl BroadcastNode {
                     }
                 }
             }
-            BMsg::Submit { origin, oseq, payload } => {
+            BMsg::Submit {
+                origin,
+                oseq,
+                payload,
+            } => {
                 if self.id == self.sequencer() {
                     self.assign_slot(origin, oseq, payload);
                 }
             }
-            BMsg::Prepare { gseq, origin, oseq, payload } => {
+            BMsg::Prepare {
+                gseq,
+                origin,
+                oseq,
+                payload,
+            } => {
                 self.prepared.entry(gseq).or_insert((origin, oseq, payload));
                 self.emit(self.sequencer(), &BMsg::Prepared { gseq });
                 self.drain_deliverable();
@@ -314,10 +356,17 @@ impl BroadcastNode {
             let (payload, targets) = {
                 let p = self.pending.get_mut(&oseq).expect("due");
                 p.next_retry = now + self.retry_timeout;
-                (p.payload.clone(), p.unacked.iter().copied().collect::<Vec<_>>())
+                (
+                    p.payload.clone(),
+                    p.unacked.iter().copied().collect::<Vec<_>>(),
+                )
             };
             for m in targets {
-                let msg = BMsg::Pub { origin: self.id, oseq, payload: payload.clone() };
+                let msg = BMsg::Pub {
+                    origin: self.id,
+                    oseq,
+                    payload: payload.clone(),
+                };
                 self.emit(m, &msg);
                 self.stats.retransmissions += 1;
             }

@@ -78,7 +78,11 @@ impl BMsg {
 impl WireEncode for BMsg {
     fn encode(&self, w: &mut Writer) {
         match self {
-            BMsg::Pub { origin, oseq, payload } => {
+            BMsg::Pub {
+                origin,
+                oseq,
+                payload,
+            } => {
                 w.put_u8(0);
                 origin.encode(w);
                 oseq.encode(w);
@@ -89,13 +93,22 @@ impl WireEncode for BMsg {
                 origin.encode(w);
                 oseq.encode(w);
             }
-            BMsg::Submit { origin, oseq, payload } => {
+            BMsg::Submit {
+                origin,
+                oseq,
+                payload,
+            } => {
                 w.put_u8(2);
                 origin.encode(w);
                 oseq.encode(w);
                 w.put_bytes(payload);
             }
-            BMsg::Prepare { gseq, origin, oseq, payload } => {
+            BMsg::Prepare {
+                gseq,
+                origin,
+                oseq,
+                payload,
+            } => {
                 w.put_u8(3);
                 w.put_varint(*gseq);
                 origin.encode(w);
@@ -126,7 +139,10 @@ impl WireDecode for BMsg {
                 oseq: OriginSeq::decode(r)?,
                 payload: r.get_bytes()?,
             },
-            1 => BMsg::Ack { origin: NodeId::decode(r)?, oseq: OriginSeq::decode(r)? },
+            1 => BMsg::Ack {
+                origin: NodeId::decode(r)?,
+                oseq: OriginSeq::decode(r)?,
+            },
             2 => BMsg::Submit {
                 origin: NodeId::decode(r)?,
                 oseq: OriginSeq::decode(r)?,
@@ -138,9 +154,15 @@ impl WireDecode for BMsg {
                 oseq: OriginSeq::decode(r)?,
                 payload: r.get_bytes()?,
             },
-            4 => BMsg::Prepared { gseq: r.get_varint()? },
-            5 => BMsg::Commit { gseq: r.get_varint()? },
-            6 => BMsg::Committed { gseq: r.get_varint()? },
+            4 => BMsg::Prepared {
+                gseq: r.get_varint()?,
+            },
+            5 => BMsg::Commit {
+                gseq: r.get_varint()?,
+            },
+            6 => BMsg::Committed {
+                gseq: r.get_varint()?,
+            },
             tag => return Err(WireError::BadTag { ty: "BMsg", tag }),
         })
     }
@@ -154,9 +176,20 @@ mod tests {
     #[test]
     fn round_trip_all_variants() {
         let cases = vec![
-            BMsg::Pub { origin: NodeId(1), oseq: OriginSeq(2), payload: Bytes::from_static(b"x") },
-            BMsg::Ack { origin: NodeId(1), oseq: OriginSeq(2) },
-            BMsg::Submit { origin: NodeId(3), oseq: OriginSeq(0), payload: Bytes::new() },
+            BMsg::Pub {
+                origin: NodeId(1),
+                oseq: OriginSeq(2),
+                payload: Bytes::from_static(b"x"),
+            },
+            BMsg::Ack {
+                origin: NodeId(1),
+                oseq: OriginSeq(2),
+            },
+            BMsg::Submit {
+                origin: NodeId(3),
+                oseq: OriginSeq(0),
+                payload: Bytes::new(),
+            },
             BMsg::Prepare {
                 gseq: 9,
                 origin: NodeId(3),

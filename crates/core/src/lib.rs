@@ -28,9 +28,11 @@
 pub mod events;
 pub mod metrics;
 pub mod node;
+pub mod obs;
 pub mod open;
 
 pub use events::{Delivery, SessionEvent};
-pub use open::{unwrap_open, wrap_open, OpenClient, OpenOutcome};
 pub use metrics::SessionMetrics;
 pub use node::{SessionNode, StartMode};
+pub use obs::NodeObs;
+pub use open::{unwrap_open, wrap_open, OpenClient, OpenOutcome};

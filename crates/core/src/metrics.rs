@@ -10,6 +10,8 @@
 //! accounted separately in `raincore-transport`'s stats so the comparison
 //! can be made with or without them.
 
+use serde::ser::SerializeStruct;
+
 /// Counters maintained by every [`crate::SessionNode`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionMetrics {
@@ -28,6 +30,8 @@ pub struct SessionMetrics {
     pub calls911_sent: u64,
     /// 911 calls received (regeneration votes and join requests).
     pub calls911_received: u64,
+    /// 911 denials issued (this node voted Deny on a regeneration call).
+    pub denials_911: u64,
     /// Discovery beacons sent.
     pub beacons_sent: u64,
     /// Discovery beacons received.
@@ -40,8 +44,87 @@ pub struct SessionMetrics {
     pub multicasts_sent: u64,
     /// Multicast deliveries to the application.
     pub deliveries: u64,
+    /// Safe-mode messages that entered the hold-back queue not yet
+    /// deliverable (held for §2.6's extra confirmation round).
+    pub safe_held_back: u64,
     /// Open-group submissions relayed into the group (§2.6).
     pub open_relayed: u64,
     /// Failure-on-delivery notifications acted upon (members removed).
     pub failures_detected: u64,
+    /// Failed sends this node re-routed (token re-sent to the next
+    /// successor, or a 911 vote completed without the dead voter).
+    pub retransmissions_acted: u64,
+}
+
+impl SessionMetrics {
+    /// `(field name, value)` view, in declaration order. Single source of
+    /// truth for the serde impl, the JSON renderer and metric exporters.
+    pub fn fields(&self) -> [(&'static str, u64); 18] {
+        [
+            ("task_switches", self.task_switches),
+            ("tokens_received", self.tokens_received),
+            ("tokens_sent", self.tokens_sent),
+            ("self_passes", self.self_passes),
+            ("stale_tokens_dropped", self.stale_tokens_dropped),
+            ("calls911_sent", self.calls911_sent),
+            ("calls911_received", self.calls911_received),
+            ("denials_911", self.denials_911),
+            ("beacons_sent", self.beacons_sent),
+            ("beacons_received", self.beacons_received),
+            ("regenerations", self.regenerations),
+            ("merges", self.merges),
+            ("multicasts_sent", self.multicasts_sent),
+            ("deliveries", self.deliveries),
+            ("safe_held_back", self.safe_held_back),
+            ("open_relayed", self.open_relayed),
+            ("failures_detected", self.failures_detected),
+            ("retransmissions_acted", self.retransmissions_acted),
+        ]
+    }
+
+    /// Renders the counters as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.fields().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{v}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl serde::Serialize for SessionMetrics {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let fields = self.fields();
+        let mut st = serializer.serialize_struct("SessionMetrics", fields.len())?;
+        for (name, v) in fields {
+            st.serialize_field(name, &v)?;
+        }
+        st.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_includes_every_counter() {
+        let m = SessionMetrics {
+            denials_911: 3,
+            safe_held_back: 2,
+            retransmissions_acted: 1,
+            ..SessionMetrics::default()
+        };
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"denials_911\":3"));
+        assert!(json.contains("\"safe_held_back\":2"));
+        assert!(json.contains("\"retransmissions_acted\":1"));
+        assert!(json.contains("\"tokens_received\":0"));
+        assert_eq!(json.matches(':').count(), 18, "all fields present once");
+    }
 }

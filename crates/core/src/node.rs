@@ -40,18 +40,20 @@
 
 use crate::events::{Delivery, SessionEvent};
 use crate::metrics::SessionMetrics;
+use crate::obs::NodeObs;
 use bytes::Bytes;
+use raincore_net::Addr;
 use raincore_net::Datagram;
+use raincore_obs::TraceKind;
 use raincore_transport::dedup::DedupWindow;
 use raincore_transport::{Endpoint, PeerTable, TransportEvent};
 use raincore_types::config::DetectionMode;
 use raincore_types::wire::{WireDecode, WireEncode};
 use raincore_types::{
-    Attached, BodyOdor, Call911, DeliveryMode, Error, GroupId, Incarnation, MsgId,
-    NodeId, OriginSeq, Reply911, Result, Ring, SessionConfig, SessionMsg, Time, Token,
-    TransportConfig, Verdict911,
+    Attached, BodyOdor, Call911, DeliveryMode, Error, GroupId, Incarnation, MsgId, NodeId,
+    OriginSeq, Reply911, Result, Ring, SessionConfig, SessionMsg, Time, Token, TransportConfig,
+    Verdict911,
 };
-use raincore_net::Addr;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// How a node enters the world.
@@ -113,11 +115,19 @@ struct Vote911 {
 
 #[derive(Debug)]
 enum State {
-    Hungry { since: Time },
-    Eating { token: Token, deadline: Time },
+    Hungry {
+        since: Time,
+    },
+    Eating {
+        token: Token,
+        deadline: Time,
+    },
     /// `vote` is `None` when the node has no membership to poll (a fresh
     /// joiner probing the group with join-911s).
-    Starving { vote: Option<Vote911>, retry_at: Time },
+    Starving {
+        vote: Option<Vote911>,
+        retry_at: Time,
+    },
     Down,
 }
 
@@ -171,6 +181,7 @@ pub struct SessionNode {
     resources: HashMap<String, bool>,
     events: VecDeque<SessionEvent>,
     metrics: SessionMetrics,
+    obs: NodeObs,
 }
 
 impl SessionNode {
@@ -218,6 +229,7 @@ impl SessionNode {
             resources: HashMap::new(),
             events: VecDeque::new(),
             metrics: SessionMetrics::default(),
+            obs: NodeObs::new(id.0, now),
             cfg,
         };
         match start {
@@ -305,9 +317,25 @@ impl SessionNode {
         self.metrics
     }
 
+    /// Observability side-car: trace journal and latency histograms.
+    pub fn obs(&self) -> &NodeObs {
+        &self.obs
+    }
+
+    /// Mutable observability access (e.g. to push harness-level events
+    /// into this node's trace journal).
+    pub fn obs_mut(&mut self) -> &mut NodeObs {
+        &mut self.obs
+    }
+
     /// Transport-layer counter snapshot.
     pub fn transport_stats(&self) -> raincore_transport::TransportStats {
         self.transport.stats()
+    }
+
+    /// Transport-layer latency histograms (RTT, failure-on-delivery).
+    pub fn transport_obs(&self) -> &raincore_transport::TransportObs {
+        self.transport.obs()
     }
 
     /// Mutable access to the transport peer table — e.g. to register the
@@ -336,10 +364,14 @@ impl SessionNode {
             return Err(Error::ShutDown);
         }
         if payload.len() > self.cfg.max_payload {
-            return Err(Error::PayloadTooLarge { size: payload.len(), max: self.cfg.max_payload });
+            return Err(Error::PayloadTooLarge {
+                size: payload.len(),
+                max: self.cfg.max_payload,
+            });
         }
         let seq = self.next_origin_seq;
         self.next_origin_seq = seq.next();
+        self.obs.submitted(seq, mode);
         self.outgoing.push_back((seq, mode, payload));
         Ok(seq)
     }
@@ -424,6 +456,8 @@ impl SessionNode {
         self.master_held = false;
         self.master_requested = false;
         self.state = State::Down;
+        self.obs.tick(now);
+        self.obs.trace(TraceKind::ShutDown);
         self.events.push_back(SessionEvent::ShutDown { reason });
     }
 
@@ -436,6 +470,7 @@ impl SessionNode {
         if self.is_down() {
             return;
         }
+        self.obs.tick(now);
         self.transport.on_datagram(now, dgram);
         self.drain_transport(now);
     }
@@ -445,6 +480,7 @@ impl SessionNode {
         if self.is_down() {
             return;
         }
+        self.obs.tick(now);
         self.transport.on_tick(now);
         self.drain_transport(now);
         if self.is_down() {
@@ -559,7 +595,11 @@ impl SessionNode {
         if !self.ring.contains(self.id) {
             return;
         }
-        let fresh = self.open_dedup.entry(o.from).or_default().insert(MsgId(o.seq.0));
+        let fresh = self
+            .open_dedup
+            .entry(o.from)
+            .or_default()
+            .insert(MsgId(o.seq.0));
         if !fresh {
             return;
         }
@@ -573,6 +613,8 @@ impl SessionNode {
         match kind {
             Some(SendKind::Token) => {
                 self.metrics.failures_detected += 1;
+                self.obs.tick(now);
+                self.obs.trace(TraceKind::PeerFailed { peer: to.0 });
                 let aggressive = self.cfg.detection == DetectionMode::Aggressive;
                 if self.forwarding.as_ref().is_some_and(|f| f.msg_id == msg_id) {
                     // The pass we are blocked on failed: skip the dead
@@ -599,11 +641,16 @@ impl SessionNode {
                 // can be shorter than the transport's detection time, so
                 // the notification may belong to an earlier call and must
                 // still count against the current vote.
+                self.obs.tick(now);
+                self.obs.trace(TraceKind::PeerFailed { peer: to.0 });
                 if self.cfg.detection == DetectionMode::Aggressive {
                     self.remove_member_locally(to);
                 }
                 if let State::Starving { vote: Some(v), .. } = &mut self.state {
-                    v.awaiting.remove(&to);
+                    if v.awaiting.remove(&to) {
+                        // The vote proceeds without the dead voter.
+                        self.metrics.retransmissions_acted += 1;
+                    }
                     if !v.excluded.contains(&to) {
                         v.excluded.push(to);
                     }
@@ -630,12 +677,20 @@ impl SessionNode {
         if t.seq <= self.last_seen_seq {
             // Duplicate-token elimination (see module docs).
             self.metrics.stale_tokens_dropped += 1;
+            self.obs.trace(TraceKind::TokenStale {
+                seq: t.seq,
+                newest: self.last_seen_seq,
+            });
             return;
         }
         if !t.ring.contains(self.id) {
             // We are not in this membership (we were excluded and the 911
             // rejoin has not completed). Do not touch the token.
             self.metrics.stale_tokens_dropped += 1;
+            self.obs.trace(TraceKind::TokenStale {
+                seq: t.seq,
+                newest: self.last_seen_seq,
+            });
             return;
         }
         self.last_seen_seq = t.seq;
@@ -707,6 +762,9 @@ impl SessionNode {
         ours.seq = ours.seq.max(other.seq) + 1;
         ours.tbm = false;
         self.metrics.merges += 1;
+        self.obs.trace(TraceKind::Merged {
+            absorbed_group: absorbed.0 .0,
+        });
         self.events.push_back(SessionEvent::Merged { absorbed });
         ours
     }
@@ -714,11 +772,19 @@ impl SessionNode {
     /// Accepts `token` and enters EATING: refresh membership, process
     /// piggybacked messages, grant a pending master request.
     fn become_eating(&mut self, now: Time, mut token: Token) {
+        self.obs.tick(now);
         if let Some(tbm) = self.held_tbm.take() {
             token = self.merge_tokens(token, tbm);
             self.last_copy = Some(token.clone());
             self.last_seen_seq = token.seq;
         }
+        let hungry_since = match &self.state {
+            State::Hungry { since } => Some(*since),
+            _ => None,
+        };
+        let hop = token.ring.iter().position(|n| n == self.id).unwrap_or(0) as u64;
+        self.obs
+            .token_accepted(token.seq, hop, token.ring.len() as u64, hungry_since);
         self.sync_membership(&token.ring);
         self.process_attachments(&mut token);
         self.metrics.tokens_received += 1;
@@ -777,6 +843,7 @@ impl SessionNode {
             }
         });
         for seq in retired {
+            self.obs.own_atomic(seq);
             self.events.push_back(SessionEvent::MulticastAtomic { seq });
         }
     }
@@ -784,10 +851,19 @@ impl SessionNode {
     /// Adds a newly seen message to the hold-back queue (idempotent).
     fn buffer_message(&mut self, m: &Attached) {
         let key = m.key();
-        let already_delivered =
-            self.delivered.get(&m.origin).is_some_and(|w| w.contains(MsgId(m.seq.0)));
+        let already_delivered = self
+            .delivered
+            .get(&m.origin)
+            .is_some_and(|w| w.contains(MsgId(m.seq.0)));
         if already_delivered || self.holdback.iter().any(|p| p.key() == key) {
             return;
+        }
+        if m.mode == DeliveryMode::Safe {
+            self.metrics.safe_held_back += 1;
+            self.obs.trace(TraceKind::SafeHeld {
+                origin: m.origin.0,
+                seq: m.seq.0,
+            });
         }
         self.holdback.push_back(PendingDelivery {
             origin: m.origin,
@@ -805,9 +881,21 @@ impl SessionNode {
                 return; // an unsafe-to-deliver message blocks the rest
             }
             let p = self.holdback.pop_front().expect("front exists");
-            let fresh = self.delivered.entry(p.origin).or_default().insert(MsgId(p.seq.0));
+            let fresh = self
+                .delivered
+                .entry(p.origin)
+                .or_default()
+                .insert(MsgId(p.seq.0));
             if fresh {
                 self.metrics.deliveries += 1;
+                self.obs.trace(TraceKind::Delivered {
+                    origin: p.origin.0,
+                    seq: p.seq.0,
+                    safe: p.mode == DeliveryMode::Safe,
+                });
+                if p.origin == self.id {
+                    self.obs.own_delivered(p.seq);
+                }
                 self.events.push_back(SessionEvent::Delivery(Delivery {
                     origin: p.origin,
                     seq: p.seq,
@@ -837,7 +925,9 @@ impl SessionNode {
         // (backpressure that keeps hop latency bounded under bursts).
         let mut attached_any = false;
         while token.msgs.len() < self.cfg.max_attached {
-            let Some((seq, mode, payload)) = self.outgoing.pop_front() else { break };
+            let Some((seq, mode, payload)) = self.outgoing.pop_front() else {
+                break;
+            };
             let a = Attached::new(self.id, seq, mode, payload);
             self.buffer_message(&a);
             token.msgs.push(a);
@@ -866,6 +956,7 @@ impl SessionNode {
                 token.seq += 1;
                 self.last_seen_seq = self.last_seen_seq.max(token.seq);
                 self.sync_membership(&token.ring);
+                self.obs.trace(TraceKind::MergeHandoff { to: target.0 });
                 self.send_token(now, token, target);
                 return;
             }
@@ -893,6 +984,10 @@ impl SessionNode {
         let bytes = SessionMsg::Token(token.clone()).encode_to_bytes();
         match self.transport.send(now, to, bytes) {
             Ok(msg_id) => {
+                self.obs.trace(TraceKind::TokenTx {
+                    seq: token.seq,
+                    to: to.0,
+                });
                 self.inflight.insert(msg_id, SendKind::Token);
                 self.forwarding = Some(Forwarding { msg_id, token });
                 self.metrics.tokens_sent += 1;
@@ -914,6 +1009,7 @@ impl SessionNode {
 
     /// Re-sends the token after a failed pass, walking successors.
     fn resend_token(&mut self, now: Time, mut token: Token, failed: NodeId) {
+        self.metrics.retransmissions_acted += 1;
         // If the failed pass was a TBM handoff the merge is aborted: the
         // token must not reach a normal successor still flagged TBM.
         token.tbm = false;
@@ -961,8 +1057,15 @@ impl SessionNode {
         if self.ring == *new_ring {
             return;
         }
-        let added: Vec<NodeId> = new_ring.iter().filter(|n| !self.ring.contains(*n)).collect();
-        let removed: Vec<NodeId> = self.ring.iter().filter(|n| !new_ring.contains(*n)).collect();
+        let added: Vec<NodeId> = new_ring
+            .iter()
+            .filter(|n| !self.ring.contains(*n))
+            .collect();
+        let removed: Vec<NodeId> = self
+            .ring
+            .iter()
+            .filter(|n| !new_ring.contains(*n))
+            .collect();
         self.ring = new_ring.clone();
         if added.is_empty() && removed.is_empty() {
             return; // same members, new order — not an application-visible change
@@ -980,17 +1083,25 @@ impl SessionNode {
 
     fn enter_starving(&mut self, now: Time) {
         self.events.push_back(SessionEvent::Starving);
+        self.obs.tick(now);
+        self.obs.starving();
         if self.ring.len() <= 1 {
             // No membership to poll: probe the eligible list for a group
             // to join.
             self.send_join_probe(now);
-            self.state =
-                State::Starving { vote: None, retry_at: now + self.cfg.starving_retry };
+            self.state = State::Starving {
+                vote: None,
+                retry_at: now + self.cfg.starving_retry,
+            };
             return;
         }
         self.req_counter += 1;
         let req_id = self.req_counter;
-        let call = Call911 { from: self.id, last_token_seq: self.last_copy_seq(), req_id };
+        let call = Call911 {
+            from: self.id,
+            last_token_seq: self.last_copy_seq(),
+            req_id,
+        };
         let bytes = SessionMsg::Call911(call).encode_to_bytes();
         let mut awaiting = BTreeSet::new();
         for member in self.ring.iter().filter(|&m| m != self.id) {
@@ -1005,17 +1116,30 @@ impl SessionNode {
                 }
             }
         }
+        self.obs.trace(TraceKind::Call911Tx {
+            req_id,
+            last_seq: self.last_copy_seq(),
+            polled: awaiting.len() as u64,
+        });
         if awaiting.is_empty() {
             // Nobody to ask: regenerate alone.
             self.state = State::Starving {
-                vote: Some(Vote911 { req_id, awaiting, excluded: Vec::new() }),
+                vote: Some(Vote911 {
+                    req_id,
+                    awaiting,
+                    excluded: Vec::new(),
+                }),
                 retry_at: now + self.cfg.starving_retry,
             };
             self.regenerate(now);
             return;
         }
         self.state = State::Starving {
-            vote: Some(Vote911 { req_id, awaiting, excluded: Vec::new() }),
+            vote: Some(Vote911 {
+                req_id,
+                awaiting,
+                excluded: Vec::new(),
+            }),
             retry_at: now + self.cfg.starving_retry,
         };
     }
@@ -1040,10 +1164,22 @@ impl SessionNode {
             req_id: self.req_counter,
         };
         if let Ok(mid) =
-            self.transport.send(now, target, SessionMsg::Call911(call).encode_to_bytes())
+            self.transport
+                .send(now, target, SessionMsg::Call911(call).encode_to_bytes())
         {
-            self.inflight.insert(mid, SendKind::Call911 { req_id: self.req_counter });
+            self.inflight.insert(
+                mid,
+                SendKind::Call911 {
+                    req_id: self.req_counter,
+                },
+            );
             self.metrics.calls911_sent += 1;
+            self.obs.tick(now);
+            self.obs.trace(TraceKind::Call911Tx {
+                req_id: self.req_counter,
+                last_seq: self.last_copy_seq(),
+                polled: 1,
+            });
         }
     }
 
@@ -1052,13 +1188,16 @@ impl SessionNode {
         if call.from == self.id {
             return;
         }
+        self.obs.trace(TraceKind::Call911Rx {
+            from: call.from.0,
+            last_seq: call.last_token_seq,
+        });
         if !self.ring.contains(call.from) {
             // §2.3: a 911 from a non-member is a join request. This also
             // heals link failures and failure-detector false alarms.
-            if self.cfg.eligible.contains(&call.from)
-                && !self.pending_joins.contains(&call.from)
-            {
+            if self.cfg.eligible.contains(&call.from) && !self.pending_joins.contains(&call.from) {
                 self.pending_joins.push(call.from);
+                self.obs.trace(TraceKind::JoinRequest { from: call.from.0 });
             }
             return;
         }
@@ -1068,7 +1207,9 @@ impl SessionNode {
         // tie-break; distinct real copies always have distinct seqs).
         let my_copy = self.last_copy_seq();
         let verdict = if self.is_eating() || self.forwarding.is_some() {
-            Verdict911::Deny { newer_seq: self.last_seen_seq }
+            Verdict911::Deny {
+                newer_seq: self.last_seen_seq,
+            }
         } else if my_copy > call.last_token_seq
             || (my_copy == call.last_token_seq && self.id < call.from)
         {
@@ -1076,10 +1217,28 @@ impl SessionNode {
         } else {
             Verdict911::Grant
         };
-        let reply = Reply911 { from: self.id, req_id: call.req_id, verdict };
-        if let Ok(mid) =
-            self.transport.send(now, call.from, SessionMsg::Reply911(reply).encode_to_bytes())
-        {
+        let (granted, newer_seq) = match &verdict {
+            Verdict911::Grant => (true, 0),
+            Verdict911::Deny { newer_seq } => (false, *newer_seq),
+        };
+        if !granted {
+            self.metrics.denials_911 += 1;
+        }
+        self.obs.trace(TraceKind::Verdict911Tx {
+            to: call.from.0,
+            granted,
+            newer_seq,
+        });
+        let reply = Reply911 {
+            from: self.id,
+            req_id: call.req_id,
+            verdict,
+        };
+        if let Ok(mid) = self.transport.send(
+            now,
+            call.from,
+            SessionMsg::Reply911(reply).encode_to_bytes(),
+        ) {
             self.inflight.insert(mid, SendKind::Reply);
         }
     }
@@ -1091,6 +1250,10 @@ impl SessionNode {
         if reply.req_id != v.req_id {
             return; // stale verdict from an earlier call
         }
+        self.obs.trace(TraceKind::Verdict911Rx {
+            from: reply.from.0,
+            granted: matches!(reply.verdict, Verdict911::Grant),
+        });
         match reply.verdict {
             Verdict911::Grant => {
                 v.awaiting.remove(&reply.from);
@@ -1102,6 +1265,7 @@ impl SessionNode {
                 // Someone has a newer copy or the token itself; it (or
                 // its holder) will keep the ring alive. Back to HUNGRY
                 // with a fresh timeout.
+                self.obs.starving_resolved();
                 self.state = State::Hungry { since: now };
             }
         }
@@ -1129,7 +1293,12 @@ impl SessionNode {
         self.last_seen_seq = token.seq;
         self.last_copy = Some(token.clone());
         self.metrics.regenerations += 1;
-        self.events.push_back(SessionEvent::TokenRegenerated { seq: token.seq });
+        self.obs.tick(now);
+        self.obs.recovered(token.seq);
+        self.obs
+            .trace(TraceKind::TokenRegenerated { seq: token.seq });
+        self.events
+            .push_back(SessionEvent::TokenRegenerated { seq: token.seq });
         self.become_eating(now, token);
     }
 
@@ -1138,7 +1307,10 @@ impl SessionNode {
     // ------------------------------------------------------------------
 
     fn has_absent_eligible(&self) -> bool {
-        self.cfg.eligible.iter().any(|&n| n != self.id && !self.ring.contains(n))
+        self.cfg
+            .eligible
+            .iter()
+            .any(|&n| n != self.id && !self.ring.contains(n))
     }
 
     fn send_beacons(&mut self, now: Time) {
@@ -1147,7 +1319,10 @@ impl SessionNode {
         if self.last_copy.is_none() {
             return;
         }
-        let beacon = BodyOdor { from: self.id, group: self.group_id() };
+        let beacon = BodyOdor {
+            from: self.id,
+            group: self.group_id(),
+        };
         let bytes = SessionMsg::BodyOdor(beacon).encode_to_bytes();
         let absent: Vec<NodeId> = self
             .cfg
@@ -1166,6 +1341,10 @@ impl SessionNode {
 
     fn on_beacon(&mut self, b: BodyOdor) {
         self.metrics.beacons_received += 1;
+        self.obs.trace(TraceKind::BeaconRx {
+            from: b.from.0,
+            group: b.group.0 .0,
+        });
         if b.from == self.id || self.ring.contains(b.from) {
             return;
         }
@@ -1252,7 +1431,9 @@ mod tests {
     #[test]
     fn singleton_multicast_delivers_on_self_pass() {
         let mut a = mk(0, 1, StartMode::Isolated);
-        let seq = a.multicast(DeliveryMode::Agreed, Bytes::from_static(b"solo")).unwrap();
+        let seq = a
+            .multicast(DeliveryMode::Agreed, Bytes::from_static(b"solo"))
+            .unwrap();
         assert_eq!(seq, OriginSeq(0));
         // Self-pass happens at the token-hold deadline.
         a.on_tick(Time::ZERO + a.config().token_hold);
@@ -1261,20 +1442,28 @@ mod tests {
             evs.iter().any(|e| matches!(e, SessionEvent::Delivery(d) if d.payload == Bytes::from_static(b"solo"))),
             "got {evs:?}"
         );
-        assert!(evs.iter().any(|e| matches!(e, SessionEvent::MulticastAtomic { seq: OriginSeq(0) })));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, SessionEvent::MulticastAtomic { seq: OriginSeq(0) })));
         assert_eq!(a.metrics().self_passes, 1);
     }
 
     #[test]
     fn singleton_safe_multicast_also_completes() {
         let mut a = mk(0, 1, StartMode::Isolated);
-        a.multicast(DeliveryMode::Safe, Bytes::from_static(b"safe")).unwrap();
+        a.multicast(DeliveryMode::Safe, Bytes::from_static(b"safe"))
+            .unwrap();
         a.on_tick(Time::ZERO + a.config().token_hold);
         // Safe needs a second look: one more self-pass.
         a.on_tick(Time::ZERO + a.config().token_hold.saturating_mul(2));
         let evs = drain(&mut a);
-        assert!(evs.iter().any(|e| matches!(e, SessionEvent::Delivery(_))), "{evs:?}");
-        assert!(evs.iter().any(|e| matches!(e, SessionEvent::MulticastAtomic { .. })));
+        assert!(
+            evs.iter().any(|e| matches!(e, SessionEvent::Delivery(_))),
+            "{evs:?}"
+        );
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, SessionEvent::MulticastAtomic { .. })));
     }
 
     #[test]
@@ -1292,13 +1481,17 @@ mod tests {
         let mut a = mk(0, 1, StartMode::Isolated);
         a.request_master().unwrap();
         let evs = drain(&mut a);
-        assert!(evs.contains(&SessionEvent::MasterAcquired), "eating node acquires at once");
+        assert!(
+            evs.contains(&SessionEvent::MasterAcquired),
+            "eating node acquires at once"
+        );
         assert!(a.holds_master());
         // Deadline passes but the lock pins the token.
         a.on_tick(Time::ZERO + Duration::from_secs(10));
         assert!(a.is_eating());
         assert_eq!(a.metrics().self_passes, 0);
-        a.release_master(Time::ZERO + Duration::from_secs(10)).unwrap();
+        a.release_master(Time::ZERO + Duration::from_secs(10))
+            .unwrap();
         assert!(drain(&mut a).contains(&SessionEvent::MasterReleased));
         assert!(!a.holds_master());
         assert_eq!(a.metrics().self_passes, 1, "release forwards the token");
@@ -1327,11 +1520,16 @@ mod tests {
                 break;
             }
         }
-        assert!(b.is_eating(), "regenerated after failure-on-delivery of the 911");
+        assert!(
+            b.is_eating(),
+            "regenerated after failure-on-delivery of the 911"
+        );
         assert_eq!(b.ring().as_slice(), &[NodeId(1)]);
         assert_eq!(b.metrics().regenerations, 1);
         let evs = drain(&mut b);
-        assert!(evs.iter().any(|e| matches!(e, SessionEvent::TokenRegenerated { .. })));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, SessionEvent::TokenRegenerated { .. })));
     }
 
     #[test]
@@ -1341,12 +1539,18 @@ mod tests {
         a.on_call911(
             Time::ZERO,
             NodeId(1),
-            Call911 { from: NodeId(1), last_token_seq: 0, req_id: 1 },
+            Call911 {
+                from: NodeId(1),
+                last_token_seq: 0,
+                req_id: 1,
+            },
         );
         let out = a.poll_outgoing().expect("a reply datagram");
         // The reply is a transport DATA frame; decode through the frame.
         let f = raincore_transport::Frame::decode_from_bytes(&out.payload).unwrap();
-        let raincore_transport::Frame::Data { payload, .. } = f else { panic!() };
+        let raincore_transport::Frame::Data { payload, .. } = f else {
+            panic!()
+        };
         let SessionMsg::Reply911(r) = SessionMsg::decode_from_bytes(&payload).unwrap() else {
             panic!()
         };
@@ -1358,18 +1562,24 @@ mod tests {
         // Node 1 (HUNGRY, copy seq 0) votes on calls with seq 0.
         let b = mk(1, 6, StartMode::Founding(Ring::from([1, 2, 5])));
         assert_eq!(b.state_name(), "EATING"); // 1 is lowest → founded
-        // Make a non-eating voter: node 2.
+                                              // Make a non-eating voter: node 2.
         let mut c = mk(2, 6, StartMode::Founding(Ring::from([1, 2, 5])));
         assert_eq!(c.state_name(), "HUNGRY");
         // Caller id 5 > voter id 2 → voter denies (lower id has priority).
         c.on_call911(
             Time::ZERO,
             NodeId(5),
-            Call911 { from: NodeId(5), last_token_seq: 0, req_id: 7 },
+            Call911 {
+                from: NodeId(5),
+                last_token_seq: 0,
+                req_id: 7,
+            },
         );
         let out = c.poll_outgoing().expect("reply");
         let f = raincore_transport::Frame::decode_from_bytes(&out.payload).unwrap();
-        let raincore_transport::Frame::Data { payload, .. } = f else { panic!() };
+        let raincore_transport::Frame::Data { payload, .. } = f else {
+            panic!()
+        };
         let SessionMsg::Reply911(r) = SessionMsg::decode_from_bytes(&payload).unwrap() else {
             panic!()
         };
@@ -1380,11 +1590,17 @@ mod tests {
         c2.on_call911(
             Time::ZERO,
             NodeId(1),
-            Call911 { from: NodeId(1), last_token_seq: 0, req_id: 8 },
+            Call911 {
+                from: NodeId(1),
+                last_token_seq: 0,
+                req_id: 8,
+            },
         );
         let out = c2.poll_outgoing().expect("reply");
         let f = raincore_transport::Frame::decode_from_bytes(&out.payload).unwrap();
-        let raincore_transport::Frame::Data { payload, .. } = f else { panic!() };
+        let raincore_transport::Frame::Data { payload, .. } = f else {
+            panic!()
+        };
         let SessionMsg::Reply911(r) = SessionMsg::decode_from_bytes(&payload).unwrap() else {
             panic!()
         };
@@ -1398,7 +1614,11 @@ mod tests {
         a.on_call911(
             Time::ZERO,
             NodeId(3),
-            Call911 { from: NodeId(3), last_token_seq: 0, req_id: 1 },
+            Call911 {
+                from: NodeId(3),
+                last_token_seq: 0,
+                req_id: 1,
+            },
         );
         assert!(a.poll_outgoing().is_none(), "join requests get no verdict");
         // Next pass admits the joiner right after us: ring 0,3,1.
@@ -1412,7 +1632,11 @@ mod tests {
         a.on_call911(
             Time::ZERO,
             NodeId(77),
-            Call911 { from: NodeId(77), last_token_seq: 0, req_id: 1 },
+            Call911 {
+                from: NodeId(77),
+                last_token_seq: 0,
+                req_id: 1,
+            },
         );
         a.on_tick(Time::ZERO + a.config().token_hold);
         assert!(!a.ring().contains(NodeId(77)));
@@ -1444,11 +1668,16 @@ mod tests {
         let mut c = mk(2, 4, StartMode::Isolated);
         // Beacon from node 0, group g0 < g2 → on our next pass we hand a
         // TBM token to node 0.
-        c.on_beacon(BodyOdor { from: NodeId(0), group: GroupId(NodeId(0)) });
+        c.on_beacon(BodyOdor {
+            from: NodeId(0),
+            group: GroupId(NodeId(0)),
+        });
         c.on_tick(Time::ZERO + c.config().token_hold);
         let d = c.poll_outgoing().expect("TBM token datagram");
         let f = raincore_transport::Frame::decode_from_bytes(&d.payload).unwrap();
-        let raincore_transport::Frame::Data { payload, .. } = f else { panic!() };
+        let raincore_transport::Frame::Data { payload, .. } = f else {
+            panic!()
+        };
         let SessionMsg::Token(t) = SessionMsg::decode_from_bytes(&payload).unwrap() else {
             panic!()
         };
@@ -1461,7 +1690,10 @@ mod tests {
     #[test]
     fn beacon_from_higher_group_ignored() {
         let mut a = mk(0, 4, StartMode::Isolated);
-        a.on_beacon(BodyOdor { from: NodeId(3), group: GroupId(NodeId(3)) });
+        a.on_beacon(BodyOdor {
+            from: NodeId(3),
+            group: GroupId(NodeId(3)),
+        });
         a.on_tick(Time::ZERO + a.config().token_hold);
         // Self-pass, no TBM handoff.
         assert!(a.is_eating());
@@ -1481,7 +1713,12 @@ mod tests {
         assert!(a.is_eating());
         assert_eq!(a.metrics().merges, 1);
         let evs = drain(&mut a);
-        assert!(evs.iter().any(|e| matches!(e, SessionEvent::Merged { absorbed: GroupId(NodeId(2)) })));
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            SessionEvent::Merged {
+                absorbed: GroupId(NodeId(2))
+            }
+        )));
         assert!(a.ring().contains(NodeId(2)));
         assert!(a.ring().contains(NodeId(3)));
         assert_eq!(a.group_id(), GroupId(NodeId(0)));
@@ -1508,11 +1745,14 @@ mod tests {
         a.set_resource(Time::ZERO, "uplink", false);
         assert!(a.is_down());
         let evs = drain(&mut a);
-        assert!(evs.iter().any(
-            |e| matches!(e, SessionEvent::ShutDown { reason } if reason.contains("uplink"))
-        ));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, SessionEvent::ShutDown { reason } if reason.contains("uplink"))));
         // Down node refuses everything.
-        assert!(matches!(a.multicast(DeliveryMode::Agreed, Bytes::new()), Err(Error::ShutDown)));
+        assert!(matches!(
+            a.multicast(DeliveryMode::Agreed, Bytes::new()),
+            Err(Error::ShutDown)
+        ));
         assert_eq!(a.next_wakeup(), None);
     }
 
@@ -1526,7 +1766,9 @@ mod tests {
         let d = a.poll_outgoing().expect("token handoff on leave");
         assert_eq!(d.dst.node, NodeId(1));
         let f = raincore_transport::Frame::decode_from_bytes(&d.payload).unwrap();
-        let raincore_transport::Frame::Data { payload, .. } = f else { panic!() };
+        let raincore_transport::Frame::Data { payload, .. } = f else {
+            panic!()
+        };
         let SessionMsg::Token(t) = SessionMsg::decode_from_bytes(&payload).unwrap() else {
             panic!()
         };
@@ -1538,7 +1780,10 @@ mod tests {
     fn next_wakeup_covers_state_deadlines() {
         let a = mk(1, 2, StartMode::Founding(Ring::from([0, 1])));
         // HUNGRY → wakeup at hungry timeout (beacons not needed: full ring).
-        assert_eq!(a.next_wakeup(), Some(Time::ZERO + a.config().hungry_timeout));
+        assert_eq!(
+            a.next_wakeup(),
+            Some(Time::ZERO + a.config().hungry_timeout)
+        );
         let b = mk(0, 1, StartMode::Isolated);
         assert_eq!(b.next_wakeup(), Some(Time::ZERO + b.config().token_hold));
     }
@@ -1598,7 +1843,12 @@ mod holdback_tests {
     }
 
     fn attached(origin: u32, seq: u64, mode: DeliveryMode, seen: &[u32]) -> Attached {
-        let mut a = Attached::new(NodeId(origin), OriginSeq(seq), mode, Bytes::from_static(b"p"));
+        let mut a = Attached::new(
+            NodeId(origin),
+            OriginSeq(seq),
+            mode,
+            Bytes::from_static(b"p"),
+        );
         a.seen = seen.iter().map(|&i| NodeId(i)).collect();
         a
     }
@@ -1609,12 +1859,16 @@ mod holdback_tests {
         let mut t = Token::founding(Ring::from([0, 1, 2]));
         t.seq = 10;
         t.msgs = vec![
-            attached(0, 0, DeliveryMode::Safe, &[0]),   // not seen by all yet
+            attached(0, 0, DeliveryMode::Safe, &[0]), // not seen by all yet
             attached(2, 0, DeliveryMode::Agreed, &[2, 0]),
         ];
         n.on_token(Time::ZERO, t);
         assert!(n.is_eating());
-        assert_eq!(deliveries(&mut n), vec![], "safe head blocks the agreed message");
+        assert_eq!(
+            deliveries(&mut n),
+            vec![],
+            "safe head blocks the agreed message"
+        );
 
         // Next round: the safe message is now seen by everyone.
         let mut t = Token::founding(Ring::from([0, 1, 2]));
@@ -1652,7 +1906,8 @@ mod holdback_tests {
     fn own_attachment_behind_blocked_safe_waits_too() {
         let mut n = mk(1);
         // Queue a local multicast while hungry.
-        n.multicast(DeliveryMode::Agreed, Bytes::from_static(b"mine")).unwrap();
+        n.multicast(DeliveryMode::Agreed, Bytes::from_static(b"mine"))
+            .unwrap();
         // Token arrives with a blocked safe message at the head.
         let mut t = Token::founding(Ring::from([0, 1, 2]));
         t.seq = 10;
@@ -1691,7 +1946,11 @@ mod holdback_tests {
         t.seq = 13;
         t.msgs = vec![attached(0, 0, DeliveryMode::Agreed, &[0, 1, 2])];
         n.on_token(Time::ZERO + Duration::from_millis(20), t);
-        assert_eq!(deliveries(&mut n).len(), 1, "exactly-once despite re-seeing it");
+        assert_eq!(
+            deliveries(&mut n).len(),
+            1,
+            "exactly-once despite re-seeing it"
+        );
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Per-node observability state: trace journal + latency histograms.
+//!
+//! [`NodeObs`] lives inside every [`crate::SessionNode`] and is written on
+//! the protocol hot paths (token accept/forward, 911, merge, delivery). It
+//! measures the quantities the paper's evaluation (§4) reports —
+//! token-rotation period, HUNGRY→EATING wait, 911 recovery duration,
+//! multicast submit→deliver / submit→atomic latency — as log₂-bucketed
+//! histograms, and records the causal event trail in a bounded
+//! [`TraceJournal`] for post-mortems.
+//!
+//! The histograms are shareable handles (`Histogram::clone` shares the
+//! buckets), so a harness can attach them to a [`raincore_obs::Registry`]
+//! once and thereafter read percentiles without touching the node.
+
+use raincore_obs::{Histogram, TraceJournal, TraceKind};
+use raincore_types::{DeliveryMode, OriginSeq, Time};
+use std::collections::HashMap;
+
+/// Observability side-car for one session node.
+#[derive(Debug)]
+pub struct NodeObs {
+    node: u32,
+    journal: TraceJournal,
+    /// Interval between consecutive token accepts (the rotation period).
+    pub token_rotation: Histogram,
+    /// HUNGRY→EATING wait.
+    pub hungry_wait: Histogram,
+    /// STARVING→regenerated duration (911 recovery, §2.3).
+    pub recovery_911: Histogram,
+    /// Multicast submit→local delivery, agreed mode.
+    pub submit_to_deliver_agreed: Histogram,
+    /// Multicast submit→local delivery, safe mode.
+    pub submit_to_deliver_safe: Histogram,
+    /// Multicast submit→atomicity confirmation, agreed mode.
+    pub submit_to_atomic_agreed: Histogram,
+    /// Multicast submit→atomicity confirmation, safe mode.
+    pub submit_to_atomic_safe: Histogram,
+    /// Latest time observed by the node (updated on every tick/datagram),
+    /// so paths without a `now` parameter (e.g. `multicast`) can stamp.
+    clock: Time,
+    last_eating: Option<Time>,
+    starving_since: Option<Time>,
+    /// Submission times of this node's own in-flight multicasts.
+    submits: HashMap<OriginSeq, (DeliveryMode, Time)>,
+}
+
+impl NodeObs {
+    pub(crate) fn new(node: u32, now: Time) -> Self {
+        NodeObs {
+            node,
+            journal: TraceJournal::default(),
+            token_rotation: Histogram::new(),
+            hungry_wait: Histogram::new(),
+            recovery_911: Histogram::new(),
+            submit_to_deliver_agreed: Histogram::new(),
+            submit_to_deliver_safe: Histogram::new(),
+            submit_to_atomic_agreed: Histogram::new(),
+            submit_to_atomic_safe: Histogram::new(),
+            clock: now,
+            last_eating: None,
+            starving_since: None,
+            submits: HashMap::new(),
+        }
+    }
+
+    /// The recorded protocol event trail.
+    pub fn journal(&self) -> &TraceJournal {
+        &self.journal
+    }
+
+    /// Latest time the node has observed.
+    pub fn now(&self) -> Time {
+        self.clock
+    }
+
+    // ------------------------------------------------------------------
+    // Hooks called from the protocol state machine
+    // ------------------------------------------------------------------
+
+    pub(crate) fn tick(&mut self, now: Time) {
+        self.clock = self.clock.max(now);
+    }
+
+    pub(crate) fn trace(&mut self, kind: TraceKind) {
+        self.journal.push(self.clock.as_nanos(), self.node, kind);
+    }
+
+    /// Token accepted (EATING). Records rotation period and hungry wait.
+    pub(crate) fn token_accepted(&mut self, seq: u64, hop: u64, members: u64, since: Option<Time>) {
+        let now = self.clock;
+        if let Some(prev) = self.last_eating {
+            self.token_rotation.record(now.since(prev).as_nanos());
+        }
+        self.last_eating = Some(now);
+        let waited_ns = since.map_or(0, |s| now.since(s).as_nanos());
+        if since.is_some() {
+            self.hungry_wait.record(waited_ns);
+        }
+        self.starving_since = None;
+        self.trace(TraceKind::TokenRx {
+            seq,
+            hop,
+            members,
+            waited_ns,
+        });
+    }
+
+    /// Entered STARVING (first time for this incident only).
+    pub(crate) fn starving(&mut self) {
+        if self.starving_since.is_none() {
+            self.starving_since = Some(self.clock);
+        }
+    }
+
+    /// No longer starving without having regenerated (a Deny verdict sent
+    /// us back to HUNGRY, or a token simply arrived).
+    pub(crate) fn starving_resolved(&mut self) {
+        self.starving_since = None;
+    }
+
+    /// Won the 911 vote and regenerated the token carrying `seq`.
+    pub(crate) fn recovered(&mut self, seq: u64) {
+        let duration_ns = self
+            .starving_since
+            .take()
+            .map_or(0, |s| self.clock.since(s).as_nanos());
+        self.recovery_911.record(duration_ns);
+        self.trace(TraceKind::Recovered911 { duration_ns, seq });
+    }
+
+    /// Application submitted a multicast.
+    pub(crate) fn submitted(&mut self, seq: OriginSeq, mode: DeliveryMode) {
+        self.submits.insert(seq, (mode, self.clock));
+    }
+
+    /// One of our own multicasts was delivered locally.
+    pub(crate) fn own_delivered(&mut self, seq: OriginSeq) {
+        if let Some(&(mode, at)) = self.submits.get(&seq) {
+            let lat = self.clock.since(at).as_nanos();
+            match mode {
+                DeliveryMode::Agreed => self.submit_to_deliver_agreed.record(lat),
+                DeliveryMode::Safe => self.submit_to_deliver_safe.record(lat),
+            }
+        }
+    }
+
+    /// One of our own multicasts became atomic (retired from the token).
+    pub(crate) fn own_atomic(&mut self, seq: OriginSeq) {
+        if let Some((mode, at)) = self.submits.remove(&seq) {
+            let lat = self.clock.since(at).as_nanos();
+            match mode {
+                DeliveryMode::Agreed => self.submit_to_atomic_agreed.record(lat),
+                DeliveryMode::Safe => self.submit_to_atomic_safe.record(lat),
+            }
+        }
+        self.trace(TraceKind::AtomicRetired { seq: seq.0 });
+    }
+}

@@ -119,7 +119,15 @@ impl OpenClient {
         self.next_seq = seq.next();
         let mut remaining = self.members.clone();
         let first = remaining.remove(0);
-        self.send_to(now, first, PendingSubmit { seq, payload, remaining })?;
+        self.send_to(
+            now,
+            first,
+            PendingSubmit {
+                seq,
+                payload,
+                remaining,
+            },
+        )?;
         Ok(seq)
     }
 
@@ -151,7 +159,10 @@ impl OpenClient {
             match ev {
                 TransportEvent::Delivered { msg_id, to } => {
                     if let Some(p) = self.inflight.remove(&msg_id) {
-                        self.outcomes.push_back(OpenOutcome::Accepted { seq: p.seq, via: to });
+                        self.outcomes.push_back(OpenOutcome::Accepted {
+                            seq: p.seq,
+                            via: to,
+                        });
                     }
                 }
                 TransportEvent::DeliveryFailed { msg_id, .. } => {

@@ -105,7 +105,12 @@ impl WireEncode for DataOp {
                 w.put_str(key);
                 by.encode(w);
             }
-            DataOp::Cas { key, expect_version, value, by } => {
+            DataOp::Cas {
+                key,
+                expect_version,
+                value,
+                by,
+            } => {
                 w.put_u8(2);
                 w.put_str(key);
                 w.put_varint(*expect_version);
@@ -135,15 +140,26 @@ impl WireEncode for DataOp {
 impl WireDecode for DataOp {
     fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
         Ok(match r.get_u8()? {
-            0 => DataOp::Put { key: r.get_str()?, value: r.get_bytes()?, by: NodeId::decode(r)? },
-            1 => DataOp::Delete { key: r.get_str()?, by: NodeId::decode(r)? },
+            0 => DataOp::Put {
+                key: r.get_str()?,
+                value: r.get_bytes()?,
+                by: NodeId::decode(r)?,
+            },
+            1 => DataOp::Delete {
+                key: r.get_str()?,
+                by: NodeId::decode(r)?,
+            },
             2 => DataOp::Cas {
                 key: r.get_str()?,
                 expect_version: r.get_varint()?,
                 value: r.get_bytes()?,
                 by: NodeId::decode(r)?,
             },
-            3 => DataOp::Add { key: r.get_str()?, delta: get_i64(r)?, by: NodeId::decode(r)? },
+            3 => DataOp::Add {
+                key: r.get_str()?,
+                delta: get_i64(r)?,
+                by: NodeId::decode(r)?,
+            },
             4 => {
                 let by = NodeId::decode(r)?;
                 let n = r.get_seq_len(3)?;
@@ -181,15 +197,26 @@ mod tests {
     #[test]
     fn payload_round_trip_all_variants() {
         let cases = vec![
-            DataOp::Put { key: "k".into(), value: Bytes::from_static(b"v"), by: NodeId(1) },
-            DataOp::Delete { key: "k".into(), by: NodeId(2) },
+            DataOp::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"v"),
+                by: NodeId(1),
+            },
+            DataOp::Delete {
+                key: "k".into(),
+                by: NodeId(2),
+            },
             DataOp::Cas {
                 key: "k".into(),
                 expect_version: 7,
                 value: Bytes::from_static(b"w"),
                 by: NodeId(0),
             },
-            DataOp::Add { key: "n".into(), delta: -42, by: NodeId(3) },
+            DataOp::Add {
+                key: "n".into(),
+                delta: -42,
+                by: NodeId(3),
+            },
             DataOp::Snapshot {
                 by: NodeId(0),
                 entries: vec![("a".into(), 3, Bytes::from_static(b"x"))],

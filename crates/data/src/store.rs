@@ -90,7 +90,9 @@ impl DataStore {
 
     /// Reads a counter maintained by [`DataStore::add`] (absent = 0).
     pub fn get_i64(&self, key: &str) -> i64 {
-        self.get(key).and_then(|v| decode_i64(&v.value)).unwrap_or(0)
+        self.get(key)
+            .and_then(|v| decode_i64(&v.value))
+            .unwrap_or(0)
     }
 
     /// Number of keys.
@@ -114,12 +116,25 @@ impl DataStore {
 
     /// Unconditional write.
     pub fn put(&mut self, session: &mut SessionNode, key: &str, value: Bytes) -> Result<()> {
-        self.send(session, DataOp::Put { key: key.into(), value, by: self.me })
+        self.send(
+            session,
+            DataOp::Put {
+                key: key.into(),
+                value,
+                by: self.me,
+            },
+        )
     }
 
     /// Unconditional delete.
     pub fn delete(&mut self, session: &mut SessionNode, key: &str) -> Result<()> {
-        self.send(session, DataOp::Delete { key: key.into(), by: self.me })
+        self.send(
+            session,
+            DataOp::Delete {
+                key: key.into(),
+                by: self.me,
+            },
+        )
     }
 
     /// Compare-and-swap: succeeds only if the key's version is still
@@ -137,14 +152,26 @@ impl DataStore {
     ) -> Result<()> {
         self.send(
             session,
-            DataOp::Cas { key: key.into(), expect_version, value, by: self.me },
+            DataOp::Cas {
+                key: key.into(),
+                expect_version,
+                value,
+                by: self.me,
+            },
         )
     }
 
     /// Atomic integer add (read-modify-write arbitrated by the total
     /// order; concurrent adds all apply).
     pub fn add(&mut self, session: &mut SessionNode, key: &str, delta: i64) -> Result<()> {
-        self.send(session, DataOp::Add { key: key.into(), delta, by: self.me })
+        self.send(
+            session,
+            DataOp::Add {
+                key: key.into(),
+                delta,
+                by: self.me,
+            },
+        )
     }
 
     fn send(&mut self, session: &mut SessionNode, op: DataOp) -> Result<()> {
@@ -166,11 +193,12 @@ impl DataStore {
                 }
             }
             SessionEvent::MembershipChanged { added, .. }
-                if !added.is_empty() && !self.entries.is_empty() => {
-                    // Someone joined without our state; the leader ships a
-                    // snapshot so they converge.
-                    self.snapshot_due = true;
-                }
+                if !added.is_empty() && !self.entries.is_empty() =>
+            {
+                // Someone joined without our state; the leader ships a
+                // snapshot so they converge.
+                self.snapshot_due = true;
+            }
             _ => {}
         }
         if self.snapshot_due && self.is_leader(session) {
@@ -180,7 +208,13 @@ impl DataStore {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.version, v.value.clone()))
                 .collect();
-            let _ = self.send(session, DataOp::Snapshot { by: self.me, entries });
+            let _ = self.send(
+                session,
+                DataOp::Snapshot {
+                    by: self.me,
+                    entries,
+                },
+            );
         }
     }
 
@@ -196,10 +230,18 @@ impl DataStore {
             DataOp::Delete { key, by } => {
                 if let Some(old) = self.entries.remove(key) {
                     self.graveyard.insert(key.clone(), old.version);
-                    self.events.push_back(DataEvent::Deleted { key: key.clone(), by: *by });
+                    self.events.push_back(DataEvent::Deleted {
+                        key: key.clone(),
+                        by: *by,
+                    });
                 }
             }
-            DataOp::Cas { key, expect_version, value, by } => {
+            DataOp::Cas {
+                key,
+                expect_version,
+                value,
+                by,
+            } => {
                 // An absent key "remembers" its last version (graveyard),
                 // so recreate-after-delete cannot be raced by a stale CAS.
                 let current = self
@@ -229,7 +271,10 @@ impl DataStore {
                     if newer {
                         self.entries.insert(
                             key.clone(),
-                            VersionedValue { version: *version, value: value.clone() },
+                            VersionedValue {
+                                version: *version,
+                                value: value.clone(),
+                            },
                         );
                         self.events.push_back(DataEvent::Updated {
                             key: key.clone(),
@@ -246,8 +291,19 @@ impl DataStore {
     fn write(&mut self, key: &str, value: Bytes, by: NodeId) {
         let floor = self.graveyard.get(key).copied().unwrap_or(0);
         let version = self.entries.get(key).map_or(floor, |v| v.version) + 1;
-        self.entries.insert(key.to_string(), VersionedValue { version, value: value.clone() });
-        self.events.push_back(DataEvent::Updated { key: key.to_string(), version, value, by });
+        self.entries.insert(
+            key.to_string(),
+            VersionedValue {
+                version,
+                value: value.clone(),
+            },
+        );
+        self.events.push_back(DataEvent::Updated {
+            key: key.to_string(),
+            version,
+            value,
+            by,
+        });
     }
 
     /// Drains one store event.
@@ -271,12 +327,23 @@ mod tests {
     #[test]
     fn put_get_delete_with_versions() {
         let mut s = DataStore::new(NodeId(0));
-        s.apply(&DataOp::Put { key: "a".into(), value: Bytes::from_static(b"1"), by: NodeId(1) });
+        s.apply(&DataOp::Put {
+            key: "a".into(),
+            value: Bytes::from_static(b"1"),
+            by: NodeId(1),
+        });
         assert_eq!(s.get("a").unwrap().version, 1);
-        s.apply(&DataOp::Put { key: "a".into(), value: Bytes::from_static(b"2"), by: NodeId(2) });
+        s.apply(&DataOp::Put {
+            key: "a".into(),
+            value: Bytes::from_static(b"2"),
+            by: NodeId(2),
+        });
         assert_eq!(s.get("a").unwrap().version, 2);
         assert_eq!(&s.get("a").unwrap().value[..], b"2");
-        s.apply(&DataOp::Delete { key: "a".into(), by: NodeId(1) });
+        s.apply(&DataOp::Delete {
+            key: "a".into(),
+            by: NodeId(1),
+        });
         assert!(s.get("a").is_none());
         assert!(s.is_empty());
         let evs = drain(&mut s);
@@ -289,7 +356,11 @@ mod tests {
         // Two writers CAS from the same observed version; the total order
         // lets exactly one through.
         let mut s = DataStore::new(NodeId(0));
-        s.apply(&DataOp::Put { key: "x".into(), value: Bytes::from_static(b"base"), by: NodeId(0) });
+        s.apply(&DataOp::Put {
+            key: "x".into(),
+            value: Bytes::from_static(b"base"),
+            by: NodeId(0),
+        });
         drain(&mut s);
         s.apply(&DataOp::Cas {
             key: "x".into(),
@@ -308,7 +379,12 @@ mod tests {
         assert!(matches!(&evs[0], DataEvent::Updated { by: NodeId(1), .. }));
         assert!(matches!(
             &evs[1],
-            DataEvent::CasFailed { by: NodeId(2), expected: 1, actual: 2, .. }
+            DataEvent::CasFailed {
+                by: NodeId(2),
+                expected: 1,
+                actual: 2,
+                ..
+            }
         ));
     }
 
@@ -328,18 +404,37 @@ mod tests {
             value: Bytes::from_static(b"again"),
             by: NodeId(2),
         });
-        assert_eq!(&s.get("new").unwrap().value[..], b"init", "second create loses");
+        assert_eq!(
+            &s.get("new").unwrap().value[..],
+            b"init",
+            "second create loses"
+        );
     }
 
     #[test]
     fn versions_monotonic_across_delete_no_cas_aba() {
         let mut s = DataStore::new(NodeId(0));
-        s.apply(&DataOp::Put { key: "k".into(), value: Bytes::from_static(b"v1"), by: NodeId(0) });
+        s.apply(&DataOp::Put {
+            key: "k".into(),
+            value: Bytes::from_static(b"v1"),
+            by: NodeId(0),
+        });
         // A reader observed version 1, then the key was deleted and
         // recreated.
-        s.apply(&DataOp::Delete { key: "k".into(), by: NodeId(1) });
-        s.apply(&DataOp::Put { key: "k".into(), value: Bytes::from_static(b"v2"), by: NodeId(2) });
-        assert_eq!(s.get("k").unwrap().version, 2, "version continued, not reset");
+        s.apply(&DataOp::Delete {
+            key: "k".into(),
+            by: NodeId(1),
+        });
+        s.apply(&DataOp::Put {
+            key: "k".into(),
+            value: Bytes::from_static(b"v2"),
+            by: NodeId(2),
+        });
+        assert_eq!(
+            s.get("k").unwrap().version,
+            2,
+            "version continued, not reset"
+        );
         // The stale CAS (expect 1) must lose against the recreated key.
         s.apply(&DataOp::Cas {
             key: "k".into(),
@@ -353,9 +448,21 @@ mod tests {
     #[test]
     fn add_is_commutative_in_effect() {
         let mut s = DataStore::new(NodeId(0));
-        s.apply(&DataOp::Add { key: "n".into(), delta: 5, by: NodeId(1) });
-        s.apply(&DataOp::Add { key: "n".into(), delta: -2, by: NodeId(2) });
-        s.apply(&DataOp::Add { key: "n".into(), delta: 10, by: NodeId(0) });
+        s.apply(&DataOp::Add {
+            key: "n".into(),
+            delta: 5,
+            by: NodeId(1),
+        });
+        s.apply(&DataOp::Add {
+            key: "n".into(),
+            delta: -2,
+            by: NodeId(2),
+        });
+        s.apply(&DataOp::Add {
+            key: "n".into(),
+            delta: 10,
+            by: NodeId(0),
+        });
         assert_eq!(s.get_i64("n"), 13);
         assert_eq!(s.get("n").unwrap().version, 3);
         assert_eq!(s.get_i64("absent"), 0);
@@ -365,9 +472,21 @@ mod tests {
     fn snapshot_merges_by_version() {
         let mut s = DataStore::new(NodeId(5));
         // Local has a newer "a", older "b", and no "c".
-        s.apply(&DataOp::Put { key: "a".into(), value: Bytes::from_static(b"l1"), by: NodeId(5) });
-        s.apply(&DataOp::Put { key: "a".into(), value: Bytes::from_static(b"l2"), by: NodeId(5) });
-        s.apply(&DataOp::Put { key: "b".into(), value: Bytes::from_static(b"old"), by: NodeId(5) });
+        s.apply(&DataOp::Put {
+            key: "a".into(),
+            value: Bytes::from_static(b"l1"),
+            by: NodeId(5),
+        });
+        s.apply(&DataOp::Put {
+            key: "a".into(),
+            value: Bytes::from_static(b"l2"),
+            by: NodeId(5),
+        });
+        s.apply(&DataOp::Put {
+            key: "b".into(),
+            value: Bytes::from_static(b"old"),
+            by: NodeId(5),
+        });
         drain(&mut s);
         s.apply(&DataOp::Snapshot {
             by: NodeId(0),
@@ -387,23 +506,36 @@ mod tests {
     #[test]
     fn replicas_converge_from_same_op_stream() {
         let ops = vec![
-            DataOp::Put { key: "k".into(), value: Bytes::from_static(b"1"), by: NodeId(0) },
-            DataOp::Add { key: "n".into(), delta: 3, by: NodeId(1) },
+            DataOp::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"1"),
+                by: NodeId(0),
+            },
+            DataOp::Add {
+                key: "n".into(),
+                delta: 3,
+                by: NodeId(1),
+            },
             DataOp::Cas {
                 key: "k".into(),
                 expect_version: 1,
                 value: Bytes::from_static(b"2"),
                 by: NodeId(2),
             },
-            DataOp::Delete { key: "missing".into(), by: NodeId(0) },
+            DataOp::Delete {
+                key: "missing".into(),
+                by: NodeId(0),
+            },
         ];
         let run = |me: u32| {
             let mut s = DataStore::new(NodeId(me));
             for op in &ops {
                 s.apply(op);
             }
-            let state: Vec<(String, u64, Bytes)> =
-                s.iter().map(|(k, v)| (k.clone(), v.version, v.value.clone())).collect();
+            let state: Vec<(String, u64, Bytes)> = s
+                .iter()
+                .map(|(k, v)| (k.clone(), v.version, v.value.clone()))
+                .collect();
             let evs = drain(&mut s);
             (state, evs)
         };
@@ -417,14 +549,30 @@ mod prop_tests {
     use proptest::prelude::*;
 
     fn arb_op() -> impl Strategy<Value = DataOp> {
-        let key = prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("c".to_string())];
+        let key = prop_oneof![
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just("c".to_string())
+        ];
         let node = (0u32..4).prop_map(NodeId);
         prop_oneof![
-            (key.clone(), proptest::collection::vec(any::<u8>(), 0..8), node.clone()).prop_map(
-                |(key, v, by)| DataOp::Put { key, value: Bytes::from(v), by }
-            ),
+            (
+                key.clone(),
+                proptest::collection::vec(any::<u8>(), 0..8),
+                node.clone()
+            )
+                .prop_map(|(key, v, by)| DataOp::Put {
+                    key,
+                    value: Bytes::from(v),
+                    by
+                }),
             (key.clone(), node.clone()).prop_map(|(key, by)| DataOp::Delete { key, by }),
-            (key.clone(), 0u64..5, proptest::collection::vec(any::<u8>(), 0..8), node.clone())
+            (
+                key.clone(),
+                0u64..5,
+                proptest::collection::vec(any::<u8>(), 0..8),
+                node.clone()
+            )
                 .prop_map(|(key, expect_version, v, by)| DataOp::Cas {
                     key,
                     expect_version,

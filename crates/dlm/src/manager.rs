@@ -62,14 +62,22 @@ pub struct LockManager {
 impl LockManager {
     /// Creates the replica for node `me`.
     pub fn new(me: NodeId) -> Self {
-        LockManager { me, table: BTreeMap::new(), events: VecDeque::new(), stats: LockTableStats::default() }
+        LockManager {
+            me,
+            table: BTreeMap::new(),
+            events: VecDeque::new(),
+            stats: LockTableStats::default(),
+        }
     }
 
     /// Requests `lock`: multicasts an acquire op. The grant arrives later
     /// as [`LockEvent::Granted`] with `owner == me` (same token round).
     /// Reentrant: acquiring a lock already held by `me` deepens it.
     pub fn lock(&mut self, session: &mut SessionNode, lock: &str) -> Result<()> {
-        let op = LockOp::Acquire { lock: lock.to_string(), node: self.me };
+        let op = LockOp::Acquire {
+            lock: lock.to_string(),
+            node: self.me,
+        };
         session.multicast(DeliveryMode::Agreed, op.to_payload())?;
         Ok(())
     }
@@ -77,7 +85,10 @@ impl LockManager {
     /// Releases `lock`: multicasts a release op. Releasing a lock not
     /// held by `me` is ignored by every replica (idempotent).
     pub fn unlock(&mut self, session: &mut SessionNode, lock: &str) -> Result<()> {
-        let op = LockOp::Release { lock: lock.to_string(), node: self.me };
+        let op = LockOp::Release {
+            lock: lock.to_string(),
+            node: self.me,
+        };
         session.multicast(DeliveryMode::Agreed, op.to_payload())?;
         Ok(())
     }
@@ -110,8 +121,10 @@ impl LockManager {
                         st.owner = Some(*node);
                         st.depth = 1;
                         self.stats.grants += 1;
-                        self.events
-                            .push_back(LockEvent::Granted { lock: lock.clone(), owner: *node });
+                        self.events.push_back(LockEvent::Granted {
+                            lock: lock.clone(),
+                            owner: *node,
+                        });
                     }
                     Some(owner) if owner == *node => {
                         st.depth += 1; // reentrant
@@ -124,7 +137,9 @@ impl LockManager {
                 }
             }
             LockOp::Release { lock, node } => {
-                let Some(st) = self.table.get_mut(lock) else { return };
+                let Some(st) = self.table.get_mut(lock) else {
+                    return;
+                };
                 if st.owner != Some(*node) {
                     // Not the owner (or a stale release): drop any queued
                     // interest instead.
@@ -172,7 +187,8 @@ impl LockManager {
                 st.owner = Some(next);
                 st.depth = 1;
                 self.stats.grants += 1;
-                self.events.push_back(LockEvent::Granted { lock, owner: next });
+                self.events
+                    .push_back(LockEvent::Granted { lock, owner: next });
             }
             None => {
                 st.owner = None;
@@ -193,7 +209,10 @@ impl LockManager {
 
     /// Nodes queued behind the owner of `lock`.
     pub fn waiters(&self, lock: &str) -> Vec<NodeId> {
-        self.table.get(lock).map(|s| s.waiters.iter().copied().collect()).unwrap_or_default()
+        self.table
+            .get(lock)
+            .map(|s| s.waiters.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Drains one lock event.
@@ -212,11 +231,17 @@ mod tests {
     use super::*;
 
     fn acquire(lm: &mut LockManager, lock: &str, node: u32) {
-        lm.apply_op(&LockOp::Acquire { lock: lock.into(), node: NodeId(node) });
+        lm.apply_op(&LockOp::Acquire {
+            lock: lock.into(),
+            node: NodeId(node),
+        });
     }
 
     fn release(lm: &mut LockManager, lock: &str, node: u32) {
-        lm.apply_op(&LockOp::Release { lock: lock.into(), node: NodeId(node) });
+        lm.apply_op(&LockOp::Release {
+            lock: lock.into(),
+            node: NodeId(node),
+        });
     }
 
     fn drain(lm: &mut LockManager) -> Vec<LockEvent> {
@@ -299,8 +324,16 @@ mod tests {
         assert_eq!(lm.owner("a"), Some(NodeId(2)), "waiter inherited");
         assert_eq!(lm.owner("b"), None, "no waiter → free");
         let evs = drain(&mut lm);
-        assert!(evs.contains(&LockEvent::Released { lock: "a".into(), owner: NodeId(1), forced: true }));
-        assert!(evs.contains(&LockEvent::Released { lock: "b".into(), owner: NodeId(1), forced: true }));
+        assert!(evs.contains(&LockEvent::Released {
+            lock: "a".into(),
+            owner: NodeId(1),
+            forced: true
+        }));
+        assert!(evs.contains(&LockEvent::Released {
+            lock: "b".into(),
+            owner: NodeId(1),
+            forced: true
+        }));
         assert_eq!(lm.stats().forced_releases, 2);
     }
 
@@ -322,12 +355,30 @@ mod tests {
     #[test]
     fn replicas_agree_given_same_event_sequence() {
         let ops = vec![
-            LockOp::Acquire { lock: "x".into(), node: NodeId(1) },
-            LockOp::Acquire { lock: "x".into(), node: NodeId(2) },
-            LockOp::Acquire { lock: "y".into(), node: NodeId(2) },
-            LockOp::Release { lock: "x".into(), node: NodeId(1) },
-            LockOp::Acquire { lock: "x".into(), node: NodeId(3) },
-            LockOp::Release { lock: "x".into(), node: NodeId(2) },
+            LockOp::Acquire {
+                lock: "x".into(),
+                node: NodeId(1),
+            },
+            LockOp::Acquire {
+                lock: "x".into(),
+                node: NodeId(2),
+            },
+            LockOp::Acquire {
+                lock: "y".into(),
+                node: NodeId(2),
+            },
+            LockOp::Release {
+                lock: "x".into(),
+                node: NodeId(1),
+            },
+            LockOp::Acquire {
+                lock: "x".into(),
+                node: NodeId(3),
+            },
+            LockOp::Release {
+                lock: "x".into(),
+                node: NodeId(2),
+            },
         ];
         let run = |me: u32| {
             let mut lm = LockManager::new(NodeId(me));

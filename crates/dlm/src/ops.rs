@@ -83,8 +83,14 @@ impl WireEncode for LockOp {
 impl WireDecode for LockOp {
     fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
         match r.get_u8()? {
-            0 => Ok(LockOp::Acquire { lock: r.get_str()?, node: NodeId::decode(r)? }),
-            1 => Ok(LockOp::Release { lock: r.get_str()?, node: NodeId::decode(r)? }),
+            0 => Ok(LockOp::Acquire {
+                lock: r.get_str()?,
+                node: NodeId::decode(r)?,
+            }),
+            1 => Ok(LockOp::Release {
+                lock: r.get_str()?,
+                node: NodeId::decode(r)?,
+            }),
             tag => Err(WireError::BadTag { ty: "LockOp", tag }),
         }
     }
@@ -96,10 +102,16 @@ mod tests {
 
     #[test]
     fn payload_round_trip() {
-        let op = LockOp::Acquire { lock: "table:users".into(), node: NodeId(3) };
+        let op = LockOp::Acquire {
+            lock: "table:users".into(),
+            node: NodeId(3),
+        };
         let p = op.to_payload();
         assert_eq!(LockOp::from_payload(&p), Some(op));
-        let op = LockOp::Release { lock: "x".into(), node: NodeId(0) };
+        let op = LockOp::Release {
+            lock: "x".into(),
+            node: NodeId(0),
+        };
         assert_eq!(LockOp::from_payload(&op.to_payload()), Some(op));
     }
 
@@ -108,15 +120,23 @@ mod tests {
         assert_eq!(LockOp::from_payload(b"hello"), None);
         assert_eq!(LockOp::from_payload(b""), None);
         assert_eq!(LockOp::from_payload(b"RCLK"), None); // truncated after magic
-        // Magic + trailing garbage after a valid op is also rejected.
-        let mut p = LockOp::Acquire { lock: "a".into(), node: NodeId(1) }.to_payload().to_vec();
+                                                         // Magic + trailing garbage after a valid op is also rejected.
+        let mut p = LockOp::Acquire {
+            lock: "a".into(),
+            node: NodeId(1),
+        }
+        .to_payload()
+        .to_vec();
         p.push(0xff);
         assert_eq!(LockOp::from_payload(&p), None);
     }
 
     #[test]
     fn accessors() {
-        let op = LockOp::Acquire { lock: "l".into(), node: NodeId(7) };
+        let op = LockOp::Acquire {
+            lock: "l".into(),
+            node: NodeId(7),
+        };
         assert_eq!(op.lock_name(), "l");
         assert_eq!(op.node(), NodeId(7));
     }

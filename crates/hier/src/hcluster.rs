@@ -13,8 +13,7 @@ use bytes::Bytes;
 use raincore_session::StartMode;
 use raincore_sim::{Cluster, ClusterBuilder, ClusterConfig};
 use raincore_types::{
-    DeliveryMode, Duration, NodeId, OriginSeq, Result, Ring, SessionConfig, Time,
-    TransportConfig,
+    DeliveryMode, Duration, NodeId, OriginSeq, Result, Ring, SessionConfig, Time, TransportConfig,
 };
 use std::collections::BTreeMap;
 
@@ -79,9 +78,10 @@ impl HierCluster {
 
         let base_session = |eligible: Vec<NodeId>| SessionConfig {
             token_hold: cfg.token_hold,
-            hungry_timeout: cfg.token_hold.saturating_mul(
-                u64::from(cfg.group_size.max(cfg.groups)) * 8,
-            ).max(Duration::from_millis(200)),
+            hungry_timeout: cfg
+                .token_hold
+                .saturating_mul(u64::from(cfg.group_size.max(cfg.groups)) * 8)
+                .max(Duration::from_millis(200)),
             starving_retry: Duration::from_millis(100),
             beacon_period: Duration::from_millis(200),
             eligible,
@@ -91,8 +91,9 @@ impl HierCluster {
         // Leaf groups: ids [g·K, (g+1)·K); eligible restricted to the
         // group so leaf rings never merge across groups.
         for g in 0..cfg.groups {
-            let ids: Vec<NodeId> =
-                (0..cfg.group_size).map(|k| NodeId(g * cfg.group_size + k)).collect();
+            let ids: Vec<NodeId> = (0..cfg.group_size)
+                .map(|k| NodeId(g * cfg.group_size + k))
+                .collect();
             let ring = Ring::from_iter(ids.iter().copied());
             for &id in &ids {
                 builder = builder.member_with(
@@ -123,7 +124,9 @@ impl HierCluster {
 
     /// Ids of all leaf members.
     pub fn member_ids(&self) -> Vec<NodeId> {
-        (0..self.cfg.groups * self.cfg.group_size).map(NodeId).collect()
+        (0..self.cfg.groups * self.cfg.group_size)
+            .map(NodeId)
+            .collect()
     }
 
     /// The leaf group index of a member.
@@ -197,12 +200,11 @@ impl HierCluster {
                 .iter()
                 .skip(start)
                 .filter_map(|d| unwrap_global(&d.payload))
-                .filter(|(origin, _, stage, _)| {
-                    *stage == Stage::Up && self.group_of(*origin) == g
-                })
+                .filter(|(origin, _, stage, _)| *stage == Stage::Up && self.group_of(*origin) == g)
                 .map(|(origin, seq, _, inner)| wrap_global(origin, seq, Stage::Up, &inner))
                 .collect();
-            self.leaf_scanned.insert(leader, self.cluster.deliveries(leader).len());
+            self.leaf_scanned
+                .insert(leader, self.cluster.deliveries(leader).len());
             for env in lifts {
                 let _ = self.cluster.multicast(persona, DeliveryMode::Agreed, env);
             }
@@ -219,7 +221,8 @@ impl HierCluster {
                 .filter(|(_, _, stage, _)| *stage == Stage::Up)
                 .map(|(origin, seq, _, inner)| wrap_global(origin, seq, Stage::Down, &inner))
                 .collect();
-            self.top_scanned.insert(persona, self.cluster.deliveries(persona).len());
+            self.top_scanned
+                .insert(persona, self.cluster.deliveries(persona).len());
             for env in downs {
                 let _ = self.cluster.multicast(leader, DeliveryMode::Agreed, env);
             }
@@ -241,8 +244,11 @@ impl HierCluster {
     /// Group-communication wake-ups per member, including the top-ring
     /// persona's share for leaders (the leader runs both stacks).
     pub fn task_switches(&self, member: NodeId) -> u64 {
-        let mut total =
-            self.cluster.session(member).map(|s| s.metrics().task_switches).unwrap_or(0);
+        let mut total = self
+            .cluster
+            .session(member)
+            .map(|s| s.metrics().task_switches)
+            .unwrap_or(0);
         let g = self.group_of(member);
         if member == self.leader_of(g) {
             total += self
@@ -260,7 +266,12 @@ mod tests {
     use super::*;
 
     fn build(groups: u32, k: u32) -> HierCluster {
-        HierCluster::new(HierConfig { groups, group_size: k, ..Default::default() }).unwrap()
+        HierCluster::new(HierConfig {
+            groups,
+            group_size: k,
+            ..Default::default()
+        })
+        .unwrap()
     }
 
     #[test]
@@ -292,7 +303,11 @@ mod tests {
         }
         h.run_for(Duration::from_secs(3));
         let reference = h.global_deliveries(NodeId(0));
-        assert_eq!(reference.len(), 6, "all six messages delivered: {reference:?}");
+        assert_eq!(
+            reference.len(),
+            6,
+            "all six messages delivered: {reference:?}"
+        );
         for m in h.member_ids() {
             assert_eq!(
                 h.global_deliveries(m),
@@ -306,7 +321,8 @@ mod tests {
     fn origin_group_also_delivers_exactly_once() {
         let mut h = build(2, 4);
         h.run_for(Duration::from_secs(1));
-        h.multicast_global(NodeId(1), Bytes::from_static(b"once")).unwrap();
+        h.multicast_global(NodeId(1), Bytes::from_static(b"once"))
+            .unwrap();
         h.run_for(Duration::from_secs(2));
         for m in h.member_ids() {
             let got = h.global_deliveries(m);
@@ -349,7 +365,8 @@ mod fault_tests {
         assert_eq!(ring.len(), 3, "leaf ring healed: {ring:?}");
         assert!(!ring.contains(NodeId(6)));
         // Global multicast still reaches every live member.
-        h.multicast_global(NodeId(1), Bytes::from_static(b"post-crash")).unwrap();
+        h.multicast_global(NodeId(1), Bytes::from_static(b"post-crash"))
+            .unwrap();
         h.run_for(Duration::from_secs(2));
         for m in h.member_ids() {
             if m == NodeId(6) {
@@ -370,6 +387,11 @@ pub(crate) mod tests_support {
     use super::*;
 
     pub(crate) fn build(groups: u32, k: u32) -> HierCluster {
-        HierCluster::new(HierConfig { groups, group_size: k, ..Default::default() }).unwrap()
+        HierCluster::new(HierConfig {
+            groups,
+            group_size: k,
+            ..Default::default()
+        })
+        .unwrap()
     }
 }

@@ -52,7 +52,10 @@ impl WireEncode for Addr {
 
 impl WireDecode for Addr {
     fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
-        Ok(Addr { node: NodeId::decode(r)?, nic: r.get_u8()? })
+        Ok(Addr {
+            node: NodeId::decode(r)?,
+            nic: r.get_u8()?,
+        })
     }
 }
 
@@ -98,7 +101,10 @@ impl WireDecode for PacketClass {
         match r.get_u8()? {
             0 => Ok(PacketClass::Control),
             1 => Ok(PacketClass::Data),
-            tag => Err(WireError::BadTag { ty: "PacketClass", tag }),
+            tag => Err(WireError::BadTag {
+                ty: "PacketClass",
+                tag,
+            }),
         }
     }
 }
@@ -123,12 +129,22 @@ pub struct Datagram {
 impl Datagram {
     /// Convenience constructor for control datagrams.
     pub fn control(src: Addr, dst: Addr, payload: Bytes) -> Self {
-        Datagram { src, dst, class: PacketClass::Control, payload }
+        Datagram {
+            src,
+            dst,
+            class: PacketClass::Control,
+            payload,
+        }
     }
 
     /// Convenience constructor for data-plane datagrams.
     pub fn data(src: Addr, dst: Addr, payload: Bytes) -> Self {
-        Datagram { src, dst, class: PacketClass::Data, payload }
+        Datagram {
+            src,
+            dst,
+            class: PacketClass::Data,
+            payload,
+        }
     }
 
     /// Size used for bandwidth and byte accounting: payload plus a fixed

@@ -20,9 +20,9 @@
 
 use crate::addr::{Addr, Datagram};
 use crate::stats::NetStats;
+use raincore_types::{Duration, NodeId, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use raincore_types::{Duration, NodeId, Time};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
@@ -71,13 +71,20 @@ impl SimNetConfig {
     /// The paper's lab: switched Fast Ethernet (100 Mbit/s per NIC) with
     /// a LAN-scale 100 µs one-way latency.
     pub fn fast_ethernet_switch() -> Self {
-        SimNetConfig { bandwidth_bps: 100_000_000, ..Default::default() }
+        SimNetConfig {
+            bandwidth_bps: 100_000_000,
+            ..Default::default()
+        }
     }
 
     /// Same speed but a shared hub medium (the configuration §4.1 argues
     /// limits the cluster to one NIC's throughput).
     pub fn fast_ethernet_hub() -> Self {
-        SimNetConfig { medium: MediumKind::Hub, bandwidth_bps: 100_000_000, ..Default::default() }
+        SimNetConfig {
+            medium: MediumKind::Hub,
+            bandwidth_bps: 100_000_000,
+            ..Default::default()
+        }
     }
 }
 
@@ -171,7 +178,11 @@ impl SimNet {
         }
         let at = self.arrival_time(now, &dgram);
         self.seq += 1;
-        self.in_flight.push(Reverse(InFlight { at, seq: self.seq, dgram }));
+        self.in_flight.push(Reverse(InFlight {
+            at,
+            seq: self.seq,
+            dgram,
+        }));
     }
 
     fn arrival_time(&mut self, now: Time, d: &Datagram) -> Time {
@@ -357,8 +368,13 @@ mod tests {
             ..Default::default()
         });
         net.send(Time::ZERO, dg(0, 1, 10));
-        assert_eq!(net.next_arrival(), Some(Time::ZERO + Duration::from_millis(1)));
-        assert!(net.pop_arrivals(Time::ZERO + Duration::from_micros(999)).is_empty());
+        assert_eq!(
+            net.next_arrival(),
+            Some(Time::ZERO + Duration::from_millis(1))
+        );
+        assert!(net
+            .pop_arrivals(Time::ZERO + Duration::from_micros(999))
+            .is_empty());
         let got = net.pop_arrivals(Time::ZERO + Duration::from_millis(1));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].dst.node, NodeId(1));
@@ -400,14 +416,26 @@ mod tests {
         sw.send(Time::ZERO, dg(0, 1, payload));
         sw.send(Time::ZERO, dg(2, 3, payload));
         let done = Time::ZERO + Duration::from_micros(200);
-        assert_eq!(sw.pop_arrivals(done).len(), 2, "switch carries both in parallel");
+        assert_eq!(
+            sw.pop_arrivals(done).len(),
+            2,
+            "switch carries both in parallel"
+        );
 
         let mut hub = SimNet::new(mk(MediumKind::Hub));
         hub.send(Time::ZERO, dg(0, 1, payload));
         hub.send(Time::ZERO, dg(2, 3, payload));
         // Hub: second waits for the shared medium → 100 µs then 200 µs.
-        assert_eq!(hub.pop_arrivals(Time::ZERO + Duration::from_micros(100)).len(), 1);
-        assert_eq!(hub.pop_arrivals(Time::ZERO + Duration::from_micros(200)).len(), 1);
+        assert_eq!(
+            hub.pop_arrivals(Time::ZERO + Duration::from_micros(100))
+                .len(),
+            1
+        );
+        assert_eq!(
+            hub.pop_arrivals(Time::ZERO + Duration::from_micros(200))
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -422,13 +450,26 @@ mod tests {
         // serializes them (200 µs and 300 µs).
         net.send(Time::ZERO, dg(0, 2, payload));
         net.send(Time::ZERO, dg(1, 2, payload));
-        assert_eq!(net.pop_arrivals(Time::ZERO + Duration::from_micros(200)).len(), 1);
-        assert_eq!(net.pop_arrivals(Time::ZERO + Duration::from_micros(300)).len(), 1);
+        assert_eq!(
+            net.pop_arrivals(Time::ZERO + Duration::from_micros(200))
+                .len(),
+            1
+        );
+        assert_eq!(
+            net.pop_arrivals(Time::ZERO + Duration::from_micros(300))
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn loss_is_seeded_and_counted() {
-        let cfg = SimNetConfig { loss: 0.5, seed: 7, latency: Duration::ZERO, ..Default::default() };
+        let cfg = SimNetConfig {
+            loss: 0.5,
+            seed: 7,
+            latency: Duration::ZERO,
+            ..Default::default()
+        };
         let run = |cfg: SimNetConfig| {
             let mut net = SimNet::new(cfg);
             for i in 0..100 {
@@ -452,10 +493,16 @@ mod tests {
         net.send(Time::ZERO, dg(0, 1, 1));
         net.send(Time::ZERO, dg(1, 0, 1));
         net.send(Time::ZERO, dg(0, 2, 1));
-        assert_eq!(net.pop_arrivals(Time::ZERO + Duration::from_secs(1)).len(), 1);
+        assert_eq!(
+            net.pop_arrivals(Time::ZERO + Duration::from_secs(1)).len(),
+            1
+        );
         net.set_link(NodeId(0), NodeId(1), true);
         net.send(Time::ZERO + Duration::from_secs(1), dg(0, 1, 1));
-        assert_eq!(net.pop_arrivals(Time::ZERO + Duration::from_secs(2)).len(), 1);
+        assert_eq!(
+            net.pop_arrivals(Time::ZERO + Duration::from_secs(2)).len(),
+            1
+        );
     }
 
     #[test]
@@ -464,12 +511,19 @@ mod tests {
         net.set_nic(Addr::primary(NodeId(0)), false);
         net.send(Time::ZERO, dg(0, 1, 1)); // tx on downed NIC
         net.send(Time::ZERO, dg(1, 0, 1)); // rx on downed NIC
-        // A second NIC on the same node still works.
+                                           // A second NIC on the same node still works.
         net.send(
             Time::ZERO,
-            Datagram::control(Addr::new(NodeId(0), 1), Addr::primary(NodeId(1)), Bytes::new()),
+            Datagram::control(
+                Addr::new(NodeId(0), 1),
+                Addr::primary(NodeId(1)),
+                Bytes::new(),
+            ),
         );
-        assert_eq!(net.pop_arrivals(Time::ZERO + Duration::from_secs(1)).len(), 1);
+        assert_eq!(
+            net.pop_arrivals(Time::ZERO + Duration::from_secs(1)).len(),
+            1
+        );
     }
 
     #[test]
@@ -481,7 +535,9 @@ mod tests {
         net.send(Time::ZERO, dg(0, 1, 1));
         net.set_node(NodeId(1), false); // crashes while packet in flight
         assert!(net.node_is_down(NodeId(1)));
-        assert!(net.pop_arrivals(Time::ZERO + Duration::from_secs(1)).is_empty());
+        assert!(net
+            .pop_arrivals(Time::ZERO + Duration::from_secs(1))
+            .is_empty());
         assert_eq!(net.stats().total_dropped(PacketClass::Control).pkts, 1);
     }
 
@@ -495,10 +551,16 @@ mod tests {
         net.send(Time::ZERO, dg(2, 3, 1)); // intra B: ok
         net.send(Time::ZERO, dg(0, 2, 1)); // cross: dropped
         net.send(Time::ZERO, dg(3, 1, 1)); // cross: dropped
-        assert_eq!(net.pop_arrivals(Time::ZERO + Duration::from_secs(1)).len(), 2);
+        assert_eq!(
+            net.pop_arrivals(Time::ZERO + Duration::from_secs(1)).len(),
+            2
+        );
         net.heal_all_links();
         net.send(Time::ZERO + Duration::from_secs(1), dg(0, 2, 1));
-        assert_eq!(net.pop_arrivals(Time::ZERO + Duration::from_secs(2)).len(), 1);
+        assert_eq!(
+            net.pop_arrivals(Time::ZERO + Duration::from_secs(2)).len(),
+            1
+        );
     }
 
     #[test]
@@ -509,7 +571,10 @@ mod tests {
             ..Default::default()
         });
         net.send(Time::ZERO, dg(5, 5, 1000));
-        assert_eq!(net.next_arrival(), Some(Time::ZERO + Duration::from_micros(1)));
+        assert_eq!(
+            net.next_arrival(),
+            Some(Time::ZERO + Duration::from_micros(1))
+        );
     }
 
     #[test]
@@ -527,7 +592,11 @@ mod tests {
 
     #[test]
     fn stats_conservation() {
-        let mut net = SimNet::new(SimNetConfig { loss: 0.3, seed: 3, ..Default::default() });
+        let mut net = SimNet::new(SimNetConfig {
+            loss: 0.3,
+            seed: 3,
+            ..Default::default()
+        });
         for i in 0..200u32 {
             net.send(Time::ZERO, dg(i % 4, (i + 1) % 4, 64));
         }
@@ -572,14 +641,9 @@ mod jitter_tests {
             for i in 0..50 {
                 net.send(Time::ZERO, dg(i % 4, (i + 1) % 4));
             }
-            loop {
-                match net.next_arrival() {
-                    Some(t) => {
-                        arrivals.push(t.as_nanos());
-                        net.pop_arrivals(t);
-                    }
-                    None => break,
-                }
+            while let Some(t) = net.next_arrival() {
+                arrivals.push(t.as_nanos());
+                net.pop_arrivals(t);
             }
             arrivals
         };

@@ -150,7 +150,10 @@ mod tests {
         s.record_sent(&d2);
         s.record_recv(&d2);
         assert_eq!(s.node(NodeId(0)).sent_class(PacketClass::Control).pkts, 1);
-        assert_eq!(s.node(NodeId(0)).sent_class(PacketClass::Control).bytes, 142);
+        assert_eq!(
+            s.node(NodeId(0)).sent_class(PacketClass::Control).bytes,
+            142
+        );
         assert_eq!(s.node(NodeId(0)).sent_class(PacketClass::Data).bytes, 1042);
         assert_eq!(s.node(NodeId(1)).recv_class(PacketClass::Data).pkts, 1);
         assert_eq!(s.node(NodeId(1)).recv_class(PacketClass::Control).pkts, 0);

@@ -40,7 +40,12 @@ fn decode_header(buf: &[u8], dst: Addr) -> Option<Datagram> {
     let class = PacketClass::decode(&mut r).ok()?;
     let payload = r.get_bytes().ok()?;
     r.expect_end().ok()?;
-    Some(Datagram { src, dst, class, payload })
+    Some(Datagram {
+        src,
+        dst,
+        class,
+        payload,
+    })
 }
 
 /// A UDP-backed datagram network endpoint for one node.
@@ -77,7 +82,13 @@ impl UdpNet {
             sockets.insert(laddr, sock);
             readers.push(spawn_reader(reader_sock, laddr, tx.clone(), stop.clone()));
         }
-        Ok(UdpNet { sockets, peers, rx, stop, readers })
+        Ok(UdpNet {
+            sockets,
+            peers,
+            rx,
+            stop,
+            readers,
+        })
     }
 
     /// The OS socket address actually bound for a local logical address.
@@ -194,14 +205,28 @@ mod tests {
         a.add_peer(b_addr, b.local_socket_addr(b_addr).unwrap());
         b.add_peer(a_addr, a.local_socket_addr(a_addr).unwrap());
 
-        a.send(&Datagram::control(a_addr, b_addr, Bytes::from_static(b"ping"))).unwrap();
-        let got = b.recv_timeout(std::time::Duration::from_secs(5)).expect("datagram");
+        a.send(&Datagram::control(
+            a_addr,
+            b_addr,
+            Bytes::from_static(b"ping"),
+        ))
+        .unwrap();
+        let got = b
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("datagram");
         assert_eq!(&got.payload[..], b"ping");
         assert_eq!(got.src, a_addr);
         assert_eq!(got.dst, b_addr);
 
-        b.send(&Datagram::control(b_addr, a_addr, Bytes::from_static(b"pong"))).unwrap();
-        let got = a.recv_timeout(std::time::Duration::from_secs(5)).expect("datagram");
+        b.send(&Datagram::control(
+            b_addr,
+            a_addr,
+            Bytes::from_static(b"pong"),
+        ))
+        .unwrap();
+        let got = a
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("datagram");
         assert_eq!(&got.payload[..], b"pong");
     }
 
@@ -210,11 +235,19 @@ mod tests {
         let a_addr = Addr::primary(NodeId(0));
         let a = UdpNet::bind(&[(a_addr, loopback())], HashMap::new()).unwrap();
         let err = a
-            .send(&Datagram::control(a_addr, Addr::primary(NodeId(9)), Bytes::new()))
+            .send(&Datagram::control(
+                a_addr,
+                Addr::primary(NodeId(9)),
+                Bytes::new(),
+            ))
             .unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::AddrNotAvailable);
         let err = a
-            .send(&Datagram::control(Addr::primary(NodeId(5)), a_addr, Bytes::new()))
+            .send(&Datagram::control(
+                Addr::primary(NodeId(5)),
+                a_addr,
+                Bytes::new(),
+            ))
             .unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::AddrNotAvailable);
     }

@@ -1,0 +1,206 @@
+//! Exporters: Prometheus text exposition format and a JSON snapshot.
+
+use crate::metrics::{MetricKey, Snapshot, SnapshotValue};
+
+/// Escape a string for inclusion in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Restrict to the Prometheus metric-name alphabet `[a-zA-Z0-9_:]`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Escape a Prometheus label value.
+fn prom_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn prom_labels(key: &MetricKey, extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), prom_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl Snapshot {
+    /// Render the snapshot in the Prometheus text exposition format.
+    /// Histograms are emitted with their native cumulative log₂ buckets
+    /// (`_bucket{le=...}`, `_sum`, `_count`) plus quantile gauges
+    /// (`_p50`/`_p90`/`_p99`) so dashboards get percentiles without
+    /// server-side `histogram_quantile`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for e in &self.entries {
+            let name = prom_name(&e.key.name);
+            let new_family = last_name != Some(e.key.name.as_str());
+            last_name = Some(e.key.name.as_str());
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    if new_family {
+                        out.push_str(&format!("# TYPE {name} counter\n"));
+                    }
+                    out.push_str(&format!("{name}{} {v}\n", prom_labels(&e.key, None)));
+                }
+                SnapshotValue::Gauge(v) => {
+                    if new_family {
+                        out.push_str(&format!("# TYPE {name} gauge\n"));
+                    }
+                    out.push_str(&format!("{name}{} {v}\n", prom_labels(&e.key, None)));
+                }
+                SnapshotValue::Histogram { summary, buckets } => {
+                    if new_family {
+                        out.push_str(&format!("# TYPE {name} histogram\n"));
+                    }
+                    for (le, cum) in buckets {
+                        out.push_str(&format!(
+                            "{name}_bucket{} {cum}\n",
+                            prom_labels(&e.key, Some(("le", le.to_string()))),
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{} {}\n",
+                        prom_labels(&e.key, Some(("le", "+Inf".to_string()))),
+                        summary.count,
+                    ));
+                    let plain = prom_labels(&e.key, None);
+                    out.push_str(&format!("{name}_sum{plain} {}\n", summary.sum));
+                    out.push_str(&format!("{name}_count{plain} {}\n", summary.count));
+                    out.push_str(&format!("{name}_p50{plain} {}\n", summary.p50));
+                    out.push_str(&format!("{name}_p90{plain} {}\n", summary.p90));
+                    out.push_str(&format!("{name}_p99{plain} {}\n", summary.p99));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the snapshot as a self-contained JSON document:
+    /// `{"metrics":[{"name":...,"labels":{...},"type":...,...}]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"labels\":{{",
+                json_escape(&e.key.name)
+            ));
+            for (j, (k, v)) in e.key.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            out.push_str("},");
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str(&format!("\"type\":\"counter\",\"value\":{v}}}"));
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str(&format!("\"type\":\"gauge\",\"value\":{v}}}"));
+                }
+                SnapshotValue::Histogram { summary: s, .. } => {
+                    out.push_str(&format!(
+                        "\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                        s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99,
+                    ));
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn prometheus_text_format() {
+        let r = Registry::new();
+        r.counter("raincore_tokens_received", &[("node", "0")])
+            .add(42);
+        r.counter("raincore_tokens_received", &[("node", "1")])
+            .add(7);
+        r.gauge("raincore_ring_size", &[]).set(5);
+        let h = r.histogram("raincore_token_rotation_ns", &[("node", "0")]);
+        h.record(3);
+        h.record(100);
+        h.record(100);
+        let text = r.snapshot().to_prometheus();
+
+        // One TYPE line per family, families grouped.
+        assert_eq!(
+            text.matches("# TYPE raincore_tokens_received counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("raincore_tokens_received{node=\"0\"} 42\n"));
+        assert!(text.contains("raincore_tokens_received{node=\"1\"} 7\n"));
+        assert!(text.contains("# TYPE raincore_ring_size gauge"));
+        assert!(
+            text.contains("raincore_ring_size 5\n"),
+            "label-free metric has no braces"
+        );
+        // Histogram exposition: cumulative buckets, +Inf, sum/count, quantiles.
+        assert!(text.contains("# TYPE raincore_token_rotation_ns histogram"));
+        assert!(text.contains("raincore_token_rotation_ns_bucket{node=\"0\",le=\"3\"} 1\n"));
+        assert!(text.contains("raincore_token_rotation_ns_bucket{node=\"0\",le=\"127\"} 3\n"));
+        assert!(text.contains("raincore_token_rotation_ns_bucket{node=\"0\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("raincore_token_rotation_ns_sum{node=\"0\"} 203\n"));
+        assert!(text.contains("raincore_token_rotation_ns_count{node=\"0\"} 3\n"));
+        assert!(text.contains("raincore_token_rotation_ns_p50{node=\"0\"} 100\n"));
+        assert!(text.contains("raincore_token_rotation_ns_p99{node=\"0\"} 100\n"));
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let r = Registry::new();
+        r.counter("c", &[("k", "v\"q")]).inc();
+        r.histogram("h", &[]).record(10);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(
+            json.contains("\"labels\":{\"k\":\"v\\\"q\"}"),
+            "label value escaped: {json}"
+        );
+        assert!(json.contains("\"type\":\"histogram\",\"count\":1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,35 @@
+//! # raincore-obs — observability substrate
+//!
+//! The paper's whole evaluation (§4 of *The Raincore Distributed Session
+//! Service for Networking Elements*) is about **measuring** the protocol:
+//! CPU task switches, network overhead, token rotation rate, failover time.
+//! Flat counters are not enough to reproduce that credibly — latency claims
+//! need distributions (p50/p90/p99), and protocol incidents (a lost token, a
+//! 911 vote, a ring merge) need a causal event trail that survives until a
+//! post-mortem asks for it.
+//!
+//! This crate provides the three pieces, on `std` only so every other layer
+//! can depend on it without cycles and the workspace builds fully offline:
+//!
+//! - [`Histogram`]: lock-free log₂-bucketed latency/size histograms with
+//!   [`HistSummary`] percentile summaries (p50/p90/p99/max).
+//! - [`Registry`]: a process-wide table of labeled counters, gauges and
+//!   histograms. Registration takes a short lock; the returned handles are
+//!   plain `Arc<Atomic*>` so the hot path is lock-free.
+//! - [`TraceJournal`]: a bounded per-node ring buffer of structured
+//!   [`TraceEvent`]s (token seq, hop, 911/merge/discovery causality) with
+//!   pretty-text and JSON renderers for post-mortem dumps.
+//!
+//! Exports: [`Snapshot::to_prometheus`] renders the Prometheus text
+//! exposition format; [`Snapshot::to_json`] a self-contained JSON document.
+//! Both are callable from the threaded runtime (`raincore::runtime`) and the
+//! deterministic sim harness (`raincore-sim`).
+
+mod export;
+mod hist;
+mod metrics;
+mod trace;
+
+pub use hist::{fmt_ns, HistSummary, Histogram, BUCKETS};
+pub use metrics::{Counter, Gauge, MetricKey, Registry, Snapshot, SnapshotEntry, SnapshotValue};
+pub use trace::{merge_journals, render_events_text, TraceEvent, TraceJournal, TraceKind};

@@ -75,7 +75,11 @@ impl LoadReport {
             flows.push((FlowKey::decode(&mut r).ok()?, Addr::decode(&mut r).ok()?));
         }
         r.expect_end().ok()?;
-        Some(LoadReport { node, active, flows })
+        Some(LoadReport {
+            node,
+            active,
+            flows,
+        })
     }
 }
 
@@ -87,9 +91,7 @@ pub fn handler_for(flow: FlowKey, members: &Ring) -> Option<NodeId> {
 
 fn mix(flow: FlowKey, member: NodeId) -> u64 {
     // SplitMix64-style avalanche over the (flow, member) pair.
-    let mut x = flow
-        .client
-        .raw() as u64
+    let mut x = flow.client.raw() as u64
         ^ (flow.id.rotate_left(17))
         ^ (u64::from(member.raw()) << 32)
         ^ 0x9e37_79b9_7f4a_7c15;
@@ -135,7 +137,14 @@ impl PacketEngine {
     pub fn open(&mut self, flow: FlowKey, client_addr: Addr, vip: VipId, now: Time) {
         if self
             .conns
-            .insert(flow, ConnEntry { client_addr, vip, last_active: now })
+            .insert(
+                flow,
+                ConnEntry {
+                    client_addr,
+                    vip,
+                    last_active: now,
+                },
+            )
             .is_none()
         {
             self.stats.opened += 1;
@@ -210,7 +219,10 @@ mod tests {
     use super::*;
 
     fn flow(client: u32, id: u64) -> FlowKey {
-        FlowKey { client: NodeId(client), id }
+        FlowKey {
+            client: NodeId(client),
+            id,
+        }
     }
 
     #[test]
@@ -238,7 +250,10 @@ mod tests {
             }
         }
         for (i, &c) in counts.iter().enumerate() {
-            assert!((150..=350).contains(&c), "member {i} got {c} of 1000: {counts:?}");
+            assert!(
+                (150..=350).contains(&c),
+                "member {i} got {c} of 1000: {counts:?}"
+            );
         }
     }
 
@@ -273,7 +288,10 @@ mod tests {
         assert_eq!(e.active(), 1);
         e.touch(flow(1, 1), t0 + Duration::from_secs(4));
         assert_eq!(e.gc(t0 + Duration::from_secs(5), Duration::from_secs(5)), 0);
-        assert_eq!(e.gc(t0 + Duration::from_secs(10), Duration::from_secs(5)), 1);
+        assert_eq!(
+            e.gc(t0 + Duration::from_secs(10), Duration::from_secs(5)),
+            1
+        );
         assert_eq!(e.active(), 0);
         assert_eq!(e.stats.expired, 1);
     }

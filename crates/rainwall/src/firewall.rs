@@ -33,12 +33,20 @@ pub struct Rule {
 impl Rule {
     /// A rule that allows everything (explicit default).
     pub fn allow_all() -> Rule {
-        Rule { client_range: None, vip: None, action: Action::Allow }
+        Rule {
+            client_range: None,
+            vip: None,
+            action: Action::Allow,
+        }
     }
 
     /// A rule denying a client id range on all VIPs.
     pub fn deny_clients(from: NodeId, to: NodeId) -> Rule {
-        Rule { client_range: Some((from, to)), vip: None, action: Action::Deny }
+        Rule {
+            client_range: Some((from, to)),
+            vip: None,
+            action: Action::Deny,
+        }
     }
 
     fn matches(&self, client: NodeId, vip: VipId) -> bool {
@@ -70,7 +78,11 @@ impl Firewall {
     /// Builds a filter with the given ordered rule list (first match
     /// wins; no match = allow).
     pub fn new(rules: Vec<Rule>) -> Self {
-        Firewall { rules, allowed: 0, denied: 0 }
+        Firewall {
+            rules,
+            allowed: 0,
+            denied: 0,
+        }
     }
 
     /// Evaluates a new connection. Updates the counters.
@@ -93,7 +105,10 @@ mod tests {
     use super::*;
 
     fn flow(client: u32) -> FlowKey {
-        FlowKey { client: NodeId(client), id: 0 }
+        FlowKey {
+            client: NodeId(client),
+            id: 0,
+        }
     }
 
     #[test]
@@ -106,7 +121,11 @@ mod tests {
     #[test]
     fn first_match_wins() {
         let mut fw = Firewall::new(vec![
-            Rule { client_range: Some((NodeId(10), NodeId(20))), vip: None, action: Action::Deny },
+            Rule {
+                client_range: Some((NodeId(10), NodeId(20))),
+                vip: None,
+                action: Action::Deny,
+            },
             Rule::allow_all(),
         ]);
         assert_eq!(fw.admit(flow(15), VipId(0)), Action::Deny);

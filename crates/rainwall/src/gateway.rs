@@ -130,7 +130,14 @@ impl GatewayApp {
     }
 
     /// Proxies a connection to the server farm (round-robin).
-    fn proxy(&mut self, ctl: &mut NodeCtl<'_>, flow: FlowKey, client_addr: Addr, vip: VipId, object_bytes: u32) {
+    fn proxy(
+        &mut self,
+        ctl: &mut NodeCtl<'_>,
+        flow: FlowKey,
+        client_addr: Addr,
+        vip: VipId,
+        object_bytes: u32,
+    ) {
         if self.cfg.servers.is_empty() {
             return;
         }
@@ -138,7 +145,11 @@ impl GatewayApp {
         let server = self.cfg.servers[self.server_rr % self.cfg.servers.len()];
         self.server_rr += 1;
         self.stats.borrow_mut().proxied += 1;
-        self.send_app(ctl, Addr::primary(server), &AppPacket::FetchReq { flow, object_bytes });
+        self.send_app(
+            ctl,
+            Addr::primary(server),
+            &AppPacket::FetchReq { flow, object_bytes },
+        );
     }
 
     fn drain_vip_events(&mut self, now: Time) {
@@ -158,7 +169,11 @@ impl NodeApp for GatewayApp {
             return;
         };
         match pkt {
-            AppPacket::Request { flow, vip, object_bytes } => {
+            AppPacket::Request {
+                flow,
+                vip,
+                object_bytes,
+            } => {
                 self.stats.borrow_mut().requests += 1;
                 if self.firewall.admit(flow, vip) == Action::Deny {
                     self.stats.borrow_mut().denied += 1;
@@ -179,14 +194,29 @@ impl NodeApp for GatewayApp {
                     self.send_app(
                         ctl,
                         Addr::primary(handler),
-                        &AppPacket::HandOff { flow, vip, client_addr: dgram.src, object_bytes },
+                        &AppPacket::HandOff {
+                            flow,
+                            vip,
+                            client_addr: dgram.src,
+                            object_bytes,
+                        },
                     );
                 }
             }
-            AppPacket::HandOff { flow, vip, client_addr, object_bytes } => {
+            AppPacket::HandOff {
+                flow,
+                vip,
+                client_addr,
+                object_bytes,
+            } => {
                 self.proxy(ctl, flow, client_addr, vip, object_bytes);
             }
-            AppPacket::Chunk { flow, seq, last, fill } => {
+            AppPacket::Chunk {
+                flow,
+                seq,
+                last,
+                fill,
+            } => {
                 let now = ctl.now;
                 if let Some(entry) = self.engine.lookup(flow) {
                     let dst = entry.client_addr;
@@ -199,7 +229,16 @@ impl NodeApp for GatewayApp {
                         st.chunks_to_clients += 1;
                         st.bytes_to_clients += fill.len() as u64;
                     }
-                    self.send_app(ctl, dst, &AppPacket::Chunk { flow, seq, last, fill });
+                    self.send_app(
+                        ctl,
+                        dst,
+                        &AppPacket::Chunk {
+                            flow,
+                            seq,
+                            last,
+                            fill,
+                        },
+                    );
                 } else if let Some(dst) = self.engine.lookup_shared(flow) {
                     // Connection handled by a (possibly departed) peer but
                     // known from state sharing: keep it alive (fail-over).
@@ -209,7 +248,16 @@ impl NodeApp for GatewayApp {
                         st.chunks_to_clients += 1;
                         st.bytes_to_clients += fill.len() as u64;
                     }
-                    self.send_app(ctl, dst, &AppPacket::Chunk { flow, seq, last, fill });
+                    self.send_app(
+                        ctl,
+                        dst,
+                        &AppPacket::Chunk {
+                            flow,
+                            seq,
+                            last,
+                            fill,
+                        },
+                    );
                 } else {
                     // Stateful filtering: unknown mid-flow packets drop.
                     self.stats.borrow_mut().dropped_unknown += 1;
@@ -278,7 +326,10 @@ mod tests {
     fn mk_gateway() -> (GatewayApp, Rc<RefCell<GatewayStats>>) {
         let (app, _vip, stats) = GatewayApp::new(
             NodeId(0),
-            GatewayCfg { servers: vec![NodeId(100)], ..Default::default() },
+            GatewayCfg {
+                servers: vec![NodeId(100)],
+                ..Default::default()
+            },
             vec![VipId(0)],
             SubnetArp::shared(),
             Firewall::new(vec![]),
@@ -287,7 +338,12 @@ mod tests {
     }
 
     fn chunk(flow: FlowKey, last: bool) -> Datagram {
-        let pkt = AppPacket::Chunk { flow, seq: 0, last, fill: Bytes::from(vec![0u8; 64]) };
+        let pkt = AppPacket::Chunk {
+            flow,
+            seq: 0,
+            last,
+            fill: Bytes::from(vec![0u8; 64]),
+        };
         Datagram::data(
             Addr::primary(NodeId(100)),
             Addr::primary(NodeId(0)),
@@ -303,11 +359,18 @@ mod tests {
         // relay its packets using the shared table learned from a peer's
         // load report — the fail-over path for established connections.
         let (mut gw, stats) = mk_gateway();
-        let flow = FlowKey { client: NodeId(200), id: 7 };
+        let flow = FlowKey {
+            client: NodeId(200),
+            id: 7,
+        };
         let client_addr = Addr::primary(NodeId(200));
 
         // A peer gateway's load report arrives as a session delivery.
-        let report = LoadReport { node: NodeId(1), active: 1, flows: vec![(flow, client_addr)] };
+        let report = LoadReport {
+            node: NodeId(1),
+            active: 1,
+            flows: vec![(flow, client_addr)],
+        };
         let mut sends = Vec::new();
         {
             let mut ctl = raincore_sim::NodeCtl::detached(Time::ZERO, NodeId(0), None, &mut sends);
@@ -341,16 +404,31 @@ mod tests {
         let mut sends = Vec::new();
         {
             let mut ctl = raincore_sim::NodeCtl::detached(Time::ZERO, NodeId(0), None, &mut sends);
-            gw.on_data(&mut ctl, chunk(FlowKey { client: NodeId(201), id: 9 }, false));
+            gw.on_data(
+                &mut ctl,
+                chunk(
+                    FlowKey {
+                        client: NodeId(201),
+                        id: 9,
+                    },
+                    false,
+                ),
+            );
         }
-        assert!(sends.is_empty(), "no connection, no relay: stateful filtering");
+        assert!(
+            sends.is_empty(),
+            "no connection, no relay: stateful filtering"
+        );
         assert_eq!(stats.borrow().dropped_unknown, 1);
     }
 
     #[test]
     fn own_load_report_is_ignored() {
         let (mut gw, stats) = mk_gateway();
-        let flow = FlowKey { client: NodeId(200), id: 1 };
+        let flow = FlowKey {
+            client: NodeId(200),
+            id: 1,
+        };
         let report = LoadReport {
             node: NodeId(0), // ourselves
             active: 1,

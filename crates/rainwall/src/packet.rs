@@ -31,7 +31,10 @@ impl WireEncode for FlowKey {
 
 impl WireDecode for FlowKey {
     fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
-        Ok(FlowKey { client: NodeId::decode(r)?, id: r.get_varint()? })
+        Ok(FlowKey {
+            client: NodeId::decode(r)?,
+            id: r.get_varint()?,
+        })
     }
 }
 
@@ -95,13 +98,22 @@ impl AppPacket {
 impl WireEncode for AppPacket {
     fn encode(&self, w: &mut Writer) {
         match self {
-            AppPacket::Request { flow, vip, object_bytes } => {
+            AppPacket::Request {
+                flow,
+                vip,
+                object_bytes,
+            } => {
                 w.put_u8(0);
                 flow.encode(w);
                 vip.encode(w);
                 w.put_varint(u64::from(*object_bytes));
             }
-            AppPacket::HandOff { flow, vip, client_addr, object_bytes } => {
+            AppPacket::HandOff {
+                flow,
+                vip,
+                client_addr,
+                object_bytes,
+            } => {
                 w.put_u8(1);
                 flow.encode(w);
                 vip.encode(w);
@@ -113,7 +125,12 @@ impl WireEncode for AppPacket {
                 flow.encode(w);
                 w.put_varint(u64::from(*object_bytes));
             }
-            AppPacket::Chunk { flow, seq, last, fill } => {
+            AppPacket::Chunk {
+                flow,
+                seq,
+                last,
+                fill,
+            } => {
                 w.put_u8(3);
                 flow.encode(w);
                 w.put_varint(u64::from(*seq));
@@ -148,7 +165,12 @@ impl WireDecode for AppPacket {
                 last: r.get_bool()?,
                 fill: r.get_bytes()?,
             },
-            tag => return Err(WireError::BadTag { ty: "AppPacket", tag }),
+            tag => {
+                return Err(WireError::BadTag {
+                    ty: "AppPacket",
+                    tag,
+                })
+            }
         })
     }
 }
@@ -159,21 +181,41 @@ mod tests {
 
     #[test]
     fn round_trip_all_variants() {
-        let flow = FlowKey { client: NodeId(2000), id: 7 };
+        let flow = FlowKey {
+            client: NodeId(2000),
+            id: 7,
+        };
         let cases = vec![
-            AppPacket::Request { flow, vip: VipId(1), object_bytes: 100_000 },
+            AppPacket::Request {
+                flow,
+                vip: VipId(1),
+                object_bytes: 100_000,
+            },
             AppPacket::HandOff {
                 flow,
                 vip: VipId(1),
                 client_addr: Addr::primary(NodeId(2000)),
                 object_bytes: 5,
             },
-            AppPacket::FetchReq { flow, object_bytes: 5 },
-            AppPacket::Chunk { flow, seq: 3, last: true, fill: Bytes::from(vec![0u8; 100]) },
+            AppPacket::FetchReq {
+                flow,
+                object_bytes: 5,
+            },
+            AppPacket::Chunk {
+                flow,
+                seq: 3,
+                last: true,
+                fill: Bytes::from(vec![0u8; 100]),
+            },
         ];
         for p in cases {
             let buf = p.encode_to_bytes();
-            assert_eq!(AppPacket::decode_from_bytes(&buf).unwrap(), p, "{}", p.kind());
+            assert_eq!(
+                AppPacket::decode_from_bytes(&buf).unwrap(),
+                p,
+                "{}",
+                p.kind()
+            );
         }
     }
 

@@ -130,8 +130,13 @@ impl Scenario {
                 conn_idle: Duration::from_secs(5),
                 per_connection_balance: cfg.per_connection_balance,
             };
-            let (app, mgr, stats) =
-                GatewayApp::new(g, gcfg, pool.clone(), arp.clone(), Firewall::new(cfg.rules.clone()));
+            let (app, mgr, stats) = GatewayApp::new(
+                g,
+                gcfg,
+                pool.clone(),
+                arp.clone(),
+                Firewall::new(cfg.rules.clone()),
+            );
             builder = builder.app(g, Box::new(app));
             gateway_stats.insert(g, stats);
             vip_mgrs.insert(g, mgr);
@@ -185,7 +190,10 @@ impl Scenario {
 
     /// Total completed downloads across clients.
     pub fn completed(&self) -> u64 {
-        self.client_stats.values().map(|s| s.borrow().completed).sum()
+        self.client_stats
+            .values()
+            .map(|s| s.borrow().completed)
+            .sum()
     }
 
     /// Total client retries (stalled flows abandoned).
@@ -249,7 +257,11 @@ mod tests {
         assert!(served > 0, "servers answered fetches");
         // Both gateways carried traffic (VIPs are spread).
         for (g, st) in &s.gateway_stats {
-            assert!(st.borrow().requests > 0, "gateway {g} idle: {:?}", st.borrow());
+            assert!(
+                st.borrow().requests > 0,
+                "gateway {g} idle: {:?}",
+                st.borrow()
+            );
         }
         assert_eq!(s.retries(), 0, "no stalls on a healthy cluster");
     }
@@ -272,7 +284,10 @@ mod tests {
         let run = |g: u32| {
             let mut s = Scenario::build(small(g)).unwrap();
             s.cluster.run_until(Time::ZERO + Duration::from_secs(4));
-            s.goodput_mbps(Time::ZERO + Duration::from_secs(2), Time::ZERO + Duration::from_secs(4))
+            s.goodput_mbps(
+                Time::ZERO + Duration::from_secs(2),
+                Time::ZERO + Duration::from_secs(4),
+            )
         };
         let one = run(1);
         let two = run(2);
@@ -291,7 +306,10 @@ mod tests {
         // Traffic recovered: goodput in the last second is healthy.
         let t1 = s.cluster.now();
         let mbps = s.goodput_mbps(t1 - Duration::from_secs(1), t1);
-        assert!(mbps > 30.0, "traffic resumed after fail-over, got {mbps:.1} Mbit/s");
+        assert!(
+            mbps > 30.0,
+            "traffic resumed after fail-over, got {mbps:.1} Mbit/s"
+        );
         assert!(s.retries() > 0, "the hiccup abandoned some flows");
         // All VIPs ended up on the survivor.
         let mgr = s.vip_mgrs[&NodeId(0)].borrow();
@@ -304,17 +322,21 @@ mod tests {
     fn firewall_policy_blocks_denied_clients() {
         let mut cfg = small(1);
         // Deny the first client host.
-        cfg.rules = vec![Rule::deny_clients(
-            NodeId(CLIENT_BASE),
-            NodeId(CLIENT_BASE),
-        )];
+        cfg.rules = vec![Rule::deny_clients(NodeId(CLIENT_BASE), NodeId(CLIENT_BASE))];
         let mut s = Scenario::build(cfg).unwrap();
         s.cluster.run_until(Time::ZERO + Duration::from_secs(2));
         let denied_client = &s.client_stats[&NodeId(CLIENT_BASE)];
         let ok_client = &s.client_stats[&NodeId(CLIENT_BASE + 1)];
-        assert_eq!(denied_client.borrow().completed, 0, "denied client got nothing");
+        assert_eq!(
+            denied_client.borrow().completed,
+            0,
+            "denied client got nothing"
+        );
         assert!(denied_client.borrow().retries > 0, "its requests time out");
-        assert!(ok_client.borrow().completed > 0, "allowed clients unaffected");
+        assert!(
+            ok_client.borrow().completed > 0,
+            "allowed clients unaffected"
+        );
         let denied: u64 = s.gateway_stats.values().map(|g| g.borrow().denied).sum();
         assert!(denied > 0);
     }
@@ -327,10 +349,20 @@ mod tests {
         let mut s = Scenario::build(cfg).unwrap();
         s.cluster.run_until(Time::ZERO + Duration::from_secs(3));
         // …yet both gateways proxy connections thanks to the engine.
-        let proxied: Vec<u64> =
-            s.gateway_stats.values().map(|g| g.borrow().proxied).collect();
-        assert!(proxied.iter().all(|&p| p > 0), "hand-off balanced: {proxied:?}");
-        let handed: u64 = s.gateway_stats.values().map(|g| g.borrow().handed_off).sum();
+        let proxied: Vec<u64> = s
+            .gateway_stats
+            .values()
+            .map(|g| g.borrow().proxied)
+            .collect();
+        assert!(
+            proxied.iter().all(|&p| p > 0),
+            "hand-off balanced: {proxied:?}"
+        );
+        let handed: u64 = s
+            .gateway_stats
+            .values()
+            .map(|g| g.borrow().handed_off)
+            .sum();
         assert!(handed > 0, "connections were handed off");
     }
 }

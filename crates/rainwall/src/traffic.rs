@@ -42,11 +42,7 @@ impl ClientStats {
         }
         let b0 = from.as_nanos() / bucket.as_nanos();
         let b1 = to.as_nanos() / bucket.as_nanos();
-        let bytes: u64 = self
-            .buckets
-            .range(b0..b1)
-            .map(|(_, &v)| v)
-            .sum();
+        let bytes: u64 = self.buckets.range(b0..b1).map(|(_, &v)| v).sum();
         bytes as f64 * 8.0 / to.since(from).as_secs_f64() / 1e6
     }
 }
@@ -108,10 +104,22 @@ impl ClientApp {
         let Some(owner) = self.arp.resolve(vip) else {
             return false; // VIP not announced yet; retry on the next check
         };
-        let flow = FlowKey { client: self.me, id: self.next_flow_id };
+        let flow = FlowKey {
+            client: self.me,
+            id: self.next_flow_id,
+        };
         self.next_flow_id += 1;
-        self.active.insert(flow, FlowState { last_activity: ctl.now });
-        let pkt = AppPacket::Request { flow, vip, object_bytes: self.object_bytes };
+        self.active.insert(
+            flow,
+            FlowState {
+                last_activity: ctl.now,
+            },
+        );
+        let pkt = AppPacket::Request {
+            flow,
+            vip,
+            object_bytes: self.object_bytes,
+        };
         ctl.send(Datagram::data(
             Addr::primary(self.me),
             Addr::primary(owner),
@@ -123,8 +131,9 @@ impl ClientApp {
 
 impl NodeApp for ClientApp {
     fn on_data(&mut self, ctl: &mut NodeCtl<'_>, dgram: Datagram) {
-        let Ok(AppPacket::Chunk { flow, last, fill, .. }) =
-            raincore_types::wire::WireDecode::decode_from_bytes(&dgram.payload)
+        let Ok(AppPacket::Chunk {
+            flow, last, fill, ..
+        }) = raincore_types::wire::WireDecode::decode_from_bytes(&dgram.payload)
         else {
             return;
         };
@@ -191,7 +200,12 @@ impl ServerApp {
     pub fn new(me: NodeId, chunk_payload: usize) -> (Self, Rc<RefCell<u64>>) {
         let served = Rc::new(RefCell::new(0u64));
         (
-            ServerApp { me, chunk_payload, fill: chunk_fill(chunk_payload), served: served.clone() },
+            ServerApp {
+                me,
+                chunk_payload,
+                fill: chunk_fill(chunk_payload),
+                served: served.clone(),
+            },
             served,
         )
     }

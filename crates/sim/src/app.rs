@@ -31,7 +31,12 @@ impl<'a> NodeCtl<'a> {
         session: Option<&'a mut SessionNode>,
         sends: &'a mut Vec<Datagram>,
     ) -> NodeCtl<'a> {
-        NodeCtl { now, id, session, sends }
+        NodeCtl {
+            now,
+            id,
+            session,
+            sends,
+        }
     }
 
     /// Queues a raw datagram onto the wire (typically data-plane traffic;

@@ -70,7 +70,12 @@ impl OrderAuditor {
         let members = c.member_ids();
         let seqs: Vec<(NodeId, Vec<(NodeId, OriginSeq)>)> = members
             .iter()
-            .map(|&id| (id, c.deliveries(id).iter().map(|d| (d.origin, d.seq)).collect()))
+            .map(|&id| {
+                (
+                    id,
+                    c.deliveries(id).iter().map(|d| (d.origin, d.seq)).collect(),
+                )
+            })
             .collect();
         for i in 0..seqs.len() {
             for j in (i + 1)..seqs.len() {
@@ -112,8 +117,12 @@ mod tests {
         let mut tokens = TokenAuditor::new();
         let mut orders = OrderAuditor::new();
         for i in 0..8u8 {
-            c.multicast(NodeId(u32::from(i) % 4), DeliveryMode::Agreed, Bytes::from(vec![i]))
-                .unwrap();
+            c.multicast(
+                NodeId(u32::from(i) % 4),
+                DeliveryMode::Agreed,
+                Bytes::from(vec![i]),
+            )
+            .unwrap();
         }
         c.run_until_with(Time::ZERO + Duration::from_secs(2), |c| {
             tokens.observe(c);

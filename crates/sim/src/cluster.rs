@@ -59,7 +59,12 @@ pub struct ClusterBuilder {
 impl ClusterBuilder {
     /// Starts a builder with the given base configuration.
     pub fn new(cfg: ClusterConfig) -> Self {
-        ClusterBuilder { cfg, members: Vec::new(), plain_hosts: Vec::new(), apps: Vec::new() }
+        ClusterBuilder {
+            cfg,
+            members: Vec::new(),
+            plain_hosts: Vec::new(),
+            apps: Vec::new(),
+        }
     }
 
     /// Adds a session-running member with the given start mode.
@@ -104,11 +109,17 @@ impl ClusterBuilder {
             cfg: self.cfg,
             peer_table: PeerTable::new(),
             steps: 0,
+            registry: raincore_obs::Registry::new(),
         };
         // The peer table covers every session member with all its NICs.
         let mut table = PeerTable::new();
         for (id, _, _) in &self.members {
-            table.set(*id, (0..cluster.cfg.nics.max(1)).map(|k| Addr::new(*id, k)).collect());
+            table.set(
+                *id,
+                (0..cluster.cfg.nics.max(1))
+                    .map(|k| Addr::new(*id, k))
+                    .collect(),
+            );
         }
         cluster.peer_table = table;
         for (id, start, session) in self.members {
@@ -148,6 +159,7 @@ pub struct Cluster {
     cfg: ClusterConfig,
     peer_table: PeerTable,
     steps: u64,
+    registry: raincore_obs::Registry,
 }
 
 impl Cluster {
@@ -178,8 +190,9 @@ impl Cluster {
         start: StartMode,
         session: Option<SessionConfig>,
     ) -> Result<()> {
-        let addrs: Vec<Addr> =
-            (0..self.cfg.nics.max(1)).map(|k| Addr::new(id, k)).collect();
+        let addrs: Vec<Addr> = (0..self.cfg.nics.max(1))
+            .map(|k| Addr::new(id, k))
+            .collect();
         let session_cfg = session.unwrap_or_else(|| self.cfg.session.clone());
         let node = SessionNode::new(
             id,
@@ -317,7 +330,12 @@ impl Cluster {
                     // A plain host speaking a control protocol directly
                     // (e.g. an external open-group client).
                     let mut sends = Vec::new();
-                    let mut ctl = NodeCtl { now, id, session: None, sends: &mut sends };
+                    let mut ctl = NodeCtl {
+                        now,
+                        id,
+                        session: None,
+                        sends: &mut sends,
+                    };
                     app.on_control(&mut ctl, d);
                     for s in sends {
                         self.net.send(now, s);
@@ -356,8 +374,12 @@ impl Cluster {
             }
             let mut sends = Vec::new();
             if let Some(app) = &mut slot.app {
-                let mut ctl =
-                    NodeCtl { now, id, session: slot.session.as_mut(), sends: &mut sends };
+                let mut ctl = NodeCtl {
+                    now,
+                    id,
+                    session: slot.session.as_mut(),
+                    sends: &mut sends,
+                };
                 app.on_tick(&mut ctl);
             }
             for s in sends {
@@ -381,8 +403,12 @@ impl Cluster {
             }
             let mut sends = Vec::new();
             if let Some(app) = &mut slot.app {
-                let mut ctl =
-                    NodeCtl { now, id, session: slot.session.as_mut(), sends: &mut sends };
+                let mut ctl = NodeCtl {
+                    now,
+                    id,
+                    session: slot.session.as_mut(),
+                    sends: &mut sends,
+                };
                 app.on_session_event(&mut ctl, &ev);
             }
             let slot = self.slots.get_mut(&id).expect("slot");
@@ -427,7 +453,9 @@ impl Cluster {
             (
                 slot.incarnation,
                 slot.addrs.clone(),
-                slot.session_cfg.clone().unwrap_or_else(|| self.cfg.session.clone()),
+                slot.session_cfg
+                    .clone()
+                    .unwrap_or_else(|| self.cfg.session.clone()),
             )
         };
         let node = SessionNode::new(
@@ -479,7 +507,12 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     /// Multicasts from `id` (see [`SessionNode::multicast`]).
-    pub fn multicast(&mut self, id: NodeId, mode: DeliveryMode, payload: Bytes) -> Result<OriginSeq> {
+    pub fn multicast(
+        &mut self,
+        id: NodeId,
+        mode: DeliveryMode,
+        payload: Bytes,
+    ) -> Result<OriginSeq> {
         self.session_mut(id)?.multicast(mode, payload)
     }
 
@@ -498,19 +531,25 @@ impl Cluster {
 
     /// True if the node is alive (not crashed / not shut down).
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.slots.get(&id).is_some_and(|s| {
-            s.alive && s.session.as_ref().is_none_or(|n| !n.is_down())
-        })
+        self.slots
+            .get(&id)
+            .is_some_and(|s| s.alive && s.session.as_ref().is_none_or(|n| !n.is_down()))
     }
 
     /// Takes (drains) the accumulated session events of a node.
     pub fn take_events(&mut self, id: NodeId) -> Vec<SessionEvent> {
-        self.slots.get_mut(&id).map(|s| std::mem::take(&mut s.events)).unwrap_or_default()
+        self.slots
+            .get_mut(&id)
+            .map(|s| std::mem::take(&mut s.events))
+            .unwrap_or_default()
     }
 
     /// All multicast deliveries observed at a node, in delivery order.
     pub fn deliveries(&self, id: NodeId) -> &[Delivery] {
-        self.slots.get(&id).map(|s| s.deliveries.as_slice()).unwrap_or(&[])
+        self.slots
+            .get(&id)
+            .map(|s| s.deliveries.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Session metrics of a node.
@@ -520,7 +559,9 @@ impl Cluster {
 
     /// Transport metrics of a node.
     pub fn transport_stats(&self, id: NodeId) -> TransportStats {
-        self.session(id).map(|s| s.transport_stats()).unwrap_or_default()
+        self.session(id)
+            .map(|s| s.transport_stats())
+            .unwrap_or_default()
     }
 
     /// Network accounting.
@@ -538,6 +579,13 @@ impl Cluster {
         &mut self.net
     }
 
+    /// The cluster-wide metric registry (see the `obs` module). Refreshed
+    /// by [`Cluster::collect_metrics`]; rendered by [`Cluster::prometheus`]
+    /// and [`Cluster::json_snapshot`].
+    pub fn registry(&self) -> &raincore_obs::Registry {
+        &self.registry
+    }
+
     // ------------------------------------------------------------------
     // Cluster-level observations
     // ------------------------------------------------------------------
@@ -553,7 +601,10 @@ impl Cluster {
 
     /// Ids of members that are alive and not shut down.
     pub fn live_members(&self) -> Vec<NodeId> {
-        self.member_ids().into_iter().filter(|&id| self.is_alive(id)).collect()
+        self.member_ids()
+            .into_iter()
+            .filter(|&id| self.is_alive(id))
+            .collect()
     }
 
     /// Members currently in the EATING state.
@@ -594,7 +645,9 @@ impl Cluster {
     /// (§2.5).
     pub fn membership_converged(&self) -> bool {
         let live = self.live_members();
-        let Some(first) = live.first() else { return true };
+        let Some(first) = live.first() else {
+            return true;
+        };
         let reference = self.session(*first).expect("member").ring().clone();
         if reference.len() != live.len() {
             return false;
@@ -654,7 +707,10 @@ mod tests {
             max_eating = max_eating.max(c.eating_nodes().len());
             assert_eq!(c.eating_violation(), None);
         });
-        assert_eq!(max_eating, 1, "the token was held by exactly one node at a time");
+        assert_eq!(
+            max_eating, 1,
+            "the token was held by exactly one node at a time"
+        );
     }
 
     #[test]
@@ -663,11 +719,15 @@ mod tests {
         c.run_until(secs(1));
         for i in 0..10u8 {
             let from = NodeId(u32::from(i) % 4);
-            c.multicast(from, DeliveryMode::Agreed, Bytes::from(vec![i])).unwrap();
+            c.multicast(from, DeliveryMode::Agreed, Bytes::from(vec![i]))
+                .unwrap();
         }
         c.run_until(secs(2));
-        let reference: Vec<(NodeId, OriginSeq)> =
-            c.deliveries(NodeId(0)).iter().map(|d| (d.origin, d.seq)).collect();
+        let reference: Vec<(NodeId, OriginSeq)> = c
+            .deliveries(NodeId(0))
+            .iter()
+            .map(|d| (d.origin, d.seq))
+            .collect();
         assert_eq!(reference.len(), 10, "all messages delivered at node 0");
         for id in c.member_ids() {
             let got: Vec<(NodeId, OriginSeq)> =
@@ -690,12 +750,18 @@ mod tests {
     fn safe_multicast_delivered_everywhere_in_same_order() {
         let mut c = Cluster::founding(3, fast_cfg()).unwrap();
         c.run_until(secs(1));
-        c.multicast(NodeId(1), DeliveryMode::Safe, Bytes::from_static(b"s1")).unwrap();
-        c.multicast(NodeId(2), DeliveryMode::Agreed, Bytes::from_static(b"a1")).unwrap();
-        c.multicast(NodeId(1), DeliveryMode::Safe, Bytes::from_static(b"s2")).unwrap();
+        c.multicast(NodeId(1), DeliveryMode::Safe, Bytes::from_static(b"s1"))
+            .unwrap();
+        c.multicast(NodeId(2), DeliveryMode::Agreed, Bytes::from_static(b"a1"))
+            .unwrap();
+        c.multicast(NodeId(1), DeliveryMode::Safe, Bytes::from_static(b"s2"))
+            .unwrap();
         c.run_until(secs(2));
-        let reference: Vec<Bytes> =
-            c.deliveries(NodeId(0)).iter().map(|d| d.payload.clone()).collect();
+        let reference: Vec<Bytes> = c
+            .deliveries(NodeId(0))
+            .iter()
+            .map(|d| d.payload.clone())
+            .collect();
         assert_eq!(reference.len(), 3);
         for id in c.member_ids() {
             let got: Vec<Bytes> = c.deliveries(id).iter().map(|d| d.payload.clone()).collect();
@@ -712,11 +778,19 @@ mod tests {
         c.run_until(secs(1));
         for i in 0..12u8 {
             let from = NodeId(u32::from(i) % 4);
-            let mode = if i % 3 == 0 { DeliveryMode::Safe } else { DeliveryMode::Agreed };
+            let mode = if i % 3 == 0 {
+                DeliveryMode::Safe
+            } else {
+                DeliveryMode::Agreed
+            };
             c.multicast(from, mode, Bytes::from(vec![i])).unwrap();
         }
         c.run_until(secs(3));
-        let reference: Vec<u8> = c.deliveries(NodeId(0)).iter().map(|d| d.payload[0]).collect();
+        let reference: Vec<u8> = c
+            .deliveries(NodeId(0))
+            .iter()
+            .map(|d| d.payload[0])
+            .collect();
         assert_eq!(reference.len(), 12);
         for id in c.member_ids() {
             let got: Vec<u8> = c.deliveries(id).iter().map(|d| d.payload[0]).collect();
@@ -729,8 +803,10 @@ mod tests {
         // Measure delivery lag at a non-originator for both modes.
         let mut c = Cluster::founding(4, fast_cfg()).unwrap();
         c.run_until(secs(1));
-        c.multicast(NodeId(0), DeliveryMode::Agreed, Bytes::from_static(b"fast")).unwrap();
-        c.multicast(NodeId(0), DeliveryMode::Safe, Bytes::from_static(b"slow")).unwrap();
+        c.multicast(NodeId(0), DeliveryMode::Agreed, Bytes::from_static(b"fast"))
+            .unwrap();
+        c.multicast(NodeId(0), DeliveryMode::Safe, Bytes::from_static(b"slow"))
+            .unwrap();
         let mut agreed_at = None;
         let mut safe_at = None;
         c.run_until_with(secs(3), |c| {
@@ -743,8 +819,14 @@ mod tests {
                 }
             }
         });
-        let (a, s) = (agreed_at.expect("agreed delivered"), safe_at.expect("safe delivered"));
-        assert!(s > a, "safe ({s:?}) must lag agreed ({a:?}) by about one round");
+        let (a, s) = (
+            agreed_at.expect("agreed delivered"),
+            safe_at.expect("safe delivered"),
+        );
+        assert!(
+            s > a,
+            "safe ({s:?}) must lag agreed ({a:?}) by about one round"
+        );
     }
 
     #[test]
@@ -775,9 +857,16 @@ mod tests {
         c.crash(holder);
         let t_crash = c.now();
         c.run_until(t_crash + Duration::from_secs(2));
-        assert!(c.membership_converged(), "membership healed after holder crash");
+        assert!(
+            c.membership_converged(),
+            "membership healed after holder crash"
+        );
         assert_eq!(c.live_members().len(), 3);
-        let regens: u64 = c.live_members().iter().map(|&id| c.metrics(id).regenerations).sum();
+        let regens: u64 = c
+            .live_members()
+            .iter()
+            .map(|&id| c.metrics(id).regenerations)
+            .sum();
         assert_eq!(regens, 1, "exactly one node regenerated the token");
         // The ring keeps circulating afterwards.
         let before = c.metrics(c.live_members()[0]).tokens_received;
@@ -791,7 +880,12 @@ mod tests {
         // token holder dies while carrying it.
         let mut c = Cluster::founding(4, fast_cfg()).unwrap();
         c.run_until(secs(1));
-        c.multicast(NodeId(1), DeliveryMode::Agreed, Bytes::from_static(b"survivor")).unwrap();
+        c.multicast(
+            NodeId(1),
+            DeliveryMode::Agreed,
+            Bytes::from_static(b"survivor"),
+        )
+        .unwrap();
         // Let it get attached and travel a hop or two, then kill the holder.
         c.run_for(Duration::from_millis(5));
         let holder = c.eating_nodes().pop();
@@ -806,7 +900,9 @@ mod tests {
         c.run_until(t + Duration::from_secs(2));
         for id in c.live_members() {
             assert!(
-                c.deliveries(id).iter().any(|d| d.payload == Bytes::from_static(b"survivor")),
+                c.deliveries(id)
+                    .iter()
+                    .any(|d| d.payload == Bytes::from_static(b"survivor")),
                 "node {id} missed the message"
             );
         }
@@ -838,8 +934,10 @@ mod tests {
         assert_eq!(c.live_members().len(), 4);
         // The ring no longer requires the 0↔1 hop.
         let ring = c.session(NodeId(0)).unwrap().ring().clone();
-        assert!(ring.next_after(NodeId(0)) != Some(NodeId(1))
-            || ring.next_after(NodeId(1)) != Some(NodeId(0)));
+        assert!(
+            ring.next_after(NodeId(0)) != Some(NodeId(1))
+                || ring.next_after(NodeId(1)) != Some(NodeId(0))
+        );
     }
 
     #[test]
@@ -853,11 +951,19 @@ mod tests {
         let groups = c.groups();
         assert_eq!(groups.len(), 2, "two functioning sub-groups: {groups:?}");
         // Both sides still multicast internally.
-        c.multicast(NodeId(0), DeliveryMode::Agreed, Bytes::from_static(b"west")).unwrap();
-        c.multicast(NodeId(2), DeliveryMode::Agreed, Bytes::from_static(b"east")).unwrap();
+        c.multicast(NodeId(0), DeliveryMode::Agreed, Bytes::from_static(b"west"))
+            .unwrap();
+        c.multicast(NodeId(2), DeliveryMode::Agreed, Bytes::from_static(b"east"))
+            .unwrap();
         c.run_for(Duration::from_secs(1));
-        assert!(c.deliveries(NodeId(1)).iter().any(|d| d.payload == Bytes::from_static(b"west")));
-        assert!(c.deliveries(NodeId(3)).iter().any(|d| d.payload == Bytes::from_static(b"east")));
+        assert!(c
+            .deliveries(NodeId(1))
+            .iter()
+            .any(|d| d.payload == Bytes::from_static(b"west")));
+        assert!(c
+            .deliveries(NodeId(3))
+            .iter()
+            .any(|d| d.payload == Bytes::from_static(b"east")));
         // Heal: discovery beacons find the other side; groups merge.
         c.heal();
         c.run_for(Duration::from_secs(5));
@@ -940,10 +1046,20 @@ mod tests {
         let now = c.now();
         let rounds_before = c.metrics(NodeId(0)).tokens_received;
         c.run_for(Duration::from_millis(200));
-        assert_eq!(c.metrics(NodeId(0)).tokens_received, rounds_before, "ring paused");
-        c.session_mut(holder).unwrap().release_master(now + Duration::from_millis(200)).unwrap();
+        assert_eq!(
+            c.metrics(NodeId(0)).tokens_received,
+            rounds_before,
+            "ring paused"
+        );
+        c.session_mut(holder)
+            .unwrap()
+            .release_master(now + Duration::from_millis(200))
+            .unwrap();
         c.run_for(Duration::from_millis(200));
-        assert!(c.metrics(NodeId(0)).tokens_received > rounds_before, "ring resumed");
+        assert!(
+            c.metrics(NodeId(0)).tokens_received > rounds_before,
+            "ring resumed"
+        );
     }
 
     #[test]
@@ -955,12 +1071,19 @@ mod tests {
         let mut c = Cluster::founding(3, cfg).unwrap();
         c.run_until(secs(1));
         for i in 0..20u8 {
-            c.multicast(NodeId(u32::from(i) % 3), DeliveryMode::Agreed, Bytes::from(vec![i]))
-                .unwrap();
+            c.multicast(
+                NodeId(u32::from(i) % 3),
+                DeliveryMode::Agreed,
+                Bytes::from(vec![i]),
+            )
+            .unwrap();
         }
         c.run_for(Duration::from_secs(8));
-        let reference: Vec<u8> =
-            c.deliveries(NodeId(0)).iter().map(|d| d.payload[0]).collect();
+        let reference: Vec<u8> = c
+            .deliveries(NodeId(0))
+            .iter()
+            .map(|d| d.payload[0])
+            .collect();
         assert_eq!(reference.len(), 20, "all delivered exactly once at node 0");
         for id in c.member_ids() {
             let got: Vec<u8> = c.deliveries(id).iter().map(|d| d.payload[0]).collect();
@@ -992,7 +1115,8 @@ mod tests {
             cfg.net.seed = 7;
             let mut c = Cluster::founding(4, cfg).unwrap();
             c.run_until(secs(1));
-            c.multicast(NodeId(2), DeliveryMode::Agreed, Bytes::from_static(b"d")).unwrap();
+            c.multicast(NodeId(2), DeliveryMode::Agreed, Bytes::from_static(b"d"))
+                .unwrap();
             c.crash(NodeId(3));
             c.run_until(secs(3));
             let m: Vec<_> = c.member_ids().iter().map(|&id| c.metrics(id)).collect();
@@ -1017,7 +1141,10 @@ mod tests {
         let before = c.metrics(NodeId(0)).tokens_received;
         c.run_for(Duration::from_secs(1));
         let rounds = c.metrics(NodeId(0)).tokens_received - before;
-        assert!((80..=100).contains(&rounds), "≈100 rounds/s expected, got {rounds}");
+        assert!(
+            (80..=100).contains(&rounds),
+            "≈100 rounds/s expected, got {rounds}"
+        );
     }
 }
 
@@ -1034,14 +1161,18 @@ mod backpressure_tests {
         c.run_for(Duration::from_secs(1));
         // Burst far beyond the token capacity.
         for i in 0..100u8 {
-            c.multicast(NodeId(0), DeliveryMode::Agreed, Bytes::from(vec![i])).unwrap();
+            c.multicast(NodeId(0), DeliveryMode::Agreed, Bytes::from(vec![i]))
+                .unwrap();
         }
         c.run_for(Duration::from_secs(5));
         for id in c.member_ids() {
             let got: Vec<u8> = c.deliveries(id).iter().map(|d| d.payload[0]).collect();
             assert_eq!(got.len(), 100, "node {id} received the whole burst");
             let want: Vec<u8> = (0..100).collect();
-            assert_eq!(got, want, "node {id}: FIFO order preserved under backpressure");
+            assert_eq!(
+                got, want,
+                "node {id}: FIFO order preserved under backpressure"
+            );
         }
     }
 }

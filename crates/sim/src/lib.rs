@@ -23,11 +23,13 @@
 pub mod app;
 pub mod audit;
 pub mod cluster;
+pub mod obs;
 pub mod open_app;
 pub mod script;
 
 pub use app::{NodeApp, NodeCtl};
 pub use audit::{OrderAuditor, TokenAuditor};
+pub use cluster::{Cluster, ClusterBuilder, ClusterConfig};
+pub use obs::{standard_invariants, InvariantFailure};
 pub use open_app::OpenClientApp;
 pub use script::{Fault, FaultScript};
-pub use cluster::{Cluster, ClusterBuilder, ClusterConfig};

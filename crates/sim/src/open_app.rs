@@ -18,7 +18,12 @@ impl OpenClientApp {
     /// Wraps a client; returns the app and the shared handle.
     pub fn new(client: OpenClient) -> (Self, Rc<RefCell<OpenClient>>) {
         let client = Rc::new(RefCell::new(client));
-        (OpenClientApp { client: client.clone() }, client)
+        (
+            OpenClientApp {
+                client: client.clone(),
+            },
+            client,
+        )
     }
 
     fn flush(&mut self, ctl: &mut NodeCtl<'_>) {

@@ -126,10 +126,10 @@ mod tests {
         let script = || {
             let mut c = Cluster::founding(4, fast()).unwrap();
             FaultScript::new()
-                .at(secs(1), Fault::Partition(vec![
-                    vec![NodeId(0), NodeId(1)],
-                    vec![NodeId(2), NodeId(3)],
-                ]))
+                .at(
+                    secs(1),
+                    Fault::Partition(vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]]),
+                )
                 .at(secs(4), Fault::Heal)
                 .run(&mut c, secs(10));
             (c.groups().len(), c.membership_converged(), c.steps())

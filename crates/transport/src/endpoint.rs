@@ -13,9 +13,9 @@ use bytes::Bytes;
 use raincore_net::{Addr, Datagram, PacketClass};
 use raincore_types::config::SendStrategy;
 use raincore_types::wire::{WireDecode, WireEncode};
-use raincore_types::{Error, Incarnation, MsgId, NodeId, Result, Time, TransportConfig};
 #[cfg(test)]
 use raincore_types::Duration;
+use raincore_types::{Error, Incarnation, MsgId, NodeId, Result, Time, TransportConfig};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Upper bound on fragments per message: guards reassembly memory against
@@ -127,6 +127,19 @@ pub struct TransportStats {
     pub stale_dropped: u64,
 }
 
+/// Latency histograms maintained by the endpoint. The handles share their
+/// buckets when cloned, so a harness can attach them to a
+/// [`raincore_obs::Registry`] once and read percentiles thereafter.
+#[derive(Clone, Debug, Default)]
+pub struct TransportObs {
+    /// [`Endpoint::send`] → final fragment acknowledged: the full-message
+    /// round-trip time, including any retransmissions and link failovers.
+    pub rtt: raincore_obs::Histogram,
+    /// [`Endpoint::send`] → failure-on-delivery notification: how long the
+    /// local-view failure detector took to give up on the peer.
+    pub failure_latency: raincore_obs::Histogram,
+}
+
 #[derive(Debug)]
 struct PendingSend {
     to: NodeId,
@@ -138,6 +151,9 @@ struct PendingSend {
     /// total (parallel).
     attempts: u32,
     next_retry: Time,
+    /// When [`Endpoint::send`] accepted the message (for RTT/failure
+    /// latency histograms).
+    sent_at: Time,
 }
 
 impl PendingSend {
@@ -169,6 +185,7 @@ pub struct Endpoint {
     outbox: VecDeque<Datagram>,
     events: VecDeque<TransportEvent>,
     stats: TransportStats,
+    obs: TransportObs,
 }
 
 impl Endpoint {
@@ -199,6 +216,7 @@ impl Endpoint {
             outbox: VecDeque::new(),
             events: VecDeque::new(),
             stats: TransportStats::default(),
+            obs: TransportObs::default(),
         })
     }
 
@@ -215,6 +233,11 @@ impl Endpoint {
     /// Counter snapshot.
     pub fn stats(&self) -> TransportStats {
         self.stats
+    }
+
+    /// Latency histograms (RTT, failure-detection latency).
+    pub fn obs(&self) -> &TransportObs {
+        &self.obs
     }
 
     /// Mutable access to the peer table (e.g. to learn a joiner's
@@ -257,6 +280,7 @@ impl Endpoint {
             addr_index: 0,
             attempts: 1,
             next_retry: now + self.cfg.retry_timeout,
+            sent_at: now,
         };
         self.transmit_unacked(&mut p, msg_id);
         self.pending.insert(msg_id, p);
@@ -276,16 +300,30 @@ impl Endpoint {
 
     /// Feeds a received datagram into the endpoint. Undecodable payloads
     /// are dropped silently (like garbage on a UDP port).
-    pub fn on_datagram(&mut self, _now: Time, dgram: Datagram) {
+    pub fn on_datagram(&mut self, now: Time, dgram: Datagram) {
         let Ok(frame) = Frame::decode_from_bytes(&dgram.payload) else {
             return;
         };
         match frame {
-            Frame::Data { from, inc, msg_id, frag_index, frag_count, payload } => {
-                self.on_data(dgram.src, dgram.dst, from, inc, msg_id, frag_index, frag_count, payload);
+            Frame::Data {
+                from,
+                inc,
+                msg_id,
+                frag_index,
+                frag_count,
+                payload,
+            } => {
+                self.on_data(
+                    dgram.src, dgram.dst, from, inc, msg_id, frag_index, frag_count, payload,
+                );
             }
-            Frame::Ack { from: _, inc, msg_id, frag_index } => {
-                self.on_ack(inc, msg_id, frag_index);
+            Frame::Ack {
+                from: _,
+                inc,
+                msg_id,
+                frag_index,
+            } => {
+                self.on_ack(now, inc, msg_id, frag_index);
             }
         }
     }
@@ -305,7 +343,10 @@ impl Endpoint {
         if frag_count == 0 || frag_count > MAX_FRAGS || frag_index >= frag_count {
             return; // malformed
         }
-        let entry = self.dedup.entry(from).or_insert_with(|| (inc, DedupWindow::new()));
+        let entry = self
+            .dedup
+            .entry(from)
+            .or_insert_with(|| (inc, DedupWindow::new()));
         if inc < entry.0 {
             self.stats.stale_dropped += 1;
             return; // ghost of the peer's previous life — no ack
@@ -319,7 +360,12 @@ impl Endpoint {
         // Always acknowledge current-incarnation data, even duplicates:
         // our previous ack may have been lost. Reply on the link the data
         // arrived on.
-        let ack = Frame::Ack { from: self.id, inc, msg_id, frag_index };
+        let ack = Frame::Ack {
+            from: self.id,
+            inc,
+            msg_id,
+            frag_index,
+        };
         self.outbox.push_back(Datagram {
             src: wire_dst,
             dst: wire_src,
@@ -333,10 +379,13 @@ impl Endpoint {
             return;
         }
 
-        let r = self.reasm.entry((from, msg_id)).or_insert_with(|| Reassembly {
-            frags: vec![None; frag_count as usize],
-            received: 0,
-        });
+        let r = self
+            .reasm
+            .entry((from, msg_id))
+            .or_insert_with(|| Reassembly {
+                frags: vec![None; frag_count as usize],
+                received: 0,
+            });
         if r.frags.len() != frag_count as usize {
             return; // inconsistent frag_count across fragments — corrupt
         }
@@ -347,18 +396,25 @@ impl Endpoint {
         }
         if r.received == r.frags.len() {
             let r = self.reasm.remove(&(from, msg_id)).expect("present");
-            let total: usize = r.frags.iter().map(|f| f.as_ref().map_or(0, Bytes::len)).sum();
+            let total: usize = r
+                .frags
+                .iter()
+                .map(|f| f.as_ref().map_or(0, Bytes::len))
+                .sum();
             let mut whole = Vec::with_capacity(total);
             for f in r.frags {
                 whole.extend_from_slice(&f.expect("complete"));
             }
             self.dedup.get_mut(&from).expect("entry").1.insert(msg_id);
             self.stats.msgs_received += 1;
-            self.events.push_back(TransportEvent::Received { from, payload: Bytes::from(whole) });
+            self.events.push_back(TransportEvent::Received {
+                from,
+                payload: Bytes::from(whole),
+            });
         }
     }
 
-    fn on_ack(&mut self, inc: Incarnation, msg_id: MsgId, frag_index: u32) {
+    fn on_ack(&mut self, now: Time, inc: Incarnation, msg_id: MsgId, frag_index: u32) {
         if inc != self.inc {
             self.stats.stale_dropped += 1;
             return; // ack for a previous life of this node
@@ -373,7 +429,9 @@ impl Endpoint {
         if p.all_acked() {
             let p = self.pending.remove(&msg_id).expect("present");
             self.stats.msgs_delivered += 1;
-            self.events.push_back(TransportEvent::Delivered { msg_id, to: p.to });
+            self.obs.rtt.record(now.since(p.sent_at).as_nanos());
+            self.events
+                .push_back(TransportEvent::Delivered { msg_id, to: p.to });
         }
     }
 
@@ -390,7 +448,7 @@ impl Endpoint {
             let n_addrs = self.peers.addrs(p.to).map(<[Addr]>::len).unwrap_or(0);
             if n_addrs == 0 {
                 // Peer vanished from the table mid-send.
-                self.fail(msg_id, p.to);
+                self.fail(now, msg_id, p.to, p.sent_at);
                 continue;
             }
             if p.attempts >= self.cfg.max_retries {
@@ -404,7 +462,7 @@ impl Endpoint {
                     }
                 };
                 if exhausted {
-                    self.fail(msg_id, p.to);
+                    self.fail(now, msg_id, p.to, p.sent_at);
                     continue;
                 }
             }
@@ -416,9 +474,13 @@ impl Endpoint {
         }
     }
 
-    fn fail(&mut self, msg_id: MsgId, to: NodeId) {
+    fn fail(&mut self, now: Time, msg_id: MsgId, to: NodeId, sent_at: Time) {
         self.stats.msgs_failed += 1;
-        self.events.push_back(TransportEvent::DeliveryFailed { msg_id, to });
+        self.obs
+            .failure_latency
+            .record(now.since(sent_at).as_nanos());
+        self.events
+            .push_back(TransportEvent::DeliveryFailed { msg_id, to });
     }
 
     /// Earliest time at which [`Endpoint::on_tick`] has work to do.
@@ -551,15 +613,28 @@ mod tests {
     fn small_message_delivers_and_acks() {
         let (mut a, mut b) = mk_pair(TransportConfig::default(), 1);
         let mut net = SimNet::new(SimNetConfig::default());
-        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"hello")).unwrap();
-        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(1));
+        let id = a
+            .send(Time::ZERO, NodeId(1), Bytes::from_static(b"hello"))
+            .unwrap();
+        pump(
+            &mut net,
+            &mut [&mut a, &mut b],
+            Time::ZERO,
+            Time::ZERO + Duration::from_secs(1),
+        );
         assert_eq!(
             drain_events(&mut a),
-            vec![TransportEvent::Delivered { msg_id: id, to: NodeId(1) }]
+            vec![TransportEvent::Delivered {
+                msg_id: id,
+                to: NodeId(1)
+            }]
         );
         assert_eq!(
             drain_events(&mut b),
-            vec![TransportEvent::Received { from: NodeId(0), payload: Bytes::from_static(b"hello") }]
+            vec![TransportEvent::Received {
+                from: NodeId(0),
+                payload: Bytes::from_static(b"hello")
+            }]
         );
         assert_eq!(a.in_flight(), 0);
         assert_eq!(b.stats().acks_sent, 1);
@@ -570,19 +645,39 @@ mod tests {
         let (mut a, mut b) = mk_pair(TransportConfig::default(), 1);
         let mut net = SimNet::new(SimNetConfig::default());
         a.send(Time::ZERO, NodeId(1), Bytes::new()).unwrap();
-        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(1));
+        pump(
+            &mut net,
+            &mut [&mut a, &mut b],
+            Time::ZERO,
+            Time::ZERO + Duration::from_secs(1),
+        );
         let ev = drain_events(&mut b);
-        assert_eq!(ev, vec![TransportEvent::Received { from: NodeId(0), payload: Bytes::new() }]);
+        assert_eq!(
+            ev,
+            vec![TransportEvent::Received {
+                from: NodeId(0),
+                payload: Bytes::new()
+            }]
+        );
     }
 
     #[test]
     fn large_message_fragments_and_reassembles() {
-        let cfg = TransportConfig { mtu: 100, ..Default::default() };
+        let cfg = TransportConfig {
+            mtu: 100,
+            ..Default::default()
+        };
         let (mut a, mut b) = mk_pair(cfg, 1);
         let mut net = SimNet::new(SimNetConfig::default());
         let payload: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
-        a.send(Time::ZERO, NodeId(1), Bytes::from(payload.clone())).unwrap();
-        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(1));
+        a.send(Time::ZERO, NodeId(1), Bytes::from(payload.clone()))
+            .unwrap();
+        pump(
+            &mut net,
+            &mut [&mut a, &mut b],
+            Time::ZERO,
+            Time::ZERO + Duration::from_secs(1),
+        );
         let ev = drain_events(&mut b);
         assert_eq!(ev.len(), 1);
         match &ev[0] {
@@ -601,18 +696,33 @@ mod tests {
             ..Default::default()
         };
         let (mut a, mut b) = mk_pair(cfg, 1);
-        let mut net = SimNet::new(SimNetConfig { loss: 0.4, seed: 11, ..Default::default() });
-        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"lossy")).unwrap();
-        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(10));
+        let mut net = SimNet::new(SimNetConfig {
+            loss: 0.4,
+            seed: 11,
+            ..Default::default()
+        });
+        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"lossy"))
+            .unwrap();
+        pump(
+            &mut net,
+            &mut [&mut a, &mut b],
+            Time::ZERO,
+            Time::ZERO + Duration::from_secs(10),
+        );
         let got = drain_events(&mut b);
         assert_eq!(
-            got.iter().filter(|e| matches!(e, TransportEvent::Received { .. })).count(),
+            got.iter()
+                .filter(|e| matches!(e, TransportEvent::Received { .. }))
+                .count(),
             1,
             "exactly-once delivery despite loss"
         );
         assert_eq!(
             drain_events(&mut a),
-            vec![TransportEvent::Delivered { msg_id: MsgId(0), to: NodeId(1) }]
+            vec![TransportEvent::Delivered {
+                msg_id: MsgId(0),
+                to: NodeId(1)
+            }]
         );
     }
 
@@ -626,15 +736,28 @@ mod tests {
         let (mut a, mut b) = mk_pair(cfg, 1);
         let mut net = SimNet::new(SimNetConfig::default());
         net.set_node(NodeId(1), false); // peer is dead
-        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
-        let end = pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(5));
+        let id = a
+            .send(Time::ZERO, NodeId(1), Bytes::from_static(b"x"))
+            .unwrap();
+        let end = pump(
+            &mut net,
+            &mut [&mut a, &mut b],
+            Time::ZERO,
+            Time::ZERO + Duration::from_secs(5),
+        );
         assert_eq!(
             drain_events(&mut a),
-            vec![TransportEvent::DeliveryFailed { msg_id: id, to: NodeId(1) }]
+            vec![TransportEvent::DeliveryFailed {
+                msg_id: id,
+                to: NodeId(1)
+            }]
         );
         // 3 transmissions, 10 ms apart → failure detected at ~30 ms: fast
         // local-view detection, as the aggressive protocol requires.
-        assert!(end <= Time::ZERO + Duration::from_millis(50), "took {end:?}");
+        assert!(
+            end <= Time::ZERO + Duration::from_millis(50),
+            "took {end:?}"
+        );
         assert_eq!(a.stats().data_frames_sent, 3);
         assert_eq!(a.stats().msgs_failed, 1);
     }
@@ -651,11 +774,21 @@ mod tests {
         let mut net = SimNet::new(SimNetConfig::default());
         // Unplug the peer's first NIC: primary path dead, secondary alive.
         net.set_nic(Addr::new(NodeId(1), 0), false);
-        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"via-backup")).unwrap();
-        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(5));
+        let id = a
+            .send(Time::ZERO, NodeId(1), Bytes::from_static(b"via-backup"))
+            .unwrap();
+        pump(
+            &mut net,
+            &mut [&mut a, &mut b],
+            Time::ZERO,
+            Time::ZERO + Duration::from_secs(5),
+        );
         assert_eq!(
             drain_events(&mut a),
-            vec![TransportEvent::Delivered { msg_id: id, to: NodeId(1) }]
+            vec![TransportEvent::Delivered {
+                msg_id: id,
+                to: NodeId(1)
+            }]
         );
         let got = drain_events(&mut b);
         assert!(matches!(&got[..], [TransportEvent::Received { .. }]));
@@ -672,10 +805,19 @@ mod tests {
         let (mut a, mut b) = mk_pair(cfg, 2);
         let mut net = SimNet::new(SimNetConfig::default());
         net.set_nic(Addr::new(NodeId(1), 0), false);
-        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
-        let end = pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(5));
+        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x"))
+            .unwrap();
+        let end = pump(
+            &mut net,
+            &mut [&mut a, &mut b],
+            Time::ZERO,
+            Time::ZERO + Duration::from_secs(5),
+        );
         // Delivered via NIC 1 on the first shot: well before one retry period.
-        assert!(end < Time::ZERO + Duration::from_millis(100), "took {end:?}");
+        assert!(
+            end < Time::ZERO + Duration::from_millis(100),
+            "took {end:?}"
+        );
         assert!(matches!(
             drain_events(&mut a)[..],
             [TransportEvent::Delivered { .. }]
@@ -693,11 +835,21 @@ mod tests {
         let (mut a, mut b) = mk_pair(cfg, 2);
         let mut net = SimNet::new(SimNetConfig::default());
         net.set_node(NodeId(1), false);
-        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
-        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(5));
+        let id = a
+            .send(Time::ZERO, NodeId(1), Bytes::from_static(b"x"))
+            .unwrap();
+        pump(
+            &mut net,
+            &mut [&mut a, &mut b],
+            Time::ZERO,
+            Time::ZERO + Duration::from_secs(5),
+        );
         assert_eq!(
             drain_events(&mut a),
-            vec![TransportEvent::DeliveryFailed { msg_id: id, to: NodeId(1) }]
+            vec![TransportEvent::DeliveryFailed {
+                msg_id: id,
+                to: NodeId(1)
+            }]
         );
         // 2 attempts on addr 0 + 2 attempts on addr 1.
         assert_eq!(a.stats().data_frames_sent, 4);
@@ -715,7 +867,9 @@ mod tests {
     #[test]
     fn abort_cancels_without_event() {
         let (mut a, _b) = mk_pair(TransportConfig::default(), 1);
-        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
+        let id = a
+            .send(Time::ZERO, NodeId(1), Bytes::from_static(b"x"))
+            .unwrap();
         assert!(a.abort(id));
         assert!(!a.abort(id));
         a.on_tick(Time::ZERO + Duration::from_secs(10));
@@ -743,7 +897,9 @@ mod tests {
             TransportConfig::default(),
         )
         .unwrap();
-        a_new.send(Time::ZERO, NodeId(1), Bytes::from_static(b"new")).unwrap();
+        a_new
+            .send(Time::ZERO, NodeId(1), Bytes::from_static(b"new"))
+            .unwrap();
         let d = a_new.poll_outgoing().unwrap();
         b.on_datagram(Time::ZERO, d);
         assert_eq!(b.stats().msgs_received, 1);
@@ -756,7 +912,9 @@ mod tests {
             TransportConfig::default(),
         )
         .unwrap();
-        a_old.send(Time::ZERO, NodeId(1), Bytes::from_static(b"old")).unwrap();
+        a_old
+            .send(Time::ZERO, NodeId(1), Bytes::from_static(b"old"))
+            .unwrap();
         let d = a_old.poll_outgoing().unwrap();
         let acks_before = b.stats().acks_sent;
         b.on_datagram(Time::ZERO, d);
@@ -768,7 +926,8 @@ mod tests {
     #[test]
     fn duplicate_data_reacked_but_not_redelivered() {
         let (mut a, mut b) = mk_pair(TransportConfig::default(), 1);
-        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"dup")).unwrap();
+        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"dup"))
+            .unwrap();
         let d = a.poll_outgoing().unwrap();
         b.on_datagram(Time::ZERO, d.clone());
         b.on_datagram(Time::ZERO, d);
@@ -783,7 +942,11 @@ mod tests {
         // Garbage payload.
         b.on_datagram(
             Time::ZERO,
-            Datagram::control(Addr::primary(NodeId(0)), Addr::primary(NodeId(1)), Bytes::from_static(&[0xff, 1, 2])),
+            Datagram::control(
+                Addr::primary(NodeId(0)),
+                Addr::primary(NodeId(1)),
+                Bytes::from_static(&[0xff, 1, 2]),
+            ),
         );
         // frag_index >= frag_count.
         let bad = Frame::Data {
@@ -809,11 +972,18 @@ mod tests {
 
     #[test]
     fn next_wakeup_tracks_earliest_retry() {
-        let cfg = TransportConfig { retry_timeout: Duration::from_millis(30), ..Default::default() };
+        let cfg = TransportConfig {
+            retry_timeout: Duration::from_millis(30),
+            ..Default::default()
+        };
         let (mut a, _b) = mk_pair(cfg, 1);
         assert_eq!(a.next_wakeup(), None);
-        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
-        assert_eq!(a.next_wakeup(), Some(Time::ZERO + Duration::from_millis(30)));
+        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x"))
+            .unwrap();
+        assert_eq!(
+            a.next_wakeup(),
+            Some(Time::ZERO + Duration::from_millis(30))
+        );
     }
 
     #[test]
@@ -825,14 +995,23 @@ mod tests {
             ..Default::default()
         };
         let (mut a, mut b) = mk_pair(cfg, 1);
-        let mut net = SimNet::new(SimNetConfig { loss: 0.25, seed: 99, ..Default::default() });
+        let mut net = SimNet::new(SimNetConfig {
+            loss: 0.25,
+            seed: 99,
+            ..Default::default()
+        });
         let mut sent = vec![];
         for i in 0..20u8 {
             let payload: Vec<u8> = std::iter::repeat_n(i, 150).collect();
             sent.push(payload.clone());
             a.send(Time::ZERO, NodeId(1), Bytes::from(payload)).unwrap();
         }
-        pump(&mut net, &mut [&mut a, &mut b], Time::ZERO, Time::ZERO + Duration::from_secs(30));
+        pump(
+            &mut net,
+            &mut [&mut a, &mut b],
+            Time::ZERO,
+            Time::ZERO + Duration::from_secs(30),
+        );
         let mut got: Vec<Vec<u8>> = drain_events(&mut b)
             .into_iter()
             .filter_map(|e| match e {
@@ -873,12 +1052,17 @@ mod more_tests {
 
     #[test]
     fn interleaved_fragments_of_two_messages_reassemble_independently() {
-        let cfg = TransportConfig { mtu: 64, ..Default::default() };
+        let cfg = TransportConfig {
+            mtu: 64,
+            ..Default::default()
+        };
         let (mut a, mut b) = pair(cfg);
         let p1: Vec<u8> = (0..=160).collect();
         let p2: Vec<u8> = (80..=240).collect();
-        a.send(Time::ZERO, NodeId(1), Bytes::from(p1.clone())).unwrap();
-        a.send(Time::ZERO, NodeId(1), Bytes::from(p2.clone())).unwrap();
+        a.send(Time::ZERO, NodeId(1), Bytes::from(p1.clone()))
+            .unwrap();
+        a.send(Time::ZERO, NodeId(1), Bytes::from(p2.clone()))
+            .unwrap();
         // Deliver all frames to b in a zig-zag order.
         let mut frames = vec![];
         while let Some(d) = a.poll_outgoing() {
@@ -923,7 +1107,8 @@ mod more_tests {
         )
         .unwrap();
         let mut net = SimNet::new(SimNetConfig::default());
-        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"dup-path")).unwrap();
+        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"dup-path"))
+            .unwrap();
         // Both copies arrive; exactly one delivery, both acked.
         while let Some(d) = a.poll_outgoing() {
             net.send(Time::ZERO, d);
@@ -952,14 +1137,19 @@ mod more_tests {
             ..Default::default()
         };
         let (mut a, _b) = pair(cfg);
-        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
+        let id = a
+            .send(Time::ZERO, NodeId(1), Bytes::from_static(b"x"))
+            .unwrap();
         while a.poll_outgoing().is_some() {}
         a.on_tick(Time::ZERO + Duration::from_millis(10));
         assert!(a.poll_outgoing().is_some(), "one retransmission happened");
         while a.poll_outgoing().is_some() {}
         assert!(a.abort(id));
         a.on_tick(Time::ZERO + Duration::from_millis(100));
-        assert!(a.poll_outgoing().is_none(), "no retransmissions after abort");
+        assert!(
+            a.poll_outgoing().is_none(),
+            "no retransmissions after abort"
+        );
         assert_eq!(a.next_wakeup(), None);
     }
 
@@ -971,7 +1161,9 @@ mod more_tests {
             ..Default::default()
         };
         let (mut a, _b) = pair(cfg);
-        let id = a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
+        let id = a
+            .send(Time::ZERO, NodeId(1), Bytes::from_static(b"x"))
+            .unwrap();
         a.peers_mut().remove(NodeId(1));
         a.on_tick(Time::ZERO + Duration::from_millis(10));
         let mut failed = false;
@@ -988,7 +1180,8 @@ mod more_tests {
     #[test]
     fn ack_for_unknown_fragment_index_ignored() {
         let (mut a, _b) = pair(TransportConfig::default());
-        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x")).unwrap();
+        a.send(Time::ZERO, NodeId(1), Bytes::from_static(b"x"))
+            .unwrap();
         // Forge an ack with an out-of-range fragment index.
         let bogus = Frame::Ack {
             from: NodeId(1),
@@ -1011,9 +1204,13 @@ mod more_tests {
     #[test]
     fn zero_byte_fragmented_boundary() {
         // Payload exactly at the MTU boundary: one fragment, not two.
-        let cfg = TransportConfig { mtu: 100, ..Default::default() };
+        let cfg = TransportConfig {
+            mtu: 100,
+            ..Default::default()
+        };
         let (mut a, _b) = pair(cfg);
-        a.send(Time::ZERO, NodeId(1), Bytes::from(vec![7u8; 100])).unwrap();
+        a.send(Time::ZERO, NodeId(1), Bytes::from(vec![7u8; 100]))
+            .unwrap();
         let mut frames = 0;
         while a.poll_outgoing().is_some() {
             frames += 1;

@@ -54,7 +54,14 @@ impl Frame {
 impl WireEncode for Frame {
     fn encode(&self, w: &mut Writer) {
         match self {
-            Frame::Data { from, inc, msg_id, frag_index, frag_count, payload } => {
+            Frame::Data {
+                from,
+                inc,
+                msg_id,
+                frag_index,
+                frag_count,
+                payload,
+            } => {
                 w.put_u8(0);
                 from.encode(w);
                 inc.encode(w);
@@ -63,7 +70,12 @@ impl WireEncode for Frame {
                 w.put_varint(u64::from(*frag_count));
                 w.put_bytes(payload);
             }
-            Frame::Ack { from, inc, msg_id, frag_index } => {
+            Frame::Ack {
+                from,
+                inc,
+                msg_id,
+                frag_index,
+            } => {
                 w.put_u8(1);
                 from.encode(w);
                 inc.encode(w);
@@ -118,7 +130,12 @@ mod tests {
 
     #[test]
     fn round_trip_ack() {
-        let f = Frame::Ack { from: NodeId(9), inc: Incarnation(0), msg_id: MsgId(1), frag_index: 0 };
+        let f = Frame::Ack {
+            from: NodeId(9),
+            inc: Incarnation(0),
+            msg_id: MsgId(1),
+            frag_index: 0,
+        };
         let buf = f.encode_to_bytes();
         assert_eq!(Frame::decode_from_bytes(&buf).unwrap(), f);
         assert_eq!(f.kind(), "ACK");

@@ -37,5 +37,5 @@ pub mod dedup;
 pub mod endpoint;
 pub mod frame;
 
-pub use endpoint::{Endpoint, PeerTable, TransportEvent, TransportStats};
+pub use endpoint::{Endpoint, PeerTable, TransportEvent, TransportObs, TransportStats};
 pub use frame::Frame;

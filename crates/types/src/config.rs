@@ -124,7 +124,10 @@ impl Default for SessionConfig {
 impl SessionConfig {
     /// Convenience: a config whose eligible membership is nodes `0..n`.
     pub fn for_cluster(n: u32) -> Self {
-        SessionConfig { eligible: (0..n).map(NodeId).collect(), ..Default::default() }
+        SessionConfig {
+            eligible: (0..n).map(NodeId).collect(),
+            ..Default::default()
+        }
     }
 
     /// Sets the token hold time so that (ignoring network latency) a ring
@@ -170,24 +173,45 @@ mod tests {
 
     #[test]
     fn transport_rejects_bad_values() {
-        let c = TransportConfig { max_retries: 0, ..Default::default() };
+        let c = TransportConfig {
+            max_retries: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = TransportConfig { mtu: 10, ..Default::default() };
+        let c = TransportConfig {
+            mtu: 10,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = TransportConfig { retry_timeout: Duration::ZERO, ..Default::default() };
+        let c = TransportConfig {
+            retry_timeout: Duration::ZERO,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn session_rejects_bad_values() {
-        let c = SessionConfig { token_hold: Duration::ZERO, ..Default::default() };
+        let c = SessionConfig {
+            token_hold: Duration::ZERO,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         let base = SessionConfig::default();
-        let c = SessionConfig { hungry_timeout: base.token_hold, ..Default::default() };
+        let c = SessionConfig {
+            hungry_timeout: base.token_hold,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = SessionConfig { max_payload: 0, ..Default::default() };
+        let c = SessionConfig {
+            max_payload: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = SessionConfig { max_attached: 0, ..Default::default() };
+        let c = SessionConfig {
+            max_attached: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -35,7 +35,6 @@ pub use error::{Error, Result};
 pub use id::{GroupId, Incarnation, MsgId, NodeId, OriginSeq, VipId};
 pub use membership::Ring;
 pub use messages::{
-    Attached, BodyOdor, Call911, DeliveryMode, OpenSubmit, Reply911, SessionMsg, Token,
-    Verdict911,
+    Attached, BodyOdor, Call911, DeliveryMode, OpenSubmit, Reply911, SessionMsg, Token, Verdict911,
 };
 pub use time::{Duration, Time};

@@ -192,7 +192,10 @@ impl WireDecode for Ring {
         let ring = Ring::from_iter(members.iter().copied());
         if ring.len() != members.len() {
             // Duplicate member ids on the wire indicate corruption.
-            return Err(crate::wire::WireError::BadTag { ty: "Ring(dup)", tag: 0 });
+            return Err(crate::wire::WireError::BadTag {
+                ty: "Ring(dup)",
+                tag: 0,
+            });
         }
         Ok(ring)
     }

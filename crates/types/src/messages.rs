@@ -48,7 +48,10 @@ impl WireDecode for DeliveryMode {
         match r.get_u8()? {
             0 => Ok(DeliveryMode::Agreed),
             1 => Ok(DeliveryMode::Safe),
-            tag => Err(WireError::BadTag { ty: "DeliveryMode", tag }),
+            tag => Err(WireError::BadTag {
+                ty: "DeliveryMode",
+                tag,
+            }),
         }
     }
 }
@@ -82,7 +85,14 @@ impl Attached {
     /// Creates a fresh attachment originated by `origin`; the originator
     /// has trivially seen its own message.
     pub fn new(origin: NodeId, seq: OriginSeq, mode: DeliveryMode, payload: Bytes) -> Self {
-        Attached { origin, seq, mode, seen: vec![origin], confirmed: Vec::new(), payload }
+        Attached {
+            origin,
+            seq,
+            mode,
+            seen: vec![origin],
+            confirmed: Vec::new(),
+            payload,
+        }
     }
 
     /// Globally unique message key.
@@ -162,7 +172,12 @@ pub struct Token {
 impl Token {
     /// Creates the founding token of a new group with the given ring.
     pub fn founding(ring: Ring) -> Self {
-        Token { seq: 1, ring, tbm: false, msgs: Vec::new() }
+        Token {
+            seq: 1,
+            ring,
+            tbm: false,
+            msgs: Vec::new(),
+        }
     }
 
     /// Group id of the membership on this token (lowest member id).
@@ -260,8 +275,13 @@ impl WireDecode for Verdict911 {
     fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
         match r.get_u8()? {
             0 => Ok(Verdict911::Grant),
-            1 => Ok(Verdict911::Deny { newer_seq: r.get_varint()? }),
-            tag => Err(WireError::BadTag { ty: "Verdict911", tag }),
+            1 => Ok(Verdict911::Deny {
+                newer_seq: r.get_varint()?,
+            }),
+            tag => Err(WireError::BadTag {
+                ty: "Verdict911",
+                tag,
+            }),
         }
     }
 }
@@ -316,7 +336,10 @@ impl WireEncode for BodyOdor {
 
 impl WireDecode for BodyOdor {
     fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
-        Ok(BodyOdor { from: NodeId::decode(r)?, group: GroupId::decode(r)? })
+        Ok(BodyOdor {
+            from: NodeId::decode(r)?,
+            group: GroupId::decode(r)?,
+        })
     }
 }
 
@@ -415,7 +438,10 @@ impl WireDecode for SessionMsg {
             2 => Ok(SessionMsg::Reply911(Reply911::decode(r)?)),
             3 => Ok(SessionMsg::BodyOdor(BodyOdor::decode(r)?)),
             4 => Ok(SessionMsg::Open(OpenSubmit::decode(r)?)),
-            tag => Err(WireError::BadTag { ty: "SessionMsg", tag }),
+            tag => Err(WireError::BadTag {
+                ty: "SessionMsg",
+                tag,
+            }),
         }
     }
 }
@@ -431,7 +457,12 @@ mod tests {
 
     #[test]
     fn attached_seen_tracking() {
-        let mut a = Attached::new(NodeId(1), OriginSeq(5), DeliveryMode::Agreed, Bytes::from_static(b"x"));
+        let mut a = Attached::new(
+            NodeId(1),
+            OriginSeq(5),
+            DeliveryMode::Agreed,
+            Bytes::from_static(b"x"),
+        );
         assert_eq!(a.seen, vec![NodeId(1)]);
         a.mark_seen(NodeId(2));
         a.mark_seen(NodeId(2));
@@ -465,16 +496,34 @@ mod tests {
     #[test]
     fn token_payload_bytes() {
         let mut t = Token::founding(ring(&[1]));
-        t.msgs.push(Attached::new(NodeId(1), OriginSeq(0), DeliveryMode::Agreed, Bytes::from(vec![0u8; 10])));
-        t.msgs.push(Attached::new(NodeId(1), OriginSeq(1), DeliveryMode::Agreed, Bytes::from(vec![0u8; 5])));
+        t.msgs.push(Attached::new(
+            NodeId(1),
+            OriginSeq(0),
+            DeliveryMode::Agreed,
+            Bytes::from(vec![0u8; 10]),
+        ));
+        t.msgs.push(Attached::new(
+            NodeId(1),
+            OriginSeq(1),
+            DeliveryMode::Agreed,
+            Bytes::from(vec![0u8; 5]),
+        ));
         assert_eq!(t.payload_bytes(), 15);
     }
 
     #[test]
     fn session_msg_kinds() {
-        assert_eq!(SessionMsg::Token(Token::founding(ring(&[1]))).kind(), "TOKEN");
         assert_eq!(
-            SessionMsg::Call911(Call911 { from: NodeId(1), last_token_seq: 0, req_id: 1 }).kind(),
+            SessionMsg::Token(Token::founding(ring(&[1]))).kind(),
+            "TOKEN"
+        );
+        assert_eq!(
+            SessionMsg::Call911(Call911 {
+                from: NodeId(1),
+                last_token_seq: 0,
+                req_id: 1
+            })
+            .kind(),
             "911"
         );
         assert_eq!(
@@ -487,7 +536,11 @@ mod tests {
             "911-REPLY"
         );
         assert_eq!(
-            SessionMsg::BodyOdor(BodyOdor { from: NodeId(1), group: GroupId(NodeId(1)) }).kind(),
+            SessionMsg::BodyOdor(BodyOdor {
+                from: NodeId(1),
+                group: GroupId(NodeId(1))
+            })
+            .kind(),
             "BODYODOR"
         );
     }
@@ -507,7 +560,11 @@ mod tests {
         });
         let cases = vec![
             SessionMsg::Token(token),
-            SessionMsg::Call911(Call911 { from: NodeId(9), last_token_seq: 1234, req_id: 8 }),
+            SessionMsg::Call911(Call911 {
+                from: NodeId(9),
+                last_token_seq: 1234,
+                req_id: 8,
+            }),
             SessionMsg::Reply911(Reply911 {
                 from: NodeId(1),
                 req_id: 8,
@@ -518,7 +575,10 @@ mod tests {
                 req_id: 9,
                 verdict: Verdict911::Grant,
             }),
-            SessionMsg::BodyOdor(BodyOdor { from: NodeId(4), group: GroupId(NodeId(2)) }),
+            SessionMsg::BodyOdor(BodyOdor {
+                from: NodeId(4),
+                group: GroupId(NodeId(2)),
+            }),
             SessionMsg::Open(OpenSubmit {
                 from: NodeId(99),
                 seq: OriginSeq(3),
@@ -536,7 +596,10 @@ mod tests {
         let buf = [200u8, 0, 0];
         assert!(matches!(
             SessionMsg::decode_from_bytes(&buf),
-            Err(WireError::BadTag { ty: "SessionMsg", tag: 200 })
+            Err(WireError::BadTag {
+                ty: "SessionMsg",
+                tag: 200
+            })
         ));
     }
 

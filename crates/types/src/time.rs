@@ -239,7 +239,10 @@ mod tests {
 
     #[test]
     fn scaling() {
-        assert_eq!(Duration::from_secs(1).saturating_mul(3), Duration::from_secs(3));
+        assert_eq!(
+            Duration::from_secs(1).saturating_mul(3),
+            Duration::from_secs(3)
+        );
         assert_eq!(Duration::from_secs(3).div(3), Duration::from_secs(1));
         assert_eq!(Duration(u64::MAX).saturating_mul(2), Duration(u64::MAX));
     }
@@ -267,6 +270,9 @@ mod tests {
 
     #[test]
     fn std_conversion() {
-        assert_eq!(Duration::from_millis(5).to_std(), std::time::Duration::from_millis(5));
+        assert_eq!(
+            Duration::from_millis(5).to_std(),
+            std::time::Duration::from_millis(5)
+        );
     }
 }

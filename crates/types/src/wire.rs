@@ -46,8 +46,14 @@ impl fmt::Display for WireError {
             WireError::Truncated => write!(f, "wire data truncated"),
             WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
             WireError::BadTag { ty, tag } => write!(f, "unknown tag {tag} for {ty}"),
-            WireError::BadLength { declared, remaining } => {
-                write!(f, "declared length {declared} exceeds remaining {remaining} bytes")
+            WireError::BadLength {
+                declared,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "declared length {declared} exceeds remaining {remaining} bytes"
+                )
             }
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
         }
@@ -73,7 +79,9 @@ impl Writer {
 
     /// Creates a writer with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
-        Writer { buf: BytesMut::with_capacity(cap) }
+        Writer {
+            buf: BytesMut::with_capacity(cap),
+        }
     }
 
     /// Appends a LEB128 varint.
@@ -187,7 +195,10 @@ impl<'a> Reader<'a> {
     pub fn get_bytes(&mut self) -> WireResult<Bytes> {
         let len = self.get_varint()?;
         if len > self.buf.len() as u64 {
-            return Err(WireError::BadLength { declared: len, remaining: self.buf.len() });
+            return Err(WireError::BadLength {
+                declared: len,
+                remaining: self.buf.len(),
+            });
         }
         let (head, tail) = self.buf.split_at(len as usize);
         self.buf = tail;
@@ -206,7 +217,10 @@ impl<'a> Reader<'a> {
         let len = self.get_varint()?;
         let need = len.saturating_mul(min_elem_bytes.max(1) as u64);
         if need > self.buf.len() as u64 {
-            return Err(WireError::BadLength { declared: len, remaining: self.buf.len() });
+            return Err(WireError::BadLength {
+                declared: len,
+                remaining: self.buf.len(),
+            });
         }
         Ok(len as usize)
     }
@@ -377,7 +391,10 @@ mod tests {
         w.put_u8(1);
         let buf = w.finish();
         let mut r = Reader::new(&buf);
-        assert!(matches!(r.get_bytes(), Err(WireError::BadLength { declared: 100, .. })));
+        assert!(matches!(
+            r.get_bytes(),
+            Err(WireError::BadLength { declared: 100, .. })
+        ));
     }
 
     #[test]
@@ -401,7 +418,10 @@ mod tests {
         w.put_varint(1);
         w.put_u8(0);
         let buf = w.finish();
-        assert_eq!(u64::decode_from_bytes(&buf), Err(WireError::TrailingBytes(1)));
+        assert_eq!(
+            u64::decode_from_bytes(&buf),
+            Err(WireError::TrailingBytes(1))
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ impl VipApp {
     pub fn new(
         mgr: VipManager,
         arp: Arc<SubnetArp>,
-    ) -> (Self, Rc<RefCell<VipManager>>, Rc<RefCell<Vec<(Time, VipEvent)>>>) {
+    ) -> (
+        Self,
+        Rc<RefCell<VipManager>>,
+        Rc<RefCell<Vec<(Time, VipEvent)>>>,
+    ) {
         let mgr = Rc::new(RefCell::new(mgr));
         let log = Rc::new(RefCell::new(Vec::new()));
         (
@@ -90,8 +94,8 @@ pub fn pool(k: u32) -> Vec<VipId> {
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use raincore_sim::{Cluster, ClusterBuilder, ClusterConfig};
     use raincore_session::StartMode;
+    use raincore_sim::{Cluster, ClusterBuilder, ClusterConfig};
     use raincore_types::{NodeId, Ring};
     use std::collections::BTreeMap;
 
@@ -109,7 +113,11 @@ pub(crate) mod tests {
     pub(crate) fn vip_cluster(
         n: u32,
         k_vips: u32,
-    ) -> (Cluster, BTreeMap<NodeId, Rc<RefCell<VipManager>>>, Arc<SubnetArp>) {
+    ) -> (
+        Cluster,
+        BTreeMap<NodeId, Rc<RefCell<VipManager>>>,
+        Arc<SubnetArp>,
+    ) {
         let ring = Ring::from_iter((0..n).map(NodeId));
         let arp = SubnetArp::shared();
         let mut builder = ClusterBuilder::new(fast_cfg());
@@ -143,7 +151,11 @@ pub(crate) mod tests {
         for n in a.values() {
             *per.entry(*n).or_default() += 1;
         }
-        assert_eq!(per.values().copied().collect::<Vec<_>>(), vec![2, 2, 2], "{per:?}");
+        assert_eq!(
+            per.values().copied().collect::<Vec<_>>(),
+            vec![2, 2, 2],
+            "{per:?}"
+        );
         // The subnet learned every VIP via gratuitous ARP.
         assert_eq!(arp.len(), 6);
         for (vip, owner) in a {
@@ -158,8 +170,11 @@ pub(crate) mod tests {
         c.run_for(Duration::from_secs(2));
         let before = owners(&mgrs[&NodeId(0)]);
         let victim = NodeId(2);
-        let moved: Vec<VipId> =
-            before.iter().filter(|(_, &o)| o == victim).map(|(&v, _)| v).collect();
+        let moved: Vec<VipId> = before
+            .iter()
+            .filter(|(_, &o)| o == victim)
+            .map(|(&v, _)| v)
+            .collect();
         assert!(!moved.is_empty());
         c.crash(victim);
         let t_crash = c.now();
@@ -197,7 +212,11 @@ pub(crate) mod tests {
         c.run_for(Duration::from_secs(2));
         let a = owners(&mgrs[&NodeId(0)]);
         let (vip, old) = a.iter().next().map(|(&v, &o)| (v, o)).unwrap();
-        let to = if old == NodeId(0) { NodeId(1) } else { NodeId(0) };
+        let to = if old == NodeId(0) {
+            NodeId(1)
+        } else {
+            NodeId(0)
+        };
         {
             let s = c.session_mut(old).unwrap();
             mgrs[&old].borrow_mut().move_vip(s, vip, to).unwrap();
@@ -230,8 +249,7 @@ mod rebalance_tests {
         }
         // The restarted process rebuilds its VIP manager from scratch.
         c.restart(NodeId(1), StartMode::Joining).unwrap();
-        let (app, _mgr1, _log) =
-            VipApp::new(VipManager::new(NodeId(1), pool(4)), arp.clone());
+        let (app, _mgr1, _log) = VipApp::new(VipManager::new(NodeId(1), pool(4)), arp.clone());
         c.set_app(NodeId(1), Box::new(app)).unwrap();
         c.run_for(raincore_types::Duration::from_secs(3));
         let m0 = mgrs[&NodeId(0)].borrow();

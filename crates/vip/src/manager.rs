@@ -195,8 +195,7 @@ impl VipManager {
 
     /// Unpinned VIPs per member.
     fn member_loads(&self, session: &SessionNode) -> BTreeMap<NodeId, usize> {
-        let mut load: BTreeMap<NodeId, usize> =
-            session.ring().iter().map(|m| (m, 0)).collect();
+        let mut load: BTreeMap<NodeId, usize> = session.ring().iter().map(|m| (m, 0)).collect();
         for (vip, owner) in &self.assignment {
             if self.pool.contains(vip) && !self.pinned.contains(vip) {
                 if let Some(l) = load.get_mut(owner) {
@@ -220,7 +219,10 @@ impl VipManager {
     /// Administratively moves a VIP (load balancing, §3.1: "the virtual
     /// IPs can also be moved for load balancing or other reasons").
     pub fn move_vip(&mut self, session: &mut SessionNode, vip: VipId, to: NodeId) -> Result<()> {
-        let batch = AssignBatch { assigns: vec![(vip, to)], pinned: true };
+        let batch = AssignBatch {
+            assigns: vec![(vip, to)],
+            pinned: true,
+        };
         session.multicast(DeliveryMode::Agreed, batch.to_payload())?;
         Ok(())
     }
@@ -266,18 +268,23 @@ impl VipManager {
         }
         let mut load: BTreeMap<NodeId, usize> = members.iter().map(|&m| (m, 0)).collect();
         for (&vip, &owner) in &self.assignment {
-            if members.contains(&owner) && self.pool.contains(&vip) && !self.pinned.contains(&vip)
-            {
+            if members.contains(&owner) && self.pool.contains(&vip) && !self.pinned.contains(&vip) {
                 *load.get_mut(&owner).expect("member") += 1;
             }
         }
         let mut assigns = Vec::new();
         for &vip in &self.pool {
-            let ok = self.assignment.get(&vip).is_some_and(|o| members.contains(o));
+            let ok = self
+                .assignment
+                .get(&vip)
+                .is_some_and(|o| members.contains(o));
             if ok {
                 continue;
             }
-            let (&target, _) = load.iter().min_by_key(|(id, &l)| (l, **id)).expect("non-empty");
+            let (&target, _) = load
+                .iter()
+                .min_by_key(|(id, &l)| (l, **id))
+                .expect("non-empty");
             assigns.push((vip, target));
             *load.get_mut(&target).expect("member") += 1;
         }
@@ -298,7 +305,10 @@ impl VipManager {
             effective.insert(v, o);
         }
         loop {
-            let (&lo_id, &lo) = load.iter().min_by_key(|(id, &l)| (l, **id)).expect("non-empty");
+            let (&lo_id, &lo) = load
+                .iter()
+                .min_by_key(|(id, &l)| (l, **id))
+                .expect("non-empty");
             let (&hi_id, &hi) = load
                 .iter()
                 .max_by_key(|(id, &l)| (l, u32::MAX - id.raw()))
@@ -319,7 +329,10 @@ impl VipManager {
         if assigns.is_empty() {
             None
         } else {
-            Some(AssignBatch { assigns, pinned: false })
+            Some(AssignBatch {
+                assigns,
+                pinned: false,
+            })
         }
     }
 
@@ -337,7 +350,10 @@ impl VipManager {
             let old = self.assignment.insert(vip, node);
             if node == self.me && old != Some(self.me) {
                 self.events.push_back(VipEvent::Acquired(vip));
-                self.events.push_back(VipEvent::GratuitousArp { vip, owner: self.me });
+                self.events.push_back(VipEvent::GratuitousArp {
+                    vip,
+                    owner: self.me,
+                });
             } else if old == Some(self.me) && node != self.me {
                 self.events.push_back(VipEvent::Lost(vip));
             }
@@ -363,13 +379,22 @@ mod tests {
     #[test]
     fn apply_emits_acquire_lose_and_arp() {
         let mut m = VipManager::new(NodeId(1), vec![VipId(0), VipId(1)]);
-        m.apply(&AssignBatch { assigns: vec![(VipId(0), NodeId(1))], pinned: false });
+        m.apply(&AssignBatch {
+            assigns: vec![(VipId(0), NodeId(1))],
+            pinned: false,
+        });
         assert_eq!(m.poll_event(), Some(VipEvent::Acquired(VipId(0))));
         assert_eq!(
             m.poll_event(),
-            Some(VipEvent::GratuitousArp { vip: VipId(0), owner: NodeId(1) })
+            Some(VipEvent::GratuitousArp {
+                vip: VipId(0),
+                owner: NodeId(1)
+            })
         );
-        m.apply(&AssignBatch { assigns: vec![(VipId(0), NodeId(2))], pinned: false });
+        m.apply(&AssignBatch {
+            assigns: vec![(VipId(0), NodeId(2))],
+            pinned: false,
+        });
         assert_eq!(m.poll_event(), Some(VipEvent::Lost(VipId(0))));
         assert_eq!(m.owner_of(VipId(0)), Some(NodeId(2)));
         assert!(m.my_vips().is_empty());
@@ -378,7 +403,10 @@ mod tests {
     #[test]
     fn unknown_vips_ignored() {
         let mut m = VipManager::new(NodeId(1), vec![VipId(0)]);
-        m.apply(&AssignBatch { assigns: vec![(VipId(9), NodeId(1))], pinned: false });
+        m.apply(&AssignBatch {
+            assigns: vec![(VipId(9), NodeId(1))],
+            pinned: false,
+        });
         assert_eq!(m.owner_of(VipId(9)), None);
         assert!(m.poll_event().is_none());
     }

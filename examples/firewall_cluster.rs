@@ -13,7 +13,13 @@ use raincore::rainwall::{Scenario, ScenarioCfg};
 use raincore::types::{Duration, NodeId, Time};
 
 fn main() {
-    let cfg = ScenarioCfg { gateways: 2, clients: 8, servers: 8, vips: 4, ..Default::default() };
+    let cfg = ScenarioCfg {
+        gateways: 2,
+        clients: 8,
+        servers: 8,
+        vips: 4,
+        ..Default::default()
+    };
     let mut s = Scenario::build(cfg).expect("scenario");
 
     println!("== warm-up and steady state ==");

@@ -32,9 +32,12 @@ fn main() {
     );
 
     println!("\n== global multicasts from three different groups ==");
-    h.multicast_global(NodeId(1), Bytes::from_static(b"from group 0")).unwrap();
-    h.multicast_global(NodeId(6), Bytes::from_static(b"from group 1")).unwrap();
-    h.multicast_global(NodeId(14), Bytes::from_static(b"from group 3")).unwrap();
+    h.multicast_global(NodeId(1), Bytes::from_static(b"from group 0"))
+        .unwrap();
+    h.multicast_global(NodeId(6), Bytes::from_static(b"from group 1"))
+        .unwrap();
+    h.multicast_global(NodeId(14), Bytes::from_static(b"from group 3"))
+        .unwrap();
     h.run_for(Duration::from_secs(2));
 
     let reference = h.global_deliveries(NodeId(0));
@@ -42,7 +45,10 @@ fn main() {
     for (origin, _, payload) in &reference {
         println!("  {} -> {:?}", origin, String::from_utf8_lossy(payload));
     }
-    let all_agree = h.member_ids().iter().all(|&m| h.global_deliveries(m) == reference);
+    let all_agree = h
+        .member_ids()
+        .iter()
+        .all(|&m| h.global_deliveries(m) == reference);
     println!("all 16 members agree on the global total order: {all_agree}");
 
     println!("\n== per-member overhead ==");

@@ -37,7 +37,8 @@ fn main() {
         let (head, tail) = lms.split_at_mut(i as usize + 1);
         let lm = &mut head[i as usize];
         let _ = tail; // (split silences the borrow checker; only lm is used)
-        lm.lock(cluster.session_mut(NodeId(i)).unwrap(), "database").unwrap();
+        lm.lock(cluster.session_mut(NodeId(i)).unwrap(), "database")
+            .unwrap();
     }
     cluster.run_for(Duration::from_secs(1));
     feed(&mut cluster, &mut lms);

@@ -35,7 +35,11 @@ fn main() {
     )
     .unwrap();
     let (app, client) = OpenClientApp::new(client);
-    let mut cluster = builder.plain_host(EXT).app(EXT, Box::new(app)).build().unwrap();
+    let mut cluster = builder
+        .plain_host(EXT)
+        .app(EXT, Box::new(app))
+        .build()
+        .unwrap();
     for i in 0..n {
         cluster
             .session_mut(NodeId(i))
@@ -45,7 +49,10 @@ fn main() {
     }
 
     cluster.run_for(Duration::from_secs(1));
-    println!("group formed: {:?}; external node {EXT} is NOT a member", cluster.groups());
+    println!(
+        "group formed: {:?}; external node {EXT} is NOT a member",
+        cluster.groups()
+    );
 
     println!("\n== the external node submits through member n0 ==");
     let now = cluster.now();
@@ -72,7 +79,10 @@ fn main() {
     cluster.crash(NodeId(0));
     cluster.run_for(Duration::from_secs(1));
     let now = cluster.now();
-    client.borrow_mut().submit(now, Bytes::from_static(b"second report")).unwrap();
+    client
+        .borrow_mut()
+        .submit(now, Bytes::from_static(b"second report"))
+        .unwrap();
     cluster.run_for(Duration::from_secs(2));
     println!("client outcome: {:?}", client.borrow_mut().poll_outcome());
     let survivors = cluster.live_members();

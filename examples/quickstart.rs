@@ -32,13 +32,25 @@ fn main() {
 
     println!("\n== reliable multicast with agreed total ordering ==");
     cluster
-        .multicast(NodeId(1), DeliveryMode::Agreed, Bytes::from_static(b"hello from n1"))
+        .multicast(
+            NodeId(1),
+            DeliveryMode::Agreed,
+            Bytes::from_static(b"hello from n1"),
+        )
         .unwrap();
     cluster
-        .multicast(NodeId(3), DeliveryMode::Agreed, Bytes::from_static(b"hello from n3"))
+        .multicast(
+            NodeId(3),
+            DeliveryMode::Agreed,
+            Bytes::from_static(b"hello from n3"),
+        )
         .unwrap();
     cluster
-        .multicast(NodeId(2), DeliveryMode::Safe, Bytes::from_static(b"safe from n2"))
+        .multicast(
+            NodeId(2),
+            DeliveryMode::Safe,
+            Bytes::from_static(b"safe from n2"),
+        )
         .unwrap();
     cluster.run_for(Duration::from_secs(1));
     for id in cluster.member_ids() {
@@ -61,7 +73,9 @@ fn main() {
     );
 
     println!("\n== node 2 restarts and rejoins via the 911 protocol ==");
-    cluster.restart(NodeId(2), StartMode::Joining).expect("restart");
+    cluster
+        .restart(NodeId(2), StartMode::Joining)
+        .expect("restart");
     cluster.run_for(Duration::from_secs(2));
     println!(
         "membership at node 0: {:?} (converged: {})",

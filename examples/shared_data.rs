@@ -36,18 +36,30 @@ fn main() {
     for i in 0..3u32 {
         let key = format!("status/node-{i}");
         stores[i as usize]
-            .put(cluster.session_mut(NodeId(i)).unwrap(), &key, Bytes::from_static(b"healthy"))
+            .put(
+                cluster.session_mut(NodeId(i)).unwrap(),
+                &key,
+                Bytes::from_static(b"healthy"),
+            )
             .unwrap();
     }
     cluster.run_for(Duration::from_secs(1));
     feed(&mut cluster, &mut stores);
     for (k, v) in stores[2].iter() {
-        println!("  node 2 reads locally: {k} = {:?} (v{})", String::from_utf8_lossy(&v.value), v.version);
+        println!(
+            "  node 2 reads locally: {k} = {:?} (v{})",
+            String::from_utf8_lossy(&v.value),
+            v.version
+        );
     }
 
     println!("\n== lock-free leader election with compare-and-swap ==");
     stores[0]
-        .put(cluster.session_mut(NodeId(0)).unwrap(), "leader", Bytes::from_static(b"-"))
+        .put(
+            cluster.session_mut(NodeId(0)).unwrap(),
+            "leader",
+            Bytes::from_static(b"-"),
+        )
         .unwrap();
     cluster.run_for(Duration::from_secs(1));
     feed(&mut cluster, &mut stores);
@@ -56,7 +68,12 @@ fn main() {
     for i in 0..3u32 {
         let name = format!("node-{i}");
         stores[i as usize]
-            .cas(cluster.session_mut(NodeId(i)).unwrap(), "leader", 1, Bytes::from(name.into_bytes()))
+            .cas(
+                cluster.session_mut(NodeId(i)).unwrap(),
+                "leader",
+                1,
+                Bytes::from(name.into_bytes()),
+            )
             .unwrap();
     }
     cluster.run_for(Duration::from_secs(1));
@@ -71,7 +88,11 @@ fn main() {
     for round in 0..4 {
         for i in 0..3u32 {
             stores[i as usize]
-                .add(cluster.session_mut(NodeId(i)).unwrap(), "requests-served", 100 + round)
+                .add(
+                    cluster.session_mut(NodeId(i)).unwrap(),
+                    "requests-served",
+                    100 + round,
+                )
                 .unwrap();
         }
     }
@@ -80,6 +101,7 @@ fn main() {
     println!(
         "  requests-served = {} on every replica: {}",
         stores[1].get_i64("requests-served"),
-        (0..3).all(|i| stores[i].get_i64("requests-served") == stores[0].get_i64("requests-served"))
+        (0..3)
+            .all(|i| stores[i].get_i64("requests-served") == stores[0].get_i64("requests-served"))
     );
 }

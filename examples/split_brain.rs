@@ -32,16 +32,36 @@ fn main() {
     println!("sub-groups: {:?}", cluster.groups());
 
     // Both islands keep multicasting internally.
-    cluster.multicast(NodeId(0), DeliveryMode::Agreed, Bytes::from_static(b"west side")).unwrap();
-    cluster.multicast(NodeId(4), DeliveryMode::Agreed, Bytes::from_static(b"east side")).unwrap();
+    cluster
+        .multicast(
+            NodeId(0),
+            DeliveryMode::Agreed,
+            Bytes::from_static(b"west side"),
+        )
+        .unwrap();
+    cluster
+        .multicast(
+            NodeId(4),
+            DeliveryMode::Agreed,
+            Bytes::from_static(b"east side"),
+        )
+        .unwrap();
     cluster.run_for(Duration::from_secs(1));
     println!(
         "node 2 heard: {:?}",
-        cluster.deliveries(NodeId(2)).iter().map(|d| String::from_utf8_lossy(&d.payload).into_owned()).collect::<Vec<_>>()
+        cluster
+            .deliveries(NodeId(2))
+            .iter()
+            .map(|d| String::from_utf8_lossy(&d.payload).into_owned())
+            .collect::<Vec<_>>()
     );
     println!(
         "node 5 heard: {:?}",
-        cluster.deliveries(NodeId(5)).iter().map(|d| String::from_utf8_lossy(&d.payload).into_owned()).collect::<Vec<_>>()
+        cluster
+            .deliveries(NodeId(5))
+            .iter()
+            .map(|d| String::from_utf8_lossy(&d.payload).into_owned())
+            .collect::<Vec<_>>()
     );
 
     println!("\n== connectivity returns: discovery + merge ==");
@@ -50,15 +70,27 @@ fn main() {
     println!("groups after merge: {:?}", cluster.groups());
     println!("membership converged: {}", cluster.membership_converged());
 
-    let merges: u64 = cluster.member_ids().iter().map(|&id| cluster.metrics(id).merges).sum();
+    let merges: u64 = cluster
+        .member_ids()
+        .iter()
+        .map(|&id| cluster.metrics(id).merges)
+        .sum();
     println!("token merges performed: {merges}");
 
     // Post-merge, a multicast reaches all six again.
-    cluster.multicast(NodeId(5), DeliveryMode::Agreed, Bytes::from_static(b"rejoined")).unwrap();
+    cluster
+        .multicast(
+            NodeId(5),
+            DeliveryMode::Agreed,
+            Bytes::from_static(b"rejoined"),
+        )
+        .unwrap();
     cluster.run_for(Duration::from_secs(1));
-    let everyone = cluster
-        .member_ids()
-        .iter()
-        .all(|&id| cluster.deliveries(id).iter().any(|d| d.payload == Bytes::from_static(b"rejoined")));
+    let everyone = cluster.member_ids().iter().all(|&id| {
+        cluster
+            .deliveries(id)
+            .iter()
+            .any(|d| d.payload == Bytes::from_static(b"rejoined"))
+    });
     println!("post-merge multicast reached all six nodes: {everyone}");
 }

@@ -69,7 +69,12 @@ fn main() {
 
     std::thread::sleep(std::time::Duration::from_millis(300));
     println!("\n== multicasting over real UDP ==");
-    nodes[1].multicast(DeliveryMode::Agreed, Bytes::from_static(b"packet over the wire")).unwrap();
+    nodes[1]
+        .multicast(
+            DeliveryMode::Agreed,
+            Bytes::from_static(b"packet over the wire"),
+        )
+        .unwrap();
 
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
     'outer: for (i, node) in nodes.iter().enumerate() {
@@ -77,11 +82,28 @@ fn main() {
             if let Some(SessionEvent::Delivery(d)) =
                 node.recv_event(std::time::Duration::from_millis(200))
             {
-                println!("node {i} delivered: {:?} from {}", String::from_utf8_lossy(&d.payload), d.origin);
+                println!(
+                    "node {i} delivered: {:?} from {}",
+                    String::from_utf8_lossy(&d.payload),
+                    d.origin
+                );
                 continue 'outer;
             }
         }
         panic!("node {i} never saw the multicast");
+    }
+
+    println!("\n== live observability snapshot of node 0 ==");
+    if let Some(dump) = nodes[0].obs_dump() {
+        for line in dump.prometheus.lines().filter(|l| {
+            l.starts_with("raincore_session_tokens_received")
+                || l.starts_with("raincore_transport_rtt_ns_p50")
+        }) {
+            println!("{line}");
+        }
+        if let Some(ev) = dump.journal.lines().find(|l| l.contains("TOKEN_RX")) {
+            println!("first token in the trace journal: {ev}");
+        }
     }
 
     println!("\n== node 2 leaves; survivors heal the membership ==");

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints and the whole test suite.
+# CI runs exactly this script, so a green ./scripts/check.sh means a
+# green pipeline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "OK"

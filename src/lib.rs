@@ -12,6 +12,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`types`] | `raincore-types` | ids, time, wire codec, messages, ring, config |
+//! | [`obs`] | `raincore-obs` | histograms, metric registry, trace journals, exporters |
 //! | [`net`] | `raincore-net` | simulated networks (switch/hub) + UDP backend |
 //! | [`transport`] | `raincore-transport` | atomic reliable unicast, failure-on-delivery |
 //! | [`session`] | `raincore-session` | token ring, 911, discovery/merge, multicast, mutex |
@@ -43,6 +44,7 @@ pub use raincore_data as data;
 pub use raincore_dlm as dlm;
 pub use raincore_hier as hier;
 pub use raincore_net as net;
+pub use raincore_obs as obs;
 pub use raincore_rainwall as rainwall;
 pub use raincore_session as session;
 pub use raincore_sim as sim;

@@ -19,10 +19,77 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 enum Cmd {
-    Multicast(DeliveryMode, bytes::Bytes, Sender<raincore_types::Result<OriginSeq>>),
+    Multicast(
+        DeliveryMode,
+        bytes::Bytes,
+        Sender<raincore_types::Result<OriginSeq>>,
+    ),
     RequestMaster,
     ReleaseMaster,
+    ObsDump(Sender<ObsDump>),
     Leave,
+}
+
+/// Point-in-time observability snapshot of a running node: renderable
+/// metric exports plus the structured trace journal, produced on the
+/// driver thread without stopping the protocol.
+#[derive(Clone, Debug)]
+pub struct ObsDump {
+    /// Prometheus text exposition: session/transport counters and the
+    /// latency histograms (token rotation, hungry wait, 911 recovery,
+    /// RTT, failure-on-delivery), labeled with the node id.
+    pub prometheus: String,
+    /// The same registry as a JSON document.
+    pub json: String,
+    /// Pretty-text trace journal (oldest first).
+    pub journal: String,
+    /// The trace journal as a JSON array.
+    pub journal_json: String,
+}
+
+/// Builds the node's metric registry and renders the dump.
+fn dump_node_obs(node: &SessionNode) -> ObsDump {
+    let r = raincore_obs::Registry::new();
+    let id = node.id().0.to_string();
+    let labels: &[(&str, &str)] = &[("node", id.as_str())];
+    for (name, v) in node.metrics().fields() {
+        r.counter(&format!("raincore_session_{name}"), labels)
+            .add(v);
+    }
+    let ts = node.transport_stats();
+    for (name, v) in [
+        ("msgs_sent", ts.msgs_sent),
+        ("msgs_delivered", ts.msgs_delivered),
+        ("msgs_failed", ts.msgs_failed),
+        ("msgs_received", ts.msgs_received),
+        ("retransmissions", ts.retransmissions),
+        ("duplicates_dropped", ts.duplicates_dropped),
+    ] {
+        r.counter(&format!("raincore_transport_{name}"), labels)
+            .add(v);
+    }
+    let o = node.obs();
+    r.attach_histogram(
+        "raincore_token_rotation_ns",
+        labels,
+        o.token_rotation.clone(),
+    );
+    r.attach_histogram("raincore_hungry_wait_ns", labels, o.hungry_wait.clone());
+    r.attach_histogram("raincore_911_recovery_ns", labels, o.recovery_911.clone());
+    let t = node.transport_obs();
+    r.attach_histogram("raincore_transport_rtt_ns", labels, t.rtt.clone());
+    r.attach_histogram(
+        "raincore_transport_failure_latency_ns",
+        labels,
+        t.failure_latency.clone(),
+    );
+    let snap = r.snapshot();
+    ObsDump {
+        prometheus: snap.to_prometheus(),
+        json: snap.to_json(),
+        journal: o.journal().render_text(),
+        journal_json: o.journal().render_json(),
+    }
 }
 
 /// Handle to a session node running on its own thread over UDP.
@@ -62,6 +129,9 @@ impl RuntimeNode {
                         Cmd::ReleaseMaster => {
                             let _ = node.release_master(t);
                         }
+                        Cmd::ObsDump(reply) => {
+                            let _ = reply.send(dump_node_obs(&node));
+                        }
                         Cmd::Leave => {
                             node.leave(t);
                             leaving = true;
@@ -99,7 +169,11 @@ impl RuntimeNode {
                 }
             }
         })?;
-        Ok(RuntimeNode { cmd_tx, event_rx, handle: Some(handle) })
+        Ok(RuntimeNode {
+            cmd_tx,
+            event_rx,
+            handle: Some(handle),
+        })
     }
 
     /// Queues a reliable atomic multicast; returns its origin sequence.
@@ -128,6 +202,15 @@ impl RuntimeNode {
     /// Leaves the group gracefully and stops the thread.
     pub fn leave(&self) {
         let _ = self.cmd_tx.send(Cmd::Leave);
+    }
+
+    /// Snapshots the node's observability state (Prometheus text, JSON
+    /// metrics, trace journal) from the driver thread. `None` if the node
+    /// has stopped.
+    pub fn obs_dump(&self) -> Option<ObsDump> {
+        let (tx, rx) = unbounded();
+        self.cmd_tx.send(Cmd::ObsDump(tx)).ok()?;
+        rx.recv().ok()
     }
 
     /// Receives the next session event, waiting up to `timeout`.
@@ -159,9 +242,7 @@ mod tests {
     use raincore_net::Addr;
     use raincore_session::StartMode;
     use raincore_transport::PeerTable;
-    use raincore_types::{
-        Duration, Incarnation, NodeId, Ring, SessionConfig, TransportConfig,
-    };
+    use raincore_types::{Duration, Incarnation, NodeId, Ring, SessionConfig, TransportConfig};
     use std::collections::HashMap;
     use std::net::SocketAddr;
 
@@ -224,6 +305,17 @@ mod tests {
             }
         }
         assert!(delivered, "multicast crossed real UDP sockets");
+        // The running node can be snapshotted without stopping it.
+        let dump = nodes[2].obs_dump().expect("obs dump");
+        assert!(dump
+            .prometheus
+            .contains("raincore_session_tokens_received{node=\"2\"}"));
+        assert!(dump
+            .prometheus
+            .contains("# TYPE raincore_token_rotation_ns histogram"));
+        assert!(dump.journal.contains("TOKEN_RX"), "{}", dump.journal);
+        assert!(dump.json.contains("\"name\":\"raincore_transport_rtt_ns\""));
+        assert!(dump.journal_json.starts_with('['));
         for n in &nodes {
             n.leave();
         }

@@ -33,7 +33,9 @@ fn feed(cluster: &mut Cluster, stores: &mut [DataStore]) {
 }
 
 fn state(s: &DataStore) -> Vec<(String, u64, Bytes)> {
-    s.iter().map(|(k, v)| (k.clone(), v.version, v.value.clone())).collect()
+    s.iter()
+        .map(|(k, v)| (k.clone(), v.version, v.value.clone()))
+        .collect()
 }
 
 #[test]
@@ -43,8 +45,13 @@ fn replicas_converge_with_writes_from_every_node() {
     let mut stores: Vec<DataStore> = (0..3).map(|i| DataStore::new(NodeId(i))).collect();
     for i in 0..3u32 {
         let key = format!("owner-{i}");
-        let (store, session) = (&mut stores[i as usize], cluster.session_mut(NodeId(i)).unwrap());
-        store.put(session, &key, Bytes::from(vec![i as u8])).unwrap();
+        let (store, session) = (
+            &mut stores[i as usize],
+            cluster.session_mut(NodeId(i)).unwrap(),
+        );
+        store
+            .put(session, &key, Bytes::from(vec![i as u8]))
+            .unwrap();
     }
     cluster.run_for(Duration::from_secs(1));
     feed(&mut cluster, &mut stores);
@@ -62,15 +69,24 @@ fn concurrent_cas_has_exactly_one_winner() {
     let mut stores: Vec<DataStore> = (0..3).map(|i| DataStore::new(NodeId(i))).collect();
     // Seed a key, let everyone see version 1.
     stores[0]
-        .put(cluster.session_mut(NodeId(0)).unwrap(), "leader", Bytes::from_static(b"none"))
+        .put(
+            cluster.session_mut(NodeId(0)).unwrap(),
+            "leader",
+            Bytes::from_static(b"none"),
+        )
         .unwrap();
     cluster.run_for(Duration::from_secs(1));
     feed(&mut cluster, &mut stores);
     // All three try to claim leadership from the same observed version —
     // the classic shared-memory election, no locks involved.
     for i in 0..3u32 {
-        let (store, session) = (&mut stores[i as usize], cluster.session_mut(NodeId(i)).unwrap());
-        store.cas(session, "leader", 1, Bytes::from(vec![i as u8])).unwrap();
+        let (store, session) = (
+            &mut stores[i as usize],
+            cluster.session_mut(NodeId(i)).unwrap(),
+        );
+        store
+            .cas(session, "leader", 1, Bytes::from(vec![i as u8]))
+            .unwrap();
     }
     cluster.run_for(Duration::from_secs(1));
     feed(&mut cluster, &mut stores);
@@ -78,11 +94,16 @@ fn concurrent_cas_has_exactly_one_winner() {
     let mut wins = 0;
     let mut losses = 0;
     for s in &mut stores {
-        assert_eq!(s.get("leader").unwrap().value, winner, "replicas agree on the winner");
+        assert_eq!(
+            s.get("leader").unwrap().value,
+            winner,
+            "replicas agree on the winner"
+        );
         assert_eq!(s.get("leader").unwrap().version, 2);
         while let Some(ev) = s.poll_event() {
             match ev {
-                DataEvent::Updated { key, by, .. } if key == "leader" && by == NodeId(winner[0] as u32) => {}
+                DataEvent::Updated { key, by, .. }
+                    if key == "leader" && by == NodeId(winner[0] as u32) => {}
                 DataEvent::CasFailed { key, .. } if key == "leader" => losses += 1,
                 _ => {}
             }
@@ -101,9 +122,13 @@ fn counters_accumulate_across_nodes() {
     let mut stores: Vec<DataStore> = (0..4).map(|i| DataStore::new(NodeId(i))).collect();
     for round in 0..5 {
         for i in 0..4u32 {
-            let (store, session) =
-                (&mut stores[i as usize], cluster.session_mut(NodeId(i)).unwrap());
-            store.add(session, "connections", i64::from(i) + round).unwrap();
+            let (store, session) = (
+                &mut stores[i as usize],
+                cluster.session_mut(NodeId(i)).unwrap(),
+            );
+            store
+                .add(session, "connections", i64::from(i) + round)
+                .unwrap();
         }
     }
     cluster.run_for(Duration::from_secs(2));
@@ -124,13 +149,20 @@ fn joiner_receives_leader_snapshot() {
     for i in 0..2 {
         builder = builder.member(NodeId(i), StartMode::Founding(ring.clone()));
     }
-    let mut cluster = builder.member(NodeId(2), StartMode::Joining).build().unwrap();
+    let mut cluster = builder
+        .member(NodeId(2), StartMode::Joining)
+        .build()
+        .unwrap();
     let mut stores: Vec<DataStore> = (0..3).map(|i| DataStore::new(NodeId(i))).collect();
 
     // Give the join a moment to complete, then seed data from node 0.
     cluster.run_for(Duration::from_millis(100));
     stores[0]
-        .put(cluster.session_mut(NodeId(0)).unwrap(), "config", Bytes::from_static(b"v1"))
+        .put(
+            cluster.session_mut(NodeId(0)).unwrap(),
+            "config",
+            Bytes::from_static(b"v1"),
+        )
         .unwrap();
     cluster.run_for(Duration::from_secs(2));
     feed(&mut cluster, &mut stores);
@@ -154,7 +186,11 @@ fn joiner_after_quiescence_synced_by_snapshot() {
     cluster.run_for(Duration::from_secs(1));
     let mut stores: Vec<DataStore> = (0..3).map(|i| DataStore::new(NodeId(i))).collect();
     stores[0]
-        .put(cluster.session_mut(NodeId(0)).unwrap(), "ancient", Bytes::from_static(b"truth"))
+        .put(
+            cluster.session_mut(NodeId(0)).unwrap(),
+            "ancient",
+            Bytes::from_static(b"truth"),
+        )
         .unwrap();
     stores[1]
         .add(cluster.session_mut(NodeId(1)).unwrap(), "hits", 41)
@@ -180,7 +216,11 @@ fn joiner_after_quiescence_synced_by_snapshot() {
     cluster.run_for(Duration::from_secs(1));
     let mut stores: Vec<DataStore> = (0..3).map(|i| DataStore::new(NodeId(i))).collect();
     stores[0]
-        .put(cluster.session_mut(NodeId(0)).unwrap(), "ancient", Bytes::from_static(b"truth"))
+        .put(
+            cluster.session_mut(NodeId(0)).unwrap(),
+            "ancient",
+            Bytes::from_static(b"truth"),
+        )
         .unwrap();
     cluster.run_for(Duration::from_secs(1));
     feed(&mut cluster, &mut stores);

@@ -63,13 +63,19 @@ impl NodeApp for Contender {
             return;
         }
         self.next_check = ctl.now + Duration::from_millis(5);
-        let Some(session) = ctl.session.as_deref_mut() else { return };
+        let Some(session) = ctl.session.as_deref_mut() else {
+            return;
+        };
         if let Some(since) = self.inside_since {
             // Leave the section after the hold time.
             if ctl.now.since(since) >= self.hold {
                 self.inside_since = None;
-                if let Some(entry) =
-                    self.log.borrow_mut().iter_mut().rev().find(|e| e.0 == self.me && e.2.is_none())
+                if let Some(entry) = self
+                    .log
+                    .borrow_mut()
+                    .iter_mut()
+                    .rev()
+                    .find(|e| e.0 == self.me && e.2.is_none())
                 {
                     entry.2 = Some(ctl.now);
                 }
@@ -104,7 +110,12 @@ fn critical_sections_never_overlap() {
             .member(NodeId(i), StartMode::Founding(ring.clone()))
             .app(
                 NodeId(i),
-                Box::new(Contender::new(NodeId(i), 4, Duration::from_millis(15), log.clone())),
+                Box::new(Contender::new(
+                    NodeId(i),
+                    4,
+                    Duration::from_millis(15),
+                    log.clone(),
+                )),
             );
     }
     let mut cluster = builder.build().unwrap();
@@ -117,7 +128,10 @@ fn critical_sections_never_overlap() {
     );
     // Every section closed.
     for (node, enter, exit) in &sections {
-        assert!(exit.is_some(), "{node} never left its section entered at {enter}");
+        assert!(
+            exit.is_some(),
+            "{node} never left its section entered at {enter}"
+        );
     }
     // No two sections overlap (exit_i <= enter_{i+1} in time order). The
     // exit timestamp is when the holder *sent* its release, which is
@@ -156,7 +170,12 @@ fn contender_survives_member_crash_mid_section() {
             .app(
                 NodeId(i),
                 // Long hold: node 1 will die while inside.
-                Box::new(Contender::new(NodeId(i), 2, Duration::from_millis(200), log.clone())),
+                Box::new(Contender::new(
+                    NodeId(i),
+                    2,
+                    Duration::from_millis(200),
+                    log.clone(),
+                )),
             );
     }
     let mut cluster = builder.build().unwrap();

@@ -46,16 +46,28 @@ fn locks_and_vips_coexist_on_one_group() {
 
     // Run a lock protocol on top of the same group.
     let mut lms: Vec<LockManager> = (0..3).map(|i| LockManager::new(NodeId(i))).collect();
-    lms[0].lock(cluster.session_mut(NodeId(0)).unwrap(), "config").unwrap();
-    lms[2].lock(cluster.session_mut(NodeId(2)).unwrap(), "config").unwrap();
+    lms[0]
+        .lock(cluster.session_mut(NodeId(0)).unwrap(), "config")
+        .unwrap();
+    lms[2]
+        .lock(cluster.session_mut(NodeId(2)).unwrap(), "config")
+        .unwrap();
     cluster.run_for(Duration::from_secs(1));
     for i in 0..3u32 {
         for ev in cluster.take_events(NodeId(i)) {
             lms[i as usize].apply(&ev);
         }
     }
-    assert_eq!(lms[0].owner("config"), Some(NodeId(0)), "first request wins");
-    assert_eq!(lms[1].owner("config"), lms[0].owner("config"), "replicas agree");
+    assert_eq!(
+        lms[0].owner("config"),
+        Some(NodeId(0)),
+        "first request wins"
+    );
+    assert_eq!(
+        lms[1].owner("config"),
+        lms[0].owner("config"),
+        "replicas agree"
+    );
     assert_eq!(lms[0].waiters("config"), vec![NodeId(2)]);
     // And the VIP assignment was untouched by the lock traffic.
     assert_eq!(*mgrs[0].borrow().assignment(), assignment);
@@ -69,20 +81,33 @@ fn repeated_crash_restart_cycles_stay_consistent() {
         let victim = NodeId(1 + (round % 3));
         cluster.crash(victim);
         cluster.run_for(Duration::from_secs(1));
-        assert!(cluster.membership_converged(), "round {round}: shrink converged");
+        assert!(
+            cluster.membership_converged(),
+            "round {round}: shrink converged"
+        );
         assert_eq!(cluster.live_members().len(), 3);
         cluster.restart(victim, StartMode::Joining).unwrap();
         cluster.run_for(Duration::from_secs(2));
-        assert!(cluster.membership_converged(), "round {round}: rejoin converged");
+        assert!(
+            cluster.membership_converged(),
+            "round {round}: rejoin converged"
+        );
         assert_eq!(cluster.live_members().len(), 4);
         // The ring still multicasts correctly after every cycle.
         cluster
-            .multicast(NodeId(0), DeliveryMode::Agreed, Bytes::from(vec![round as u8]))
+            .multicast(
+                NodeId(0),
+                DeliveryMode::Agreed,
+                Bytes::from(vec![round as u8]),
+            )
             .unwrap();
         cluster.run_for(Duration::from_millis(500));
         for id in cluster.live_members() {
             assert!(
-                cluster.deliveries(id).iter().any(|d| d.payload == vec![round as u8]),
+                cluster
+                    .deliveries(id)
+                    .iter()
+                    .any(|d| d.payload == vec![round as u8]),
                 "round {round}: node {id} missed the probe"
             );
         }
@@ -100,7 +125,10 @@ fn cascade_down_to_singleton_and_back() {
         cluster.run_for(Duration::from_secs(1));
     }
     assert_eq!(cluster.live_members(), vec![NodeId(0)]);
-    assert!(cluster.session(NodeId(0)).unwrap().is_eating(), "singleton holds its own token");
+    assert!(
+        cluster.session(NodeId(0)).unwrap().is_eating(),
+        "singleton holds its own token"
+    );
     cluster
         .multicast(NodeId(0), DeliveryMode::Safe, Bytes::from_static(b"alone"))
         .unwrap();
@@ -130,8 +158,11 @@ fn graceful_leave_hands_over_without_911() {
     assert_eq!(cluster.live_members().len(), 2);
     assert!(cluster.membership_converged());
     // No 911 was needed: the token was handed over, not lost.
-    let regens: u64 =
-        cluster.live_members().iter().map(|&id| cluster.metrics(id).regenerations).sum();
+    let regens: u64 = cluster
+        .live_members()
+        .iter()
+        .map(|&id| cluster.metrics(id).regenerations)
+        .sum();
     assert_eq!(regens, 0, "graceful leave must not trigger token recovery");
 }
 
@@ -139,7 +170,11 @@ fn graceful_leave_hands_over_without_911() {
 fn master_lock_survives_holder_crash() {
     let mut cluster = Cluster::founding(3, fast_cfg()).unwrap();
     cluster.run_for(Duration::from_secs(1));
-    cluster.session_mut(NodeId(1)).unwrap().request_master().unwrap();
+    cluster
+        .session_mut(NodeId(1))
+        .unwrap()
+        .request_master()
+        .unwrap();
     // Wait until node 1 actually holds the master lock.
     let mut held = false;
     cluster.run_until_with(cluster.now() + Duration::from_secs(1), |c| {
@@ -152,7 +187,11 @@ fn master_lock_survives_holder_crash() {
     // 911 regenerated the token; the survivors' ring works again.
     assert_eq!(cluster.live_members().len(), 2);
     assert!(cluster.membership_converged());
-    cluster.session_mut(NodeId(2)).unwrap().request_master().unwrap();
+    cluster
+        .session_mut(NodeId(2))
+        .unwrap()
+        .request_master()
+        .unwrap();
     let mut reacquired = false;
     cluster.run_until_with(cluster.now() + Duration::from_secs(1), |c| {
         reacquired |= c.session(NodeId(2)).is_some_and(|s| s.holds_master());
@@ -168,7 +207,9 @@ fn safe_multicast_blocked_by_partition_completes_after_merge() {
     // within the sub-group (membership shrank to the island).
     cluster.partition(&[&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]]);
     cluster.run_for(Duration::from_secs(2));
-    cluster.multicast(NodeId(0), DeliveryMode::Safe, Bytes::from_static(b"island")).unwrap();
+    cluster
+        .multicast(NodeId(0), DeliveryMode::Safe, Bytes::from_static(b"island"))
+        .unwrap();
     cluster.run_for(Duration::from_secs(1));
     assert!(cluster
         .deliveries(NodeId(1))
@@ -178,11 +219,16 @@ fn safe_multicast_blocked_by_partition_completes_after_merge() {
     cluster.heal();
     cluster.run_for(Duration::from_secs(5));
     assert_eq!(cluster.groups().len(), 1);
-    cluster.multicast(NodeId(3), DeliveryMode::Safe, Bytes::from_static(b"whole")).unwrap();
+    cluster
+        .multicast(NodeId(3), DeliveryMode::Safe, Bytes::from_static(b"whole"))
+        .unwrap();
     cluster.run_for(Duration::from_secs(1));
     for id in cluster.live_members() {
         assert!(
-            cluster.deliveries(id).iter().any(|d| d.payload == Bytes::from_static(b"whole")),
+            cluster
+                .deliveries(id)
+                .iter()
+                .any(|d| d.payload == Bytes::from_static(b"whole")),
             "node {id}"
         );
     }
@@ -201,7 +247,8 @@ fn events_expose_the_protocol_lifecycle() {
         "survivor starved while the token was lost"
     );
     assert!(
-        evs.iter().any(|e| matches!(e, SessionEvent::TokenRegenerated { .. })),
+        evs.iter()
+            .any(|e| matches!(e, SessionEvent::TokenRegenerated { .. })),
         "and regenerated it: {evs:?}"
     );
     assert!(evs.iter().any(

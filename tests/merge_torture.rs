@@ -63,7 +63,7 @@ fn script_from(
                 script = script.at(t, Fault::Heal);
             }
         }
-        t = t + gap;
+        t += gap;
     }
     // Disturbances end: restore everything for the quiescent phase.
     for v in crashed {

@@ -31,7 +31,10 @@ fn cfg(loss: f64, seed: u64) -> ClusterConfig {
 }
 
 fn delivery_keys(c: &Cluster, id: NodeId) -> Vec<(NodeId, OriginSeq, u8)> {
-    c.deliveries(id).iter().map(|d| (d.origin, d.seq, d.payload[0])).collect()
+    c.deliveries(id)
+        .iter()
+        .map(|d| (d.origin, d.seq, d.payload[0]))
+        .collect()
 }
 
 fn is_prefix<T: PartialEq>(a: &[T], b: &[T]) -> bool {
@@ -152,8 +155,14 @@ fn delivery_sequences_identical_after_quiescence_with_mixed_modes() {
     let mut cluster = Cluster::founding(5, cfg(0.05, 99)).unwrap();
     cluster.run_for(Duration::from_secs(1));
     for i in 0..30u8 {
-        let mode = if i % 4 == 0 { DeliveryMode::Safe } else { DeliveryMode::Agreed };
-        cluster.multicast(NodeId(u32::from(i) % 5), mode, Bytes::from(vec![i])).unwrap();
+        let mode = if i % 4 == 0 {
+            DeliveryMode::Safe
+        } else {
+            DeliveryMode::Agreed
+        };
+        cluster
+            .multicast(NodeId(u32::from(i) % 5), mode, Bytes::from(vec![i]))
+            .unwrap();
         cluster.run_for(Duration::from_millis(2));
     }
     cluster.run_for(Duration::from_secs(10));
