@@ -134,7 +134,7 @@ impl BroadcastNode {
     }
 
     fn sequencer(&self) -> NodeId {
-        *self.members.iter().min().expect("non-empty members")
+        self.members.iter().min().copied().unwrap_or(self.id)
     }
 
     fn others(&self) -> Vec<NodeId> {
@@ -353,14 +353,14 @@ impl BroadcastNode {
             .map(|(&k, _)| k)
             .collect();
         for oseq in due {
-            let (payload, targets) = {
-                let p = self.pending.get_mut(&oseq).expect("due");
-                p.next_retry = now + self.retry_timeout;
-                (
-                    p.payload.clone(),
-                    p.unacked.iter().copied().collect::<Vec<_>>(),
-                )
+            let Some(p) = self.pending.get_mut(&oseq) else {
+                continue;
             };
+            p.next_retry = now + self.retry_timeout;
+            let (payload, targets) = (
+                p.payload.clone(),
+                p.unacked.iter().copied().collect::<Vec<_>>(),
+            );
             for m in targets {
                 let msg = BMsg::Pub {
                     origin: self.id,

@@ -616,21 +616,26 @@ impl SessionNode {
                 self.obs.tick(now);
                 self.obs.trace(TraceKind::PeerFailed { peer: to.0 });
                 let aggressive = self.cfg.detection == DetectionMode::Aggressive;
-                if self.forwarding.as_ref().is_some_and(|f| f.msg_id == msg_id) {
-                    // The pass we are blocked on failed: skip the dead
-                    // successor and hand the token onward (§2.2).
-                    let mut f = self.forwarding.take().expect("checked");
-                    if aggressive {
-                        f.token.ring.remove(to);
-                        self.remove_member_locally(to);
+                match self.forwarding.take() {
+                    Some(mut f) if f.msg_id == msg_id => {
+                        // The pass we are blocked on failed: skip the dead
+                        // successor and hand the token onward (§2.2).
+                        if aggressive {
+                            f.token.ring.remove(to);
+                            self.remove_member_locally(to);
+                        }
+                        self.resend_token(now, f.token, to);
                     }
-                    self.resend_token(now, f.token, to);
-                } else if aggressive {
-                    // A stale pass failed after we already moved on: still
-                    // treat it as a failure detection of `to`.
-                    self.remove_member_locally(to);
-                    if let State::Eating { token, .. } = &mut self.state {
-                        token.ring.remove(to);
+                    other => {
+                        self.forwarding = other;
+                        if aggressive {
+                            // A stale pass failed after we already moved on:
+                            // still treat it as a failure detection of `to`.
+                            self.remove_member_locally(to);
+                            if let State::Eating { token, .. } = &mut self.state {
+                                token.ring.remove(to);
+                            }
+                        }
                     }
                 }
             }
@@ -711,20 +716,16 @@ impl SessionNode {
     }
 
     fn on_tbm_token(&mut self, now: Time, mut t: Token) {
-        match &self.state {
-            State::Eating { .. } => {
+        match std::mem::replace(&mut self.state, State::Hungry { since: now }) {
+            State::Eating { token: ours, .. } => {
                 // Our own token is in hand: merge right away.
-                let State::Eating { token: ours, .. } =
-                    std::mem::replace(&mut self.state, State::Hungry { since: now })
-                else {
-                    unreachable!()
-                };
                 let merged = self.merge_tokens(ours, t);
                 self.last_copy = Some(merged.clone());
                 self.last_seen_seq = merged.seq;
                 self.become_eating(now, merged);
             }
-            _ if self.last_copy.is_none() => {
+            prev if self.last_copy.is_none() => {
+                self.state = prev;
                 // We never had a token of our own (fresh joiner): the TBM
                 // token simply becomes ours.
                 t.tbm = false;
@@ -734,8 +735,9 @@ impl SessionNode {
                 self.metrics.merges += 1;
                 self.become_eating(now, t);
             }
-            _ => {
+            prev => {
                 // Hold it until our own group's token arrives (§2.4).
+                self.state = prev;
                 self.held_tbm = Some(t);
             }
         }
@@ -876,11 +878,10 @@ impl SessionNode {
 
     /// Delivers the ready prefix of the hold-back queue, in token order.
     fn drain_holdback(&mut self) {
-        while let Some(front) = self.holdback.front() {
-            if !front.ready {
-                return; // an unsafe-to-deliver message blocks the rest
-            }
-            let p = self.holdback.pop_front().expect("front exists");
+        while self.holdback.front().is_some_and(|front| front.ready) {
+            let Some(p) = self.holdback.pop_front() else {
+                return;
+            };
             let fresh = self
                 .delivered
                 .entry(p.origin)

@@ -108,7 +108,15 @@ impl LockManager {
                     self.purge_node(*node);
                 }
             }
-            _ => {}
+            // Enumerated so a new session event is a compile error here:
+            // every variant must be consciously handled or ignored.
+            SessionEvent::MulticastAtomic { .. }
+            | SessionEvent::MasterAcquired
+            | SessionEvent::MasterReleased
+            | SessionEvent::Starving
+            | SessionEvent::TokenRegenerated { .. }
+            | SessionEvent::Merged { .. }
+            | SessionEvent::ShutDown { .. } => {}
         }
     }
 
@@ -166,7 +174,9 @@ impl LockManager {
     fn purge_node(&mut self, node: NodeId) {
         let names: Vec<String> = self.table.keys().cloned().collect();
         for lock in names {
-            let st = self.table.get_mut(&lock).expect("present");
+            let Some(st) = self.table.get_mut(&lock) else {
+                continue;
+            };
             st.waiters.retain(|w| *w != node);
             if st.owner == Some(node) {
                 self.stats.forced_releases += 1;
@@ -181,7 +191,9 @@ impl LockManager {
     }
 
     fn grant_next(&mut self, lock: String) {
-        let st = self.table.get_mut(&lock).expect("present");
+        let Some(st) = self.table.get_mut(&lock) else {
+            return;
+        };
         match st.waiters.pop_front() {
             Some(next) => {
                 st.owner = Some(next);

@@ -1,0 +1,15 @@
+//! Seeded lint fixture: every rule must fire on this tree.
+
+fn handle(msg: SessionMsg) {
+    // no-panic: unwrap in a protocol crate.
+    let token = msg.token().unwrap();
+    // no-panic: explicit panic.
+    if token.seq == 0 {
+        panic!("zero seq");
+    }
+    // exhaustive-dispatch: catch-all over a protocol enum.
+    match msg {
+        SessionMsg::Token(t) => forward(t),
+        _ => {}
+    }
+}

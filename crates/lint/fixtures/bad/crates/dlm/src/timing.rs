@@ -1,0 +1,10 @@
+//! Seeded lint fixture: wall-clock and memory-ordering offenses.
+
+use std::time::Instant;
+
+fn observe(flag: &std::sync::atomic::AtomicBool) -> bool {
+    // relaxed-ordering: control-flow load with Relaxed.
+    let started = Instant::now();
+    let _ = started;
+    flag.load(std::sync::atomic::Ordering::Relaxed)
+}

@@ -1,9 +1,10 @@
 //! Reusable invariant auditors.
 //!
-//! An auditor is fed the cluster after every simulation quantum (via
-//! [`Cluster::run_until_with`]) and accumulates violations of one of the
-//! paper's invariants, so tests assert whole-run properties instead of
-//! sampling end states:
+//! An auditor is fed an [`AuditView`] after every simulation quantum (via
+//! [`Cluster::run_until_with`]) or after every explored action (via the
+//! model checker in [`crate::explore`]) and accumulates violations of one
+//! of the paper's invariants, so tests assert whole-run properties instead
+//! of sampling end states:
 //!
 //! * [`TokenAuditor`] — §2.2/§2.5: "there exists no more than one TOKEN
 //!   in the system at any one time" — per group, at most one member is
@@ -11,11 +12,114 @@
 //! * [`OrderAuditor`] — §2.6 agreed ordering: at every instant, any two
 //!   members' delivery sequences are prefix-compatible (same order, same
 //!   content; they may only differ in progress).
+//! * [`NineElevenAuditor`] — §2.3: the 911 vote elects a *unique* winner
+//!   per recovery, and a caller holding a stale token copy never wins
+//!   while a member with a newer copy is still part of the regenerated
+//!   membership (stale-copy denial).
+//! * [`MembershipAuditor`] — token membership is monotonic with respect
+//!   to observed failures: once a dead node has been purged from every
+//!   live member's view it must not reappear in any view until it is
+//!   actually restarted.
 //!
 //! [`Cluster::run_until_with`]: crate::Cluster::run_until_with
 
 use crate::cluster::Cluster;
-use raincore_types::{GroupId, NodeId, OriginSeq, Time};
+use raincore_types::{GroupId, NodeId, OriginSeq, Ring, Time};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Read-only view of a running cluster that the auditors understand.
+///
+/// Implemented by the wall-clock-free discrete-event [`Cluster`] harness
+/// and by the model checker's [`ModelWorld`](crate::explore::ModelWorld),
+/// so the same invariant code runs over sampled simulation runs *and*
+/// exhaustively explored schedules.
+pub trait AuditView {
+    /// Current virtual time.
+    fn now(&self) -> Time;
+    /// Ids of all session members (alive or not).
+    fn member_ids(&self) -> Vec<NodeId>;
+    /// True if the member is alive and not shut down.
+    fn is_live(&self, id: NodeId) -> bool;
+    /// True if the member currently holds the token (EATING).
+    fn is_eating(&self, id: NodeId) -> bool;
+    /// The member's current group id, if it runs a session.
+    fn group_of(&self, id: NodeId) -> Option<GroupId>;
+    /// The member's current membership view, if it runs a session.
+    fn ring_of(&self, id: NodeId) -> Option<Ring>;
+    /// Sequence number of the member's last received token copy.
+    fn last_copy_seq(&self, id: NodeId) -> u64;
+    /// Number of 911 token regenerations this member has won.
+    fn regenerations(&self, id: NodeId) -> u64;
+    /// The member's multicast delivery log, in delivery order.
+    fn delivery_log(&self, id: NodeId) -> Vec<(NodeId, OriginSeq)>;
+
+    /// Ids of members that are alive and not shut down.
+    fn live_member_ids(&self) -> Vec<NodeId> {
+        self.member_ids()
+            .into_iter()
+            .filter(|&id| self.is_live(id))
+            .collect()
+    }
+
+    /// Invariant check: within each group, at most one member is EATING.
+    /// Returns the violating group if any.
+    fn eating_violation_group(&self) -> Option<GroupId> {
+        let mut count: BTreeMap<GroupId, u32> = BTreeMap::new();
+        for id in self.live_member_ids() {
+            if !self.is_eating(id) {
+                continue;
+            }
+            let Some(g) = self.group_of(id) else { continue };
+            let c = count.entry(g).or_default();
+            *c += 1;
+            if *c > 1 {
+                return Some(g);
+            }
+        }
+        None
+    }
+}
+
+impl AuditView for Cluster {
+    fn now(&self) -> Time {
+        Cluster::now(self)
+    }
+
+    fn member_ids(&self) -> Vec<NodeId> {
+        Cluster::member_ids(self)
+    }
+
+    fn is_live(&self, id: NodeId) -> bool {
+        self.is_alive(id)
+    }
+
+    fn is_eating(&self, id: NodeId) -> bool {
+        self.session(id).is_some_and(|s| s.is_eating())
+    }
+
+    fn group_of(&self, id: NodeId) -> Option<GroupId> {
+        self.session(id).map(|s| s.group_id())
+    }
+
+    fn ring_of(&self, id: NodeId) -> Option<Ring> {
+        self.session(id).map(|s| s.ring().clone())
+    }
+
+    fn last_copy_seq(&self, id: NodeId) -> u64 {
+        self.session(id).map_or(0, |s| s.last_copy_seq())
+    }
+
+    fn regenerations(&self, id: NodeId) -> u64 {
+        self.metrics(id).regenerations
+    }
+
+    fn delivery_log(&self, id: NodeId) -> Vec<(NodeId, OriginSeq)> {
+        self.deliveries(id)
+            .iter()
+            .map(|d| (d.origin, d.seq))
+            .collect()
+    }
+}
 
 /// Whole-run check of token uniqueness per group.
 #[derive(Debug, Default)]
@@ -34,12 +138,17 @@ impl TokenAuditor {
         Self::default()
     }
 
-    /// Observes the cluster (call after every quantum).
-    pub fn observe(&mut self, c: &Cluster) {
+    /// Observes the view (call after every quantum / explored action).
+    pub fn observe(&mut self, v: &impl AuditView) {
         self.observations += 1;
-        self.max_eating = self.max_eating.max(c.eating_nodes().len());
-        if let Some(g) = c.eating_violation() {
-            self.violations.push((c.now(), g));
+        let eating = v
+            .live_member_ids()
+            .into_iter()
+            .filter(|&id| v.is_eating(id))
+            .count();
+        self.max_eating = self.max_eating.max(eating);
+        if let Some(g) = v.eating_violation_group() {
+            self.violations.push((v.now(), g));
         }
     }
 
@@ -64,26 +173,19 @@ impl OrderAuditor {
         Self::default()
     }
 
-    /// Observes the cluster (call after every quantum).
-    pub fn observe(&mut self, c: &Cluster) {
+    /// Observes the view (call after every quantum / explored action).
+    pub fn observe(&mut self, v: &impl AuditView) {
         self.observations += 1;
-        let members = c.member_ids();
-        let seqs: Vec<(NodeId, Vec<(NodeId, OriginSeq)>)> = members
-            .iter()
-            .map(|&id| {
-                (
-                    id,
-                    c.deliveries(id).iter().map(|d| (d.origin, d.seq)).collect(),
-                )
-            })
-            .collect();
+        let members = v.member_ids();
+        let seqs: Vec<(NodeId, Vec<(NodeId, OriginSeq)>)> =
+            members.iter().map(|&id| (id, v.delivery_log(id))).collect();
         for i in 0..seqs.len() {
             for j in (i + 1)..seqs.len() {
                 let (a, sa) = &seqs[i];
                 let (b, sb) = &seqs[j];
                 let n = sa.len().min(sb.len());
                 if sa[..n] != sb[..n] {
-                    self.violations.push((c.now(), *a, *b));
+                    self.violations.push((v.now(), *a, *b));
                 }
             }
         }
@@ -95,11 +197,168 @@ impl OrderAuditor {
     }
 }
 
+#[derive(Debug, Clone)]
+struct NodeSnap {
+    live: bool,
+    regens: u64,
+    copy_seq: u64,
+}
+
+/// Whole-run check of the 911 protocol (§2.3): every recovery elects a
+/// unique winner, and the winner held the newest surviving token copy
+/// among the members it regenerated with (stale-copy denial).
+#[derive(Debug, Default)]
+pub struct NineElevenAuditor {
+    /// `(time, winner, reason)` of every observed violation.
+    pub violations: Vec<(Time, NodeId, String)>,
+    /// Number of observations taken.
+    pub observations: u64,
+    /// Total regenerations observed (diagnostics).
+    pub regenerations_seen: u64,
+    prev: BTreeMap<NodeId, NodeSnap>,
+}
+
+impl NineElevenAuditor {
+    /// Creates an auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes the view (call after every quantum / explored action).
+    pub fn observe(&mut self, v: &impl AuditView) {
+        self.observations += 1;
+        let members = v.member_ids();
+        let snap: BTreeMap<NodeId, NodeSnap> = members
+            .iter()
+            .map(|&id| {
+                (
+                    id,
+                    NodeSnap {
+                        live: v.is_live(id),
+                        regens: v.regenerations(id),
+                        copy_seq: v.last_copy_seq(id),
+                    },
+                )
+            })
+            .collect();
+        // Winners since the last observation. A node restart zeroes the
+        // metric snapshot, so compare only non-decreasing counters.
+        let winners: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|id| {
+                let now_r = snap[id].regens;
+                let before = self.prev.get(id).map_or(now_r, |s| s.regens);
+                now_r > before
+            })
+            .collect();
+        self.regenerations_seen += winners.len() as u64;
+        // (a) Unique winner: two members of one group must never both win
+        // a recovery in the same instant — the grant rule's tie-break
+        // (newer copy, then lower id) makes mutual grants impossible.
+        for (i, &w1) in winners.iter().enumerate() {
+            for &w2 in winners.iter().skip(i + 1) {
+                if v.group_of(w1) == v.group_of(w2) {
+                    self.violations.push((
+                        v.now(),
+                        w1,
+                        format!("nodes {w1} and {w2} both regenerated the token"),
+                    ));
+                }
+            }
+        }
+        // (b) Stale-copy denial: at the moment of regeneration, no member
+        // that is live and still part of the winner's regenerated
+        // membership may have held a strictly newer token copy (its Deny
+        // vote would have stopped the call).
+        for &w in &winners {
+            let Some(ring) = v.ring_of(w) else { continue };
+            let w_copy = self.prev.get(&w).map_or(0, |s| s.copy_seq);
+            for m in ring.iter().filter(|&m| m != w) {
+                let Some(p) = self.prev.get(&m) else { continue };
+                if p.live && p.copy_seq > w_copy {
+                    self.violations.push((
+                        v.now(),
+                        w,
+                        format!(
+                            "node {w} regenerated from copy seq {w_copy} while live \
+                             member {m} held newer copy seq {}",
+                            p.copy_seq
+                        ),
+                    ));
+                }
+            }
+        }
+        self.prev = snap;
+    }
+
+    /// True if no violation was ever observed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Whole-run check that token membership shrinks monotonically under
+/// failures: once a dead node has disappeared from *every* live member's
+/// view, it must not re-enter any view until it is restarted.
+#[derive(Debug, Default)]
+pub struct MembershipAuditor {
+    /// `(time, viewer, resurrected)` of every observed violation.
+    pub violations: Vec<(Time, NodeId, NodeId)>,
+    /// Number of observations taken.
+    pub observations: u64,
+    /// Dead nodes currently purged from every live view.
+    purged: BTreeSet<NodeId>,
+}
+
+impl MembershipAuditor {
+    /// Creates an auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes the view (call after every quantum / explored action).
+    pub fn observe(&mut self, v: &impl AuditView) {
+        self.observations += 1;
+        let members = v.member_ids();
+        let live: Vec<NodeId> = members.iter().copied().filter(|&m| v.is_live(m)).collect();
+        let rings: Vec<(NodeId, Ring)> = live
+            .iter()
+            .filter_map(|&m| v.ring_of(m).map(|r| (m, r)))
+            .collect();
+        // A restarted node is no longer purged.
+        self.purged.retain(|&x| !v.is_live(x));
+        // Resurrection check against the standing purged set.
+        for &(viewer, ref ring) in &rings {
+            for &x in &self.purged {
+                if ring.contains(x) {
+                    self.violations.push((v.now(), viewer, x));
+                }
+            }
+        }
+        // Refresh the purged set: dead nodes absent from every live view.
+        for &x in &members {
+            if v.is_live(x) {
+                continue;
+            }
+            if rings.iter().all(|(_, r)| !r.contains(x)) {
+                self.purged.insert(x);
+            }
+        }
+    }
+
+    /// True if no violation was ever observed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cluster::ClusterConfig;
     use bytes::Bytes;
+    use raincore_session::StartMode;
     use raincore_types::{DeliveryMode, Duration};
 
     fn fast_cfg() -> ClusterConfig {
@@ -139,9 +398,13 @@ mod tests {
         let mut c = Cluster::founding(4, fast_cfg()).unwrap();
         let mut tokens = TokenAuditor::new();
         let mut orders = OrderAuditor::new();
+        let mut nines = NineElevenAuditor::new();
+        let mut membership = MembershipAuditor::new();
         c.run_until_with(Time::ZERO + Duration::from_secs(1), |c| {
             tokens.observe(c);
             orders.observe(c);
+            nines.observe(c);
+            membership.observe(c);
         });
         // Crash the token holder (forces a 911 regeneration)…
         if let Some(h) = c.eating_nodes().pop() {
@@ -151,7 +414,10 @@ mod tests {
         c.run_until_with(t + Duration::from_secs(2), |c| {
             tokens.observe(c);
             orders.observe(c);
+            nines.observe(c);
+            membership.observe(c);
         });
+        assert_eq!(nines.regenerations_seen, 1, "exactly one 911 winner");
         // …then partition and heal (forces a merge).
         let live = c.live_members();
         let (a, b) = live.split_at(live.len() / 2);
@@ -168,5 +434,49 @@ mod tests {
         assert!(c.membership_converged());
         assert!(tokens.ok(), "{:?}", tokens.violations);
         assert!(orders.ok(), "{:?}", orders.violations);
+        assert!(nines.ok(), "{:?}", nines.violations);
+        assert!(membership.ok(), "{:?}", membership.violations);
+    }
+
+    #[test]
+    fn nine_eleven_audit_clean_across_holder_crashes() {
+        let mut c = Cluster::founding(5, fast_cfg()).unwrap();
+        let mut nines = NineElevenAuditor::new();
+        let mut membership = MembershipAuditor::new();
+        c.run_until_with(Time::ZERO + Duration::from_secs(1), |c| {
+            nines.observe(c);
+            membership.observe(c);
+        });
+        for _ in 0..2 {
+            if let Some(h) = c.eating_nodes().pop() {
+                c.crash(h);
+            }
+            let t = c.now();
+            c.run_until_with(t + Duration::from_secs(2), |c| {
+                nines.observe(c);
+                membership.observe(c);
+            });
+        }
+        assert_eq!(nines.regenerations_seen, 2);
+        assert!(nines.ok(), "{:?}", nines.violations);
+        assert!(membership.ok(), "{:?}", membership.violations);
+    }
+
+    #[test]
+    fn membership_audit_allows_restart_rejoin() {
+        let mut c = Cluster::founding(3, fast_cfg()).unwrap();
+        let mut membership = MembershipAuditor::new();
+        c.run_until_with(Time::ZERO + Duration::from_secs(1), |c| {
+            membership.observe(c);
+        });
+        c.crash(NodeId(2));
+        let t = c.now();
+        c.run_until_with(t + Duration::from_secs(1), |c| membership.observe(c));
+        c.restart(NodeId(2), StartMode::Joining).unwrap();
+        let t = c.now();
+        c.run_until_with(t + Duration::from_secs(2), |c| membership.observe(c));
+        assert!(c.membership_converged());
+        assert_eq!(c.live_members().len(), 3);
+        assert!(membership.ok(), "{:?}", membership.violations);
     }
 }

@@ -23,13 +23,17 @@
 pub mod app;
 pub mod audit;
 pub mod cluster;
+pub mod explore;
 pub mod obs;
 pub mod open_app;
 pub mod script;
 
 pub use app::{NodeApp, NodeCtl};
-pub use audit::{OrderAuditor, TokenAuditor};
+pub use audit::{AuditView, MembershipAuditor, NineElevenAuditor, OrderAuditor, TokenAuditor};
 pub use cluster::{Cluster, ClusterBuilder, ClusterConfig};
+pub use explore::{
+    Action, Auditors, ExploreReport, Explorer, ModelCheckConfig, ModelWorld, Violation,
+};
 pub use obs::{standard_invariants, InvariantFailure};
 pub use open_app::OpenClientApp;
 pub use script::{Fault, FaultScript};

@@ -395,17 +395,21 @@ impl Endpoint {
             r.received += 1;
         }
         if r.received == r.frags.len() {
-            let r = self.reasm.remove(&(from, msg_id)).expect("present");
+            let Some(r) = self.reasm.remove(&(from, msg_id)) else {
+                return;
+            };
             let total: usize = r
                 .frags
                 .iter()
                 .map(|f| f.as_ref().map_or(0, Bytes::len))
                 .sum();
             let mut whole = Vec::with_capacity(total);
-            for f in r.frags {
-                whole.extend_from_slice(&f.expect("complete"));
+            for f in r.frags.into_iter().flatten() {
+                whole.extend_from_slice(&f);
             }
-            self.dedup.get_mut(&from).expect("entry").1.insert(msg_id);
+            if let Some(entry) = self.dedup.get_mut(&from) {
+                entry.1.insert(msg_id);
+            }
             self.stats.msgs_received += 1;
             self.events.push_back(TransportEvent::Received {
                 from,
@@ -427,7 +431,9 @@ impl Endpoint {
         };
         *flag = true;
         if p.all_acked() {
-            let p = self.pending.remove(&msg_id).expect("present");
+            let Some(p) = self.pending.remove(&msg_id) else {
+                return;
+            };
             self.stats.msgs_delivered += 1;
             self.obs.rtt.record(now.since(p.sent_at).as_nanos());
             self.events
@@ -444,7 +450,9 @@ impl Endpoint {
             .map(|(&id, _)| id)
             .collect();
         for msg_id in due {
-            let mut p = self.pending.remove(&msg_id).expect("present");
+            let Some(mut p) = self.pending.remove(&msg_id) else {
+                continue;
+            };
             let n_addrs = self.peers.addrs(p.to).map(<[Addr]>::len).unwrap_or(0);
             if n_addrs == 0 {
                 // Peer vanished from the table mid-send.

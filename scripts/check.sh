@@ -14,4 +14,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+echo "==> raincore-lint (workspace must be clean)"
+cargo run -q -p raincore-lint -- --json lint-report.json
+
+echo "==> raincore-lint (seeded fixture must fail)"
+if cargo run -q -p raincore-lint -- --root crates/lint/fixtures/bad --quiet; then
+  echo "lint did not flag the seeded fixture tree" >&2
+  exit 1
+fi
+
+echo "==> model check (seeded two-token fault must be found)"
+cargo run --release -q -p raincore-sim --bin model_check -- --seeded-check
+
+echo "==> model check (bounded exploration must be clean)"
+cargo run --release -q -p raincore-sim --bin model_check -- --min-schedules 10000
+
 echo "OK"
