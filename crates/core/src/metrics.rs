@@ -38,6 +38,9 @@ pub struct SessionMetrics {
     pub beacons_received: u64,
     /// Tokens regenerated after winning a 911 vote.
     pub regenerations: u64,
+    /// Singleton groups founded after total copy loss (every join probe
+    /// unanswered and no local token copy to regenerate from).
+    pub bootstrap_foundings: u64,
     /// Sub-group merges performed by this node.
     pub merges: u64,
     /// Multicasts originated.
@@ -59,7 +62,7 @@ pub struct SessionMetrics {
 impl SessionMetrics {
     /// `(field name, value)` view, in declaration order. Single source of
     /// truth for the serde impl, the JSON renderer and metric exporters.
-    pub fn fields(&self) -> [(&'static str, u64); 18] {
+    pub fn fields(&self) -> [(&'static str, u64); 19] {
         [
             ("task_switches", self.task_switches),
             ("tokens_received", self.tokens_received),
@@ -72,6 +75,7 @@ impl SessionMetrics {
             ("beacons_sent", self.beacons_sent),
             ("beacons_received", self.beacons_received),
             ("regenerations", self.regenerations),
+            ("bootstrap_foundings", self.bootstrap_foundings),
             ("merges", self.merges),
             ("multicasts_sent", self.multicasts_sent),
             ("deliveries", self.deliveries),
@@ -125,6 +129,6 @@ mod tests {
         assert!(json.contains("\"safe_held_back\":2"));
         assert!(json.contains("\"retransmissions_acted\":1"));
         assert!(json.contains("\"tokens_received\":0"));
-        assert_eq!(json.matches(':').count(), 18, "all fields present once");
+        assert_eq!(json.matches(':').count(), 19, "all fields present once");
     }
 }

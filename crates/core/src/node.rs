@@ -173,6 +173,9 @@ pub struct SessionNode {
     req_counter: u64,
     /// Round-robin index over `eligible` for join probes.
     join_probe_idx: usize,
+    /// Join probes sent since we last held a token (total-copy-loss
+    /// bootstrap counter, compared against `bootstrap_probe_limit`).
+    unanswered_probes: u32,
     next_beacon: Time,
     master_requested: bool,
     master_held: bool,
@@ -223,6 +226,7 @@ impl SessionNode {
             inflight: HashMap::new(),
             req_counter: 0,
             join_probe_idx: 0,
+            unanswered_probes: 0,
             next_beacon: now + cfg.beacon_period,
             master_requested: false,
             master_held: false,
@@ -500,7 +504,7 @@ impl SessionNode {
             }
             State::Starving { retry_at, .. } => {
                 if now >= *retry_at {
-                    self.enter_starving(now); // re-call with a fresh req id
+                    self.retry_starving(now);
                 }
             }
             State::Down => {}
@@ -775,6 +779,7 @@ impl SessionNode {
     /// piggybacked messages, grant a pending master request.
     fn become_eating(&mut self, now: Time, mut token: Token) {
         self.obs.tick(now);
+        self.unanswered_probes = 0;
         if let Some(tbm) = self.held_tbm.take() {
             token = self.merge_tokens(token, tbm);
             self.last_copy = Some(token.clone());
@@ -1088,7 +1093,24 @@ impl SessionNode {
         self.obs.starving();
         if self.ring.len() <= 1 {
             // No membership to poll: probe the eligible list for a group
-            // to join.
+            // to join. If a whole round-robin sweep (and then some) of
+            // probes has gone unanswered and we hold no token copy, every
+            // copy in the cluster may be gone — e.g. all copy holders
+            // crashed while this node was down. No 911 vote can
+            // regenerate what nobody remembers, so found a fresh
+            // singleton group instead, exactly like
+            // [`StartMode::Isolated`]; survivors that bootstrapped
+            // concurrently are glued back together by discovery and
+            // merge (§2.4).
+            let limit = self.cfg.bootstrap_probe_limit;
+            if limit > 0 && self.unanswered_probes >= limit && self.last_copy.is_none() {
+                self.metrics.bootstrap_foundings += 1;
+                let token = Token::founding(Ring::from_iter([self.id]));
+                self.last_seen_seq = token.seq;
+                self.last_copy = Some(token.clone());
+                self.become_eating(now, token);
+                return;
+            }
             self.send_join_probe(now);
             self.state = State::Starving {
                 vote: None,
@@ -1145,6 +1167,52 @@ impl SessionNode {
         };
     }
 
+    /// The STARVING retry fired. Re-calling 911 while a vote is standing
+    /// is a *retransmission* of that vote, not a new vote: the local
+    /// copy cannot change while STARVING (accepting a token leaves the
+    /// state), so the call content is identical and verdicts from the
+    /// earlier transmission must still count. Minting a fresh req id on
+    /// every retry livelocks when some voter's reply path is slower than
+    /// the retry period — e.g. its first NIC is down and every exchange
+    /// pays the redundant-address failover — because each retry discards
+    /// the grants already in flight. Only the still-awaiting voters are
+    /// re-polled.
+    fn retry_starving(&mut self, now: Time) {
+        let (req_id, targets) = match &self.state {
+            State::Starving { vote: Some(v), .. } if !v.awaiting.is_empty() => {
+                (v.req_id, v.awaiting.iter().copied().collect::<Vec<_>>())
+            }
+            _ => {
+                // Join probing (no standing vote) or a fully-answered
+                // vote: start over.
+                self.enter_starving(now);
+                return;
+            }
+        };
+        let call = Call911 {
+            from: self.id,
+            last_token_seq: self.last_copy_seq(),
+            req_id,
+        };
+        let bytes = SessionMsg::Call911(call).encode_to_bytes();
+        let polled = targets.len() as u64;
+        for member in targets {
+            if let Ok(mid) = self.transport.send(now, member, bytes.clone()) {
+                self.inflight.insert(mid, SendKind::Call911 { req_id });
+                self.metrics.calls911_sent += 1;
+            }
+        }
+        self.obs.tick(now);
+        self.obs.trace(TraceKind::Call911Tx {
+            req_id,
+            last_seq: self.last_copy_seq(),
+            polled,
+        });
+        if let State::Starving { retry_at, .. } = &mut self.state {
+            *retry_at = now + self.cfg.starving_retry;
+        }
+    }
+
     fn send_join_probe(&mut self, now: Time) {
         let candidates: Vec<NodeId> = self
             .cfg
@@ -1158,6 +1226,7 @@ impl SessionNode {
         }
         let target = candidates[self.join_probe_idx % candidates.len()];
         self.join_probe_idx += 1;
+        self.unanswered_probes = self.unanswered_probes.saturating_add(1);
         self.req_counter += 1;
         let call = Call911 {
             from: self.id,
@@ -1199,6 +1268,30 @@ impl SessionNode {
             if self.cfg.eligible.contains(&call.from) && !self.pending_joins.contains(&call.from) {
                 self.pending_joins.push(call.from);
                 self.obs.trace(TraceKind::JoinRequest { from: call.from.0 });
+            }
+            // Still answer the vote. We hold no copy of the caller's
+            // token lineage, so we cannot deny — and the caller may
+            // legitimately have us in its ring while we do not have it
+            // in ours: a member that crashed and restarted before the
+            // group purged it stays reachable (so failure-on-delivery
+            // never excludes it) but would otherwise never reply,
+            // hanging every 911 vote in the old group forever.
+            self.obs.trace(TraceKind::Verdict911Tx {
+                to: call.from.0,
+                granted: true,
+                newer_seq: 0,
+            });
+            let reply = Reply911 {
+                from: self.id,
+                req_id: call.req_id,
+                verdict: Verdict911::Grant,
+            };
+            if let Ok(mid) = self.transport.send(
+                now,
+                call.from,
+                SessionMsg::Reply911(reply).encode_to_bytes(),
+            ) {
+                self.inflight.insert(mid, SendKind::Reply);
             }
             return;
         }
@@ -1621,7 +1714,19 @@ mod tests {
                 req_id: 1,
             },
         );
-        assert!(a.poll_outgoing().is_none(), "join requests get no verdict");
+        // The vote is still answered — with a Grant, since we hold no
+        // copy of the caller's lineage. A member that crashed and
+        // restarted before the group purged it would otherwise hang
+        // every 911 vote in its old group forever.
+        let out = a.poll_outgoing().expect("non-member call gets a verdict");
+        let f = raincore_transport::Frame::decode_from_bytes(&out.payload).unwrap();
+        let raincore_transport::Frame::Data { payload, .. } = f else {
+            panic!()
+        };
+        let SessionMsg::Reply911(r) = SessionMsg::decode_from_bytes(&payload).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.verdict, Verdict911::Grant);
         // Next pass admits the joiner right after us: ring 0,3,1.
         a.on_tick(Time::ZERO + a.config().token_hold);
         assert_eq!(a.ring().as_slice(), &[NodeId(0), NodeId(3), NodeId(1)]);

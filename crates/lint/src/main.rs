@@ -5,11 +5,13 @@
 //! |-----------------------|----------------------------|-----------------|
 //! | `no-panic`            | protocol crates            | `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` in non-test code — a networking element must degrade, not abort (§3.2) |
 //! | `no-wall-clock`       | everywhere but `crates/net`| `std::time::Instant` / `SystemTime` — all protocol time flows through the virtual clock |
-//! | `exhaustive-dispatch` | protocol crates            | `_ =>` catch-alls in `match`es over protocol enums — adding a message variant must be a compile-time event everywhere it is handled |
+//! | `exhaustive-dispatch` | protocol crates + dispatch files | `_ =>` catch-alls in `match`es over protocol enums — adding a message variant must be a compile-time event everywhere it is handled |
 //! | `relaxed-ordering`    | everywhere but `crates/obs`| `Ordering::Relaxed` — only the obs counters (never used for control flow) may be relaxed |
 //!
 //! Protocol crates: `crates/core`, `crates/transport`, `crates/broadcast`,
-//! `crates/dlm`.
+//! `crates/dlm`. Dispatch files (exhaustive-dispatch only): the sim/chaos
+//! harness sources listed in `DISPATCH_FILES`, which fan out over the
+//! protocol and chaos-fault enums but are allowed to panic.
 //!
 //! Findings can be suppressed by `lint-allow.txt` at the lint root, one
 //! entry per line: `rule|path-suffix|needle|reason`. Unused allowlist
@@ -45,6 +47,18 @@ const PROTOCOL_ENUMS: &[&str] = &[
     "Frame::",
     "LockOp::",
     "WireMsg::",
+    "ChaosFault::",
+];
+
+/// Files outside the protocol crates whose `match`es over the enums in
+/// `PROTOCOL_ENUMS` must still be exhaustive: the simulation and chaos
+/// harness dispatch on protocol events and fault classes, and adding a
+/// variant must be a compile-time event there too. Only
+/// `exhaustive-dispatch` applies — harness code may panic.
+const DISPATCH_FILES: &[&str] = &[
+    "crates/net/src/sim.rs",
+    "crates/sim/src/audit.rs",
+    "crates/sim/src/chaos.rs",
 ];
 
 #[derive(Debug)]
@@ -246,6 +260,7 @@ fn lint_file(path: &str, source: &str, findings: &mut Vec<Finding>) {
     let lines: Vec<&str> = masked.lines().collect();
     let orig_lines: Vec<&str> = source.lines().collect();
     let protocol = is_protocol_path(path);
+    let dispatch = protocol || DISPATCH_FILES.contains(&path);
     let in_net = path.starts_with("crates/net/");
     let in_obs = path.starts_with("crates/obs/");
 
@@ -286,7 +301,7 @@ fn lint_file(path: &str, source: &str, findings: &mut Vec<Finding>) {
         }
     }
 
-    if protocol {
+    if dispatch {
         for (line_idx, arm_line) in find_catchall_protocol_matches(&masked) {
             findings.push(Finding {
                 rule: "exhaustive-dispatch",
@@ -728,6 +743,26 @@ let b = x.unwrap();
         assert!(rules.contains(&"exhaustive-dispatch"), "{rules:?}");
         assert!(rules.contains(&"no-wall-clock"), "{rules:?}");
         assert!(rules.contains(&"relaxed-ordering"), "{rules:?}");
+    }
+
+    #[test]
+    fn dispatch_files_get_exhaustive_dispatch_only() {
+        let mut findings = Vec::new();
+        lint_file(
+            "crates/sim/src/chaos.rs",
+            "fn f() { q.unwrap(); match m { ChaosFault::Crash(n) => go(n), _ => {} } }",
+            &mut findings,
+        );
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, ["exhaustive-dispatch"], "{findings:?}");
+        // The same source in a file not on the dispatch list is clean.
+        let mut elsewhere = Vec::new();
+        lint_file(
+            "crates/sim/src/engine.rs",
+            "fn f() { q.unwrap(); match m { ChaosFault::Crash(n) => go(n), _ => {} } }",
+            &mut elsewhere,
+        );
+        assert!(elsewhere.is_empty(), "{elsewhere:?}");
     }
 
     #[test]

@@ -132,6 +132,16 @@ pub struct SimNet {
     down_nics: HashSet<Addr>,
     /// Crashed nodes: everything from/to them is dropped.
     down_nodes: HashSet<NodeId>,
+    /// Per-packet duplication probability (chaos injection hook).
+    dup: f64,
+    /// Per-packet reordering probability (chaos injection hook).
+    reorder: f64,
+    /// Extra-delay window for reordered packets and duplicate copies.
+    reorder_window: Duration,
+    /// Duplicate copies injected so far.
+    dups_injected: u64,
+    /// Reorder delays injected so far.
+    reorders_injected: u64,
     stats: NetStats,
 }
 
@@ -150,6 +160,11 @@ impl SimNet {
             blocked: HashSet::new(),
             down_nics: HashSet::new(),
             down_nodes: HashSet::new(),
+            dup: 0.0,
+            reorder: 0.0,
+            reorder_window: Duration::ZERO,
+            dups_injected: 0,
+            reorders_injected: 0,
             stats: NetStats::new(),
         }
     }
@@ -176,7 +191,23 @@ impl SimNet {
             self.stats.record_dropped(&dgram);
             return;
         }
-        let at = self.arrival_time(now, &dgram);
+        let mut at = self.arrival_time(now, &dgram);
+        // Injection hooks draw from the RNG only when enabled, so runs
+        // with injection off keep the exact historical draw sequence.
+        if self.reorder > 0.0 && self.rng.random::<f64>() < self.reorder {
+            at += self.sample_extra_delay();
+            self.reorders_injected += 1;
+        }
+        if self.dup > 0.0 && self.rng.random::<f64>() < self.dup {
+            let copy_at = at + self.sample_extra_delay();
+            self.seq += 1;
+            self.in_flight.push(Reverse(InFlight {
+                at: copy_at,
+                seq: self.seq,
+                dgram: dgram.clone(),
+            }));
+            self.dups_injected += 1;
+        }
         self.seq += 1;
         self.in_flight.push(Reverse(InFlight {
             at,
@@ -236,6 +267,14 @@ impl SimNet {
         }
     }
 
+    /// Extra delay for a reordered packet or duplicate copy: strictly
+    /// positive (so it lands behind at least some later traffic) and
+    /// bounded by the configured window.
+    fn sample_extra_delay(&mut self) -> Duration {
+        let window = self.reorder_window.as_nanos().max(1);
+        Duration::from_nanos(self.rng.random_range(1..=window))
+    }
+
     /// Earliest pending arrival time, if any packets are in flight.
     pub fn next_arrival(&self) -> Option<Time> {
         self.in_flight.peek().map(|Reverse(f)| f.at)
@@ -255,7 +294,9 @@ impl SimNet {
             if f.at > now {
                 break;
             }
-            let Reverse(f) = self.in_flight.pop().expect("peeked");
+            let Some(Reverse(f)) = self.in_flight.pop() else {
+                break;
+            };
             if self.down_nodes.contains(&f.dgram.dst.node)
                 || self.down_nics.contains(&f.dgram.dst)
                 || self.is_blocked(f.dgram.src.node, f.dgram.dst.node)
@@ -334,6 +375,52 @@ impl SimNet {
     /// failures). NIC and node states are untouched.
     pub fn heal_all_links(&mut self) {
         self.blocked.clear();
+    }
+
+    /// True while any link-level block (directed link failure or
+    /// partition edge) is in force.
+    pub fn has_blocked_links(&self) -> bool {
+        !self.blocked.is_empty()
+    }
+
+    /// True if `addr`'s NIC is administratively down (cable unplugged).
+    pub fn nic_is_down(&self, addr: Addr) -> bool {
+        self.down_nics.contains(&addr)
+    }
+
+    /// Sets the per-packet duplication probability (chaos injection).
+    /// Duplicate copies arrive within the reorder window after the
+    /// original; `0.0` disables the hook and its RNG draws entirely.
+    pub fn set_duplication(&mut self, prob: f64) {
+        self.dup = prob.clamp(0.0, 1.0);
+    }
+
+    /// Sets the per-packet reordering probability and the extra-delay
+    /// window applied to reordered packets and duplicate copies. `0.0`
+    /// disables the hook and its RNG draws entirely.
+    pub fn set_reordering(&mut self, prob: f64, window: Duration) {
+        self.reorder = prob.clamp(0.0, 1.0);
+        self.reorder_window = window;
+    }
+
+    /// Adjusts the uniform latency jitter at runtime (chaos injection).
+    pub fn set_jitter(&mut self, jitter: Duration) {
+        self.cfg.jitter = jitter;
+    }
+
+    /// Adjusts the independent per-packet loss probability at runtime.
+    pub fn set_loss(&mut self, loss: f64) {
+        self.cfg.loss = loss.clamp(0.0, 1.0);
+    }
+
+    /// Duplicate copies injected since construction.
+    pub fn dups_injected(&self) -> u64 {
+        self.dups_injected
+    }
+
+    /// Reorder delays injected since construction.
+    pub fn reorders_injected(&self) -> u64 {
+        self.reorders_injected
     }
 
     /// Read access to the accounting counters.

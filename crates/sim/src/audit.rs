@@ -21,6 +21,24 @@
 //!   live member's view it must not reappear in any view until it is
 //!   actually restarted.
 //!
+//! The safety auditors above flag states that must *never* occur. The
+//! chaos harness ([`crate::chaos`]) additionally needs *liveness* oracles
+//! — properties of the form "after the disturbance stops, the protocol
+//! recovers within a bound". Those are tick-driven (they take a `quiet`
+//! flag computed by the engine from its fault bookkeeping) rather than
+//! quantum-driven:
+//!
+//! * [`TokenLivenessOracle`] — §2.3: after token loss the 911 protocol
+//!   regenerates it; every group must show token progress (an EATING
+//!   member, an advancing copy sequence, or a regeneration) within a
+//!   bounded number of quiet ticks.
+//! * [`ConvergenceOracle`] — §2.4/§2.5: once every believed link block is
+//!   healed and faults stop, membership must converge to agreement on the
+//!   live member set within a bounded number of quiet ticks.
+//! * [`GroupIdOracle`] — §2.4: when a merged cluster has converged, the
+//!   surviving group id equals the lowest member id (vacuous while that
+//!   lowest node has ever crashed, since a restart mints a new group id).
+//!
 //! [`Cluster::run_until_with`]: crate::Cluster::run_until_with
 
 use crate::cluster::Cluster;
@@ -77,6 +95,28 @@ pub trait AuditView {
             }
         }
         None
+    }
+
+    /// True when every live member agrees on one group whose membership
+    /// is exactly the live set — the convergence target of §2.4/§2.5.
+    /// Mirrors `Cluster::membership_converged` but runs over any view.
+    fn membership_agreed(&self) -> bool {
+        let live = self.live_member_ids();
+        let Some(&first) = live.first() else {
+            return true;
+        };
+        let Some(reference) = self.ring_of(first) else {
+            return false;
+        };
+        if reference.len() != live.len() {
+            return false;
+        }
+        let group = self.group_of(first);
+        live.iter().all(|&id| {
+            reference.contains(id)
+                && self.group_of(id) == group
+                && self.ring_of(id).is_some_and(|r| r.same_members(&reference))
+        })
     }
 }
 
@@ -202,6 +242,7 @@ struct NodeSnap {
     live: bool,
     regens: u64,
     copy_seq: u64,
+    group: Option<GroupId>,
 }
 
 /// Whole-run check of the 911 protocol (§2.3): every recovery elects a
@@ -224,11 +265,8 @@ impl NineElevenAuditor {
         Self::default()
     }
 
-    /// Observes the view (call after every quantum / explored action).
-    pub fn observe(&mut self, v: &impl AuditView) {
-        self.observations += 1;
-        let members = v.member_ids();
-        let snap: BTreeMap<NodeId, NodeSnap> = members
+    fn snapshot(v: &impl AuditView) -> BTreeMap<NodeId, NodeSnap> {
+        v.member_ids()
             .iter()
             .map(|&id| {
                 (
@@ -237,10 +275,28 @@ impl NineElevenAuditor {
                         live: v.is_live(id),
                         regens: v.regenerations(id),
                         copy_seq: v.last_copy_seq(id),
+                        group: v.group_of(id),
                     },
                 )
             })
-            .collect();
+            .collect()
+    }
+
+    /// Re-snapshots the view without auditing, discarding deltas that
+    /// accumulated while observation was suspended. The chaos engine
+    /// suspends 911 auditing inside link-fault windows — regenerations
+    /// on the two sides of a partition are concurrent but *not* "the
+    /// same instant", and folding a skipped window into one delta would
+    /// misreport them as a double win.
+    pub fn rebaseline(&mut self, v: &impl AuditView) {
+        self.prev = Self::snapshot(v);
+    }
+
+    /// Observes the view (call after every quantum / explored action).
+    pub fn observe(&mut self, v: &impl AuditView) {
+        self.observations += 1;
+        let members = v.member_ids();
+        let snap: BTreeMap<NodeId, NodeSnap> = Self::snapshot(v);
         // Winners since the last observation. A node restart zeroes the
         // metric snapshot, so compare only non-decreasing counters.
         let winners: Vec<NodeId> = members
@@ -270,13 +326,20 @@ impl NineElevenAuditor {
         // (b) Stale-copy denial: at the moment of regeneration, no member
         // that is live and still part of the winner's regenerated
         // membership may have held a strictly newer token copy (its Deny
-        // vote would have stopped the call).
+        // vote would have stopped the call). Copy sequences are only
+        // comparable within one token lineage, so the check is scoped to
+        // members that sat in the winner's *previous* group — after a
+        // merge, absorbed members carry seqs from their old token.
         for &w in &winners {
             let Some(ring) = v.ring_of(w) else { continue };
-            let w_copy = self.prev.get(&w).map_or(0, |s| s.copy_seq);
+            let Some(prev_w) = self.prev.get(&w) else {
+                continue;
+            };
+            let w_copy = prev_w.copy_seq;
+            let w_group = prev_w.group;
             for m in ring.iter().filter(|&m| m != w) {
                 let Some(p) = self.prev.get(&m) else { continue };
-                if p.live && p.copy_seq > w_copy {
+                if p.live && p.group == w_group && p.copy_seq > w_copy {
                     self.violations.push((
                         v.now(),
                         w,
@@ -309,12 +372,32 @@ pub struct MembershipAuditor {
     pub observations: u64,
     /// Dead nodes currently purged from every live view.
     purged: BTreeSet<NodeId>,
+    /// Consecutive dead-and-absent observations per node (dwell gate).
+    streak: BTreeMap<NodeId, u32>,
+    /// Consecutive dead-and-absent observations required before a node
+    /// counts as purged. Zero behaves like one (purged on first sight).
+    dwell: u32,
 }
 
 impl MembershipAuditor {
-    /// Creates an auditor.
+    /// Creates an auditor that treats a node as purged the first time it
+    /// is seen dead and absent from every live view — right for the
+    /// model checker's step-by-step exploration.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an auditor that only treats a node as purged after
+    /// `dwell` consecutive dead-and-absent observations. Wall-clock
+    /// style harnesses need this slack: a node that restarts, sends a
+    /// join probe (§2.3) and dies again leaves the probe in flight, and
+    /// its later admission — followed by the usual failure-on-delivery
+    /// purge — is delayed join processing, not a resurrection.
+    pub fn with_dwell(dwell: u32) -> Self {
+        MembershipAuditor {
+            dwell,
+            ..Self::default()
+        }
     }
 
     /// Observes the view (call after every quantum / explored action).
@@ -328,6 +411,7 @@ impl MembershipAuditor {
             .collect();
         // A restarted node is no longer purged.
         self.purged.retain(|&x| !v.is_live(x));
+        self.streak.retain(|&x, _| !v.is_live(x));
         // Resurrection check against the standing purged set.
         for &(viewer, ref ring) in &rings {
             for &x in &self.purged {
@@ -336,13 +420,46 @@ impl MembershipAuditor {
                 }
             }
         }
-        // Refresh the purged set: dead nodes absent from every live view.
+        // Refresh the purged set: dead nodes absent from every live view
+        // for `dwell` consecutive observations.
         for &x in &members {
             if v.is_live(x) {
                 continue;
             }
             if rings.iter().all(|(_, r)| !r.contains(x)) {
-                self.purged.insert(x);
+                let s = self.streak.entry(x).or_insert(0);
+                *s = s.saturating_add(1);
+                if *s >= self.dwell.max(1) {
+                    self.purged.insert(x);
+                }
+            } else if !self.purged.contains(&x) {
+                self.streak.remove(&x);
+            }
+        }
+    }
+
+    /// Resets the purged set to the current state without checking for
+    /// violations. Call when resuming after an observation gap: the
+    /// no-resurrection claim is a *continuity* claim, and a node that was
+    /// purged, restarted, rejoined and died again entirely inside the gap
+    /// would otherwise survive in the stale purged set and flag its
+    /// (legitimate) rejoin as a resurrection.
+    pub fn rebaseline(&mut self, v: &impl AuditView) {
+        self.purged.clear();
+        self.streak.clear();
+        let members = v.member_ids();
+        let rings: Vec<Ring> = members
+            .iter()
+            .copied()
+            .filter(|&m| v.is_live(m))
+            .filter_map(|m| v.ring_of(m))
+            .collect();
+        for &x in &members {
+            if !v.is_live(x) && rings.iter().all(|r| !r.contains(x)) {
+                self.streak.insert(x, 1);
+                if self.dwell <= 1 {
+                    self.purged.insert(x);
+                }
             }
         }
     }
@@ -350,6 +467,256 @@ impl MembershipAuditor {
     /// True if no violation was ever observed.
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
+    }
+}
+
+/// Liveness oracle for bounded token regeneration (§2.3).
+///
+/// Observed once per engine tick with a `quiet` flag (no believed link
+/// blocks, grace period since the last fault elapsed). A group makes
+/// *progress* when some live member is EATING, some copy sequence
+/// advances, or a regeneration completes. If a group shows no progress
+/// for more than `bound_ticks` consecutive quiet ticks, the 911 protocol
+/// failed to regenerate a lost token in time.
+#[derive(Debug)]
+pub struct TokenLivenessOracle {
+    /// Maximum consecutive quiet ticks without token progress.
+    pub bound_ticks: u64,
+    /// `(time, group, stalled ticks)` of every observed violation.
+    pub violations: Vec<(Time, GroupId, u64)>,
+    /// Number of tick observations taken.
+    pub observations: u64,
+    /// Per-group progress markers: (max copy seq, total regens, stalled
+    /// quiet ticks).
+    stalls: BTreeMap<GroupId, (u64, u64, u64)>,
+}
+
+impl TokenLivenessOracle {
+    /// Creates the oracle with the given stall bound in ticks.
+    pub fn new(bound_ticks: u64) -> Self {
+        TokenLivenessOracle {
+            bound_ticks,
+            violations: Vec::new(),
+            observations: 0,
+            stalls: BTreeMap::new(),
+        }
+    }
+
+    /// Observes the view once per engine tick.
+    pub fn observe_tick(&mut self, v: &impl AuditView, quiet: bool) {
+        self.observations += 1;
+        let mut groups: BTreeMap<GroupId, (u64, u64, bool)> = BTreeMap::new();
+        for id in v.live_member_ids() {
+            let Some(g) = v.group_of(id) else { continue };
+            let e = groups.entry(g).or_insert((0, 0, false));
+            e.0 = e.0.max(v.last_copy_seq(id));
+            e.1 += v.regenerations(id);
+            e.2 |= v.is_eating(id);
+        }
+        // Groups that vanished (merged away) carry no obligation.
+        self.stalls.retain(|g, _| groups.contains_key(g));
+        for (g, (copy, regens, eating)) in groups {
+            let entry = self.stalls.entry(g).or_insert((copy, regens, 0));
+            let progressed = eating || copy > entry.0 || regens > entry.1;
+            entry.0 = entry.0.max(copy);
+            entry.1 = entry.1.max(regens);
+            if !quiet || progressed {
+                entry.2 = 0;
+                continue;
+            }
+            entry.2 += 1;
+            if entry.2 > self.bound_ticks {
+                self.violations.push((v.now(), g, entry.2));
+                entry.2 = 0; // one report per stall episode
+            }
+        }
+    }
+
+    /// True if no violation was ever observed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Liveness oracle for bounded post-heal membership convergence
+/// (§2.4/§2.5): once the network is quiet, every live member must agree
+/// on one group containing exactly the live set within `bound_ticks`.
+#[derive(Debug)]
+pub struct ConvergenceOracle {
+    /// Maximum consecutive quiet ticks allowed before convergence.
+    pub bound_ticks: u64,
+    /// `(time, reason)` of every observed violation.
+    pub violations: Vec<(Time, String)>,
+    /// Number of tick observations taken.
+    pub observations: u64,
+    /// Ticks observed in the converged state (diagnostics).
+    pub converged_ticks: u64,
+    quiet_ticks: u64,
+    reported: bool,
+}
+
+impl ConvergenceOracle {
+    /// Creates the oracle with the given convergence bound in ticks.
+    pub fn new(bound_ticks: u64) -> Self {
+        ConvergenceOracle {
+            bound_ticks,
+            violations: Vec::new(),
+            observations: 0,
+            converged_ticks: 0,
+            quiet_ticks: 0,
+            reported: false,
+        }
+    }
+
+    /// Observes the view once per engine tick.
+    pub fn observe_tick(&mut self, v: &impl AuditView, quiet: bool) {
+        self.observations += 1;
+        if !quiet {
+            self.quiet_ticks = 0;
+            self.reported = false;
+            return;
+        }
+        if v.membership_agreed() {
+            self.converged_ticks += 1;
+            self.quiet_ticks = 0;
+            return;
+        }
+        self.quiet_ticks += 1;
+        if self.quiet_ticks > self.bound_ticks && !self.reported {
+            self.violations.push((
+                v.now(),
+                format!(
+                    "membership did not converge to the live member set within \
+                     {} quiet ticks",
+                    self.bound_ticks
+                ),
+            ));
+            self.reported = true;
+        }
+    }
+
+    /// True if no violation was ever observed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Liveness/identity oracle for merge results (§2.4): whenever the
+/// cluster is quiet and converged, the agreed group id must equal the
+/// lowest member id — vacuous when that lowest node has ever crashed
+/// (its restart mints a fresh group identity) or is currently dead.
+#[derive(Debug, Default)]
+pub struct GroupIdOracle {
+    /// `(time, observed group, expected lowest member)` violations.
+    pub violations: Vec<(Time, GroupId, NodeId)>,
+    /// Number of non-vacuous checks performed.
+    pub checks: u64,
+    crashed_ever: BTreeSet<NodeId>,
+}
+
+impl GroupIdOracle {
+    /// Creates the oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `id` crashed at some point (engine bookkeeping).
+    pub fn note_crash(&mut self, id: NodeId) {
+        self.crashed_ever.insert(id);
+    }
+
+    /// Observes the view once per engine tick.
+    pub fn observe_tick(&mut self, v: &impl AuditView, quiet: bool) {
+        if !quiet || !v.membership_agreed() {
+            return;
+        }
+        let live = v.live_member_ids();
+        let Some(&min_live) = live.iter().min() else {
+            return;
+        };
+        let min_all = v.member_ids().into_iter().min();
+        if min_all != Some(min_live) || self.crashed_ever.contains(&min_live) {
+            return; // lowest id is dead or has a restarted identity
+        }
+        self.checks += 1;
+        let expected = GroupId(min_live);
+        if let Some(g) = v.group_of(min_live) {
+            if g != expected {
+                self.violations.push((v.now(), g, min_live));
+            }
+        }
+    }
+
+    /// True if no violation was ever observed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The three liveness oracles bundled for the chaos engine: one
+/// `observe_tick` fans out to all of them and `first_violation` gives a
+/// human-readable summary of the earliest failure.
+#[derive(Debug)]
+pub struct LivenessOracles {
+    /// Bounded token regeneration.
+    pub token: TokenLivenessOracle,
+    /// Bounded post-heal membership convergence.
+    pub convergence: ConvergenceOracle,
+    /// Merged group id equals lowest member id.
+    pub group_id: GroupIdOracle,
+}
+
+impl LivenessOracles {
+    /// Creates the bundle with the given bounds (in engine ticks).
+    pub fn new(token_bound_ticks: u64, convergence_bound_ticks: u64) -> Self {
+        LivenessOracles {
+            token: TokenLivenessOracle::new(token_bound_ticks),
+            convergence: ConvergenceOracle::new(convergence_bound_ticks),
+            group_id: GroupIdOracle::new(),
+        }
+    }
+
+    /// Records a crash for the group-id oracle's vacuity rule.
+    pub fn note_crash(&mut self, id: NodeId) {
+        self.group_id.note_crash(id);
+    }
+
+    /// Observes the view once per engine tick.
+    pub fn observe_tick(&mut self, v: &impl AuditView, quiet: bool) {
+        self.token.observe_tick(v, quiet);
+        self.convergence.observe_tick(v, quiet);
+        self.group_id.observe_tick(v, quiet);
+    }
+
+    /// True if no oracle recorded a violation.
+    pub fn ok(&self) -> bool {
+        self.token.ok() && self.convergence.ok() && self.group_id.ok()
+    }
+
+    /// The earliest recorded violation, rendered for a dump header.
+    pub fn first_violation(&self) -> Option<(Time, String)> {
+        let mut best: Option<(Time, String)> = None;
+        let mut consider = |t: Time, reason: String| {
+            if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
+                best = Some((t, reason));
+            }
+        };
+        if let Some((t, g, ticks)) = self.token.violations.first() {
+            consider(
+                *t,
+                format!("token liveness: group {g} made no token progress for {ticks} quiet ticks"),
+            );
+        }
+        if let Some((t, reason)) = self.convergence.violations.first() {
+            consider(*t, format!("membership liveness: {reason}"));
+        }
+        if let Some((t, g, low)) = self.group_id.violations.first() {
+            consider(
+                *t,
+                format!("group identity: converged group id {g} != lowest member id {low}"),
+            );
+        }
+        best
     }
 }
 
@@ -460,6 +827,57 @@ mod tests {
         assert_eq!(nines.regenerations_seen, 2);
         assert!(nines.ok(), "{:?}", nines.violations);
         assert!(membership.ok(), "{:?}", membership.violations);
+    }
+
+    #[test]
+    fn liveness_oracles_pass_on_quiet_converged_cluster() {
+        let mut c = Cluster::founding(4, fast_cfg()).unwrap();
+        let mut oracles = LivenessOracles::new(50, 200);
+        let mut t = Time::ZERO;
+        for _ in 0..100 {
+            t += Duration::from_millis(10);
+            c.run_until_with(t, |_| {});
+            oracles.observe_tick(&c, true);
+        }
+        assert!(oracles.ok(), "{:?}", oracles.first_violation());
+        assert!(oracles.group_id.checks > 0, "group-id oracle must engage");
+        assert!(oracles.convergence.converged_ticks > 0);
+    }
+
+    #[test]
+    fn token_oracle_flags_stalled_group() {
+        let mut c = Cluster::founding(3, fast_cfg()).unwrap();
+        c.run_until_with(Time::ZERO + Duration::from_millis(500), |_| {});
+        // Freeze virtual time after crashing the holder: no 911 can run,
+        // so the group shows no token progress while we claim quiet.
+        if let Some(h) = c.eating_nodes().pop() {
+            c.crash(h);
+        }
+        let mut oracle = TokenLivenessOracle::new(10);
+        for _ in 0..12 {
+            oracle.observe_tick(&c, true);
+        }
+        assert!(!oracle.ok(), "stalled group must trip the oracle");
+    }
+
+    #[test]
+    fn convergence_oracle_flags_unhealed_partition() {
+        let mut c = Cluster::founding(4, fast_cfg()).unwrap();
+        c.run_until_with(Time::ZERO + Duration::from_millis(500), |_| {});
+        let live = c.live_members();
+        let (a, b) = live.split_at(live.len() / 2);
+        c.partition(&[a, b]);
+        let mut t = c.now();
+        c.run_until_with(t + Duration::from_secs(3), |_| {});
+        // The engine would report quiet=false while links are blocked;
+        // lying about quietness models a heal that never took effect.
+        let mut oracle = ConvergenceOracle::new(20);
+        for _ in 0..25 {
+            t += Duration::from_millis(10);
+            c.run_until_with(t, |_| {});
+            oracle.observe_tick(&c, true);
+        }
+        assert!(!oracle.ok(), "split membership must trip the oracle");
     }
 
     #[test]

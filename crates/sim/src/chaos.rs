@@ -1,0 +1,1201 @@
+//! Deterministic seeded chaos/soak harness.
+//!
+//! The bounded model checker ([`crate::explore`]) proves the protocol
+//! safe on tiny clusters by exhausting every interleaving; the scripted
+//! integration tests exercise a handful of hand-picked disturbances. This
+//! module fills the gap between them: long-horizon *randomized* fault
+//! schedules on realistic cluster sizes (4–12 nodes, including
+//! multi-group merge scenarios), checked against the safety auditors
+//! *and* the liveness oracles of [`crate::audit`].
+//!
+//! Everything is driven from a single `u64` seed:
+//!
+//! 1. [`generate_schedule`] expands a seed into a weighted stream of
+//!    [`ChaosEvent`]s — crashes, restarts, NIC unplugs (exercising the
+//!    §2.1 multi-address strategies), directed link flaps, partitions and
+//!    heals, plus message duplication/reordering and timer-jitter dials
+//!    that feed the injection hooks in `raincore-net`'s [`SimNet`].
+//! 2. [`run_chaos`] replays the schedule tick by tick over a [`Cluster`],
+//!    feeding every simulation quantum to the safety auditors and every
+//!    tick to the liveness oracles. The engine tracks which disturbances
+//!    it *believes* are outstanding; once the schedule ends and the
+//!    believed network is clean, the cluster must reconverge within the
+//!    configured bounds.
+//! 3. On violation, [`minimize`] shrinks the failing schedule with the
+//!    same greedy 1-minimal delta-debugging loop the model checker uses,
+//!    and [`dump_violation`] renders a replayable text dump that
+//!    [`parse_dump`] reads back (`chaos --replay FILE`).
+//!
+//! Determinism contract: `(ChaosConfig, schedule)` fully determines a
+//! run. The schedule generator and the network share nothing but their
+//! seeds, so a minimized schedule replays identically without the
+//! generator.
+//!
+//! [`SimNet`]: raincore_net::SimNet
+
+use crate::audit::{LivenessOracles, MembershipAuditor, NineElevenAuditor, TokenAuditor};
+use crate::cluster::{Cluster, ClusterBuilder, ClusterConfig};
+use bytes::Bytes;
+use raincore_net::Addr;
+use raincore_session::StartMode;
+use raincore_types::{DeliveryMode, Duration, Error, NodeId, Result, Ring, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::str::FromStr;
+
+// ----------------------------------------------------------------------
+// Fault taxonomy
+// ----------------------------------------------------------------------
+
+/// One injectable disturbance. Probabilities are expressed in permille
+/// (integer thousandths) so schedules round-trip through text exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Crash a node (process + all NICs).
+    Crash(NodeId),
+    /// Restart a node in [`StartMode::Joining`].
+    Restart(NodeId),
+    /// Cut one bidirectional node-to-node link.
+    LinkDown(NodeId, NodeId),
+    /// Restore one bidirectional node-to-node link.
+    LinkUp(NodeId, NodeId),
+    /// Unplug one NIC's cable (§2.1 multi-address fail-over).
+    NicDown(Addr),
+    /// Re-plug one NIC.
+    NicUp(Addr),
+    /// Partition the cluster into the given groups.
+    Partition(Vec<Vec<NodeId>>),
+    /// Heal every link-level failure and partition.
+    Heal,
+    /// Set per-packet duplication probability, in permille.
+    Duplicate(u32),
+    /// Set per-packet reordering probability, in permille.
+    Reorder(u32),
+    /// Set uniform latency jitter, in microseconds.
+    Jitter(u64),
+}
+
+impl ChaosFault {
+    /// Stable class name used for obs counters and CLI summaries.
+    pub fn class(&self) -> &'static str {
+        match self {
+            ChaosFault::Crash(_) => "crash",
+            ChaosFault::Restart(_) => "restart",
+            ChaosFault::LinkDown(..) => "link-down",
+            ChaosFault::LinkUp(..) => "link-up",
+            ChaosFault::NicDown(_) => "nic-down",
+            ChaosFault::NicUp(_) => "nic-up",
+            ChaosFault::Partition(_) => "partition",
+            ChaosFault::Heal => "heal",
+            ChaosFault::Duplicate(_) => "dup",
+            ChaosFault::Reorder(_) => "reorder",
+            ChaosFault::Jitter(_) => "jitter",
+        }
+    }
+}
+
+impl fmt::Display for ChaosFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosFault::Crash(n) => write!(f, "crash {n}"),
+            ChaosFault::Restart(n) => write!(f, "restart {n}"),
+            ChaosFault::LinkDown(a, b) => write!(f, "link-down {a} {b}"),
+            ChaosFault::LinkUp(a, b) => write!(f, "link-up {a} {b}"),
+            ChaosFault::NicDown(a) => write!(f, "nic-down {a}"),
+            ChaosFault::NicUp(a) => write!(f, "nic-up {a}"),
+            ChaosFault::Partition(groups) => {
+                write!(f, "partition ")?;
+                for (i, g) in groups.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    for (j, n) in g.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{n}")?;
+                    }
+                }
+                Ok(())
+            }
+            ChaosFault::Heal => write!(f, "heal"),
+            ChaosFault::Duplicate(p) => write!(f, "dup {p}"),
+            ChaosFault::Reorder(p) => write!(f, "reorder {p}"),
+            ChaosFault::Jitter(us) => write!(f, "jitter {us}"),
+        }
+    }
+}
+
+fn parse_node(s: &str) -> Option<NodeId> {
+    s.strip_prefix('n')?.parse().ok().map(NodeId)
+}
+
+fn parse_addr(s: &str) -> Option<Addr> {
+    let (node, nic) = s.split_once('.')?;
+    Some(Addr::new(parse_node(node)?, nic.parse().ok()?))
+}
+
+impl FromStr for ChaosFault {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        let mut it = s.split_whitespace();
+        let kind = it.next().ok_or("empty fault")?;
+        let bad = || format!("malformed fault: {s:?}");
+        let node =
+            |it: &mut std::str::SplitWhitespace| it.next().and_then(parse_node).ok_or_else(bad);
+        match kind {
+            "crash" => Ok(ChaosFault::Crash(node(&mut it)?)),
+            "restart" => Ok(ChaosFault::Restart(node(&mut it)?)),
+            "link-down" => Ok(ChaosFault::LinkDown(node(&mut it)?, node(&mut it)?)),
+            "link-up" => Ok(ChaosFault::LinkUp(node(&mut it)?, node(&mut it)?)),
+            "nic-down" => Ok(ChaosFault::NicDown(
+                it.next().and_then(parse_addr).ok_or_else(bad)?,
+            )),
+            "nic-up" => Ok(ChaosFault::NicUp(
+                it.next().and_then(parse_addr).ok_or_else(bad)?,
+            )),
+            "partition" => {
+                let spec = it.next().ok_or_else(bad)?;
+                let mut groups = Vec::new();
+                for g in spec.split('|') {
+                    let members: Option<Vec<NodeId>> = g.split(',').map(parse_node).collect();
+                    groups.push(members.ok_or_else(bad)?);
+                }
+                Ok(ChaosFault::Partition(groups))
+            }
+            "heal" => Ok(ChaosFault::Heal),
+            "dup" => Ok(ChaosFault::Duplicate(
+                it.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?,
+            )),
+            "reorder" => Ok(ChaosFault::Reorder(
+                it.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?,
+            )),
+            "jitter" => Ok(ChaosFault::Jitter(
+                it.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?,
+            )),
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// A fault scheduled at an engine tick: text form `@12 crash n2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Engine tick (0-based) at which the fault fires.
+    pub tick: u64,
+    /// The fault itself.
+    pub fault: ChaosFault,
+}
+
+impl fmt::Display for ChaosEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {}", self.tick, self.fault)
+    }
+}
+
+impl FromStr for ChaosEvent {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        let s = s.trim();
+        let rest = s
+            .strip_prefix('@')
+            .ok_or_else(|| format!("missing @tick: {s:?}"))?;
+        let (tick, fault) = rest
+            .split_once(' ')
+            .ok_or_else(|| format!("missing fault: {s:?}"))?;
+        Ok(ChaosEvent {
+            tick: tick.parse().map_err(|_| format!("bad tick: {s:?}"))?,
+            fault: fault.parse()?,
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Configuration
+// ----------------------------------------------------------------------
+
+/// How the cluster starts before the fault stream begins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosScenario {
+    /// All nodes found one group together.
+    Founding,
+    /// Every node starts isolated and must coalesce via discovery/merge.
+    Isolated,
+    /// Two founding groups that share one eligible membership and must
+    /// merge via BODYODOR discovery (§2.4).
+    Split,
+}
+
+impl fmt::Display for ChaosScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosScenario::Founding => write!(f, "founding"),
+            ChaosScenario::Isolated => write!(f, "isolated"),
+            ChaosScenario::Split => write!(f, "split"),
+        }
+    }
+}
+
+impl FromStr for ChaosScenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "founding" => Ok(ChaosScenario::Founding),
+            "isolated" => Ok(ChaosScenario::Isolated),
+            "split" => Ok(ChaosScenario::Split),
+            other => Err(format!("unknown scenario: {other:?}")),
+        }
+    }
+}
+
+/// Everything that determines one chaos run. Together with a schedule it
+/// fully determines the outcome (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Cluster size (the issue's envelope is 4–12).
+    pub nodes: u32,
+    /// NICs per node (≥ 2 exercises the §2.1 fail-over strategies).
+    pub nics: u8,
+    /// Seed for both the schedule generator and the network model.
+    pub seed: u64,
+    /// Initial topology.
+    pub scenario: ChaosScenario,
+    /// Ticks of active fault injection.
+    pub ticks: u64,
+    /// Virtual duration of one engine tick.
+    pub tick: Duration,
+    /// Ticks of undisturbed run-in before injection starts.
+    pub warmup_ticks: u64,
+    /// Mean ticks between generated faults (0 disables generation).
+    pub fault_period: u64,
+    /// Multicast one workload message every this many ticks (0 = none).
+    pub workload_period: u64,
+    /// Quiet = no believed link blocks and this many ticks since the
+    /// last fault.
+    pub grace_ticks: u64,
+    /// Token-liveness bound: max quiet ticks without token progress.
+    pub token_bound_ticks: u64,
+    /// Convergence bound: max quiet ticks without membership agreement.
+    pub convergence_bound_ticks: u64,
+    /// Converged quiet ticks required after the schedule to declare the
+    /// run clean.
+    pub post_ticks: u64,
+    /// Arm the deliberately seeded liveness bug: heals update the
+    /// engine's belief but never reach the network (the chaos analogue
+    /// of the model checker's `forge_token`).
+    pub seeded_fault: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            nodes: 5,
+            nics: 2,
+            seed: 1,
+            scenario: ChaosScenario::Founding,
+            ticks: 500,
+            tick: Duration::from_millis(10),
+            warmup_ticks: 100,
+            fault_period: 25,
+            workload_period: 10,
+            grace_ticks: 150,
+            token_bound_ticks: 150,
+            convergence_bound_ticks: 1500,
+            post_ticks: 100,
+            seeded_fault: false,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The named merge-torture scenario: the 5-node partition/heal storm
+    /// `tests/merge_torture.rs` used to hand-script, now expressed as a
+    /// seeded schedule over the same fast-timer cluster.
+    pub fn merge_torture(seed: u64) -> Self {
+        ChaosConfig {
+            nodes: 5,
+            seed,
+            ticks: 300,
+            fault_period: 20,
+            ..ChaosConfig::default()
+        }
+    }
+
+    /// The fast-timer cluster configuration every chaos run uses.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        let mut c = ClusterConfig::default();
+        c.session.token_hold = Duration::from_millis(2);
+        c.session.hungry_timeout = Duration::from_millis(100);
+        c.session.starving_retry = Duration::from_millis(40);
+        c.session.beacon_period = Duration::from_millis(50);
+        c.transport.retry_timeout = Duration::from_millis(10);
+        c.net.seed = self.seed;
+        c.nics = self.nics.max(1);
+        c
+    }
+
+    fn build_cluster(&self) -> Result<Cluster> {
+        if self.nodes < 2 {
+            return Err(Error::Config("chaos needs at least 2 nodes"));
+        }
+        let cfg = self.cluster_config();
+        match self.scenario {
+            ChaosScenario::Founding => Cluster::founding(self.nodes, cfg),
+            ChaosScenario::Isolated => Cluster::isolated(self.nodes, cfg),
+            ChaosScenario::Split => {
+                // Two founding rings over one eligible membership; the
+                // builder defaults eligibility to all members, so the
+                // groups discover each other and must merge.
+                let cut = self.nodes / 2;
+                let ring_a = Ring::from_iter((0..cut).map(NodeId));
+                let ring_b = Ring::from_iter((cut..self.nodes).map(NodeId));
+                let mut b = ClusterBuilder::new(cfg);
+                for i in 0..self.nodes {
+                    let ring = if i < cut {
+                        ring_a.clone()
+                    } else {
+                        ring_b.clone()
+                    };
+                    b = b.member(NodeId(i), StartMode::Founding(ring));
+                }
+                b.build()
+            }
+        }
+    }
+
+    /// Renders the `key=value` config line embedded in dump headers.
+    pub fn header_line(&self) -> String {
+        format!(
+            "nodes={} nics={} seed={} scenario={} ticks={} tick_us={} warmup={} \
+             fault_period={} workload={} grace={} token_bound={} conv_bound={} \
+             post={} seeded_fault={}",
+            self.nodes,
+            self.nics,
+            self.seed,
+            self.scenario,
+            self.ticks,
+            self.tick.as_nanos() / 1_000,
+            self.warmup_ticks,
+            self.fault_period,
+            self.workload_period,
+            self.grace_ticks,
+            self.token_bound_ticks,
+            self.convergence_bound_ticks,
+            self.post_ticks,
+            self.seeded_fault,
+        )
+    }
+
+    /// Parses a `key=value` config line produced by [`Self::header_line`].
+    /// Unknown keys are ignored; missing keys keep their defaults.
+    pub fn from_header_line(line: &str) -> std::result::Result<Self, String> {
+        let mut cfg = ChaosConfig::default();
+        for pair in line.split_whitespace() {
+            let Some((k, v)) = pair.split_once('=') else {
+                return Err(format!("malformed config pair: {pair:?}"));
+            };
+            let num = || v.parse::<u64>().map_err(|_| format!("bad value: {pair:?}"));
+            match k {
+                "nodes" => cfg.nodes = num()? as u32,
+                "nics" => cfg.nics = num()? as u8,
+                "seed" => cfg.seed = num()?,
+                "scenario" => cfg.scenario = v.parse()?,
+                "ticks" => cfg.ticks = num()?,
+                "tick_us" => cfg.tick = Duration::from_micros(num()?),
+                "warmup" => cfg.warmup_ticks = num()?,
+                "fault_period" => cfg.fault_period = num()?,
+                "workload" => cfg.workload_period = num()?,
+                "grace" => cfg.grace_ticks = num()?,
+                "token_bound" => cfg.token_bound_ticks = num()?,
+                "conv_bound" => cfg.convergence_bound_ticks = num()?,
+                "post" => cfg.post_ticks = num()?,
+                "seeded_fault" => cfg.seeded_fault = v == "true",
+                _ => {}
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Schedule generation
+// ----------------------------------------------------------------------
+
+/// Expands `cfg.seed` into a weighted fault schedule. The generator keeps
+/// just enough state to stay *survivable*: at least two nodes stay up, a
+/// node never loses its last NIC, and an epilogue at `cfg.ticks` restores
+/// every node, NIC and link and zeroes the injection dials so the
+/// liveness oracles have a fair convergence target.
+pub fn generate_schedule(cfg: &ChaosConfig) -> Vec<ChaosEvent> {
+    let mut rng = StdRng::seed_from_u64(
+        cfg.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(cfg.nodes)),
+    );
+    let n = cfg.nodes;
+    let mut crashed: Vec<NodeId> = Vec::new();
+    let mut blocked: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+    let mut nics_down: Vec<Addr> = Vec::new();
+    let mut partitioned = false;
+    let mut events: Vec<ChaosEvent> = Vec::new();
+    let push = |tick: u64, fault: ChaosFault, events: &mut Vec<ChaosEvent>| {
+        events.push(ChaosEvent { tick, fault });
+    };
+
+    for tick in 0..cfg.ticks {
+        if cfg.fault_period == 0 || rng.random_range(0..cfg.fault_period) != 0 {
+            continue;
+        }
+        let roll = rng.random_range(0u32..100);
+        let fault = match roll {
+            // Crash: keep at least two nodes alive.
+            0..=17 => {
+                let up: Vec<NodeId> = (0..n)
+                    .map(NodeId)
+                    .filter(|id| !crashed.contains(id))
+                    .collect();
+                if up.len() <= 2 {
+                    None
+                } else {
+                    let v = up[rng.random_range(0..up.len())];
+                    crashed.push(v);
+                    Some(ChaosFault::Crash(v))
+                }
+            }
+            // Restart a random victim.
+            18..=32 => {
+                if crashed.is_empty() {
+                    None
+                } else {
+                    let v = crashed.swap_remove(rng.random_range(0..crashed.len()));
+                    Some(ChaosFault::Restart(v))
+                }
+            }
+            // Directed pair link cut.
+            33..=45 => {
+                let a = NodeId(rng.random_range(0..n));
+                let b = NodeId(rng.random_range(0..n));
+                if a == b {
+                    None
+                } else {
+                    let key = (a.min(b), a.max(b));
+                    if blocked.insert(key) {
+                        Some(ChaosFault::LinkDown(key.0, key.1))
+                    } else {
+                        None
+                    }
+                }
+            }
+            // Restore one cut link.
+            46..=55 => {
+                if blocked.is_empty() {
+                    None
+                } else {
+                    let i = rng.random_range(0..blocked.len());
+                    let key = *blocked.iter().nth(i).unwrap_or(&(NodeId(0), NodeId(0)));
+                    blocked.remove(&key);
+                    Some(ChaosFault::LinkUp(key.0, key.1))
+                }
+            }
+            // Unplug a NIC, never a node's last one.
+            56..=65 => {
+                if cfg.nics < 2 {
+                    None
+                } else {
+                    let candidates: Vec<Addr> = (0..n)
+                        .flat_map(|i| (0..cfg.nics).map(move |k| Addr::new(NodeId(i), k)))
+                        .filter(|a| !nics_down.contains(a))
+                        .filter(|a| {
+                            let down_here = nics_down.iter().filter(|d| d.node == a.node).count();
+                            down_here + 1 < usize::from(cfg.nics)
+                        })
+                        .collect();
+                    if candidates.is_empty() {
+                        None
+                    } else {
+                        let a = candidates[rng.random_range(0..candidates.len())];
+                        nics_down.push(a);
+                        Some(ChaosFault::NicDown(a))
+                    }
+                }
+            }
+            // Re-plug a NIC.
+            66..=73 => {
+                if nics_down.is_empty() {
+                    None
+                } else {
+                    let a = nics_down.swap_remove(rng.random_range(0..nics_down.len()));
+                    Some(ChaosFault::NicUp(a))
+                }
+            }
+            // Full partition into two or three groups.
+            74..=83 => {
+                let mut ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+                // Fisher–Yates with the schedule RNG.
+                for i in (1..ids.len()).rev() {
+                    ids.swap(i, rng.random_range(0..=i));
+                }
+                let parts = if n >= 6 && rng.random_range(0..2) == 0 {
+                    3
+                } else {
+                    2
+                };
+                let mut groups: Vec<Vec<NodeId>> = Vec::new();
+                let base = ids.len() / parts;
+                let mut rest = ids.as_slice();
+                for p in 0..parts {
+                    let take = if p == parts - 1 {
+                        rest.len()
+                    } else {
+                        base.max(1)
+                    };
+                    let (g, r) = rest.split_at(take.min(rest.len()));
+                    if !g.is_empty() {
+                        groups.push(g.to_vec());
+                    }
+                    rest = r;
+                }
+                if groups.len() < 2 {
+                    None
+                } else {
+                    partitioned = true;
+                    Some(ChaosFault::Partition(groups))
+                }
+            }
+            // Heal everything.
+            84..=91 => {
+                if partitioned || !blocked.is_empty() {
+                    partitioned = false;
+                    blocked.clear();
+                    Some(ChaosFault::Heal)
+                } else {
+                    None
+                }
+            }
+            // Injection dials.
+            92..=94 => Some(ChaosFault::Duplicate(rng.random_range(0..=80))),
+            95..=97 => Some(ChaosFault::Reorder(rng.random_range(0..=120))),
+            _ => Some(ChaosFault::Jitter(rng.random_range(0..=500))),
+        };
+        if let Some(fault) = fault {
+            push(tick, fault, &mut events);
+        }
+    }
+
+    // Epilogue: restore the world so convergence is achievable.
+    let end = cfg.ticks;
+    push(end, ChaosFault::Duplicate(0), &mut events);
+    push(end, ChaosFault::Reorder(0), &mut events);
+    push(end, ChaosFault::Jitter(0), &mut events);
+    for a in nics_down {
+        push(end, ChaosFault::NicUp(a), &mut events);
+    }
+    if partitioned || !blocked.is_empty() {
+        push(end, ChaosFault::Heal, &mut events);
+    }
+    for v in crashed {
+        push(end, ChaosFault::Restart(v), &mut events);
+    }
+    events
+}
+
+// ----------------------------------------------------------------------
+// Engine
+// ----------------------------------------------------------------------
+
+/// The engine's belief about outstanding connectivity damage. The seeded
+/// fault drives belief and reality apart: a "broken heal" clears the
+/// belief while the network stays partitioned, which is exactly what the
+/// convergence oracle exists to catch.
+///
+/// Besides link blocks and partitions, complementary standing NIC downs
+/// count as damage: redundant links pair same-index NICs (§2.1), so two
+/// nodes whose remaining NICs share no index cannot exchange packets at
+/// all — connectivity is then non-transitive and neither convergence nor
+/// the safety claims that assume it can be demanded.
+#[derive(Debug, Default)]
+struct NetBelief {
+    pairs: BTreeSet<(NodeId, NodeId)>,
+    partitioned: bool,
+    nics_down: BTreeSet<Addr>,
+    crashed: BTreeSet<NodeId>,
+    nodes: u32,
+    nics: u8,
+}
+
+impl NetBelief {
+    fn new(nodes: u32, nics: u8) -> Self {
+        NetBelief {
+            nodes,
+            nics: nics.max(1),
+            ..NetBelief::default()
+        }
+    }
+
+    fn blocked(&self) -> bool {
+        if self.partitioned || !self.pairs.is_empty() {
+            return true;
+        }
+        if self.nics_down.is_empty() {
+            return false;
+        }
+        let live: Vec<NodeId> = (0..self.nodes)
+            .map(NodeId)
+            .filter(|n| !self.crashed.contains(n))
+            .collect();
+        live.iter().enumerate().any(|(i, &a)| {
+            live[i + 1..].iter().any(|&b| {
+                (0..self.nics).all(|k| {
+                    self.nics_down.contains(&Addr::new(a, k))
+                        || self.nics_down.contains(&Addr::new(b, k))
+                })
+            })
+        })
+    }
+
+    fn note(&mut self, fault: &ChaosFault) {
+        match fault {
+            ChaosFault::LinkDown(a, b) => {
+                self.pairs.insert((*a.min(b), *a.max(b)));
+            }
+            ChaosFault::LinkUp(a, b) => {
+                self.pairs.remove(&(*a.min(b), *a.max(b)));
+            }
+            ChaosFault::NicDown(a) => {
+                self.nics_down.insert(*a);
+            }
+            ChaosFault::NicUp(a) => {
+                self.nics_down.remove(a);
+            }
+            ChaosFault::Crash(id) => {
+                self.crashed.insert(*id);
+            }
+            ChaosFault::Restart(id) => {
+                self.crashed.remove(id);
+            }
+            ChaosFault::Partition(_) => self.partitioned = true,
+            ChaosFault::Heal => {
+                // Heals link blocks only; NIC states are untouched.
+                self.pairs.clear();
+                self.partitioned = false;
+            }
+            // Injection dials never sever connectivity.
+            ChaosFault::Duplicate(_) | ChaosFault::Reorder(_) | ChaosFault::Jitter(_) => {}
+        }
+    }
+}
+
+/// A liveness or safety violation observed during a chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosViolation {
+    /// Engine tick at which the violation was recorded.
+    pub tick: u64,
+    /// Virtual time at which the violation was recorded.
+    pub at: Time,
+    /// Human-readable description (stable prefix per oracle).
+    pub reason: String,
+}
+
+/// Outcome of one chaos run.
+pub struct ChaosReport {
+    /// The first violation, if any oracle or auditor fired.
+    pub violation: Option<ChaosViolation>,
+    /// True if the run ended quiet and converged.
+    pub converged: bool,
+    /// Engine ticks executed (includes convergence/soak tail).
+    pub ticks_run: u64,
+    /// Faults applied from the schedule.
+    pub faults_applied: u64,
+    /// Applied fault counts per class (also exported via `registry`).
+    pub fault_counts: BTreeMap<&'static str, u64>,
+    /// Duplicate copies the network injected.
+    pub dups_injected: u64,
+    /// Reorder delays the network injected.
+    pub reorders_injected: u64,
+    /// Metrics registry with `raincore_chaos_*` counters.
+    pub registry: raincore_obs::Registry,
+}
+
+/// Runs `schedule` over a fresh cluster built from `cfg`. See the module
+/// docs for the tick loop and quietness rules.
+pub fn run_chaos(cfg: &ChaosConfig, schedule: &[ChaosEvent]) -> Result<ChaosReport> {
+    let mut cluster = cfg.build_cluster()?;
+    let registry = raincore_obs::Registry::new();
+    let violations_counter = registry.counter("raincore_chaos_violations_total", &[]);
+
+    let mut ordered: Vec<&ChaosEvent> = schedule.iter().collect();
+    ordered.sort_by_key(|e| e.tick);
+
+    let mut tokens = TokenAuditor::new();
+    let mut nines = NineElevenAuditor::new();
+    // Dwell: a node that restarts, probes and dies again leaves its join
+    // in flight; admission a few token rounds later is delayed join
+    // processing, not a resurrection. 20 calm ticks (200ms virtual)
+    // comfortably covers probe cadence + admission + NIC failover.
+    let mut membership = MembershipAuditor::with_dwell(20);
+    let mut oracles = LivenessOracles::new(cfg.token_bound_ticks, cfg.convergence_bound_ticks);
+
+    let mut now = Time::ZERO;
+    for _ in 0..cfg.warmup_ticks {
+        now += cfg.tick;
+        cluster.run_until_with(now, |c| tokens.observe(c));
+    }
+
+    let mut belief = NetBelief::new(cfg.nodes, cfg.nics);
+    let mut last_fault: Option<u64> = None;
+    // Safety auditors (token uniqueness, 911) are scoped to *link-calm*
+    // windows: the paper's fault model (§2.2/§2.3) assumes fail-stop
+    // nodes and transitive connectivity within a component, and both
+    // assumptions break while links are cut. A token handed off across
+    // a link that is cut mid-flight legitimately forks (the ack is
+    // lost, the forwarder re-takes the token, and both sides carry the
+    // same group id until the purge/merge machinery renames them), and
+    // under a standing pairwise cut two mutually-unreachable members
+    // can each win a 911 vote from the voters common to both — the
+    // callers never see each other's calls, so the copy-seq/lowest-id
+    // tie-break cannot run. Uniqueness is therefore only claimed while
+    // the network has no standing severed pair — no link block, and no
+    // complementary NIC downs that strand a pair without a usable
+    // address pair — *and* no link-class fault fired within the grace
+    // window. Reality, not belief, gates this: a seeded broken heal
+    // must not re-arm the safety auditors against a still-partitioned
+    // net.
+    let mut last_link_fault: Option<u64> = None;
+    let mut was_link_calm = true;
+    let mut fault_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut faults_applied = 0u64;
+    let mut workload_turn = 0u64;
+    let mut converged_streak = 0u64;
+    let mut violation: Option<ChaosViolation> = None;
+    let mut idx = 0usize;
+    let horizon = cfg.ticks + cfg.grace_ticks + cfg.convergence_bound_ticks + cfg.post_ticks + 2;
+    let mut ticks_run = 0u64;
+
+    for tick in 0..horizon {
+        ticks_run = tick + 1;
+        while idx < ordered.len() && ordered[idx].tick <= tick {
+            let fault = &ordered[idx].fault;
+            apply_fault(&mut cluster, fault, cfg.seeded_fault);
+            belief.note(fault);
+            match fault {
+                ChaosFault::Crash(id) | ChaosFault::Restart(id) => oracles.note_crash(*id),
+                ChaosFault::LinkDown(..)
+                | ChaosFault::LinkUp(..)
+                | ChaosFault::NicDown(_)
+                | ChaosFault::NicUp(_)
+                | ChaosFault::Partition(_)
+                | ChaosFault::Heal => last_link_fault = Some(tick),
+                ChaosFault::Duplicate(_) | ChaosFault::Reorder(_) | ChaosFault::Jitter(_) => {}
+            }
+            *fault_counts.entry(fault.class()).or_default() += 1;
+            registry
+                .counter("raincore_chaos_faults_total", &[("class", fault.class())])
+                .inc();
+            faults_applied += 1;
+            last_fault = Some(tick);
+            idx += 1;
+        }
+
+        if cfg.workload_period > 0 && tick % cfg.workload_period == 0 {
+            let live = cluster.live_members();
+            if !live.is_empty() {
+                let from = live[(workload_turn as usize) % live.len()];
+                let mode = if workload_turn.is_multiple_of(3) {
+                    DeliveryMode::Safe
+                } else {
+                    DeliveryMode::Agreed
+                };
+                // Backpressure (token full) is expected under churn.
+                let _ =
+                    cluster.multicast(from, mode, Bytes::from(vec![(workload_turn & 0xff) as u8]));
+                workload_turn += 1;
+            }
+        }
+
+        now += cfg.tick;
+        let link_calm = !cluster.connectivity_severed()
+            && last_link_fault.is_none_or(|lf| tick.saturating_sub(lf) >= cfg.grace_ticks);
+        if link_calm {
+            cluster.run_until_with(now, |c| tokens.observe(c));
+            // Membership resurrection is likewise a calm-window claim: a
+            // merge right after a heal legitimately unions a held TBM
+            // token's stale ring back in (§2.4), and failure detection
+            // re-purges the dead entries within the grace window. A
+            // *persistent* resurrection keeps the ring != live-set and
+            // is caught by the convergence oracle instead. Both delta
+            // auditors rebaseline on the first calm tick after a gap —
+            // their claims are continuity claims and the gap broke
+            // continuity.
+            if was_link_calm {
+                nines.observe(&cluster);
+                membership.observe(&cluster);
+            } else {
+                nines.rebaseline(&cluster);
+                membership.rebaseline(&cluster);
+            }
+        } else {
+            cluster.run_until_with(now, |_| {});
+        }
+        was_link_calm = link_calm;
+        let quiet = !belief.blocked()
+            && last_fault.is_none_or(|lf| tick.saturating_sub(lf) >= cfg.grace_ticks);
+        oracles.observe_tick(&cluster, quiet);
+
+        if let Some(reason) = first_violation(&tokens, &nines, &membership, &oracles) {
+            violations_counter.inc();
+            violation = Some(ChaosViolation {
+                tick,
+                at: cluster.now(),
+                reason,
+            });
+            break;
+        }
+
+        if idx >= ordered.len() && tick >= cfg.ticks {
+            if quiet && cluster.membership_converged() {
+                converged_streak += 1;
+                if converged_streak >= cfg.post_ticks {
+                    break;
+                }
+            } else {
+                converged_streak = 0;
+            }
+        }
+    }
+
+    let converged = violation.is_none() && cluster.membership_converged();
+    let net = cluster.net_mut();
+    let dups_injected = net.dups_injected();
+    let reorders_injected = net.reorders_injected();
+    registry
+        .counter("raincore_chaos_dups_injected_total", &[])
+        .add(dups_injected);
+    registry
+        .counter("raincore_chaos_reorders_injected_total", &[])
+        .add(reorders_injected);
+    Ok(ChaosReport {
+        violation,
+        converged,
+        ticks_run,
+        faults_applied,
+        fault_counts,
+        dups_injected,
+        reorders_injected,
+        registry,
+    })
+}
+
+fn apply_fault(cluster: &mut Cluster, fault: &ChaosFault, seeded_fault: bool) {
+    match fault {
+        ChaosFault::Crash(id) => cluster.crash(*id),
+        ChaosFault::Restart(id) => {
+            let _ = cluster.restart(*id, StartMode::Joining);
+        }
+        ChaosFault::LinkDown(a, b) => cluster.set_link(*a, *b, false),
+        ChaosFault::LinkUp(a, b) => cluster.set_link(*a, *b, true),
+        ChaosFault::NicDown(a) => cluster.set_nic(*a, false),
+        ChaosFault::NicUp(a) => cluster.set_nic(*a, true),
+        ChaosFault::Partition(groups) => {
+            let refs: Vec<&[NodeId]> = groups.iter().map(|g| g.as_slice()).collect();
+            cluster.partition(&refs);
+        }
+        // The seeded liveness bug: the repair is believed but never
+        // executed, so the network stays partitioned while the engine
+        // (and hence the quietness flag) thinks it healed.
+        ChaosFault::Heal => {
+            if !seeded_fault {
+                cluster.heal();
+            }
+        }
+        ChaosFault::Duplicate(permille) => {
+            cluster
+                .net_mut()
+                .set_duplication(f64::from(*permille) / 1000.0);
+        }
+        ChaosFault::Reorder(permille) => {
+            let window = Duration::from_micros(2_000);
+            cluster
+                .net_mut()
+                .set_reordering(f64::from(*permille) / 1000.0, window);
+        }
+        ChaosFault::Jitter(us) => cluster.net_mut().set_jitter(Duration::from_micros(*us)),
+    }
+}
+
+fn first_violation(
+    tokens: &TokenAuditor,
+    nines: &NineElevenAuditor,
+    membership: &MembershipAuditor,
+    oracles: &LivenessOracles,
+) -> Option<String> {
+    if let Some((t, g)) = tokens.violations.first() {
+        return Some(format!("token uniqueness violated in group {g} at {t}"));
+    }
+    if let Some((t, w, reason)) = nines.violations.first() {
+        return Some(format!("911 violation at {t} (winner {w}): {reason}"));
+    }
+    if let Some((t, viewer, x)) = membership.violations.first() {
+        return Some(format!(
+            "membership resurrection at {t}: {viewer} saw purged node {x}"
+        ));
+    }
+    oracles.first_violation().map(|(_, reason)| reason)
+}
+
+// ----------------------------------------------------------------------
+// Shrinking and dumps
+// ----------------------------------------------------------------------
+
+/// Greedy 1-minimal delta debugging over a failing schedule, mirroring
+/// the model checker's `minimize`: repeatedly try dropping single events,
+/// keeping any shorter schedule that still fails, until a fixpoint. The
+/// caller should first truncate the schedule to events at or before the
+/// violation tick.
+pub fn minimize(cfg: &ChaosConfig, failing: &[ChaosEvent]) -> Result<Vec<ChaosEvent>> {
+    let mut schedule = failing.to_vec();
+    loop {
+        let mut shrunk = false;
+        let mut i = schedule.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = schedule.clone();
+            candidate.remove(i);
+            if run_chaos(cfg, &candidate)?.violation.is_some() {
+                schedule = candidate;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            return Ok(schedule);
+        }
+    }
+}
+
+/// What [`find_and_minimize`] found: the violation, the truncated
+/// original schedule, and its 1-minimal shrink.
+pub type FoundViolation = (ChaosViolation, Vec<ChaosEvent>, Vec<ChaosEvent>);
+
+/// Finds a violation for `cfg` (generating the schedule from its seed),
+/// truncates the schedule at the violation tick and minimizes it.
+/// Returns `None` if the run is clean.
+pub fn find_and_minimize(cfg: &ChaosConfig) -> Result<Option<FoundViolation>> {
+    let schedule = generate_schedule(cfg);
+    let report = run_chaos(cfg, &schedule)?;
+    let Some(violation) = report.violation else {
+        return Ok(None);
+    };
+    let truncated: Vec<ChaosEvent> = schedule
+        .iter()
+        .filter(|e| e.tick <= violation.tick)
+        .cloned()
+        .collect();
+    let minimized = minimize(cfg, &truncated)?;
+    Ok(Some((violation, schedule, minimized)))
+}
+
+/// Renders a replayable violation dump: commented header (reason, tick,
+/// config) followed by one event per line.
+pub fn dump_violation(
+    cfg: &ChaosConfig,
+    violation: &ChaosViolation,
+    events: &[ChaosEvent],
+) -> String {
+    let mut out = String::new();
+    out.push_str("# raincore chaos violation dump\n");
+    out.push_str(&format!("# reason: {}\n", violation.reason));
+    out.push_str(&format!("# tick: {} at {}\n", violation.tick, violation.at));
+    out.push_str(&format!("# config: {}\n", cfg.header_line()));
+    for e in events {
+        out.push_str(&format!("{e}\n"));
+    }
+    out
+}
+
+/// Parses a dump produced by [`dump_violation`] back into the config and
+/// schedule needed to replay it.
+pub fn parse_dump(text: &str) -> std::result::Result<(ChaosConfig, Vec<ChaosEvent>), String> {
+    let mut cfg = ChaosConfig::default();
+    let mut saw_config = false;
+    let mut events = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(c) = rest.trim().strip_prefix("config:") {
+                cfg = ChaosConfig::from_header_line(c.trim())?;
+                saw_config = true;
+            }
+            continue;
+        }
+        events.push(line.parse::<ChaosEvent>()?);
+    }
+    if !saw_config {
+        return Err("dump has no `# config:` header".into());
+    }
+    Ok((cfg, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_generation_is_deterministic_and_seed_sensitive() {
+        let cfg = ChaosConfig::default();
+        let a = generate_schedule(&cfg);
+        let b = generate_schedule(&cfg);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(!a.is_empty(), "default config must generate faults");
+        let other = ChaosConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        };
+        assert_ne!(a, generate_schedule(&other), "different seed differs");
+    }
+
+    #[test]
+    fn events_round_trip_through_text() {
+        let events = vec![
+            ChaosEvent {
+                tick: 3,
+                fault: ChaosFault::Crash(NodeId(2)),
+            },
+            ChaosEvent {
+                tick: 5,
+                fault: ChaosFault::Restart(NodeId(2)),
+            },
+            ChaosEvent {
+                tick: 7,
+                fault: ChaosFault::LinkDown(NodeId(0), NodeId(3)),
+            },
+            ChaosEvent {
+                tick: 8,
+                fault: ChaosFault::LinkUp(NodeId(0), NodeId(3)),
+            },
+            ChaosEvent {
+                tick: 9,
+                fault: ChaosFault::NicDown(Addr::new(NodeId(1), 1)),
+            },
+            ChaosEvent {
+                tick: 10,
+                fault: ChaosFault::NicUp(Addr::new(NodeId(1), 1)),
+            },
+            ChaosEvent {
+                tick: 11,
+                fault: ChaosFault::Partition(vec![
+                    vec![NodeId(0), NodeId(1)],
+                    vec![NodeId(2), NodeId(3)],
+                ]),
+            },
+            ChaosEvent {
+                tick: 12,
+                fault: ChaosFault::Heal,
+            },
+            ChaosEvent {
+                tick: 13,
+                fault: ChaosFault::Duplicate(55),
+            },
+            ChaosEvent {
+                tick: 14,
+                fault: ChaosFault::Reorder(80),
+            },
+            ChaosEvent {
+                tick: 15,
+                fault: ChaosFault::Jitter(250),
+            },
+        ];
+        for e in &events {
+            let text = e.to_string();
+            let back: ChaosEvent = text.parse().unwrap_or_else(|err| panic!("{text}: {err}"));
+            assert_eq!(&back, e, "{text}");
+        }
+    }
+
+    #[test]
+    fn dump_round_trips_config_and_events() {
+        let cfg = ChaosConfig {
+            nodes: 7,
+            seed: 42,
+            scenario: ChaosScenario::Split,
+            seeded_fault: true,
+            ..ChaosConfig::default()
+        };
+        let violation = ChaosViolation {
+            tick: 17,
+            at: Time::ZERO + Duration::from_millis(170),
+            reason: "membership liveness: test".into(),
+        };
+        let events = vec![
+            ChaosEvent {
+                tick: 9,
+                fault: ChaosFault::Partition(vec![vec![NodeId(0)], vec![NodeId(1), NodeId(2)]]),
+            },
+            ChaosEvent {
+                tick: 12,
+                fault: ChaosFault::Heal,
+            },
+        ];
+        let dump = dump_violation(&cfg, &violation, &events);
+        let (parsed_cfg, parsed_events) = parse_dump(&dump).expect("parse");
+        assert_eq!(parsed_events, events);
+        assert_eq!(parsed_cfg.nodes, cfg.nodes);
+        assert_eq!(parsed_cfg.seed, cfg.seed);
+        assert_eq!(parsed_cfg.scenario, cfg.scenario);
+        assert_eq!(parsed_cfg.seeded_fault, cfg.seeded_fault);
+        assert_eq!(parsed_cfg.tick, cfg.tick);
+    }
+
+    #[test]
+    fn generator_respects_survivability_rules() {
+        for seed in 0..20 {
+            let cfg = ChaosConfig {
+                seed,
+                ticks: 2_000,
+                fault_period: 5,
+                ..ChaosConfig::default()
+            };
+            let schedule = generate_schedule(&cfg);
+            let mut crashed: BTreeSet<NodeId> = BTreeSet::new();
+            let mut nics_down: BTreeSet<Addr> = BTreeSet::new();
+            for e in &schedule {
+                match &e.fault {
+                    ChaosFault::Crash(id) => {
+                        crashed.insert(*id);
+                        assert!(
+                            (crashed.len() as u32) <= cfg.nodes - 2,
+                            "seed {seed}: too many simultaneous crashes"
+                        );
+                    }
+                    ChaosFault::Restart(id) => {
+                        crashed.remove(id);
+                    }
+                    ChaosFault::NicDown(a) => {
+                        nics_down.insert(*a);
+                        let here = nics_down.iter().filter(|d| d.node == a.node).count();
+                        assert!(
+                            here < usize::from(cfg.nics),
+                            "seed {seed}: node {} lost its last NIC",
+                            a.node
+                        );
+                    }
+                    ChaosFault::NicUp(a) => {
+                        nics_down.remove(a);
+                    }
+                    _ => {}
+                }
+            }
+            assert!(crashed.is_empty(), "seed {seed}: epilogue must restart all");
+            assert!(
+                nics_down.is_empty(),
+                "seed {seed}: epilogue must re-plug all"
+            );
+        }
+    }
+}

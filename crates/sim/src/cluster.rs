@@ -574,9 +574,35 @@ impl Cluster {
         self.net.reset_stats();
     }
 
+    /// Read access to the network model (auditing, reality checks).
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
     /// Direct access to the network model (advanced fault scripting).
     pub fn net_mut(&mut self) -> &mut SimNet {
         &mut self.net
+    }
+
+    /// True while some pair of live members cannot exchange packets at
+    /// all: a standing link block or partition edge, or complementary
+    /// NIC downs that leave the pair no usable address pair (redundant
+    /// links pair a peer's k-th address with the local k-th NIC, §2.1).
+    /// The fault model's transitive-connectivity assumption does not
+    /// hold while this is true.
+    pub fn connectivity_severed(&self) -> bool {
+        if self.net.has_blocked_links() {
+            return true;
+        }
+        let live = self.live_members();
+        let nics = self.cfg.nics.max(1);
+        live.iter().enumerate().any(|(i, &a)| {
+            live[i + 1..].iter().any(|&b| {
+                (0..nics).all(|k| {
+                    self.net.nic_is_down(Addr::new(a, k)) || self.net.nic_is_down(Addr::new(b, k))
+                })
+            })
+        })
     }
 
     /// The cluster-wide metric registry (see the `obs` module). Refreshed

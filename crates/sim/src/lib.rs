@@ -22,6 +22,7 @@
 
 pub mod app;
 pub mod audit;
+pub mod chaos;
 pub mod cluster;
 pub mod explore;
 pub mod obs;
@@ -29,7 +30,14 @@ pub mod open_app;
 pub mod script;
 
 pub use app::{NodeApp, NodeCtl};
-pub use audit::{AuditView, MembershipAuditor, NineElevenAuditor, OrderAuditor, TokenAuditor};
+pub use audit::{
+    AuditView, ConvergenceOracle, GroupIdOracle, LivenessOracles, MembershipAuditor,
+    NineElevenAuditor, OrderAuditor, TokenAuditor, TokenLivenessOracle,
+};
+pub use chaos::{
+    dump_violation, find_and_minimize, generate_schedule, minimize, parse_dump, run_chaos,
+    ChaosConfig, ChaosEvent, ChaosFault, ChaosReport, ChaosScenario, ChaosViolation,
+};
 pub use cluster::{Cluster, ClusterBuilder, ClusterConfig};
 pub use explore::{
     Action, Auditors, ExploreReport, Explorer, ModelCheckConfig, ModelWorld, Violation,

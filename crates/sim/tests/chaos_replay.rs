@@ -1,0 +1,75 @@
+//! Replays the minimized model-checker violation fixtures under
+//! `tests/fixtures/`. Each fixture is a real dump harvested from
+//! `model_check --seeded-check`: a 1-minimal action schedule that drives
+//! a forged far-future token into the cluster and violates §2.2/§2.5
+//! token uniqueness.
+//!
+//! Two directions are asserted: with the forged-token fault re-armed the
+//! replay must flag token uniqueness (the auditors still see the bug),
+//! and the *same schedule without the forgery* must replay clean (the
+//! violation is caused by the fault, not by the schedule or auditors).
+
+use raincore_sim::explore::{parse_schedule, replay};
+use raincore_sim::ModelCheckConfig;
+
+/// Reconstructs the checker config from a fixture's `# scenario:` header.
+fn config_from_header(text: &str) -> ModelCheckConfig {
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("# scenario:"))
+        .expect("fixture has a scenario header");
+    let mut cfg = ModelCheckConfig::default();
+    for kv in line.trim_start_matches("# scenario:").split_whitespace() {
+        let Some((k, v)) = kv.split_once('=') else {
+            continue;
+        };
+        match k {
+            "nodes" => cfg.nodes = v.parse().expect("nodes"),
+            "crash_budget" => cfg.crash_budget = v.parse().expect("crash_budget"),
+            "drop_budget" => cfg.drop_budget = v.parse().expect("drop_budget"),
+            "forge_token" => cfg.forge_token = v.parse().expect("forge_token"),
+            _ => {}
+        }
+    }
+    cfg
+}
+
+fn check_fixture(text: &str) {
+    let cfg = config_from_header(text);
+    assert!(
+        cfg.forge_token,
+        "fixture was not produced by a seeded check"
+    );
+    let schedule = parse_schedule(text).expect("fixture parses");
+    assert!(!schedule.is_empty(), "fixture has an empty schedule");
+
+    // Forged: the dumped violation must reproduce.
+    let forged = replay(&cfg, &schedule).expect("replay setup");
+    let (_, reason) = forged
+        .violation
+        .expect("forged-token fixture must reproduce a violation");
+    assert!(
+        reason.contains("token uniqueness"),
+        "expected a token-uniqueness violation, got: {reason}"
+    );
+
+    // Unforged: the same schedule without the fault is harmless.
+    let mut clean_cfg = cfg.clone();
+    clean_cfg.forge_token = false;
+    let clean = replay(&clean_cfg, &schedule).expect("replay setup");
+    assert!(
+        clean.violation.is_none(),
+        "schedule violates even without the forged token: {:?}",
+        clean.violation
+    );
+}
+
+#[test]
+fn forged_token_3node_fixture_reproduces() {
+    check_fixture(include_str!("fixtures/forged_token_3node.txt"));
+}
+
+#[test]
+fn forged_token_4node_fixture_reproduces() {
+    check_fixture(include_str!("fixtures/forged_token_4node.txt"));
+}

@@ -92,6 +92,13 @@ pub struct SessionConfig {
     /// Period of the BODYODOR discovery beacon (§2.4) — "a small message
     /// sent with a regular, but low frequency".
     pub beacon_period: Duration,
+    /// How many consecutive unanswered join probes a token-less joiner
+    /// tolerates before concluding that every token copy in the cluster
+    /// is gone (total copy loss) and founding a fresh singleton group.
+    /// Concurrently founded groups are glued back together by discovery
+    /// and merge (§2.4). Probes are paced by `starving_retry`. Zero
+    /// disables the bootstrap (a joiner then probes forever).
+    pub bootstrap_probe_limit: u32,
     /// Every node this member may ever form a group with (the Eligible
     /// Membership, §2.4). Must contain the local node.
     pub eligible: Vec<NodeId>,
@@ -113,6 +120,7 @@ impl Default for SessionConfig {
             hungry_timeout: Duration::from_millis(500),
             starving_retry: Duration::from_millis(200),
             beacon_period: Duration::from_secs(1),
+            bootstrap_probe_limit: 16,
             eligible: Vec::new(),
             max_payload: 60_000,
             max_attached: 256,

@@ -29,4 +29,13 @@ cargo run --release -q -p raincore-sim --bin model_check -- --seeded-check
 echo "==> model check (bounded exploration must be clean)"
 cargo run --release -q -p raincore-sim --bin model_check -- --min-schedules 10000
 
+echo "==> chaos (seeded broken-heal fault must be found, shrunk and dumped)"
+cargo run --release -q -p raincore-sim --bin chaos -- --seeded-fault --dump chaos-seeded.txt
+
+echo "==> chaos (seeded dump must reproduce under --replay)"
+cargo run --release -q -p raincore-sim --bin chaos -- --replay chaos-seeded.txt
+
+echo "==> chaos (soak must be clean: 50 seeds, all scenarios)"
+cargo run --release -q -p raincore-sim --bin chaos -- --soak 50 --seed 1
+
 echo "OK"

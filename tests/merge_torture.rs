@@ -1,130 +1,46 @@
-//! Partition/heal torture: randomized sequences of partitions, link
-//! failures, crashes and heals, with whole-run invariant auditing.
+//! Partition/heal torture: randomized sequences of partitions, link and
+//! NIC failures, crashes, heals and delivery perturbations, with
+//! whole-run invariant auditing.
 //!
 //! §2.4's promise under stress: sub-groups keep functioning on their own
 //! and, once disturbances stop and connectivity returns, discovery and
 //! merge coalesce everything back into one group — without ever putting
-//! two tokens into one group (audited at every simulation quantum).
+//! two tokens into one group.
+//!
+//! The test drives the chaos scenario engine (`raincore_sim::chaos`):
+//! each case derives a deterministic weighted fault schedule from the
+//! seed, runs it with the full auditor/oracle stack (token uniqueness,
+//! 911 vote discipline, membership resurrection, token/convergence
+//! liveness) and a Safe/Agreed multicast workload, then requires the
+//! cluster to end converged with no violation. Failing seeds shrink to
+//! 1-minimal replayable schedules via `chaos::minimize`.
 
-use bytes::Bytes;
 use proptest::prelude::*;
-use raincore::prelude::*;
-use raincore::session::StartMode;
-use raincore::sim::{ClusterConfig, Fault, FaultScript, TokenAuditor};
-use raincore_types::Time;
-
-fn cfg(seed: u64) -> ClusterConfig {
-    let mut c = ClusterConfig::default();
-    c.session.token_hold = Duration::from_millis(2);
-    c.session.hungry_timeout = Duration::from_millis(100);
-    c.session.starving_retry = Duration::from_millis(40);
-    c.session.beacon_period = Duration::from_millis(50);
-    c.transport.retry_timeout = Duration::from_millis(10);
-    c.net.seed = seed;
-    c
-}
-
-/// Builds a timed fault script from a compact random description.
-fn script_from(
-    spec: &[(u8, u8)], // (fault selector, node selector)
-    n: u32,
-    start: Time,
-    gap: Duration,
-) -> FaultScript {
-    let mut script = FaultScript::new();
-    let mut t = start;
-    let mut crashed: Vec<NodeId> = Vec::new();
-    for &(kind, which) in spec {
-        let node = NodeId(u32::from(which) % n);
-        match kind % 4 {
-            0 => {
-                // Crash (avoid killing everyone: keep at least 2 alive).
-                if crashed.len() + 2 < n as usize && !crashed.contains(&node) {
-                    crashed.push(node);
-                    script = script.at(t, Fault::Crash(node));
-                }
-            }
-            1 => {
-                // Restart a victim.
-                if let Some(v) = crashed.pop() {
-                    script = script.at(t, Fault::Restart(v, StartMode::Joining));
-                }
-            }
-            2 => {
-                // Split roughly in half at `node`'s position.
-                let cut = (node.raw() as usize).clamp(1, n as usize - 1);
-                let all: Vec<NodeId> = (0..n).map(NodeId).collect();
-                script = script.at(
-                    t,
-                    Fault::Partition(vec![all[..cut].to_vec(), all[cut..].to_vec()]),
-                );
-            }
-            _ => {
-                script = script.at(t, Fault::Heal);
-            }
-        }
-        t += gap;
-    }
-    // Disturbances end: restore everything for the quiescent phase.
-    for v in crashed {
-        script = script.at(t, Fault::Restart(v, StartMode::Joining));
-    }
-    script.at(t + gap, Fault::Heal)
-}
+use raincore_sim::chaos::{generate_schedule, run_chaos, ChaosConfig};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
 
     #[test]
-    fn prop_torture_then_quiescence_reconverges(
-        seed in 0u64..10_000,
-        spec in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..10),
-    ) {
-        let n = 5u32;
-        let mut cluster = Cluster::founding(n, cfg(seed)).unwrap();
-        cluster.run_for(Duration::from_secs(1));
-        let script = script_from(
-            &spec,
-            n,
-            Time::ZERO + Duration::from_secs(1),
-            Duration::from_millis(300),
-        );
-        let torture_end = Time::ZERO + Duration::from_secs(1)
-            + Duration::from_millis(300).saturating_mul(spec.len() as u64 + 2);
-        script.run(&mut cluster, torture_end);
-
-        // Quiescent phase: long enough for every 911, rejoin and merge.
-        let mut tokens = TokenAuditor::new();
-        cluster.run_until_with(torture_end + Duration::from_secs(15), |c| {
-            tokens.observe(c);
-        });
-
+    fn prop_torture_then_quiescence_reconverges(seed in 0u64..10_000) {
+        let cfg = ChaosConfig::merge_torture(seed);
+        let schedule = generate_schedule(&cfg);
+        let report = run_chaos(&cfg, &schedule).expect("chaos setup");
         prop_assert!(
-            cluster.membership_converged(),
-            "did not reconverge after quiescence:\n{}",
-            cluster.dump_state()
+            report.violation.is_none(),
+            "seed {} violated an invariant: {} (replay: chaos --seed {} \
+             --nodes {} --ticks {})",
+            seed,
+            report.violation.as_ref().map(|v| v.reason.as_str()).unwrap_or(""),
+            seed,
+            cfg.nodes,
+            cfg.ticks,
         );
-        prop_assert_eq!(cluster.live_members().len(), n as usize,
-            "everyone alive again:\n{}", cluster.dump_state());
         prop_assert!(
-            tokens.ok(),
-            "token uniqueness violated during quiescence: {:?}",
-            tokens.violations
+            report.converged,
+            "seed {} did not reconverge after quiescence",
+            seed
         );
-
-        // The healed group still multicasts atomically, in one order.
-        cluster
-            .multicast(NodeId(0), DeliveryMode::Agreed, Bytes::from_static(b"post-torture"))
-            .unwrap();
-        cluster.run_for(Duration::from_secs(1));
-        for id in cluster.live_members() {
-            prop_assert!(
-                cluster
-                    .deliveries(id)
-                    .iter()
-                    .any(|d| d.payload == Bytes::from_static(b"post-torture")),
-                "node {} missed the post-torture probe", id
-            );
-        }
+        prop_assert!(report.faults_applied > 0, "schedule exercised no faults");
     }
 }
