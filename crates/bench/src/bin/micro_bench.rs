@@ -1,0 +1,358 @@
+//! Hot-path micro-benchmarks with allocation accounting — the PR 5
+//! performance harness.
+//!
+//! Four benchmarks, all dependency-free (std timing, a counting global
+//! allocator for exact allocation counts):
+//!
+//! | name | kernel |
+//! |---|---|
+//! | `bench_token_hop` | steady-state token hop: decode → CoW `last_copy` snapshot → seq bump → patch-per-hop encode ([`TokenEncoder`]) |
+//! | `bench_token_hop_legacy` | the pre-change hop: decode → two deep clones → full re-encode with a fresh buffer |
+//! | `bench_wire_codec` | encode+decode round-trip of a message-laden token |
+//! | `bench_chaos_tick` | one seeded chaos run, normalized per engine tick |
+//! | `bench_model_check_states` | one bounded model-check search, normalized per state visited |
+//!
+//! `bytes_per_op` is **heap bytes allocated** per operation (not wire
+//! bytes): together with `allocs_per_op` it is the deterministic,
+//! machine-independent signal CI gates on. `ns_per_op` is reported for
+//! humans and trend lines but never gated (timers are noisy in CI).
+//!
+//! Usage:
+//!
+//! ```text
+//! micro_bench [--out PATH] [--compare BASELINE]
+//! ```
+//!
+//! `--out` writes the JSON report (default `BENCH_5.json` in the current
+//! directory). `--compare` additionally loads a committed baseline and
+//! exits non-zero if `bench_token_hop` allocates >25% more per hop than
+//! the baseline records.
+
+use bytes::Bytes;
+use raincore_sim::chaos::{generate_schedule, run_chaos, ChaosConfig};
+use raincore_sim::explore::Explorer;
+use raincore_sim::ModelCheckConfig;
+use raincore_types::wire::{WireDecode, WireEncode};
+use raincore_types::{
+    Attached, DeliveryMode, NodeId, OriginSeq, Ring, SessionMsg, Token, TokenEncoder,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+// ----------------------------------------------------------------------
+// Counting allocator: exact allocs/bytes, deterministic across runs.
+// ----------------------------------------------------------------------
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`; only adds relaxed counter
+// bumps, which allocate nothing and cannot fail.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+// ----------------------------------------------------------------------
+// Harness
+// ----------------------------------------------------------------------
+
+struct BenchResult {
+    name: &'static str,
+    ops: u64,
+    ns_per_op: f64,
+    bytes_per_op: f64,
+    allocs_per_op: f64,
+}
+
+/// Runs `f` once (it loops internally and returns its op count) with the
+/// allocator counters and a wall timer around it.
+fn measure(name: &'static str, f: impl FnOnce() -> u64) -> BenchResult {
+    let a0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let ops = f().max(1);
+    let ns = t0.elapsed().as_nanos() as f64;
+    let allocs = (ALLOC_CALLS.load(Ordering::Relaxed) - a0) as f64;
+    let bytes = (ALLOC_BYTES.load(Ordering::Relaxed) - b0) as f64;
+    let r = BenchResult {
+        name,
+        ops,
+        ns_per_op: ns / ops as f64,
+        bytes_per_op: bytes / ops as f64,
+        allocs_per_op: allocs / ops as f64,
+    };
+    println!(
+        "{:28} {:>10} ops  {:>12.1} ns/op  {:>10.1} B/op  {:>8.2} allocs/op",
+        r.name, r.ops, r.ns_per_op, r.bytes_per_op, r.allocs_per_op
+    );
+    r
+}
+
+fn quiescent_token(members: u32) -> Token {
+    let mut t = Token::founding(Ring::from_iter((0..members).map(NodeId)));
+    t.seq = 1_000;
+    t
+}
+
+// ----------------------------------------------------------------------
+// Kernels
+// ----------------------------------------------------------------------
+
+const HOPS: u64 = 100_000;
+
+/// The post-change steady-state hop: decode the incoming wire image, take
+/// the CoW `last_copy` snapshot (an `Arc` bump), bump `seq`, and encode
+/// through the pooled patch-per-hop encoder.
+fn token_hop() -> u64 {
+    let mut enc = TokenEncoder::new();
+    let mut wire = enc.encode(&quiescent_token(8));
+    let mut last_copy = None;
+    for _ in 0..HOPS {
+        let SessionMsg::Token(mut t) = SessionMsg::decode_from_bytes(&wire).expect("decodes")
+        else {
+            unreachable!("wire image is a token")
+        };
+        t.seq += 1;
+        last_copy = Some(t.clone());
+        wire = enc.encode(&t);
+        black_box(&wire);
+    }
+    black_box(&last_copy);
+    assert!(
+        enc.cache_hits() >= HOPS - 1,
+        "steady-state hops must hit the body cache"
+    );
+    HOPS
+}
+
+/// The pre-change hop, reconstructed: the ring and message list were
+/// plain `Vec`s, so the `last_copy` snapshot and the wire-side copy were
+/// both deep clones, and every hop re-encoded the whole token into a
+/// fresh buffer. Kept as the in-file baseline the ≥2× allocation win is
+/// measured against.
+fn token_hop_legacy() -> u64 {
+    fn deep_clone(t: &Token) -> Token {
+        let mut c = Token::founding(Ring::from_iter(t.ring.iter()));
+        c.seq = t.seq;
+        c.tbm = t.tbm;
+        c.msgs = t.msgs.iter().cloned().collect::<Vec<_>>().into();
+        c
+    }
+    let mut wire = SessionMsg::Token(quiescent_token(8)).encode_to_bytes();
+    let mut last_copy = None;
+    for _ in 0..HOPS {
+        let SessionMsg::Token(mut t) = SessionMsg::decode_from_bytes(&wire).expect("decodes")
+        else {
+            unreachable!("wire image is a token")
+        };
+        t.seq += 1;
+        last_copy = Some(deep_clone(&t));
+        wire = SessionMsg::Token(deep_clone(&t)).encode_to_bytes();
+        black_box(&wire);
+    }
+    black_box(&last_copy);
+    HOPS
+}
+
+/// Encode+decode round-trip of a token carrying piggybacked multicasts —
+/// the non-quiescent codec cost the body cache cannot help with.
+fn wire_codec() -> u64 {
+    const OPS: u64 = 20_000;
+    let mut t = quiescent_token(8);
+    for i in 0..4u64 {
+        let mut a = Attached::new(
+            NodeId((i % 8) as u32),
+            OriginSeq(i),
+            DeliveryMode::Agreed,
+            Bytes::from(vec![0xAB; 128]),
+        );
+        a.mark_seen(NodeId(0));
+        t.msgs.push(a);
+    }
+    let msg = SessionMsg::Token(t);
+    for _ in 0..OPS {
+        let wire = msg.encode_to_bytes();
+        let back = SessionMsg::decode_from_bytes(&wire).expect("round-trips");
+        black_box(&back);
+    }
+    OPS
+}
+
+/// One seeded chaos run (schedule generation + engine + oracles),
+/// normalized per engine tick — the end-to-end cost of a simulated
+/// protocol instant.
+fn chaos_tick() -> u64 {
+    let cfg = ChaosConfig {
+        nodes: 4,
+        seed: 5,
+        ticks: 200,
+        ..ChaosConfig::default()
+    };
+    let schedule = generate_schedule(&cfg);
+    let report = run_chaos(&cfg, &schedule).expect("chaos run");
+    assert!(report.violation.is_none(), "seed 5 is a known-clean run");
+    report.ticks_run
+}
+
+/// One bounded model-check search, normalized per state visited.
+fn model_check_states() -> u64 {
+    let cfg = ModelCheckConfig {
+        nodes: 3,
+        max_depth: 8,
+        max_schedules: 1_500,
+        ..ModelCheckConfig::default()
+    };
+    let report = Explorer::new(cfg).run().expect("model check");
+    assert!(
+        report.violation.is_none(),
+        "bounded space is violation-free"
+    );
+    report.stats.states
+}
+
+// ----------------------------------------------------------------------
+// Report + compare
+// ----------------------------------------------------------------------
+
+fn to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"raincore-micro-bench/v1\",\n");
+    out.push_str(&format!(
+        "  \"profile\": \"{}\",\n  \"benchmarks\": [\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ops\": {}, \"ns_per_op\": {:.1}, \"bytes_per_op\": {:.1}, \"allocs_per_op\": {:.3}}}{}\n",
+            r.name,
+            r.ops,
+            r.ns_per_op,
+            r.bytes_per_op,
+            r.allocs_per_op,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pulls `"field": <number>` out of the benchmark object named `bench`
+/// in a report this binary wrote. Good enough for our own format; not a
+/// general JSON parser.
+fn extract(json: &str, bench: &str, field: &str) -> Option<f64> {
+    let obj_start = json.find(&format!("\"name\": \"{bench}\""))?;
+    let obj = &json[obj_start..json[obj_start..].find('}')? + obj_start];
+    let at = obj.find(&format!("\"{field}\":"))?;
+    let tail = obj[at..].split_once(':')?.1;
+    let num: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_5.json");
+    let mut compare: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out PATH"),
+            "--compare" => compare = Some(args.next().expect("--compare BASELINE")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("raincore micro-benchmarks (allocation-counting harness)\n");
+    let results = [
+        measure("bench_token_hop", token_hop),
+        measure("bench_token_hop_legacy", token_hop_legacy),
+        measure("bench_wire_codec", wire_codec),
+        measure("bench_chaos_tick", chaos_tick),
+        measure("bench_model_check_states", model_check_states),
+    ];
+
+    // The tentpole claim, asserted in-process: the patched hop allocates
+    // at least 2× less than the reconstructed pre-change hop.
+    let new_hop = &results[0];
+    let legacy_hop = &results[1];
+    assert!(
+        legacy_hop.allocs_per_op >= 2.0 * new_hop.allocs_per_op,
+        "patch-per-hop must halve allocations: legacy {:.2}/hop vs new {:.2}/hop",
+        legacy_hop.allocs_per_op,
+        new_hop.allocs_per_op
+    );
+
+    // Export the allocations-per-hop gauge alongside the other metrics.
+    let registry = raincore_obs::Registry::new();
+    registry.set_gauge(
+        "raincore_bench_allocs_per_hop",
+        &[("bench", "token_hop")],
+        new_hop.allocs_per_op.ceil() as i64,
+    );
+    registry.set_gauge(
+        "raincore_bench_allocs_per_hop",
+        &[("bench", "token_hop_legacy")],
+        legacy_hop.allocs_per_op.ceil() as i64,
+    );
+    println!("\n{}", registry.snapshot().to_prometheus());
+
+    let json = to_json(&results);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+
+    if let Some(baseline_path) = compare {
+        let baseline = std::fs::read_to_string(&baseline_path).expect("read baseline");
+        let base = extract(&baseline, "bench_token_hop", "allocs_per_op")
+            .expect("baseline has bench_token_hop allocs_per_op");
+        let now = new_hop.allocs_per_op;
+        let limit = base * 1.25;
+        println!(
+            "compare vs {baseline_path}: bench_token_hop {now:.3} allocs/op \
+             (baseline {base:.3}, limit {limit:.3})"
+        );
+        if now > limit {
+            eprintln!("FAIL: bench_token_hop allocations regressed more than 25%");
+            std::process::exit(1);
+        }
+        for r in &results {
+            if let Some(b) = extract(&baseline, r.name, "allocs_per_op") {
+                let delta = if b > 0.0 {
+                    (r.allocs_per_op / b - 1.0) * 100.0
+                } else {
+                    0.0
+                };
+                println!("  {:28} allocs/op {:+.1}% vs baseline", r.name, delta);
+            }
+        }
+        println!("compare OK");
+    }
+}

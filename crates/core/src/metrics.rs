@@ -57,12 +57,18 @@ pub struct SessionMetrics {
     /// Failed sends this node re-routed (token re-sent to the next
     /// successor, or a 911 vote completed without the dead voter).
     pub retransmissions_acted: u64,
+    /// Outgoing token encodes served from the patch-per-hop body cache
+    /// (only the seq header was re-encoded).
+    pub token_body_cache_hits: u64,
+    /// Outgoing token encodes that re-encoded the body (membership or
+    /// message-list change, or cold cache).
+    pub token_body_cache_misses: u64,
 }
 
 impl SessionMetrics {
     /// `(field name, value)` view, in declaration order. Single source of
     /// truth for the serde impl, the JSON renderer and metric exporters.
-    pub fn fields(&self) -> [(&'static str, u64); 19] {
+    pub fn fields(&self) -> [(&'static str, u64); 21] {
         [
             ("task_switches", self.task_switches),
             ("tokens_received", self.tokens_received),
@@ -83,6 +89,8 @@ impl SessionMetrics {
             ("open_relayed", self.open_relayed),
             ("failures_detected", self.failures_detected),
             ("retransmissions_acted", self.retransmissions_acted),
+            ("token_body_cache_hits", self.token_body_cache_hits),
+            ("token_body_cache_misses", self.token_body_cache_misses),
         ]
     }
 
@@ -129,6 +137,6 @@ mod tests {
         assert!(json.contains("\"safe_held_back\":2"));
         assert!(json.contains("\"retransmissions_acted\":1"));
         assert!(json.contains("\"tokens_received\":0"));
-        assert_eq!(json.matches(':').count(), 19, "all fields present once");
+        assert_eq!(json.matches(':').count(), 21, "all fields present once");
     }
 }

@@ -51,8 +51,8 @@ use raincore_types::config::DetectionMode;
 use raincore_types::wire::{WireDecode, WireEncode};
 use raincore_types::{
     Attached, BodyOdor, Call911, DeliveryMode, Error, GroupId, Incarnation, MsgId, NodeId,
-    OriginSeq, Reply911, Result, Ring, SessionConfig, SessionMsg, Time, Token, TransportConfig,
-    Verdict911,
+    OriginSeq, Reply911, Result, Ring, SessionConfig, SessionMsg, Time, Token, TokenEncoder,
+    TransportConfig, Verdict911,
 };
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -150,6 +150,9 @@ pub struct SessionNode {
     last_seen_seq: u64,
     /// Token currently in flight to a successor, until acknowledged.
     forwarding: Option<Forwarding>,
+    /// Patch-per-hop token wire encoder: pooled scratch buffer + cached
+    /// body, so quiescent hops re-encode only the seq header.
+    codec: TokenEncoder,
     /// TBM token held while waiting for our own group's token (§2.4).
     held_tbm: Option<Token>,
     /// Node we should hand a TBM token to at the next pass (we saw its
@@ -215,6 +218,7 @@ impl SessionNode {
             last_copy: None,
             last_seen_seq: 0,
             forwarding: None,
+            codec: TokenEncoder::new(),
             held_tbm: None,
             merge_target: None,
             pending_joins: Vec::new(),
@@ -449,7 +453,7 @@ impl SessionNode {
                     .into_iter()
                     .find(|n| token.ring.contains(*n));
                 if let Some(next) = next {
-                    let msg = SessionMsg::Token(token).encode_to_bytes();
+                    let msg = self.encode_token(&token);
                     if let Ok(mid) = self.transport.send(now, next, msg) {
                         self.inflight.insert(mid, SendKind::Token);
                         self.metrics.tokens_sent += 1;
@@ -708,7 +712,7 @@ impl SessionNode {
             // Two tokens converged on us (false-alarm fork). Absorb: keep
             // the newer ring, preserve any messages only the old one had.
             let mut t = t;
-            for m in held.msgs.drain(..) {
+            for m in held.msgs.take_all() {
                 if !t.msgs.iter().any(|x| x.key() == m.key()) {
                     t.msgs.push(m);
                 }
@@ -749,7 +753,7 @@ impl SessionNode {
 
     /// Merges our token with a held TBM token (§2.4): union membership,
     /// concatenate multicast messages, out-rank both sequence numbers.
-    fn merge_tokens(&mut self, mut ours: Token, other: Token) -> Token {
+    fn merge_tokens(&mut self, mut ours: Token, mut other: Token) -> Token {
         // The absorbed group is the other token's membership *without* us
         // (a TBM token already contains the node it was handed to).
         let absorbed = other
@@ -759,7 +763,7 @@ impl SessionNode {
             .min()
             .map(GroupId)
             .unwrap_or(GroupId(self.id));
-        for m in other.msgs {
+        for m in other.msgs.take_all() {
             if !ours.msgs.iter().any(|x| x.key() == m.key()) {
                 ours.msgs.push(m);
             }
@@ -817,7 +821,7 @@ impl SessionNode {
     /// of the nodes".
     fn process_attachments(&mut self, token: &mut Token) {
         let ring = token.ring.clone();
-        for m in &mut token.msgs {
+        for m in token.msgs.iter_mut() {
             m.mark_seen(self.id);
             self.buffer_message(m);
             if m.mode == DeliveryMode::Safe && m.seen_by_all(&ring) {
@@ -982,12 +986,25 @@ impl SessionNode {
         }
     }
 
+    /// Encodes the token wire image via the patch-per-hop codec,
+    /// recording the encode size and body-cache counters.
+    fn encode_token(&mut self, token: &Token) -> Bytes {
+        let bytes = self.codec.encode(token);
+        self.metrics.token_body_cache_hits = self.codec.cache_hits();
+        self.metrics.token_body_cache_misses = self.codec.cache_misses();
+        self.obs.token_encode_bytes.record(bytes.len() as u64);
+        bytes
+    }
+
     fn send_token(&mut self, now: Time, token: Token, to: NodeId) {
         // Refresh our local copy with the outgoing token: it carries the
         // multicasts we just attached, and if the receiver dies with the
-        // only post-attach copy, regeneration must not lose them.
+        // only post-attach copy, regeneration must not lose them. One
+        // snapshot feeds both the copy (a CoW share) and the wire image
+        // (patch-per-hop encoder), so a quiescent hop allocates only the
+        // output buffer.
+        let bytes = self.encode_token(&token);
         self.last_copy = Some(token.clone());
-        let bytes = SessionMsg::Token(token.clone()).encode_to_bytes();
         match self.transport.send(now, to, bytes) {
             Ok(msg_id) => {
                 self.obs.trace(TraceKind::TokenTx {
@@ -1967,7 +1984,8 @@ mod holdback_tests {
         t.msgs = vec![
             attached(0, 0, DeliveryMode::Safe, &[0]), // not seen by all yet
             attached(2, 0, DeliveryMode::Agreed, &[2, 0]),
-        ];
+        ]
+        .into();
         n.on_token(Time::ZERO, t);
         assert!(n.is_eating());
         assert_eq!(
@@ -1982,7 +2000,8 @@ mod holdback_tests {
         t.msgs = vec![
             attached(0, 0, DeliveryMode::Safe, &[0, 2, 1]),
             attached(2, 0, DeliveryMode::Agreed, &[2, 0, 1]),
-        ];
+        ]
+        .into();
         n.on_token(Time::ZERO + Duration::from_millis(20), t);
         assert_eq!(
             deliveries(&mut n),
@@ -1999,7 +2018,8 @@ mod holdback_tests {
         t.msgs = vec![
             attached(0, 0, DeliveryMode::Agreed, &[0]),
             attached(0, 1, DeliveryMode::Safe, &[0]),
-        ];
+        ]
+        .into();
         n.on_token(Time::ZERO, t);
         assert_eq!(
             deliveries(&mut n),
@@ -2017,7 +2037,7 @@ mod holdback_tests {
         // Token arrives with a blocked safe message at the head.
         let mut t = Token::founding(Ring::from([0, 1, 2]));
         t.seq = 10;
-        t.msgs = vec![attached(0, 0, DeliveryMode::Safe, &[0])];
+        t.msgs = vec![attached(0, 0, DeliveryMode::Safe, &[0])].into();
         n.on_token(Time::ZERO, t);
         // Pass the token: our message attaches *behind* the safe one.
         n.on_tick(Time::ZERO + n.config().token_hold);
@@ -2032,7 +2052,8 @@ mod holdback_tests {
         t.msgs = vec![
             attached(0, 0, DeliveryMode::Safe, &[0, 1, 2]),
             attached(1, 0, DeliveryMode::Agreed, &[1, 0, 2]),
-        ];
+        ]
+        .into();
         n.on_token(Time::ZERO + Duration::from_millis(50), t);
         assert_eq!(
             deliveries(&mut n),
@@ -2045,12 +2066,12 @@ mod holdback_tests {
         let mut n = mk(1);
         let mut t = Token::founding(Ring::from([0, 1, 2]));
         t.seq = 10;
-        t.msgs = vec![attached(0, 0, DeliveryMode::Agreed, &[0])];
+        t.msgs = vec![attached(0, 0, DeliveryMode::Agreed, &[0])].into();
         n.on_token(Time::ZERO, t);
         // The same message rides the next round too (not yet retired).
         let mut t = Token::founding(Ring::from([0, 1, 2]));
         t.seq = 13;
-        t.msgs = vec![attached(0, 0, DeliveryMode::Agreed, &[0, 1, 2])];
+        t.msgs = vec![attached(0, 0, DeliveryMode::Agreed, &[0, 1, 2])].into();
         n.on_token(Time::ZERO + Duration::from_millis(20), t);
         assert_eq!(
             deliveries(&mut n).len(),
@@ -2067,13 +2088,13 @@ mod holdback_tests {
         let mut n = mk(1);
         let mut t = Token::founding(Ring::from([0, 1, 2]));
         t.seq = 10;
-        t.msgs = vec![attached(0, 0, DeliveryMode::Safe, &[0])];
+        t.msgs = vec![attached(0, 0, DeliveryMode::Safe, &[0])].into();
         n.on_token(Time::ZERO, t);
         assert_eq!(deliveries(&mut n), vec![]);
         // Next round: message now seen by all (still on token).
         let mut t = Token::founding(Ring::from([0, 1, 2]));
         t.seq = 13;
-        t.msgs = vec![attached(0, 0, DeliveryMode::Safe, &[0, 2, 1])];
+        t.msgs = vec![attached(0, 0, DeliveryMode::Safe, &[0, 2, 1])].into();
         n.on_token(Time::ZERO + Duration::from_millis(20), t);
         assert_eq!(deliveries(&mut n), vec![(NodeId(0), OriginSeq(0))]);
     }

@@ -35,6 +35,8 @@ pub struct NodeObs {
     pub submit_to_atomic_agreed: Histogram,
     /// Multicast submit→atomicity confirmation, safe mode.
     pub submit_to_atomic_safe: Histogram,
+    /// Size in bytes of each encoded outgoing token wire image.
+    pub token_encode_bytes: Histogram,
     /// Latest time observed by the node (updated on every tick/datagram),
     /// so paths without a `now` parameter (e.g. `multicast`) can stamp.
     clock: Time,
@@ -56,6 +58,7 @@ impl NodeObs {
             submit_to_deliver_safe: Histogram::new(),
             submit_to_atomic_agreed: Histogram::new(),
             submit_to_atomic_safe: Histogram::new(),
+            token_encode_bytes: Histogram::new(),
             clock: now,
             last_eating: None,
             starving_since: None,

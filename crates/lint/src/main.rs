@@ -59,6 +59,8 @@ const DISPATCH_FILES: &[&str] = &[
     "crates/net/src/sim.rs",
     "crates/sim/src/audit.rs",
     "crates/sim/src/chaos.rs",
+    "crates/types/src/token_codec.rs",
+    "crates/bench/src/bin/micro_bench.rs",
 ];
 
 #[derive(Debug)]

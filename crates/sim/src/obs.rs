@@ -104,6 +104,11 @@ impl Cluster {
             );
             r.attach_histogram("raincore_hungry_wait_ns", labels, o.hungry_wait.clone());
             r.attach_histogram("raincore_911_recovery_ns", labels, o.recovery_911.clone());
+            r.attach_histogram(
+                "raincore_token_encode_bytes",
+                labels,
+                o.token_encode_bytes.clone(),
+            );
             for (mode, deliver, atomic) in [
                 (
                     "agreed",
@@ -232,6 +237,9 @@ mod tests {
         assert!(text.contains("raincore_session_tokens_received{node=\"1\"}"));
         assert!(text.contains("raincore_transport_rtt_ns_count{node=\"1\"}"));
         assert!(text.contains("raincore_submit_to_deliver_ns_count{mode=\"agreed\",node=\"0\"}"));
+        assert!(text.contains("raincore_session_token_body_cache_hits{node=\"0\"}"));
+        assert!(text.contains("raincore_session_token_body_cache_misses{node=\"0\"}"));
+        assert!(text.contains("raincore_token_encode_bytes_count{node=\"1\"}"));
         assert!(text.contains("raincore_sim_live_members 3"));
         let json = c.json_snapshot();
         assert!(json.contains("\"name\":\"raincore_token_rotation_ns\""));

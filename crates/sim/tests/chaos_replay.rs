@@ -69,6 +69,32 @@ fn forged_token_3node_fixture_reproduces() {
     check_fixture(include_str!("fixtures/forged_token_3node.txt"));
 }
 
+/// The audit verdict must be *identical* to the one recorded when the
+/// fixture was harvested — same violated property, same group, same
+/// simulated instant, down to the byte. This pins the whole replay
+/// pipeline (wire codec, token forwarding, auditors) against silent
+/// behavioral drift: a hot-path optimization that changed what goes on
+/// the wire or when would shift the violation time or wording here.
+#[test]
+fn replay_audit_verdict_matches_recorded_reason() {
+    let text = include_str!("fixtures/forged_token_3node.txt");
+    let recorded = text
+        .lines()
+        .find(|l| l.starts_with("# reason:"))
+        .expect("fixture has a reason header")
+        .trim_start_matches("# reason:")
+        .trim()
+        .to_string();
+    let cfg = config_from_header(text);
+    let schedule = parse_schedule(text).expect("fixture parses");
+    let replayed = replay(&cfg, &schedule).expect("replay setup");
+    let (_, reason) = replayed.violation.expect("violation reproduces");
+    assert_eq!(
+        reason, recorded,
+        "replay verdict drifted from the recorded audit result"
+    );
+}
+
 #[test]
 fn forged_token_4node_fixture_reproduces() {
     check_fixture(include_str!("fixtures/forged_token_4node.txt"));

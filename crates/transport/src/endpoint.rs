@@ -580,10 +580,11 @@ mod tests {
             let arrivals = net.pop_arrivals(now);
             if !arrivals.is_empty() {
                 for d in arrivals {
-                    for ep in eps.iter_mut() {
-                        if ep.local_addrs.contains(&d.dst) {
-                            ep.on_datagram(now, d.clone());
-                        }
+                    // Exactly one endpoint owns any destination address, so
+                    // hand the datagram over by value instead of cloning it
+                    // for every candidate.
+                    if let Some(ep) = eps.iter_mut().find(|ep| ep.local_addrs.contains(&d.dst)) {
+                        ep.on_datagram(now, d);
                     }
                 }
                 continue;

@@ -28,6 +28,7 @@ pub mod id;
 pub mod membership;
 pub mod messages;
 pub mod time;
+pub mod token_codec;
 pub mod wire;
 
 pub use config::{SessionConfig, TransportConfig};
@@ -35,6 +36,8 @@ pub use error::{Error, Result};
 pub use id::{GroupId, Incarnation, MsgId, NodeId, OriginSeq, VipId};
 pub use membership::Ring;
 pub use messages::{
-    Attached, BodyOdor, Call911, DeliveryMode, OpenSubmit, Reply911, SessionMsg, Token, Verdict911,
+    Attached, BodyOdor, Call911, DeliveryMode, MsgList, OpenSubmit, Reply911, SessionMsg, Token,
+    Verdict911,
 };
 pub use time::{Duration, Time};
+pub use token_codec::TokenEncoder;

@@ -13,21 +13,33 @@
 use crate::id::{GroupId, NodeId};
 use crate::wire::{Reader, WireDecode, WireEncode, WireResult, Writer};
 use core::fmt;
+use std::sync::Arc;
 
 /// An ordered ring of distinct node ids.
 ///
 /// Invariant: members are distinct. All mutating operations preserve this;
 /// decoding rejects duplicate entries.
+///
+/// Storage is copy-on-write: `Ring::clone` is a reference-count bump, and
+/// the first mutation of a shared ring copies the member list once. The
+/// token hot path clones the ring on every hop (`last_copy`, forwarding
+/// snapshots, local membership refresh) while membership changes are rare,
+/// so steady-state hops never copy the member vector.
 #[derive(Clone, Default, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ring {
-    members: Vec<NodeId>,
+    members: Arc<Vec<NodeId>>,
 }
 
 impl Ring {
     /// Creates an empty ring.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Copy-on-write access to the member list: copies it iff shared.
+    fn members_mut(&mut self) -> &mut Vec<NodeId> {
+        Arc::make_mut(&mut self.members)
     }
 
     /// Creates a ring from an iterator of node ids, keeping the first
@@ -105,7 +117,7 @@ impl Ring {
         if self.contains(node) {
             false
         } else {
-            self.members.push(node);
+            self.members_mut().push(node);
             true
         }
     }
@@ -118,8 +130,8 @@ impl Ring {
             return false;
         }
         match self.position(anchor) {
-            Some(pos) => self.members.insert(pos + 1, node),
-            None => self.members.push(node),
+            Some(pos) => self.members_mut().insert(pos + 1, node),
+            None => self.members_mut().push(node),
         }
         true
     }
@@ -128,7 +140,7 @@ impl Ring {
     pub fn remove(&mut self, node: NodeId) -> bool {
         match self.position(node) {
             Some(pos) => {
-                self.members.remove(pos);
+                self.members_mut().remove(pos);
                 true
             }
             None => false,
@@ -291,6 +303,19 @@ mod tests {
         assert!(a.is_superset_of(&c));
         assert!(!c.is_superset_of(&a));
         assert!(!a.same_members(&c));
+    }
+
+    #[test]
+    fn clone_shares_until_mutated() {
+        let a = ring(&[1, 2, 3]);
+        let mut b = a.clone();
+        // A clone shares the same member storage…
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+        // …until one side mutates, which must not disturb the other.
+        b.remove(NodeId(2));
+        assert_eq!(a.as_slice(), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(b.as_slice(), &[NodeId(1), NodeId(3)]);
+        assert_ne!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::id::{GroupId, NodeId, OriginSeq};
 use crate::membership::Ring;
 use crate::wire::{Reader, WireDecode, WireEncode, WireError, WireResult, Writer};
 use bytes::Bytes;
+use std::sync::Arc;
 
 /// Consistency level requested for a multicast message (§2.6).
 ///
@@ -149,6 +150,88 @@ impl WireDecode for Attached {
     }
 }
 
+/// The token's piggybacked message list, stored copy-on-write.
+///
+/// `MsgList::clone` is a reference-count bump; the first mutation of a
+/// shared list copies it once. The hot path snapshots the whole token
+/// into `last_copy` on every hop, so sharing here (together with the CoW
+/// [`Ring`]) makes `Token::clone` allocation-free, while the per-hop
+/// `mark_seen` mutation pays at most one copy per message-carrying hop.
+/// Read access goes through `Deref<Target = [Attached]>`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MsgList {
+    items: Arc<Vec<Attached>>,
+}
+
+impl MsgList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy-on-write access to the items: copies them iff shared.
+    fn items_mut(&mut self) -> &mut Vec<Attached> {
+        Arc::make_mut(&mut self.items)
+    }
+
+    /// Appends a message.
+    pub fn push(&mut self, m: Attached) {
+        self.items_mut().push(m);
+    }
+
+    /// Mutable iteration (unshares the list first).
+    pub fn iter_mut(&mut self) -> core::slice::IterMut<'_, Attached> {
+        self.items_mut().iter_mut()
+    }
+
+    /// Keeps only the messages for which `f` returns true.
+    pub fn retain<F: FnMut(&Attached) -> bool>(&mut self, f: F) {
+        self.items_mut().retain(f);
+    }
+
+    /// Removes and returns every message, leaving the list empty.
+    pub fn take_all(&mut self) -> Vec<Attached> {
+        match Arc::try_unwrap(std::mem::take(&mut self.items)) {
+            Ok(v) => v,
+            Err(shared) => shared.as_ref().clone(),
+        }
+    }
+}
+
+impl core::ops::Deref for MsgList {
+    type Target = [Attached];
+
+    fn deref(&self) -> &[Attached] {
+        &self.items
+    }
+}
+
+impl From<Vec<Attached>> for MsgList {
+    fn from(items: Vec<Attached>) -> Self {
+        MsgList {
+            items: Arc::new(items),
+        }
+    }
+}
+
+impl FromIterator<Attached> for MsgList {
+    fn from_iter<I: IntoIterator<Item = Attached>>(iter: I) -> Self {
+        Vec::from_iter(iter).into()
+    }
+}
+
+impl WireEncode for MsgList {
+    fn encode(&self, w: &mut Writer) {
+        self.items.encode(w);
+    }
+}
+
+impl WireDecode for MsgList {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(Vec::<Attached>::decode(r)?.into())
+    }
+}
+
 /// The circulating TOKEN (§2.2).
 ///
 /// Exactly one token exists per group at any instant (the paper proves
@@ -166,7 +249,7 @@ pub struct Token {
     /// lower group to be merged with that group's own token.
     pub tbm: bool,
     /// Piggybacked multicast messages, in global delivery order.
-    pub msgs: Vec<Attached>,
+    pub msgs: MsgList,
 }
 
 impl Token {
@@ -176,7 +259,7 @@ impl Token {
             seq: 1,
             ring,
             tbm: false,
-            msgs: Vec::new(),
+            msgs: MsgList::new(),
         }
     }
 
@@ -189,14 +272,22 @@ impl Token {
     pub fn payload_bytes(&self) -> usize {
         self.msgs.iter().map(|m| m.payload.len()).sum()
     }
+
+    /// Encodes the slow-changing *body* of the wire image — ring, tbm and
+    /// piggybacked messages: everything after the per-hop `seq`. The
+    /// patch-per-hop encoder ([`crate::token_codec::TokenEncoder`]) caches
+    /// exactly these bytes between hops.
+    pub fn encode_body(&self, w: &mut Writer) {
+        self.ring.encode(w);
+        w.put_bool(self.tbm);
+        self.msgs.encode(w);
+    }
 }
 
 impl WireEncode for Token {
     fn encode(&self, w: &mut Writer) {
         w.put_varint(self.seq);
-        self.ring.encode(w);
-        w.put_bool(self.tbm);
-        self.msgs.encode(w);
+        self.encode_body(w);
     }
 }
 
@@ -206,7 +297,7 @@ impl WireDecode for Token {
             seq: r.get_varint()?,
             ring: Ring::decode(r)?,
             tbm: r.get_bool()?,
-            msgs: Vec::decode(r)?,
+            msgs: MsgList::decode(r)?,
         })
     }
 }
@@ -391,6 +482,20 @@ pub enum SessionMsg {
 }
 
 impl SessionMsg {
+    /// Wire tag of the [`SessionMsg::Token`] variant. Shared with the
+    /// patch-per-hop [`crate::token_codec::TokenEncoder`], which writes
+    /// the tag itself so its output stays byte-identical to
+    /// [`WireEncode::encode`].
+    pub const TAG_TOKEN: u8 = 0;
+    /// Wire tag of [`SessionMsg::Call911`].
+    pub const TAG_CALL911: u8 = 1;
+    /// Wire tag of [`SessionMsg::Reply911`].
+    pub const TAG_REPLY911: u8 = 2;
+    /// Wire tag of [`SessionMsg::BodyOdor`].
+    pub const TAG_BODYODOR: u8 = 3;
+    /// Wire tag of [`SessionMsg::Open`].
+    pub const TAG_OPEN: u8 = 4;
+
     /// Short human-readable kind name (for traces).
     pub fn kind(&self) -> &'static str {
         match self {
@@ -407,23 +512,23 @@ impl WireEncode for SessionMsg {
     fn encode(&self, w: &mut Writer) {
         match self {
             SessionMsg::Token(t) => {
-                w.put_u8(0);
+                w.put_u8(Self::TAG_TOKEN);
                 t.encode(w);
             }
             SessionMsg::Call911(c) => {
-                w.put_u8(1);
+                w.put_u8(Self::TAG_CALL911);
                 c.encode(w);
             }
             SessionMsg::Reply911(rep) => {
-                w.put_u8(2);
+                w.put_u8(Self::TAG_REPLY911);
                 rep.encode(w);
             }
             SessionMsg::BodyOdor(b) => {
-                w.put_u8(3);
+                w.put_u8(Self::TAG_BODYODOR);
                 b.encode(w);
             }
             SessionMsg::Open(o) => {
-                w.put_u8(4);
+                w.put_u8(Self::TAG_OPEN);
                 o.encode(w);
             }
         }
@@ -433,11 +538,11 @@ impl WireEncode for SessionMsg {
 impl WireDecode for SessionMsg {
     fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
         match r.get_u8()? {
-            0 => Ok(SessionMsg::Token(Token::decode(r)?)),
-            1 => Ok(SessionMsg::Call911(Call911::decode(r)?)),
-            2 => Ok(SessionMsg::Reply911(Reply911::decode(r)?)),
-            3 => Ok(SessionMsg::BodyOdor(BodyOdor::decode(r)?)),
-            4 => Ok(SessionMsg::Open(OpenSubmit::decode(r)?)),
+            Self::TAG_TOKEN => Ok(SessionMsg::Token(Token::decode(r)?)),
+            Self::TAG_CALL911 => Ok(SessionMsg::Call911(Call911::decode(r)?)),
+            Self::TAG_REPLY911 => Ok(SessionMsg::Reply911(Reply911::decode(r)?)),
+            Self::TAG_BODYODOR => Ok(SessionMsg::BodyOdor(BodyOdor::decode(r)?)),
+            Self::TAG_OPEN => Ok(SessionMsg::Open(OpenSubmit::decode(r)?)),
             tag => Err(WireError::BadTag {
                 ty: "SessionMsg",
                 tag,
@@ -509,6 +614,31 @@ mod tests {
             Bytes::from(vec![0u8; 5]),
         ));
         assert_eq!(t.payload_bytes(), 15);
+    }
+
+    #[test]
+    fn msg_list_clone_shares_until_mutated() {
+        let mut a = MsgList::new();
+        a.push(Attached::new(
+            NodeId(1),
+            OriginSeq(0),
+            DeliveryMode::Agreed,
+            Bytes::from_static(b"x"),
+        ));
+        let mut b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        // Mutating through iter_mut unshares; the original is untouched.
+        for m in b.iter_mut() {
+            m.mark_seen(NodeId(2));
+        }
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a[0].seen, vec![NodeId(1)]);
+        assert_eq!(b[0].seen, vec![NodeId(1), NodeId(2)]);
+        // take_all drains a shared list without disturbing the other copy.
+        let drained = b.take_all();
+        assert_eq!(drained.len(), 1);
+        assert!(b.is_empty());
+        assert_eq!(a.len(), 1);
     }
 
     #[test]
@@ -630,7 +760,7 @@ mod tests {
             tbm in any::<bool>(),
             msgs in proptest::collection::vec(arb_attached(), 0..6),
         ) -> Token {
-            Token { seq, ring: Ring::from_iter(ids.into_iter().map(NodeId)), tbm, msgs }
+            Token { seq, ring: Ring::from_iter(ids.into_iter().map(NodeId)), tbm, msgs: msgs.into() }
         }
     }
 

@@ -118,6 +118,13 @@ impl Writer {
         self.put_bytes(v.as_bytes());
     }
 
+    /// Appends raw, already-encoded bytes (no length prefix). Used by the
+    /// patch-per-hop token encoder to splice a cached body after a freshly
+    /// written header.
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
     /// Number of bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -126,6 +133,25 @@ impl Writer {
     /// True if nothing has been written.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Clears the buffer for reuse, keeping its capacity. Together with
+    /// [`Writer::snapshot`] this lets hot paths recycle one scratch buffer
+    /// across encodes instead of allocating a fresh one per message.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Copies the current contents into an immutable buffer *without*
+    /// consuming the writer: exactly one allocation, and the scratch
+    /// capacity stays available for the next encode.
+    pub fn snapshot(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.buf)
     }
 
     /// Finishes encoding and returns the immutable byte buffer.

@@ -17,7 +17,7 @@ use raincore_types::messages::{
     Attached, BodyOdor, Call911, DeliveryMode, OpenSubmit, Reply911, SessionMsg, Token, Verdict911,
 };
 use raincore_types::wire::{WireDecode, WireEncode};
-use raincore_types::{GroupId, NodeId, OriginSeq, Ring};
+use raincore_types::{GroupId, NodeId, OriginSeq, Ring, TokenEncoder};
 
 /// Minimal xorshift64* PRNG: deterministic, dependency-free, good enough
 /// for byte fuzzing.
@@ -155,6 +155,64 @@ fn mutated_valid_encodings_never_panic() {
         }
         let _ = SessionMsg::decode_from_bytes(&buf);
     }
+}
+
+/// The patch-per-hop [`TokenEncoder`] must be byte-identical to a fresh
+/// full encode at every step of a long mutation walk: seq bumps
+/// (cache-hit regime), membership joins/leaves, tbm flips, messages
+/// boarding and retiring, and CoW clones standing in for `last_copy`
+/// snapshots. One persistent encoder across the whole walk, so every
+/// cache transition (cold→primed→hit→invalidated→re-primed) is covered.
+#[test]
+fn patched_header_encode_matches_full_reencode() {
+    let mut rng = Rng::new(0x70_4B_3E);
+    let mut enc = TokenEncoder::new();
+    let mut token = Token::founding(arb_ring(&mut rng));
+    let mut hits_possible = 0u64;
+    for step in 0..5_000 {
+        match rng.below(10) {
+            // Steady state dominates: most hops only bump seq.
+            0..=5 => token.seq = token.seq.wrapping_add(1 + rng.below(3)),
+            6 => {
+                token.ring.push(NodeId(rng.below(64) as u32));
+            }
+            7 => {
+                let id = NodeId(rng.below(64) as u32);
+                token.ring.remove(id);
+            }
+            8 => token.tbm = !token.tbm,
+            _ => {
+                if token.msgs.is_empty() || rng.below(2) == 0 {
+                    token.msgs.push(arb_attached(&mut rng));
+                } else {
+                    token.msgs = Default::default();
+                }
+            }
+        }
+        // A CoW snapshot, as `SessionNode` takes for `last_copy`. Dropped
+        // or mutated later, it must never disturb the encoder's view.
+        let snapshot = token.clone();
+        if rng.below(4) == 0 {
+            let mut fork = snapshot.clone();
+            fork.ring.push(NodeId(99));
+            fork.msgs.push(arb_attached(&mut rng));
+        }
+        if token.msgs.is_empty() {
+            hits_possible += 1;
+        }
+        let patched = enc.encode(&token);
+        let full = SessionMsg::Token(token.clone()).encode_to_bytes();
+        assert_eq!(patched[..], full[..], "divergence at step {step}");
+        let decoded = SessionMsg::decode_from_bytes(&patched).expect("decodes");
+        assert_eq!(decoded, SessionMsg::Token(snapshot));
+    }
+    assert!(
+        enc.cache_hits() > hits_possible / 2,
+        "the walk must actually exercise the cache-hit path: {} hits of {} quiescent encodes",
+        enc.cache_hits(),
+        hits_possible
+    );
+    assert!(enc.cache_misses() > 100, "and the invalidation paths");
 }
 
 #[test]

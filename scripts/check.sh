@@ -38,4 +38,8 @@ cargo run --release -q -p raincore-sim --bin chaos -- --replay chaos-seeded.txt
 echo "==> chaos (soak must be clean: 50 seeds, all scenarios)"
 cargo run --release -q -p raincore-sim --bin chaos -- --soak 50 --seed 1
 
+echo "==> micro-bench (report + <=25% allocation regression vs committed BENCH_5.json)"
+cargo run --release -q -p raincore-bench --bin micro_bench -- \
+  --out BENCH_5.current.json --compare BENCH_5.json
+
 echo "OK"

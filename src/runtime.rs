@@ -76,6 +76,11 @@ fn dump_node_obs(node: &SessionNode) -> ObsDump {
     );
     r.attach_histogram("raincore_hungry_wait_ns", labels, o.hungry_wait.clone());
     r.attach_histogram("raincore_911_recovery_ns", labels, o.recovery_911.clone());
+    r.attach_histogram(
+        "raincore_token_encode_bytes",
+        labels,
+        o.token_encode_bytes.clone(),
+    );
     let t = node.transport_obs();
     r.attach_histogram("raincore_transport_rtt_ns", labels, t.rtt.clone());
     r.attach_histogram(
