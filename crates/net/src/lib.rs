@@ -34,3 +34,4 @@ pub mod udp;
 pub use addr::{Addr, Datagram, PacketClass};
 pub use sim::{MediumKind, SimNet, SimNetConfig};
 pub use stats::{ClassCounts, NetStats, NodeStats};
+pub use udp::{decode_wire, encode_wire, UdpNet};

@@ -26,7 +26,14 @@ use std::thread::JoinHandle;
 
 const MAX_DGRAM: usize = 65_536;
 
-fn encode_header(d: &Datagram) -> Bytes {
+/// Encode a datagram into its on-the-wire form:
+/// `varint(src.node) · u8(src.nic) · u8(class) · payload`.
+///
+/// Public so out-of-process tooling (the loss-injecting conformance proxy)
+/// can decode the logical source of a packet in flight and re-emit the
+/// bytes unchanged — the destination never travels on the wire, it is the
+/// receiving socket.
+pub fn encode_wire(d: &Datagram) -> Bytes {
     let mut w = Writer::with_capacity(d.payload.len() + 8);
     d.src.encode(&mut w);
     d.class.encode(&mut w);
@@ -34,7 +41,9 @@ fn encode_header(d: &Datagram) -> Bytes {
     w.finish()
 }
 
-fn decode_header(buf: &[u8], dst: Addr) -> Option<Datagram> {
+/// Decode an on-the-wire datagram received on the socket bound to `dst`.
+/// Returns `None` on any malformed input (foreign traffic on the port).
+pub fn decode_wire(buf: &[u8], dst: Addr) -> Option<Datagram> {
     let mut r = Reader::new(buf);
     let src = Addr::decode(&mut r).ok()?;
     let class = PacketClass::decode(&mut r).ok()?;
@@ -111,7 +120,7 @@ impl UdpNet {
         let to = self.peers.get(&dgram.dst).ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "unknown peer addr")
         })?;
-        sock.send_to(&encode_header(dgram), to)?;
+        sock.send_to(&encode_wire(dgram), to)?;
         Ok(())
     }
 
@@ -148,7 +157,7 @@ fn spawn_reader(
             while !stop.load(Ordering::SeqCst) {
                 match sock.recv_from(&mut buf) {
                     Ok((n, _from)) => {
-                        if let Some(d) = decode_header(&buf[..n], local) {
+                        if let Some(d) = decode_wire(&buf[..n], local) {
                             if tx.send(d).is_err() {
                                 return; // receiver side gone
                             }
@@ -185,15 +194,15 @@ mod tests {
             Addr::primary(NodeId(9)),
             Bytes::from_static(b"abc"),
         );
-        let buf = encode_header(&d);
-        let got = decode_header(&buf, Addr::primary(NodeId(9))).unwrap();
+        let buf = encode_wire(&d);
+        let got = decode_wire(&buf, Addr::primary(NodeId(9))).unwrap();
         assert_eq!(got, d);
     }
 
     #[test]
     fn garbage_header_rejected() {
-        assert!(decode_header(&[0xff, 0xff, 0xff], Addr::primary(NodeId(0))).is_none());
-        assert!(decode_header(&[], Addr::primary(NodeId(0))).is_none());
+        assert!(decode_wire(&[0xff, 0xff, 0xff], Addr::primary(NodeId(0))).is_none());
+        assert!(decode_wire(&[], Addr::primary(NodeId(0))).is_none());
     }
 
     #[test]

@@ -23,13 +23,18 @@
 //! Exports: [`Snapshot::to_prometheus`] renders the Prometheus text
 //! exposition format; [`Snapshot::to_json`] a self-contained JSON document.
 //! Both are callable from the threaded runtime (`raincore::runtime`) and the
-//! deterministic sim harness (`raincore-sim`).
+//! deterministic sim harness (`raincore-sim`). The JSON documents parse
+//! back via [`Snapshot::parse_json`] and [`parse_journal_json`], so
+//! out-of-process harnesses (the real-socket conformance runner) can
+//! rebuild typed telemetry from exported files.
 
 mod export;
 mod hist;
 mod metrics;
+mod parse;
 mod trace;
 
 pub use hist::{fmt_ns, HistSummary, Histogram, BUCKETS};
 pub use metrics::{Counter, Gauge, MetricKey, Registry, Snapshot, SnapshotEntry, SnapshotValue};
+pub use parse::{parse_journal_json, JsonError, JsonValue};
 pub use trace::{merge_journals, render_events_text, TraceEvent, TraceJournal, TraceKind};

@@ -120,6 +120,98 @@ pub trait AuditView {
     }
 }
 
+/// Externally observed status of one node, assembled from telemetry
+/// rather than in-process access — the building block that lets the
+/// auditors run over a cluster of real OS processes.
+///
+/// The real-socket conformance harness (`raincore-procher`) parses each
+/// child's JSON obs export into one of these; `copy_seq`, `regenerations`
+/// and the ring come from the exported status gauges and counters, and
+/// `deliveries` from the child's delivery log.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStatus {
+    /// True if the process is running and its export is current.
+    pub live: bool,
+    /// True if the node reported itself EATING in its latest export.
+    pub eating: bool,
+    /// The node's group id, when it reported one.
+    pub group: Option<GroupId>,
+    /// The node's membership view, when it reported one.
+    pub ring: Option<Ring>,
+    /// Sequence number of the last received token copy.
+    pub copy_seq: u64,
+    /// Number of 911 regenerations won (this incarnation).
+    pub regenerations: u64,
+    /// Delivery log in delivery order.
+    pub deliveries: Vec<(NodeId, OriginSeq)>,
+}
+
+/// An [`AuditView`] over plain data: a point-in-time map of node
+/// statuses gathered out-of-process. The same auditors and liveness
+/// oracles that gate the simulator accept this view unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct StatusView {
+    /// Observation time (the harness's own clock).
+    pub now: Time,
+    /// Per-node statuses, keyed by node id.
+    pub nodes: BTreeMap<NodeId, NodeStatus>,
+}
+
+impl StatusView {
+    /// Creates an empty view at `now`.
+    pub fn new(now: Time) -> Self {
+        StatusView {
+            now,
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts (or replaces) one node's status.
+    pub fn insert(&mut self, id: NodeId, status: NodeStatus) {
+        self.nodes.insert(id, status);
+    }
+}
+
+impl AuditView for StatusView {
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn member_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    fn is_live(&self, id: NodeId) -> bool {
+        self.nodes.get(&id).is_some_and(|n| n.live)
+    }
+
+    fn is_eating(&self, id: NodeId) -> bool {
+        self.nodes.get(&id).is_some_and(|n| n.eating)
+    }
+
+    fn group_of(&self, id: NodeId) -> Option<GroupId> {
+        self.nodes.get(&id).and_then(|n| n.group)
+    }
+
+    fn ring_of(&self, id: NodeId) -> Option<Ring> {
+        self.nodes.get(&id).and_then(|n| n.ring.clone())
+    }
+
+    fn last_copy_seq(&self, id: NodeId) -> u64 {
+        self.nodes.get(&id).map_or(0, |n| n.copy_seq)
+    }
+
+    fn regenerations(&self, id: NodeId) -> u64 {
+        self.nodes.get(&id).map_or(0, |n| n.regenerations)
+    }
+
+    fn delivery_log(&self, id: NodeId) -> Vec<(NodeId, OriginSeq)> {
+        self.nodes
+            .get(&id)
+            .map_or(Vec::new(), |n| n.deliveries.clone())
+    }
+}
+
 impl AuditView for Cluster {
     fn now(&self) -> Time {
         Cluster::now(self)
@@ -878,6 +970,97 @@ mod tests {
             oracle.observe_tick(&c, true);
         }
         assert!(!oracle.ok(), "split membership must trip the oracle");
+    }
+
+    fn status(live: bool, eating: bool, group: u32, ring: &[u32], copy_seq: u64) -> NodeStatus {
+        NodeStatus {
+            live,
+            eating,
+            group: Some(GroupId(NodeId(group))),
+            ring: Some(Ring::from_iter(ring.iter().copied().map(NodeId))),
+            copy_seq,
+            regenerations: 0,
+            deliveries: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn status_view_drives_default_audit_methods() {
+        let mut v = StatusView::new(Time::ZERO + Duration::from_secs(1));
+        v.insert(NodeId(0), status(true, true, 0, &[0, 1, 2], 10));
+        v.insert(NodeId(1), status(true, false, 0, &[0, 1, 2], 10));
+        v.insert(NodeId(2), status(true, false, 0, &[0, 1, 2], 9));
+        assert_eq!(v.live_member_ids(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(v.eating_violation_group(), None);
+        assert!(v.membership_agreed());
+
+        // Two eaters in one group is the §2.2 violation.
+        v.insert(NodeId(1), status(true, true, 0, &[0, 1, 2], 10));
+        assert_eq!(v.eating_violation_group(), Some(GroupId(NodeId(0))));
+
+        // A dead node drops out of the live set and of agreement checks.
+        v.insert(NodeId(1), status(false, false, 0, &[0, 1, 2], 10));
+        assert_eq!(v.live_member_ids(), vec![NodeId(0), NodeId(2)]);
+        assert!(
+            !v.membership_agreed(),
+            "views still list the dead node, so no agreement"
+        );
+        v.insert(NodeId(0), status(true, true, 0, &[0, 2], 10));
+        v.insert(NodeId(2), status(true, false, 0, &[0, 2], 10));
+        assert!(v.membership_agreed());
+    }
+
+    #[test]
+    fn status_view_feeds_auditors_like_a_cluster() {
+        // TokenAuditor over externally gathered statuses: a healthy tick,
+        // then a double-EATING tick trips it.
+        let mut tokens = TokenAuditor::new();
+        let mut v = StatusView::new(Time::ZERO);
+        v.insert(NodeId(0), status(true, true, 0, &[0, 1], 5));
+        v.insert(NodeId(1), status(true, false, 0, &[0, 1], 5));
+        tokens.observe(&v);
+        assert!(tokens.ok());
+        v.insert(NodeId(1), status(true, true, 0, &[0, 1], 5));
+        tokens.observe(&v);
+        assert!(!tokens.ok(), "double token must be flagged");
+
+        // OrderAuditor: prefix-compatible logs pass, diverging logs fail.
+        let mut orders = OrderAuditor::new();
+        let mut v = StatusView::new(Time::ZERO);
+        let mut a = status(true, false, 0, &[0, 1], 1);
+        let mut b = status(true, false, 0, &[0, 1], 1);
+        a.deliveries = vec![(NodeId(0), OriginSeq(1)), (NodeId(1), OriginSeq(1))];
+        b.deliveries = vec![(NodeId(0), OriginSeq(1))];
+        v.insert(NodeId(0), a.clone());
+        v.insert(NodeId(1), b.clone());
+        orders.observe(&v);
+        assert!(orders.ok(), "prefix of the other log is fine");
+        b.deliveries = vec![(NodeId(1), OriginSeq(1))];
+        v.insert(NodeId(1), b);
+        orders.observe(&v);
+        assert!(!orders.ok(), "diverging order must be flagged");
+    }
+
+    #[test]
+    fn status_view_drives_liveness_oracles() {
+        let mut oracle = TokenLivenessOracle::new(3);
+        let mut v = StatusView::new(Time::ZERO);
+        v.insert(NodeId(0), status(true, false, 0, &[0, 1], 5));
+        v.insert(NodeId(1), status(true, false, 0, &[0, 1], 5));
+        // No eater and no copy-seq progress: stalls, trips after bound.
+        for _ in 0..5 {
+            oracle.observe_tick(&v, true);
+        }
+        assert!(!oracle.ok(), "stalled real-socket group must trip");
+
+        let mut oracle = TokenLivenessOracle::new(3);
+        for i in 0..5u64 {
+            // Advancing copy seq is progress even when the sampled
+            // instant never catches a node EATING.
+            v.insert(NodeId(0), status(true, false, 0, &[0, 1], 5 + i));
+            oracle.observe_tick(&v, true);
+        }
+        assert!(oracle.ok(), "{:?}", oracle.violations);
     }
 
     #[test]

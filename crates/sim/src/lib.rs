@@ -32,7 +32,7 @@ pub mod script;
 pub use app::{NodeApp, NodeCtl};
 pub use audit::{
     AuditView, ConvergenceOracle, GroupIdOracle, LivenessOracles, MembershipAuditor,
-    NineElevenAuditor, OrderAuditor, TokenAuditor, TokenLivenessOracle,
+    NineElevenAuditor, NodeStatus, OrderAuditor, StatusView, TokenAuditor, TokenLivenessOracle,
 };
 pub use chaos::{
     dump_violation, find_and_minimize, generate_schedule, minimize, parse_dump, run_chaos,

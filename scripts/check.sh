@@ -42,4 +42,16 @@ echo "==> micro-bench (report + <=25% allocation regression vs committed BENCH_5
 cargo run --release -q -p raincore-bench --bin micro_bench -- \
   --out BENCH_5.current.json --compare BENCH_5.json
 
+echo "==> procher (real-socket gate: lossy soak + sim<->real differential)"
+# Exit 77 means the sandbox forbids spawning subprocesses — skip, don't fail.
+cargo build --release -q -p raincore-procher
+if ./target/release/procher --gate; then
+  :
+elif [ $? -eq 77 ]; then
+  echo "procher gate skipped: subprocess spawn forbidden in this environment"
+else
+  echo "procher gate failed; see the artifact directories it printed" >&2
+  exit 1
+fi
+
 echo "OK"

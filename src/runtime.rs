@@ -88,6 +88,25 @@ fn dump_node_obs(node: &SessionNode) -> ObsDump {
         labels,
         t.failure_latency.clone(),
     );
+    // Point-in-time protocol status as gauges, so an out-of-process
+    // auditor (the real-socket conformance harness) can rebuild an
+    // `AuditView` of this node from the JSON export alone.
+    r.gauge("raincore_status_group", labels)
+        .set(i64::from(node.group_id().0 .0));
+    r.gauge("raincore_status_eating", labels)
+        .set(i64::from(node.is_eating()));
+    r.gauge("raincore_status_down", labels)
+        .set(i64::from(node.is_down()));
+    r.gauge("raincore_status_copy_seq", labels)
+        .set(node.last_copy_seq() as i64);
+    for m in node.ring().iter() {
+        let member = m.0.to_string();
+        r.gauge(
+            "raincore_status_ring_member",
+            &[("node", id.as_str()), ("member", member.as_str())],
+        )
+        .set(1);
+    }
     let snap = r.snapshot();
     ObsDump {
         prometheus: snap.to_prometheus(),
@@ -219,13 +238,27 @@ impl RuntimeNode {
     }
 
     /// Receives the next session event, waiting up to `timeout`.
+    ///
+    /// An already-queued event is returned immediately — even with a zero
+    /// timeout, and even after the driver thread has stopped (events sent
+    /// before shutdown stay receivable). Only an *empty* queue waits.
     pub fn recv_event(&self, timeout: std::time::Duration) -> Option<SessionEvent> {
-        self.event_rx.recv_timeout(timeout).ok()
+        match self.event_rx.try_recv() {
+            Ok(ev) => Some(ev),
+            Err(_) if timeout.is_zero() => None,
+            Err(_) => self.event_rx.recv_timeout(timeout).ok(),
+        }
     }
 
     /// Receives a pending session event without blocking.
     pub fn try_recv_event(&self) -> Option<SessionEvent> {
         self.event_rx.try_recv().ok()
+    }
+
+    /// True once the driver thread has exited (after a leave, a protocol
+    /// shutdown, or a crash). Queued events may still be pending.
+    pub fn is_finished(&self) -> bool {
+        self.handle.as_ref().is_none_or(JoinHandle::is_finished)
     }
 }
 
