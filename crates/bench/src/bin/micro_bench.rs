@@ -83,6 +83,9 @@ struct BenchResult {
     ns_per_op: f64,
     bytes_per_op: f64,
     allocs_per_op: f64,
+    /// Extra report-only fields (`name → value`), e.g. the per-stage
+    /// hop-latency percentiles. Never gated: timings are machine noise.
+    extras: Vec<(String, f64)>,
 }
 
 /// Runs `f` once (it loops internally and returns its op count) with the
@@ -101,6 +104,7 @@ fn measure(name: &'static str, f: impl FnOnce() -> u64) -> BenchResult {
         ns_per_op: ns / ops as f64,
         bytes_per_op: bytes / ops as f64,
         allocs_per_op: allocs / ops as f64,
+        extras: Vec::new(),
     };
     println!(
         "{:28} {:>10} ops  {:>12.1} ns/op  {:>10.1} B/op  {:>8.2} allocs/op",
@@ -156,6 +160,7 @@ fn token_hop_legacy() -> u64 {
         let mut c = Token::founding(Ring::from_iter(t.ring.iter()));
         c.seq = t.seq;
         c.tbm = t.tbm;
+        c.trace = t.trace;
         c.msgs = t.msgs.iter().cloned().collect::<Vec<_>>().into();
         c
     }
@@ -215,6 +220,49 @@ fn chaos_tick() -> u64 {
     report.ticks_run
 }
 
+/// Per-stage hop-latency percentiles, captured by [`hop_latency`] for
+/// the report writer (the harness closure can only return an op count).
+static HOP_STAGE_SUMMARIES: std::sync::OnceLock<Vec<(String, f64)>> = std::sync::OnceLock::new();
+
+/// A 4-node simulated ring driven with a *real* monotonic stage clock:
+/// virtual time schedules the protocol, the wall clock times each hop's
+/// recv → decode → protocol → encode → send pipeline. One op is one
+/// completed hop span; the per-stage p50/p99 land in the report as
+/// extra (never-gated) fields, while allocs/op rides the standard gate.
+fn hop_latency() -> u64 {
+    use raincore_obs::{Stage, StageClock, StageHists};
+    use raincore_sim::{Cluster, ClusterConfig};
+    use raincore_types::{Duration, Time};
+
+    let mut cfg = ClusterConfig::default();
+    cfg.session.token_hold = Duration::from_millis(2);
+    cfg.session.hungry_timeout = Duration::from_millis(100);
+    let mut c = Cluster::founding(4, cfg).expect("founding cluster");
+    for id in c.member_ids() {
+        c.session_mut(id)
+            .expect("member")
+            .obs_mut()
+            .set_stage_clock(StageClock::monotonic());
+    }
+    c.run_until(Time::ZERO + Duration::from_secs(2));
+
+    let agg = StageHists::new();
+    for id in c.member_ids() {
+        let o = c.session(id).expect("member").obs();
+        for stage in Stage::ALL {
+            agg.get(stage).merge_from(o.hop_stages.get(stage));
+        }
+    }
+    let mut extras = Vec::new();
+    for (stage, s) in agg.summaries() {
+        extras.push((format!("{}_p50_ns", stage.label()), s.p50 as f64));
+        extras.push((format!("{}_p99_ns", stage.label()), s.p99 as f64));
+    }
+    let ops = agg.get(Stage::Send).count();
+    HOP_STAGE_SUMMARIES.set(extras).expect("set once");
+    ops
+}
+
 /// One bounded model-check search, normalized per state visited.
 fn model_check_states() -> u64 {
     let cfg = ModelCheckConfig {
@@ -246,8 +294,13 @@ fn to_json(results: &[BenchResult]) -> String {
         }
     ));
     for (i, r) in results.iter().enumerate() {
+        let extras: String = r
+            .extras
+            .iter()
+            .map(|(k, v)| format!(", \"{k}\": {v:.1}"))
+            .collect();
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ops\": {}, \"ns_per_op\": {:.1}, \"bytes_per_op\": {:.1}, \"allocs_per_op\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"ops\": {}, \"ns_per_op\": {:.1}, \"bytes_per_op\": {:.1}, \"allocs_per_op\": {:.3}{extras}}}{}\n",
             r.name,
             r.ops,
             r.ns_per_op,
@@ -292,13 +345,20 @@ fn main() {
     }
 
     println!("raincore micro-benchmarks (allocation-counting harness)\n");
-    let results = [
+    let mut results = [
         measure("bench_token_hop", token_hop),
         measure("bench_token_hop_legacy", token_hop_legacy),
         measure("bench_wire_codec", wire_codec),
         measure("bench_chaos_tick", chaos_tick),
         measure("bench_model_check_states", model_check_states),
+        measure("bench_hop_latency", hop_latency),
     ];
+    if let Some(extras) = HOP_STAGE_SUMMARIES.get() {
+        results[5].extras = extras.clone();
+        for (k, v) in extras {
+            println!("  bench_hop_latency {k:>16} = {v:.0}");
+        }
+    }
 
     // The tentpole claim, asserted in-process: the patched hop allocates
     // at least 2× less than the reconstructed pre-change hop.
@@ -308,6 +368,15 @@ fn main() {
         legacy_hop.allocs_per_op >= 2.0 * new_hop.allocs_per_op,
         "patch-per-hop must halve allocations: legacy {:.2}/hop vs new {:.2}/hop",
         legacy_hop.allocs_per_op,
+        new_hop.allocs_per_op
+    );
+    // The trace context rides the patched header: carrying it must not
+    // break the 6-allocations-per-hop floor the encoder work bought.
+    // The measured closure includes one-time setup (founding token,
+    // first full encode), hence the sub-1% amortization allowance.
+    assert!(
+        new_hop.allocs_per_op <= 6.01,
+        "trace context pushed the hop over the 6-alloc floor: {:.3}/hop",
         new_hop.allocs_per_op
     );
 
@@ -331,17 +400,26 @@ fn main() {
 
     if let Some(baseline_path) = compare {
         let baseline = std::fs::read_to_string(&baseline_path).expect("read baseline");
-        let base = extract(&baseline, "bench_token_hop", "allocs_per_op")
-            .expect("baseline has bench_token_hop allocs_per_op");
-        let now = new_hop.allocs_per_op;
-        let limit = base * 1.25;
-        println!(
-            "compare vs {baseline_path}: bench_token_hop {now:.3} allocs/op \
-             (baseline {base:.3}, limit {limit:.3})"
-        );
-        if now > limit {
-            eprintln!("FAIL: bench_token_hop allocations regressed more than 25%");
-            std::process::exit(1);
+        // The hard >25% allocation gates: the steady-state wire hop and
+        // the full simulated pipeline hop (which the trace/span plumbing
+        // rides on, so a tracing regression trips it).
+        for gated in ["bench_token_hop", "bench_hop_latency"] {
+            let base = extract(&baseline, gated, "allocs_per_op")
+                .unwrap_or_else(|| panic!("baseline has {gated} allocs_per_op"));
+            let now = results
+                .iter()
+                .find(|r| r.name == gated)
+                .expect("gated bench ran")
+                .allocs_per_op;
+            let limit = base * 1.25;
+            println!(
+                "compare vs {baseline_path}: {gated} {now:.3} allocs/op \
+                 (baseline {base:.3}, limit {limit:.3})"
+            );
+            if now > limit {
+                eprintln!("FAIL: {gated} allocations regressed more than 25%");
+                std::process::exit(1);
+            }
         }
         for r in &results {
             if let Some(b) = extract(&baseline, r.name, "allocs_per_op") {

@@ -52,7 +52,7 @@ use raincore_types::wire::{WireDecode, WireEncode};
 use raincore_types::{
     Attached, BodyOdor, Call911, DeliveryMode, Error, GroupId, Incarnation, MsgId, NodeId,
     OriginSeq, Reply911, Result, Ring, SessionConfig, SessionMsg, Time, Token, TokenEncoder,
-    TransportConfig, Verdict911,
+    TraceCtx, TransportConfig, Verdict911,
 };
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -447,6 +447,7 @@ impl SessionNode {
                 // member after our old ring position that is still in the
                 // (self-removed) membership.
                 token.seq += 1;
+                token.trace.hop += 1;
                 let next = self
                     .ring
                     .successors_of(self.id)
@@ -465,7 +466,7 @@ impl SessionNode {
         self.master_requested = false;
         self.state = State::Down;
         self.obs.tick(now);
-        self.obs.trace(TraceKind::ShutDown);
+        self.obs.shut_down();
         self.events.push_back(SessionEvent::ShutDown { reason });
     }
 
@@ -479,6 +480,7 @@ impl SessionNode {
             return;
         }
         self.obs.tick(now);
+        self.obs.hop_arrival(); // stage b0: datagram in hand
         self.transport.on_datagram(now, dgram);
         self.drain_transport(now);
     }
@@ -566,6 +568,7 @@ impl SessionNode {
             }
             match ev {
                 TransportEvent::Received { from, payload } => {
+                    self.obs.hop_payload(); // stage b1: about to decode
                     if let Ok(msg) = SessionMsg::decode_from_bytes(&payload) {
                         self.metrics.task_switches += 1;
                         self.on_session_msg(now, from, msg);
@@ -683,6 +686,7 @@ impl SessionNode {
     // ------------------------------------------------------------------
 
     fn on_token(&mut self, now: Time, t: Token) {
+        self.obs.hop_decoded(); // stage b2: the payload was a token
         if t.tbm {
             self.on_tbm_token(now, t);
             return;
@@ -738,6 +742,7 @@ impl SessionNode {
                 // token simply becomes ours.
                 t.tbm = false;
                 t.seq += 1;
+                t.trace.hop += 1;
                 self.last_seen_seq = t.seq;
                 self.last_copy = Some(t.clone());
                 self.metrics.merges += 1;
@@ -769,7 +774,16 @@ impl SessionNode {
             }
         }
         ours.ring.merge(&other.ring);
+        // A merge ends both lineages and mints a fresh circulation whose
+        // causal parent is whichever lineage had progressed furthest.
+        let parent_ctx = if other.trace.hop > ours.trace.hop {
+            other.trace
+        } else {
+            ours.trace
+        };
         ours.seq = ours.seq.max(other.seq) + 1;
+        ours.trace = TraceCtx::mint(self.id, ours.seq, parent_ctx.hop);
+        self.obs.hop_minted(parent_ctx, ours.trace);
         ours.tbm = false;
         self.metrics.merges += 1;
         self.obs.trace(TraceKind::Merged {
@@ -796,6 +810,7 @@ impl SessionNode {
         let hop = token.ring.iter().position(|n| n == self.id).unwrap_or(0) as u64;
         self.obs
             .token_accepted(token.seq, hop, token.ring.len() as u64, hungry_since);
+        self.obs.hop_accepted(token.trace); // stage b3: protocol accepted
         self.sync_membership(&token.ring);
         self.process_attachments(&mut token);
         self.metrics.tokens_received += 1;
@@ -925,6 +940,10 @@ impl SessionNode {
             return;
         };
         let mut token = token;
+        // Stage b3': pass-side work begins. The EATING hold between b3
+        // and here is deliberately not a stage — it measures the
+        // application's token-hold budget, not the pipeline.
+        self.obs.hop_pass_begin();
 
         // Attach queued multicasts at the latest possible moment. The
         // attach position *is* the message's place in the agreed total
@@ -964,6 +983,7 @@ impl SessionNode {
                 token.ring.insert_after(self.id, target);
                 token.tbm = true;
                 token.seq += 1;
+                token.trace.hop += 1;
                 self.last_seen_seq = self.last_seen_seq.max(token.seq);
                 self.sync_membership(&token.ring);
                 self.obs.trace(TraceKind::MergeHandoff { to: target.0 });
@@ -974,6 +994,7 @@ impl SessionNode {
 
         self.sync_membership(&token.ring);
         token.seq += 1;
+        token.trace.hop += 1;
         self.last_seen_seq = self.last_seen_seq.max(token.seq);
         let next = token.ring.next_after(self.id).unwrap_or(self.id);
         if next == self.id {
@@ -993,6 +1014,7 @@ impl SessionNode {
         self.metrics.token_body_cache_hits = self.codec.cache_hits();
         self.metrics.token_body_cache_misses = self.codec.cache_misses();
         self.obs.token_encode_bytes.record(bytes.len() as u64);
+        self.obs.hop_encoded(); // stage b4: wire image ready
         bytes
     }
 
@@ -1011,6 +1033,9 @@ impl SessionNode {
                     seq: token.seq,
                     to: to.0,
                 });
+                // Stage b5: the hop is complete — emit its span under the
+                // outgoing header (hop seq as sent).
+                self.obs.hop_sent(token.trace);
                 self.inflight.insert(msg_id, SendKind::Token);
                 self.forwarding = Some(Forwarding { msg_id, token });
                 self.metrics.tokens_sent += 1;
@@ -1065,6 +1090,8 @@ impl SessionNode {
     fn remove_member_locally(&mut self, node: NodeId) {
         if self.ring.remove(node) {
             let ring = self.ring.clone();
+            self.obs
+                .member_changed(self.obs.last_trace(), node.0, false);
             self.events.push_back(SessionEvent::MembershipChanged {
                 ring,
                 added: Vec::new(),
@@ -1092,6 +1119,13 @@ impl SessionNode {
         self.ring = new_ring.clone();
         if added.is_empty() && removed.is_empty() {
             return; // same members, new order — not an application-visible change
+        }
+        let ctx = self.obs.last_trace();
+        for n in &added {
+            self.obs.member_changed(ctx, n.0, true);
+        }
+        for n in &removed {
+            self.obs.member_changed(ctx, n.0, false);
         }
         self.events.push_back(SessionEvent::MembershipChanged {
             ring: new_ring.clone(),
@@ -1161,6 +1195,7 @@ impl SessionNode {
             last_seq: self.last_copy_seq(),
             polled: awaiting.len() as u64,
         });
+        self.obs.called_911(req_id, self.last_copy_seq());
         if awaiting.is_empty() {
             // Nobody to ask: regenerate alone.
             self.state = State::Starving {
@@ -1225,6 +1260,7 @@ impl SessionNode {
             last_seq: self.last_copy_seq(),
             polled,
         });
+        self.obs.called_911(req_id, self.last_copy_seq());
         if let State::Starving { retry_at, .. } = &mut self.state {
             *retry_at = now + self.cfg.starving_retry;
         }
@@ -1267,6 +1303,7 @@ impl SessionNode {
                 last_seq: self.last_copy_seq(),
                 polled: 1,
             });
+            self.obs.called_911(self.req_counter, self.last_copy_seq());
         }
     }
 
@@ -1400,11 +1437,16 @@ impl SessionNode {
         token.ring.push(self.id); // ensure we are present
         token.tbm = false;
         // Out-rank every live node's acceptance mark (see module docs).
+        let parent_ctx = token.trace;
         token.seq = token.seq.max(self.last_seen_seq) + 2;
+        // Regeneration mints a fresh circulation, causally descending
+        // from the dead lineage's last hop we hold a copy of.
+        token.trace = TraceCtx::mint(self.id, token.seq, parent_ctx.hop);
         self.last_seen_seq = token.seq;
         self.last_copy = Some(token.clone());
         self.metrics.regenerations += 1;
         self.obs.tick(now);
+        self.obs.hop_minted(parent_ctx, token.trace);
         self.obs.recovered(token.seq);
         self.obs
             .trace(TraceKind::TokenRegenerated { seq: token.seq });

@@ -48,6 +48,9 @@ const PROTOCOL_ENUMS: &[&str] = &[
     "LockOp::",
     "WireMsg::",
     "ChaosFault::",
+    "TraceKind::",
+    "Stage::",
+    "RecKind::",
 ];
 
 /// Files outside the protocol crates whose `match`es over the enums in
@@ -61,6 +64,11 @@ const DISPATCH_FILES: &[&str] = &[
     "crates/sim/src/chaos.rs",
     "crates/types/src/token_codec.rs",
     "crates/bench/src/bin/micro_bench.rs",
+    "crates/obs/src/trace.rs",
+    "crates/obs/src/span.rs",
+    "crates/obs/src/recorder.rs",
+    "crates/obs/src/parse.rs",
+    "crates/procher/src/bin/tracectl.rs",
 ];
 
 #[derive(Debug)]

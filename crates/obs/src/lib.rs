@@ -19,6 +19,11 @@
 //! - [`TraceJournal`]: a bounded per-node ring buffer of structured
 //!   [`TraceEvent`]s (token seq, hop, 911/merge/discovery causality) with
 //!   pretty-text and JSON renderers for post-mortem dumps.
+//! - Cross-node hop spans: per-stage latency attribution ([`StageHists`])
+//!   and the skew-tolerant causal merge/waterfall over `HopSpan` journal
+//!   events ([`render_waterfall`]).
+//! - [`FlightRecorder`]: an always-on lock-free ring of the last ~1k
+//!   protocol moments, dumped automatically when an oracle trips.
 //!
 //! Exports: [`Snapshot::to_prometheus`] renders the Prometheus text
 //! exposition format; [`Snapshot::to_json`] a self-contained JSON document.
@@ -32,9 +37,18 @@ mod export;
 mod hist;
 mod metrics;
 mod parse;
+mod recorder;
+mod span;
 mod trace;
 
 pub use hist::{fmt_ns, HistSummary, Histogram, BUCKETS};
 pub use metrics::{Counter, Gauge, MetricKey, Registry, Snapshot, SnapshotEntry, SnapshotValue};
 pub use parse::{parse_journal_json, JsonError, JsonValue};
-pub use trace::{merge_journals, render_events_text, TraceEvent, TraceJournal, TraceKind};
+pub use recorder::{FlightRecord, FlightRecorder, RecKind, DEFAULT_FLIGHT_SLOTS};
+pub use span::{
+    causal_hops, circ_label, circ_parts, render_waterfall, HopRow, Stage, StageClock, StageHists,
+    WaterfallOpts,
+};
+pub use trace::{
+    merge_journals, render_events_json, render_events_text, TraceEvent, TraceJournal, TraceKind,
+};

@@ -251,13 +251,34 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str, so
-                    // byte boundaries are valid).
-                    let rest = &self.b[self.pos..];
-                    let s = std::str::from_utf8(rest)
+                Some(b) if b < 0x80 => {
+                    // A run of plain ASCII is appended wholesale —
+                    // validating from here to end-of-input per character
+                    // would make parsing quadratic in document size.
+                    let start = self.pos;
+                    while matches!(self.b.get(self.pos),
+                        Some(&c) if c != b'"' && c != b'\\' && c < 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.b[start..self.pos])
                         .map_err(|_| self.err("invalid utf-8 in string"))?;
-                    let c = s.chars().next().ok_or_else(|| self.err("empty string"))?;
+                    out.push_str(s);
+                }
+                Some(lead) => {
+                    // One multi-byte UTF-8 scalar: decode just its bytes.
+                    let len = match lead {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + len).min(self.b.len());
+                    let s = std::str::from_utf8(&self.b[self.pos..end])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("invalid utf-8 in string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -494,6 +515,39 @@ pub fn parse_journal_json(input: &str) -> Result<Vec<TraceEvent>, JsonError> {
                 peer: field_u32(item, "peer", i)?,
             },
             "SHUTDOWN" => TraceKind::ShutDown,
+            "HOP_SPAN" => TraceKind::HopSpan {
+                circ: field_u64(item, "circ", i)?,
+                hop: field_u64(item, "hop", i)?,
+                parent: field_u64(item, "parent", i)?,
+                recv_ns: field_u64(item, "recv_ns", i)?,
+                decode_ns: field_u64(item, "decode_ns", i)?,
+                protocol_ns: field_u64(item, "protocol_ns", i)?,
+                encode_ns: field_u64(item, "encode_ns", i)?,
+                send_ns: field_u64(item, "send_ns", i)?,
+            },
+            "CAUSE_STARVING" => TraceKind::CauseStarving {
+                circ: field_u64(item, "circ", i)?,
+                hop: field_u64(item, "hop", i)?,
+            },
+            "CAUSE_911" => TraceKind::Cause911 {
+                circ: field_u64(item, "circ", i)?,
+                hop: field_u64(item, "hop", i)?,
+                req_id: field_u64(item, "req_id", i)?,
+            },
+            "CAUSE_MEMBER" => TraceKind::CauseMember {
+                circ: field_u64(item, "circ", i)?,
+                hop: field_u64(item, "hop", i)?,
+                member: field_u32(item, "member", i)?,
+                added: field_bool(item, "added", i)?,
+            },
+            "CAUSE_REGEN" => TraceKind::CauseRegen {
+                circ: field_u64(item, "circ", i)?,
+                hop: field_u64(item, "hop", i)?,
+                new_circ: field_u64(item, "new_circ", i)?,
+            },
+            "GAP" => TraceKind::Gap {
+                dropped: field_u64(item, "dropped", i)?,
+            },
             other => {
                 return Err(JsonError {
                     pos: i,
@@ -540,6 +594,70 @@ mod tests {
         let arr = v.as_arr().expect("array");
         assert_eq!(arr[0].as_u64(), Some(u64::MAX));
         assert_eq!(arr[1].as_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn span_and_cause_events_round_trip_byte_stable() {
+        use crate::trace::{render_events_json, TraceJournal};
+        let mut j = TraceJournal::new(16);
+        j.push(
+            100,
+            3,
+            TraceKind::HopSpan {
+                circ: (5u64 << 40) | 9,
+                hop: 12,
+                parent: 8,
+                recv_ns: 1_200,
+                decode_ns: 300,
+                protocol_ns: 2_000,
+                encode_ns: 400,
+                send_ns: 800,
+            },
+        );
+        j.push(110, 3, TraceKind::CauseStarving { circ: 7, hop: 12 });
+        j.push(
+            120,
+            3,
+            TraceKind::Cause911 {
+                circ: 7,
+                hop: 12,
+                req_id: 4,
+            },
+        );
+        j.push(
+            130,
+            3,
+            TraceKind::CauseMember {
+                circ: 7,
+                hop: 13,
+                member: 9,
+                added: false,
+            },
+        );
+        j.push(
+            140,
+            3,
+            TraceKind::CauseRegen {
+                circ: 7,
+                hop: 13,
+                new_circ: (3u64 << 40) | 14,
+            },
+        );
+        j.push(150, 3, TraceKind::Gap { dropped: 42 });
+        let exported = j.render_json();
+        let events = parse_journal_json(&exported).expect("parse span export");
+        assert_eq!(events.len(), 6);
+        assert!(matches!(
+            events[0].kind,
+            TraceKind::HopSpan {
+                hop: 12,
+                parent: 8,
+                protocol_ns: 2_000,
+                ..
+            }
+        ));
+        // Re-export must be byte-identical: the parser loses nothing.
+        assert_eq!(render_events_json(&events), exported);
     }
 
     #[test]

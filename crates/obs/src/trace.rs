@@ -81,6 +81,40 @@ pub enum TraceKind {
     PeerFailed { peer: u32 },
     /// Node shut down.
     ShutDown,
+    /// One complete token hop as a cross-node span: the wire-level trace
+    /// context (`circ`/`hop`/`parent`) plus the five pipeline stage
+    /// durations. Stage values are 0 when no stage clock is injected
+    /// (the deterministic simulator); causality is always populated.
+    HopSpan {
+        circ: u64,
+        hop: u64,
+        parent: u64,
+        recv_ns: u64,
+        decode_ns: u64,
+        protocol_ns: u64,
+        encode_ns: u64,
+        send_ns: u64,
+    },
+    /// STARVING was entered; `(circ, hop)` names the last hop this node
+    /// observed before the token went missing — the causal suspect.
+    CauseStarving { circ: u64, hop: u64 },
+    /// A 911 call was raised; `(circ, hop)` is the hop whose
+    /// non-arrival triggered it, `req_id` links to the `Call911Tx`.
+    Cause911 { circ: u64, hop: u64, req_id: u64 },
+    /// Membership changed; `(circ, hop)` is the hop that carried the
+    /// change. `added` distinguishes join from removal.
+    CauseMember {
+        circ: u64,
+        hop: u64,
+        member: u32,
+        added: bool,
+    },
+    /// A regeneration/merge minted circulation `new_circ`; `(circ, hop)`
+    /// is the parent lineage's last observed hop.
+    CauseRegen { circ: u64, hop: u64, new_circ: u64 },
+    /// Synthetic marker: `dropped` earlier events were evicted from a
+    /// bounded journal before this point — the record has a hole here.
+    Gap { dropped: u64 },
 }
 
 impl TraceKind {
@@ -104,6 +138,12 @@ impl TraceKind {
             TraceKind::AtomicRetired { .. } => "ATOMIC",
             TraceKind::PeerFailed { .. } => "PEER_FAILED",
             TraceKind::ShutDown => "SHUTDOWN",
+            TraceKind::HopSpan { .. } => "HOP_SPAN",
+            TraceKind::CauseStarving { .. } => "CAUSE_STARVING",
+            TraceKind::Cause911 { .. } => "CAUSE_911",
+            TraceKind::CauseMember { .. } => "CAUSE_MEMBER",
+            TraceKind::CauseRegen { .. } => "CAUSE_REGEN",
+            TraceKind::Gap { .. } => "GAP",
         }
     }
 
@@ -165,6 +205,46 @@ impl TraceKind {
             TraceKind::AtomicRetired { seq } => format!("seq={seq}"),
             TraceKind::PeerFailed { peer } => format!("peer=n{peer}"),
             TraceKind::ShutDown => String::new(),
+            TraceKind::HopSpan {
+                circ,
+                hop,
+                parent,
+                recv_ns,
+                decode_ns,
+                protocol_ns,
+                encode_ns,
+                send_ns,
+            } => {
+                format!(
+                    "circ={circ} hop={hop} parent={parent} recv={} decode={} protocol={} encode={} send={}",
+                    fmt_ns(*recv_ns),
+                    fmt_ns(*decode_ns),
+                    fmt_ns(*protocol_ns),
+                    fmt_ns(*encode_ns),
+                    fmt_ns(*send_ns),
+                )
+            }
+            TraceKind::CauseStarving { circ, hop } => format!("circ={circ} hop={hop}"),
+            TraceKind::Cause911 { circ, hop, req_id } => {
+                format!("circ={circ} hop={hop} req={req_id}")
+            }
+            TraceKind::CauseMember {
+                circ,
+                hop,
+                member,
+                added,
+            } => {
+                format!(
+                    "circ={circ} hop={hop} n{member} {}",
+                    if *added { "added" } else { "removed" }
+                )
+            }
+            TraceKind::CauseRegen {
+                circ,
+                hop,
+                new_circ,
+            } => format!("circ={circ} hop={hop} new_circ={new_circ}"),
+            TraceKind::Gap { dropped } => format!("dropped={dropped}"),
         }
     }
 
@@ -218,6 +298,40 @@ impl TraceKind {
             TraceKind::AtomicRetired { seq } => format!("\"seq\":{seq}"),
             TraceKind::PeerFailed { peer } => format!("\"peer\":{peer}"),
             TraceKind::ShutDown => String::new(),
+            TraceKind::HopSpan {
+                circ,
+                hop,
+                parent,
+                recv_ns,
+                decode_ns,
+                protocol_ns,
+                encode_ns,
+                send_ns,
+            } => {
+                format!(
+                    "\"circ\":{circ},\"hop\":{hop},\"parent\":{parent},\"recv_ns\":{recv_ns},\"decode_ns\":{decode_ns},\"protocol_ns\":{protocol_ns},\"encode_ns\":{encode_ns},\"send_ns\":{send_ns}"
+                )
+            }
+            TraceKind::CauseStarving { circ, hop } => format!("\"circ\":{circ},\"hop\":{hop}"),
+            TraceKind::Cause911 { circ, hop, req_id } => {
+                format!("\"circ\":{circ},\"hop\":{hop},\"req_id\":{req_id}")
+            }
+            TraceKind::CauseMember {
+                circ,
+                hop,
+                member,
+                added,
+            } => {
+                format!("\"circ\":{circ},\"hop\":{hop},\"member\":{member},\"added\":{added}")
+            }
+            TraceKind::CauseRegen {
+                circ,
+                hop,
+                new_circ,
+            } => {
+                format!("\"circ\":{circ},\"hop\":{hop},\"new_circ\":{new_circ}")
+            }
+            TraceKind::Gap { dropped } => format!("\"dropped\":{dropped}"),
         }
     }
 }
@@ -316,17 +430,42 @@ impl TraceJournal {
         out
     }
 
-    /// JSON array dump of the whole journal (oldest first).
+    /// JSON array dump of the whole journal (oldest first). A journal
+    /// that has evicted events leads with a synthetic [`TraceKind::Gap`]
+    /// marker, so consumers of the export can tell "nothing happened"
+    /// from "the record has a hole" — silent overflow is not an option.
     pub fn render_json(&self) -> String {
         let mut out = String::from("[");
-        for (i, ev) in self.buf.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        if let Some(gap) = self.gap_marker() {
+            out.push_str(&gap.to_json());
+            first = false;
+        }
+        for ev in &self.buf {
+            if !first {
                 out.push(',');
             }
+            first = false;
             out.push_str(&ev.to_json());
         }
         out.push(']');
         out
+    }
+
+    /// The synthetic gap event a lossy journal leads with: stamped at the
+    /// oldest surviving event so it sorts before everything retained.
+    fn gap_marker(&self) -> Option<TraceEvent> {
+        if self.dropped == 0 {
+            return None;
+        }
+        let front = self.buf.front();
+        Some(TraceEvent {
+            t_ns: front.map_or(0, |e| e.t_ns),
+            node: front.map_or(0, |e| e.node),
+            kind: TraceKind::Gap {
+                dropped: self.dropped,
+            },
+        })
     }
 }
 
@@ -337,12 +476,16 @@ impl Default for TraceJournal {
 }
 
 /// Merge several per-node journals into one time-ordered event list
-/// (stable: same-timestamp events keep journal order).
+/// (stable: same-timestamp events keep journal order). Journals that
+/// have evicted events contribute a synthetic [`TraceKind::Gap`] marker
+/// at their oldest surviving timestamp, so a merged incident report
+/// never silently presents a holed record as complete.
 pub fn merge_journals<'a>(journals: impl IntoIterator<Item = &'a TraceJournal>) -> Vec<TraceEvent> {
-    let mut all: Vec<TraceEvent> = journals
-        .into_iter()
-        .flat_map(|j| j.iter().cloned())
-        .collect();
+    let mut all: Vec<TraceEvent> = Vec::new();
+    for j in journals {
+        all.extend(j.gap_marker());
+        all.extend(j.iter().cloned());
+    }
     all.sort_by_key(|e| e.t_ns);
     all
 }
@@ -354,6 +497,20 @@ pub fn render_events_text(events: &[TraceEvent]) -> String {
         out.push_str(&ev.render());
         out.push('\n');
     }
+    out
+}
+
+/// JSON array rendering of an already merged event list (the same shape
+/// [`TraceJournal::render_json`] produces, so one parser reads both).
+pub fn render_events_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&ev.to_json());
+    }
+    out.push(']');
     out
 }
 
@@ -371,9 +528,12 @@ mod tests {
         assert_eq!(j.dropped(), 2);
         let seqs: Vec<u64> = j
             .iter()
-            .map(|e| match e.kind {
-                TraceKind::TokenRegenerated { seq } => seq,
-                _ => unreachable!(),
+            .filter_map(|e| {
+                if let TraceKind::TokenRegenerated { seq } = e.kind {
+                    Some(seq)
+                } else {
+                    None
+                }
             })
             .collect();
         assert_eq!(seqs, vec![2, 3, 4], "oldest events evicted first");
@@ -431,6 +591,76 @@ mod tests {
         // Balanced braces, no trailing commas.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    #[test]
+    fn overflowed_journal_json_leads_with_a_gap_marker() {
+        let mut j = TraceJournal::new(2);
+        for seq in 0..5u64 {
+            j.push(seq * 10, 7, TraceKind::TokenRegenerated { seq });
+        }
+        let json = j.render_json();
+        assert!(
+            json.starts_with("[{\"t_ns\":30,\"node\":7,\"event\":\"GAP\",\"dropped\":3}"),
+            "gap marker first, stamped at the oldest survivor: {json}"
+        );
+        // A lossless journal emits no marker.
+        let mut clean = TraceJournal::new(8);
+        clean.push(1, 0, TraceKind::ShutDown);
+        assert!(!clean.render_json().contains("GAP"));
+    }
+
+    #[test]
+    fn merge_annotates_gaps_per_lossy_journal() {
+        let mut lossy = TraceJournal::new(1);
+        lossy.push(10, 0, TraceKind::TokenRegenerated { seq: 1 });
+        lossy.push(20, 0, TraceKind::TokenRegenerated { seq: 2 });
+        let mut clean = TraceJournal::new(8);
+        clean.push(15, 1, TraceKind::ShutDown);
+        let merged = merge_journals([&lossy, &clean]);
+        let labels: Vec<String> = merged
+            .iter()
+            .map(|e| e.to_json())
+            .filter(|j| j.contains("GAP"))
+            .collect();
+        assert_eq!(labels.len(), 1, "one gap for one lossy journal: {merged:?}");
+        // The marker sorts before the lossy journal's surviving event.
+        let gap_at = merged
+            .iter()
+            .position(|e| matches!(e.kind, TraceKind::Gap { .. }))
+            .unwrap();
+        let survivor_at = merged
+            .iter()
+            .position(|e| matches!(e.kind, TraceKind::TokenRegenerated { seq: 2 }))
+            .unwrap();
+        assert!(gap_at < survivor_at);
+    }
+
+    #[test]
+    fn merge_breaks_timestamp_ties_stably_by_journal_order() {
+        // Two nodes log at the identical virtual instant; the merge must
+        // keep journal-iteration order (a=first) deterministically.
+        let mut a = TraceJournal::new(8);
+        let mut b = TraceJournal::new(8);
+        a.push(50, 0, TraceKind::TokenTx { seq: 9, to: 1 });
+        b.push(
+            50,
+            1,
+            TraceKind::TokenRx {
+                seq: 9,
+                hop: 1,
+                members: 2,
+                waited_ns: 0,
+            },
+        );
+        let merged = merge_journals([&a, &b]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].node, 0, "tie keeps journal order");
+        assert_eq!(merged[1].node, 1);
+        // And the reversed input order flips the tie the same way.
+        let swapped = merge_journals([&b, &a]);
+        assert_eq!(swapped[0].node, 1);
+        assert_eq!(swapped[1].node, 0);
     }
 
     #[test]

@@ -150,6 +150,7 @@ pub fn run_child(args: &ChildArgs) -> std::io::Result<i32> {
             }
         }
     };
+    let flight_path = args.export_path.with_extension("flight");
     let export = |dump: &ObsDump,
                   export_seq: u64,
                   finished: bool,
@@ -165,6 +166,9 @@ pub fn run_child(args: &ChildArgs) -> std::io::Result<i32> {
             &dump.journal_json,
             deliveries,
         );
+        // The flight ring rides along beside the export so a post-mortem
+        // of a killed child still has its last recorded moments.
+        write_atomic(&flight_path, &dump.flight)?;
         write_atomic(&args.export_path, &doc)
     };
 

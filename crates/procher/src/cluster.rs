@@ -27,7 +27,7 @@
 //! instead — see the crate docs and `DESIGN.md` §10.
 
 use crate::child::StartKind;
-use crate::export::ChildExport;
+use crate::export::{merge_export_journals, ChildExport};
 use crate::proxy::{LossProxy, ProxyDials, ProxyStats};
 use raincore_sim::{
     AuditView, ChaosEvent, ChaosFault, LivenessOracles, MembershipAuditor, NodeStatus,
@@ -367,6 +367,35 @@ impl Drop for Harness<'_> {
     }
 }
 
+/// Writes the merged cross-node trace artifacts into `out_dir` from
+/// whatever export/flight files the children left behind:
+/// `journal.json` (the `tracectl` input format) and `waterfall.txt`
+/// (the rendered causal waterfall plus every child's flight-recorder
+/// dump). Called on failed runs so CI uploads a ready post-mortem; also
+/// usable on any finished out_dir.
+pub fn write_trace_artifacts(out_dir: &std::path::Path, nodes: u32) -> std::io::Result<()> {
+    let mut exports = Vec::new();
+    for i in 0..nodes {
+        if let Ok(raw) = std::fs::read_to_string(out_dir.join(format!("node-{i}.export"))) {
+            if let Ok(exp) = ChildExport::parse(&raw) {
+                exports.push(exp);
+            }
+        }
+    }
+    let events = merge_export_journals(&exports);
+    std::fs::write(
+        out_dir.join("journal.json"),
+        raincore_obs::render_events_json(&events),
+    )?;
+    let mut text = raincore_obs::render_waterfall(&events, &raincore_obs::WaterfallOpts::default());
+    for i in 0..nodes {
+        if let Ok(flight) = std::fs::read_to_string(out_dir.join(format!("node-{i}.flight"))) {
+            text.push_str(&format!("--- node {i} flight recorder ---\n{flight}"));
+        }
+    }
+    std::fs::write(out_dir.join("waterfall.txt"), text)
+}
+
 fn first_violation(
     membership: &MembershipAuditor,
     order: Option<&OrderAuditor>,
@@ -611,5 +640,10 @@ pub fn run_cluster(cfg: &ProcConfig, schedule: &[ChaosEvent]) -> std::io::Result
         text.push_str(&format!("last convergence blocker: {block}\n"));
     }
     std::fs::write(cfg.out_dir.join("report.txt"), text)?;
+    if !converged {
+        // Failed runs leave the merged waterfall + flight dumps beside
+        // the report so the CI artifact upload has the full post-mortem.
+        write_trace_artifacts(&cfg.out_dir, cfg.nodes)?;
+    }
     Ok(report)
 }

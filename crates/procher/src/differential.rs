@@ -223,6 +223,11 @@ pub fn run_differential(cfg: &DiffConfig) -> std::io::Result<DiffReport> {
             report.total_regenerations
         ));
     }
+    if !divergences.is_empty() {
+        // A diff can fail on a converged run (delivery sets differ), so
+        // make sure the waterfall post-mortem exists either way.
+        crate::cluster::write_trace_artifacts(&cfg.out_dir, cfg.nodes)?;
+    }
     Ok(DiffReport {
         divergences,
         sim,

@@ -208,6 +208,37 @@ impl ChildExport {
     }
 }
 
+/// Merges the trace journals of several parsed exports into one
+/// time-ordered event list, the way [`raincore_obs::merge_journals`]
+/// does for in-memory journals. The export file carries the
+/// `raincore_trace_dropped_events` counter instead of the dropped
+/// events themselves, so an overflowed journal gets a synthetic GAP
+/// marker stamped at its oldest surviving event.
+pub fn merge_export_journals(exports: &[ChildExport]) -> Vec<TraceEvent> {
+    let mut all = Vec::new();
+    for exp in exports {
+        let id = exp.node.0.to_string();
+        let labels: &[(&str, &str)] = &[("node", id.as_str())];
+        let dropped = exp
+            .snapshot
+            .counter_value("raincore_trace_dropped_events", labels)
+            .unwrap_or(0);
+        if dropped > 0 {
+            if let Some(first) = exp.journal.first() {
+                all.push(TraceEvent {
+                    t_ns: first.t_ns,
+                    node: first.node,
+                    kind: raincore_obs::TraceKind::Gap { dropped },
+                });
+            }
+        }
+        all.extend(exp.journal.iter().cloned());
+    }
+    // Stable: a gap marker stays ahead of the survivor it annotates.
+    all.sort_by_key(|e| e.t_ns);
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +290,45 @@ mod tests {
         assert_eq!(status.regenerations, 3);
         assert_eq!(status.ring, Some(Ring::from_iter([NodeId(2), NodeId(5)])));
         assert_eq!(status.deliveries, deliveries);
+    }
+
+    #[test]
+    fn merge_synthesizes_gap_for_overflowed_journal() {
+        use raincore_obs::TraceKind;
+        let r = Registry::new();
+        r.counter("raincore_trace_dropped_events", &[("node", "7")])
+            .add(5);
+        let journal_json = r#"[{"t_ns":100,"node":7,"event":"SHUTDOWN"}]"#;
+        let doc = render_export(
+            NodeId(7),
+            0,
+            1,
+            1,
+            false,
+            &r.snapshot().to_json(),
+            journal_json,
+            &[],
+        );
+        let exp = ChildExport::parse(&doc).expect("parse");
+        let merged = merge_export_journals(std::slice::from_ref(&exp));
+        assert_eq!(merged.len(), 2, "{merged:?}");
+        assert_eq!(merged[0].kind, TraceKind::Gap { dropped: 5 });
+        assert_eq!(merged[0].t_ns, 100, "gap stamped at oldest survivor");
+        assert_eq!(merged[0].node, 7);
+
+        // No counter in the snapshot → no synthetic gap.
+        let clean = render_export(
+            NodeId(7),
+            0,
+            1,
+            1,
+            false,
+            &sample_snapshot_json(7),
+            journal_json,
+            &[],
+        );
+        let exp = ChildExport::parse(&clean).expect("parse");
+        assert_eq!(merge_export_journals(std::slice::from_ref(&exp)).len(), 1);
     }
 
     #[test]

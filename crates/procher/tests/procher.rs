@@ -17,6 +17,10 @@ fn exe() -> &'static str {
     env!("CARGO_BIN_EXE_procher")
 }
 
+fn tracectl_exe() -> &'static str {
+    env!("CARGO_BIN_EXE_tracectl")
+}
+
 fn spawn_allowed() -> bool {
     Command::new(exe())
         .arg("--probe")
@@ -93,6 +97,103 @@ fn procher_differential_sim_vs_real_has_zero_divergence() {
         "--out-dir",
         dir.to_str().unwrap(),
     ]);
+    // tracectl merges the per-node export files the run left behind into
+    // one cross-node waterfall: a full token lap is three consecutive
+    // hops visiting all three real processes.
+    let exports: Vec<String> = (0..3)
+        .map(|i| dir.join(format!("node-{i}.export")).display().to_string())
+        .collect();
+    let out = Command::new(tracectl_exe())
+        .args(&exports)
+        .output()
+        .expect("run tracectl");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("── circulation"), "{text}");
+    let hops: Vec<(u64, u32)> = text
+        .lines()
+        .filter(|l| l.starts_with("hop "))
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let hop = it.nth(1).unwrap().parse().unwrap();
+            let node = it
+                .next()
+                .unwrap()
+                .strip_prefix('n')
+                .unwrap()
+                .parse()
+                .unwrap();
+            (hop, node)
+        })
+        .collect();
+    let full_lap = hops.windows(3).any(|w| {
+        w[1].0 == w[0].0 + 1 && w[2].0 == w[1].0 + 1 && {
+            let mut n: Vec<u32> = w.iter().map(|&(_, n)| n).collect();
+            n.sort_unstable();
+            n.dedup();
+            n.len() == 3
+        }
+    });
+    assert!(
+        full_lap,
+        "no full causal lap across the 3 processes:\n{text}"
+    );
+    // Each child also left its flight-recorder dump beside the export.
+    for i in 0..3 {
+        let flight =
+            std::fs::read_to_string(dir.join(format!("node-{i}.flight"))).expect("flight file");
+        assert!(flight.contains("last hop before dump: circ="), "{flight}");
+    }
+}
+
+/// `tracectl` reads a sim chaos run's journal JSON too: the same CLI
+/// renders the same waterfall format from either artifact source.
+#[test]
+fn tracectl_renders_sim_chaos_journal() {
+    use raincore_sim::{Cluster, ClusterConfig};
+    use raincore_types::{Duration as VDuration, Time};
+
+    if !spawn_allowed() {
+        eprintln!("skipping: subprocess spawn forbidden here");
+        return;
+    }
+    let ccfg = ClusterConfig {
+        session: raincore_procher::fast_profile(4),
+        ..ClusterConfig::default()
+    };
+    let mut c = Cluster::founding(4, ccfg).unwrap();
+    c.run_until(Time::ZERO + VDuration::from_secs(1));
+    let holder = c.eating_nodes().pop().expect("someone is eating");
+    c.crash(holder);
+    let t = c.now();
+    c.run_until(t + VDuration::from_secs(2));
+
+    let dir = out_dir("tracectl-sim");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("journal.json");
+    std::fs::write(&journal, c.journal_json()).unwrap();
+
+    let out = Command::new(tracectl_exe())
+        .arg(journal.display().to_string())
+        .output()
+        .expect("run tracectl");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("── circulation"), "{text}");
+    assert!(text.contains("CAUSE_911"), "{text}");
+    assert!(text.contains("CAUSE_REGEN"), "{text}");
+
+    // "Follow the token for 2 laps": 4 nodes in the selection, so the
+    // lap filter renders exactly 8 hop lines.
+    let out = Command::new(tracectl_exe())
+        .arg(journal.display().to_string())
+        .args(["--laps", "2"])
+        .output()
+        .expect("run tracectl");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let hop_lines = text.lines().filter(|l| l.starts_with("hop ")).count();
+    assert_eq!(hop_lines, 8, "{text}");
 }
 
 /// The pinned chaos regression — bootstrap after total token-copy loss,

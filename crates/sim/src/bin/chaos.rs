@@ -19,10 +19,29 @@
 
 use raincore_sim::chaos::{
     dump_violation, find_and_minimize, generate_schedule, parse_dump, run_chaos, ChaosConfig,
-    ChaosScenario,
+    ChaosEvidence, ChaosScenario,
 };
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Writes the trace evidence captured at the violation instant next to
+/// the schedule dump: `<stem>-journal.json` (tracectl input),
+/// `<stem>-flight.txt` and `<stem>-waterfall.txt`.
+fn write_evidence(dump_path: &str, evidence: Option<&ChaosEvidence>) {
+    let Some(ev) = evidence else { return };
+    let stem = dump_path.strip_suffix(".txt").unwrap_or(dump_path);
+    for (suffix, body) in [
+        ("-journal.json", ev.journal_json.as_str()),
+        ("-flight.txt", ev.flight_text.as_str()),
+        ("-waterfall.txt", ev.waterfall.as_str()),
+    ] {
+        let path = format!("{stem}{suffix}");
+        match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("chaos: evidence written to {path}"),
+            Err(e) => eprintln!("chaos: cannot write {path}: {e}"),
+        }
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -126,7 +145,7 @@ fn main() {
             *totals.entry(class).or_default() += count;
         }
         total_ticks += report.ticks_run;
-        if let Some(v) = report.violation {
+        if let Some(v) = &report.violation {
             eprintln!(
                 "chaos: FAIL — seed {} nodes {} scenario {}: {}",
                 cfg.seed, cfg.nodes, cfg.scenario, v.reason
@@ -150,10 +169,11 @@ fn main() {
             } else {
                 schedule.clone()
             };
-            let dump = dump_violation(&cfg, &v, &events);
+            let dump = dump_violation(&cfg, v, &events);
             if let Err(e) = std::fs::write(&dump_path, &dump) {
                 eprintln!("chaos: cannot write {dump_path}: {e}");
             }
+            write_evidence(&dump_path, report.evidence.as_ref());
             eprintln!("{dump}");
             eprintln!("chaos: dump written to {dump_path}");
             std::process::exit(1);
@@ -207,7 +227,9 @@ fn run_seeded_fault(base: &ChaosConfig, dump_path: &str, pin_nodes: bool, pin_sc
         );
         // The minimized schedule must still reproduce the violation.
         match run_chaos(&cfg, &minimized) {
-            Ok(r) if r.violation.is_some() => {}
+            Ok(r) if r.violation.is_some() => {
+                write_evidence(dump_path, r.evidence.as_ref());
+            }
             Ok(_) => {
                 eprintln!("chaos: FAIL — minimized schedule no longer reproduces");
                 std::process::exit(1);

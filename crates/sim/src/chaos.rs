@@ -701,10 +701,27 @@ pub struct ChaosViolation {
     pub reason: String,
 }
 
+/// Trace evidence frozen at the instant a violation fired, while the
+/// cluster still held it: the merged journal (JSON, `tracectl`'s input
+/// format), the flight-recorder dump naming the triggering hop, and the
+/// rendered causal waterfall.
+#[derive(Debug, Clone)]
+pub struct ChaosEvidence {
+    /// Merged per-node trace journals as a JSON event array.
+    pub journal_json: String,
+    /// Flight-recorder text dump (last ~1k protocol moments, all nodes).
+    pub flight_text: String,
+    /// Causally ordered token waterfall rendered from the journals.
+    pub waterfall: String,
+}
+
 /// Outcome of one chaos run.
 pub struct ChaosReport {
     /// The first violation, if any oracle or auditor fired.
     pub violation: Option<ChaosViolation>,
+    /// Trace evidence captured at the violation instant (`None` on a
+    /// clean run).
+    pub evidence: Option<ChaosEvidence>,
     /// True if the run ended quiet and converged.
     pub converged: bool,
     /// Engine ticks executed (includes convergence/soak tail).
@@ -772,6 +789,7 @@ pub fn run_chaos(cfg: &ChaosConfig, schedule: &[ChaosEvent]) -> Result<ChaosRepo
     let mut workload_turn = 0u64;
     let mut converged_streak = 0u64;
     let mut violation: Option<ChaosViolation> = None;
+    let mut evidence: Option<ChaosEvidence> = None;
     let mut idx = 0usize;
     let horizon = cfg.ticks + cfg.grace_ticks + cfg.convergence_bound_ticks + cfg.post_ticks + 2;
     let mut ticks_run = 0u64;
@@ -848,6 +866,26 @@ pub fn run_chaos(cfg: &ChaosConfig, schedule: &[ChaosEvent]) -> Result<ChaosRepo
 
         if let Some(reason) = first_violation(&tokens, &nines, &membership, &oracles) {
             violations_counter.inc();
+            // Stamp the violation into the shared flight ring (node
+            // u32::MAX = the harness itself), then freeze the trace
+            // evidence while the cluster still holds it.
+            cluster.flight().record(
+                cluster.now().as_nanos(),
+                u32::MAX,
+                raincore_obs::RecKind::Violation,
+                0,
+                0,
+                0,
+                0,
+            );
+            evidence = Some(ChaosEvidence {
+                journal_json: cluster.journal_json(),
+                flight_text: cluster.flight().render_text(),
+                waterfall: raincore_obs::render_waterfall(
+                    &cluster.merged_journal(),
+                    &raincore_obs::WaterfallOpts::default(),
+                ),
+            });
             violation = Some(ChaosViolation {
                 tick,
                 at: cluster.now(),
@@ -880,6 +918,7 @@ pub fn run_chaos(cfg: &ChaosConfig, schedule: &[ChaosEvent]) -> Result<ChaosRepo
         .add(reorders_injected);
     Ok(ChaosReport {
         violation,
+        evidence,
         converged,
         ticks_run,
         faults_applied,

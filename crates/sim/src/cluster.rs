@@ -110,6 +110,7 @@ impl ClusterBuilder {
             peer_table: PeerTable::new(),
             steps: 0,
             registry: raincore_obs::Registry::new(),
+            flight: raincore_obs::FlightRecorder::default(),
         };
         // The peer table covers every session member with all its NICs.
         let mut table = PeerTable::new();
@@ -160,6 +161,10 @@ pub struct Cluster {
     peer_table: PeerTable,
     steps: u64,
     registry: raincore_obs::Registry,
+    /// One flight recorder shared by every node (including restarts), so
+    /// a violation dump shows the whole cluster's last moments in one
+    /// globally ordered ring.
+    flight: raincore_obs::FlightRecorder,
 }
 
 impl Cluster {
@@ -194,7 +199,7 @@ impl Cluster {
             .map(|k| Addr::new(id, k))
             .collect();
         let session_cfg = session.unwrap_or_else(|| self.cfg.session.clone());
-        let node = SessionNode::new(
+        let mut node = SessionNode::new(
             id,
             Incarnation::FIRST,
             session_cfg.clone(),
@@ -204,6 +209,7 @@ impl Cluster {
             start,
             self.now,
         )?;
+        node.obs_mut().set_recorder(self.flight.clone());
         self.slots.insert(
             id,
             Slot {
@@ -458,7 +464,7 @@ impl Cluster {
                     .unwrap_or_else(|| self.cfg.session.clone()),
             )
         };
-        let node = SessionNode::new(
+        let mut node = SessionNode::new(
             id,
             inc,
             session_cfg,
@@ -468,6 +474,7 @@ impl Cluster {
             start,
             now,
         )?;
+        node.obs_mut().set_recorder(self.flight.clone());
         let slot = self.slots.get_mut(&id).expect("slot");
         slot.session = Some(node);
         slot.alive = true;
@@ -610,6 +617,11 @@ impl Cluster {
     /// and [`Cluster::json_snapshot`].
     pub fn registry(&self) -> &raincore_obs::Registry {
         &self.registry
+    }
+
+    /// The cluster-wide flight recorder every node writes into.
+    pub fn flight(&self) -> &raincore_obs::FlightRecorder {
+        &self.flight
     }
 
     // ------------------------------------------------------------------

@@ -16,7 +16,9 @@
 //! the incident is on screen, not lost in flat counters.
 
 use crate::cluster::Cluster;
-use raincore_obs::{merge_journals, render_events_text, TraceEvent};
+use raincore_obs::{
+    merge_journals, render_events_text, render_waterfall, TraceEvent, WaterfallOpts,
+};
 use raincore_types::Time;
 
 /// An invariant violation caught by [`Cluster::run_checked`], carrying the
@@ -97,6 +99,14 @@ impl Cluster {
                 c.add(v.saturating_sub(c.get()));
             }
             let o = s.obs();
+            // Journal overflow is surfaced, never silent: the eviction
+            // count is a first-class counter next to everything else.
+            let dropped = r.counter("raincore_trace_dropped_events", labels);
+            dropped.add(o.journal().dropped().saturating_sub(dropped.get()));
+            for stage in raincore_obs::Stage::ALL {
+                let sl: &[(&str, &str)] = &[("node", node.as_str()), ("stage", stage.label())];
+                r.attach_histogram("raincore_hop_stage_ns", sl, o.hop_stages.get(stage).clone());
+            }
             r.attach_histogram(
                 "raincore_token_rotation_ns",
                 labels,
@@ -172,7 +182,20 @@ impl Cluster {
         out.push_str(&self.dump_state());
         out.push_str("--- merged trace journal ---\n");
         out.push_str(&self.journal_text());
+        out.push_str("--- flight recorder ---\n");
+        out.push_str(&self.flight().render_text());
+        out.push_str("--- token waterfall ---\n");
+        out.push_str(&render_waterfall(
+            &self.merged_journal(),
+            &WaterfallOpts::default(),
+        ));
         out
+    }
+
+    /// The merged journal rendered as a JSON array — the input format of
+    /// the `tracectl` waterfall CLI.
+    pub fn journal_json(&self) -> String {
+        raincore_obs::render_events_json(&self.merged_journal())
     }
 
     /// Runs until `t_end` with `check` sampled after every quantum. On the

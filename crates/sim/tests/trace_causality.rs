@@ -1,0 +1,170 @@
+//! Causal tracing integration: hop spans must reconstruct a full token
+//! lap across the cluster, and a seeded 911 storm must leave a flight
+//! recorder dump and cause events that name the hop that triggered it.
+
+use raincore_obs::{causal_hops, parse_journal_json, render_waterfall, TraceKind, WaterfallOpts};
+use raincore_sim::{standard_invariants, Cluster, ClusterConfig};
+use raincore_types::{Duration, Time};
+
+fn fast_cfg() -> ClusterConfig {
+    let mut c = ClusterConfig::default();
+    c.session.token_hold = Duration::from_millis(2);
+    c.session.hungry_timeout = Duration::from_millis(100);
+    c.session.starving_retry = Duration::from_millis(40);
+    c.session.beacon_period = Duration::from_millis(50);
+    c.transport.retry_timeout = Duration::from_millis(10);
+    c
+}
+
+#[test]
+fn waterfall_reconstructs_full_token_laps() {
+    const N: usize = 4;
+    let mut c = Cluster::founding(N as u32, fast_cfg()).unwrap();
+    c.run_checked(Time::ZERO + Duration::from_secs(1), standard_invariants)
+        .expect("healthy run");
+
+    // The journal round-trips through the tracectl input format: what the
+    // CLI would parse is what the cluster exported.
+    let events = parse_journal_json(&c.journal_json()).expect("journal JSON parses");
+    let rows = causal_hops(&events);
+    assert!(rows.len() > 20, "token actually circulated: {}", rows.len());
+
+    // One lineage only in a healthy run, and the hop seq is gapless: a
+    // span was emitted for every single pass.
+    let circ = rows[0].circ;
+    assert!(rows.iter().all(|r| r.circ == circ), "one circulation");
+    assert!(
+        rows.windows(2).all(|w| w[1].hop == w[0].hop + 1),
+        "hop seqs gapless in causal order"
+    );
+
+    // Somewhere in the run the token completed a full lap: N consecutive
+    // hops visiting N distinct nodes.
+    let full_lap = rows.windows(N).any(|w| {
+        let mut nodes: Vec<u32> = w.iter().map(|r| r.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len() == N
+    });
+    assert!(
+        full_lap,
+        "no window of {N} consecutive hops covers {N} nodes"
+    );
+
+    // "Follow the token for 2 laps" renders exactly 2*N causally ordered
+    // hop lines for the one circulation.
+    let text = render_waterfall(
+        &events,
+        &WaterfallOpts {
+            circ: Some(circ),
+            laps: Some(2),
+            ..WaterfallOpts::default()
+        },
+    );
+    assert!(text.contains("── circulation"), "{text}");
+    let hop_lines = text.lines().filter(|l| l.starts_with("hop ")).count();
+    assert_eq!(hop_lines, 2 * N, "{text}");
+}
+
+#[test]
+fn storm_911_flight_dump_names_triggering_hop() {
+    let mut c = Cluster::founding(4, fast_cfg()).unwrap();
+    c.run_until(Time::ZERO + Duration::from_secs(1));
+    let holder = c.eating_nodes().pop().expect("someone is eating");
+    c.crash(holder);
+
+    // Run in small steps and freeze the flight dump the moment a survivor
+    // regenerates: the ring holds the newest records, so a post-mortem is
+    // taken at the event, not seconds of healthy circulation later.
+    let mut flight = String::new();
+    for _ in 0..50 {
+        let t = c.now();
+        c.run_until(t + Duration::from_millis(100));
+        if c.live_members()
+            .iter()
+            .any(|&id| c.metrics(id).regenerations > 0)
+        {
+            flight = c.flight().render_text();
+            break;
+        }
+    }
+    assert!(!flight.is_empty(), "a survivor regenerated the token");
+    let t = c.now();
+    c.run_until(t + Duration::from_secs(1));
+
+    // The always-on flight recorder names the last hop that moved before
+    // the dump — the post-mortem entry point.
+    assert!(flight.contains("last hop before dump: circ="), "{flight}");
+    assert!(flight.contains("CALL_911"), "{flight}");
+    assert!(flight.contains("STARVING"), "{flight}");
+    assert!(flight.contains("REGEN"), "{flight}");
+
+    // Every cause event links to a hop span that actually exists in the
+    // merged journal: the starvation, the 911 votes and the regeneration
+    // all name the (circ, hop) that triggered them.
+    let events = parse_journal_json(&c.journal_json()).expect("journal JSON parses");
+    let spans: Vec<(u64, u64)> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::HopSpan { circ, hop, .. } => Some((circ, hop)),
+            _ => None,
+        })
+        .collect();
+    let mut starving = 0u32;
+    let mut votes = 0u32;
+    let mut regens = 0u32;
+    for e in &events {
+        let ptr = match e.kind {
+            TraceKind::CauseStarving { circ, hop } => {
+                starving += 1;
+                (circ, hop)
+            }
+            TraceKind::Cause911 { circ, hop, .. } => {
+                votes += 1;
+                (circ, hop)
+            }
+            TraceKind::CauseRegen {
+                circ,
+                hop,
+                new_circ,
+            } => {
+                regens += 1;
+                assert_ne!(new_circ, circ, "regeneration minted a new lineage");
+                (circ, hop)
+            }
+            _ => continue,
+        };
+        assert!(
+            spans.contains(&ptr),
+            "cause {} points at unknown hop {ptr:?}",
+            e.render()
+        );
+    }
+    assert!(starving >= 1, "survivors went STARVING");
+    assert!(votes >= 1, "911 votes were traced");
+    assert!(regens >= 1, "regeneration was traced");
+
+    // The waterfall shows both lineages and attaches the cause lines
+    // under the hops that triggered them.
+    let text = render_waterfall(&events, &WaterfallOpts::default());
+    let lineages = text.matches("── circulation").count();
+    assert!(lineages >= 2, "pre-crash and regenerated lineage:\n{text}");
+    for label in ["CAUSE_STARVING", "CAUSE_911", "CAUSE_REGEN"] {
+        assert!(
+            text.lines()
+                .any(|l| l.trim_start().starts_with('└') && l.contains(label)),
+            "{label} not attached under a hop:\n{text}"
+        );
+    }
+
+    // After the regeneration the new lineage circulates among the three
+    // survivors: the waterfall's last hops cover all of them.
+    let rows = causal_hops(&events);
+    let new_circ = rows.last().expect("hops exist").circ;
+    let tail_nodes: std::collections::BTreeSet<u32> = rows
+        .iter()
+        .filter(|r| r.circ == new_circ)
+        .map(|r| r.node)
+        .collect();
+    assert_eq!(tail_nodes.len(), 3, "regenerated token visits survivors");
+}

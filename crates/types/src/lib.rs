@@ -37,7 +37,7 @@ pub use id::{GroupId, Incarnation, MsgId, NodeId, OriginSeq, VipId};
 pub use membership::Ring;
 pub use messages::{
     Attached, BodyOdor, Call911, DeliveryMode, MsgList, OpenSubmit, Reply911, SessionMsg, Token,
-    Verdict911,
+    TraceCtx, Verdict911,
 };
 pub use time::{Duration, Time};
 pub use token_codec::TokenEncoder;

@@ -232,6 +232,71 @@ impl WireDecode for MsgList {
     }
 }
 
+/// Compact causal trace context carried in the token wire header, right
+/// after the per-hop `seq` and before the body.
+///
+/// Three varints turn every token hop into a cross-node span that can be
+/// merged without trusting wall clocks: `hop` orders hops within a
+/// *circulation* (one uninterrupted token lineage segment), `circ` names
+/// the circulation, and `parent` links a freshly minted circulation
+/// (regeneration, merge, bootstrap) back to the hop it causally descends
+/// from. The context is protocol-inert — nodes never branch on it — so it
+/// rides the patched header at zero allocation cost and stays decoupled
+/// from the protocol's own `seq` arithmetic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Circulation id: `(minter_id << 40) | (seq at mint)`. Changes
+    /// whenever a new token lineage segment is minted (founding,
+    /// regeneration, merge); unique per minter because `seq` is monotonic
+    /// along any lineage a single node ever extends.
+    pub circ: u64,
+    /// Hop sequence within the lineage; incremented alongside `seq` on
+    /// every pass, so `hop_a < hop_b` is happens-before within one
+    /// lineage regardless of clock skew between the observing nodes.
+    pub hop: u64,
+    /// Hop seq of the previous circulation's last observed hop at mint
+    /// time (0 for a true founding with no ancestor).
+    pub parent: u64,
+}
+
+impl TraceCtx {
+    const MINT_SEQ_BITS: u32 = 40;
+
+    /// Mints a new circulation: `minter` created a token lineage segment
+    /// whose current seq is `seq`, causally after hop `parent`.
+    pub fn mint(minter: NodeId, seq: u64, parent: u64) -> Self {
+        TraceCtx {
+            circ: (u64::from(minter.0) << Self::MINT_SEQ_BITS)
+                | (seq & ((1 << Self::MINT_SEQ_BITS) - 1)),
+            hop: seq,
+            parent,
+        }
+    }
+
+    /// The node that minted this circulation (upper bits of `circ`).
+    pub fn minter(&self) -> NodeId {
+        NodeId((self.circ >> Self::MINT_SEQ_BITS) as u32)
+    }
+}
+
+impl WireEncode for TraceCtx {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.circ);
+        w.put_varint(self.hop);
+        w.put_varint(self.parent);
+    }
+}
+
+impl WireDecode for TraceCtx {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(TraceCtx {
+            circ: r.get_varint()?,
+            hop: r.get_varint()?,
+            parent: r.get_varint()?,
+        })
+    }
+}
+
 /// The circulating TOKEN (§2.2).
 ///
 /// Exactly one token exists per group at any instant (the paper proves
@@ -243,6 +308,9 @@ pub struct Token {
     /// Per-hop sequence number; incremented by one on every pass. Starts
     /// at 1 for a freshly formed group, so `0` can mean "never saw a token".
     pub seq: u64,
+    /// Causal trace context (circulation id, hop seq, causal parent).
+    /// Part of the mutable header, re-patched on every hop.
+    pub trace: TraceCtx,
     /// Authoritative membership, in ring order.
     pub ring: Ring,
     /// "To Be Merged" flag (§2.4): set when this token is handed to a
@@ -254,9 +322,12 @@ pub struct Token {
 
 impl Token {
     /// Creates the founding token of a new group with the given ring.
+    /// The circulation is minted by the group id (lowest member).
     pub fn founding(ring: Ring) -> Self {
+        let minter = ring.group_id().map_or(NodeId(0), |g| g.0);
         Token {
             seq: 1,
+            trace: TraceCtx::mint(minter, 1, 0),
             ring,
             tbm: false,
             msgs: MsgList::new(),
@@ -287,6 +358,7 @@ impl Token {
 impl WireEncode for Token {
     fn encode(&self, w: &mut Writer) {
         w.put_varint(self.seq);
+        self.trace.encode(w);
         self.encode_body(w);
     }
 }
@@ -295,6 +367,7 @@ impl WireDecode for Token {
     fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
         Ok(Token {
             seq: r.get_varint()?,
+            trace: TraceCtx::decode(r)?,
             ring: Ring::decode(r)?,
             tbm: r.get_bool()?,
             msgs: MsgList::decode(r)?,
@@ -596,6 +669,24 @@ mod tests {
         assert!(!t.tbm);
         assert!(t.msgs.is_empty());
         assert_eq!(t.group_id(), Some(GroupId(NodeId(1))));
+        // The founding circulation is minted by the group id at seq 1
+        // with no causal ancestor.
+        assert_eq!(t.trace.minter(), NodeId(1));
+        assert_eq!(t.trace.hop, 1);
+        assert_eq!(t.trace.parent, 0);
+    }
+
+    #[test]
+    fn trace_ctx_mint_is_unique_per_minter_and_seq() {
+        let a = TraceCtx::mint(NodeId(3), 17, 5);
+        let b = TraceCtx::mint(NodeId(3), 19, 17);
+        let c = TraceCtx::mint(NodeId(4), 17, 5);
+        assert_ne!(a.circ, b.circ, "same minter, later seq");
+        assert_ne!(a.circ, c.circ, "different minter, same seq");
+        assert_eq!(a.minter(), NodeId(3));
+        assert_eq!(c.minter(), NodeId(4));
+        assert_eq!(a.hop, 17);
+        assert_eq!(a.parent, 5);
     }
 
     #[test]
@@ -756,11 +847,15 @@ mod tests {
     prop_compose! {
         fn arb_token()(
             seq in 0u64..u64::MAX,
+            circ_minter in 0u32..64,
+            parent in 0u64..10_000,
             ids in proptest::collection::btree_set(0u32..64, 0..16),
             tbm in any::<bool>(),
             msgs in proptest::collection::vec(arb_attached(), 0..6),
         ) -> Token {
-            Token { seq, ring: Ring::from_iter(ids.into_iter().map(NodeId)), tbm, msgs: msgs.into() }
+            let ring = Ring::from_iter(ids.into_iter().map(NodeId));
+            let trace = TraceCtx::mint(NodeId(circ_minter), seq, parent);
+            Token { seq, trace, ring, tbm, msgs: msgs.into() }
         }
     }
 

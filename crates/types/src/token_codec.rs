@@ -27,7 +27,7 @@
 
 use crate::membership::Ring;
 use crate::messages::{SessionMsg, Token};
-use crate::wire::Writer;
+use crate::wire::{WireEncode, Writer};
 use bytes::Bytes;
 
 /// Body bytes of the last quiescent token, with the values they encode.
@@ -65,6 +65,11 @@ impl TokenEncoder {
         self.scratch.clear();
         self.scratch.put_u8(SessionMsg::TAG_TOKEN);
         self.scratch.put_varint(token.seq);
+        // The trace context (circ/hop/parent) changes every hop, exactly
+        // like `seq` — it belongs to the patched header, not the cached
+        // body: three more varints in the pooled scratch, zero extra
+        // allocations.
+        token.trace.encode(&mut self.scratch);
         match &self.cached {
             Some(c) if token.msgs.is_empty() && c.tbm == token.tbm && c.ring == token.ring => {
                 self.hits += 1;
@@ -118,10 +123,29 @@ mod tests {
         let mut t = Token::founding(Ring::from([1, 2, 3]));
         for hop in 0..10 {
             t.seq += 1;
+            t.trace.hop += 1;
             assert_eq!(enc.encode(&t)[..], full(&t)[..], "hop {hop}");
         }
         assert_eq!(enc.cache_misses(), 1);
         assert_eq!(enc.cache_hits(), 9);
+    }
+
+    #[test]
+    fn trace_ctx_rides_the_patched_header_without_body_invalidation() {
+        use crate::messages::TraceCtx;
+        let mut enc = TokenEncoder::new();
+        let mut t = Token::founding(Ring::from([1, 2, 3]));
+        assert_eq!(enc.encode(&t)[..], full(&t)[..]);
+        // A regeneration mints a fresh circulation: every header field
+        // changes, the body does not — the cache must keep serving.
+        t.seq += 2;
+        t.trace = TraceCtx::mint(NodeId(2), t.seq, t.trace.hop);
+        assert_eq!(enc.encode(&t)[..], full(&t)[..]);
+        t.seq += 1;
+        t.trace.hop += 1;
+        assert_eq!(enc.encode(&t)[..], full(&t)[..]);
+        assert_eq!(enc.cache_misses(), 1);
+        assert_eq!(enc.cache_hits(), 2);
     }
 
     #[test]

@@ -14,7 +14,8 @@
 
 use bytes::Bytes;
 use raincore_types::messages::{
-    Attached, BodyOdor, Call911, DeliveryMode, OpenSubmit, Reply911, SessionMsg, Token, Verdict911,
+    Attached, BodyOdor, Call911, DeliveryMode, OpenSubmit, Reply911, SessionMsg, Token, TraceCtx,
+    Verdict911,
 };
 use raincore_types::wire::{WireDecode, WireEncode};
 use raincore_types::{GroupId, NodeId, OriginSeq, Ring, TokenEncoder};
@@ -77,6 +78,7 @@ fn arb_msg(rng: &mut Rng) -> SessionMsg {
     match rng.below(6) {
         0 => SessionMsg::Token(Token {
             seq: rng.next(),
+            trace: TraceCtx::mint(NodeId(rng.below(64) as u32), rng.next(), rng.next()),
             ring: arb_ring(rng),
             tbm: rng.below(2) == 0,
             msgs: (0..rng.below(5)).map(|_| arb_attached(rng)).collect(),
@@ -170,9 +172,14 @@ fn patched_header_encode_matches_full_reencode() {
     let mut token = Token::founding(arb_ring(&mut rng));
     let mut hits_possible = 0u64;
     for step in 0..5_000 {
-        match rng.below(10) {
-            // Steady state dominates: most hops only bump seq.
-            0..=5 => token.seq = token.seq.wrapping_add(1 + rng.below(3)),
+        match rng.below(11) {
+            // Steady state dominates: most hops bump seq and the trace
+            // hop counter together — the whole mutable header changes
+            // while the body stays cached.
+            0..=5 => {
+                token.seq = token.seq.wrapping_add(1 + rng.below(3));
+                token.trace.hop = token.trace.hop.wrapping_add(1 + rng.below(3));
+            }
             6 => {
                 token.ring.push(NodeId(rng.below(64) as u32));
             }
@@ -181,6 +188,12 @@ fn patched_header_encode_matches_full_reencode() {
                 token.ring.remove(id);
             }
             8 => token.tbm = !token.tbm,
+            9 => {
+                // Regeneration/merge mints a fresh circulation: every
+                // trace-context varint changes width-unpredictably.
+                token.trace =
+                    TraceCtx::mint(NodeId(rng.below(64) as u32), rng.next(), token.trace.hop);
+            }
             _ => {
                 if token.msgs.is_empty() || rng.below(2) == 0 {
                     token.msgs.push(arb_attached(&mut rng));

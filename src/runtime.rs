@@ -13,10 +13,20 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
 use raincore_net::udp::UdpNet;
+use raincore_obs::{FlightRecorder, StageClock};
 use raincore_session::{SessionEvent, SessionNode};
 use raincore_types::{DeliveryMode, OriginSeq, Time};
+use std::sync::OnceLock;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// The process-wide flight recorder: every [`RuntimeNode`] spawned in
+/// this process records into the same always-on ring, so a post-mortem
+/// dump interleaves the last moments of all local nodes.
+pub fn process_flight_recorder() -> &'static FlightRecorder {
+    static FLIGHT: OnceLock<FlightRecorder> = OnceLock::new();
+    FLIGHT.get_or_init(FlightRecorder::default)
+}
 
 enum Cmd {
     Multicast(
@@ -45,6 +55,9 @@ pub struct ObsDump {
     pub journal: String,
     /// The trace journal as a JSON array.
     pub journal_json: String,
+    /// The process-wide flight recorder ring, rendered as text (newest
+    /// records, with the last hop before the dump named up front).
+    pub flight: String,
 }
 
 /// Builds the node's metric registry and renders the dump.
@@ -81,6 +94,17 @@ fn dump_node_obs(node: &SessionNode) -> ObsDump {
         labels,
         o.token_encode_bytes.clone(),
     );
+    // Trace health: silent journal overflow becomes a visible counter,
+    // and the per-stage hop latency histograms ride along per stage.
+    r.counter("raincore_trace_dropped_events", labels)
+        .add(o.journal().dropped());
+    for stage in raincore_obs::Stage::ALL {
+        r.attach_histogram(
+            "raincore_hop_stage_ns",
+            &[("node", id.as_str()), ("stage", stage.label())],
+            o.hop_stages.get(stage).clone(),
+        );
+    }
     let t = node.transport_obs();
     r.attach_histogram("raincore_transport_rtt_ns", labels, t.rtt.clone());
     r.attach_histogram(
@@ -113,6 +137,10 @@ fn dump_node_obs(node: &SessionNode) -> ObsDump {
         json: snap.to_json(),
         journal: o.journal().render_text(),
         journal_json: o.journal().render_json(),
+        flight: o
+            .recorder()
+            .map(FlightRecorder::render_text)
+            .unwrap_or_default(),
     }
 }
 
@@ -132,6 +160,11 @@ impl RuntimeNode {
     /// `node` should have been constructed with the same local addresses
     /// that `net` has bound.
     pub fn spawn(mut node: SessionNode, net: UdpNet) -> std::io::Result<RuntimeNode> {
+        // Real deployments get real per-stage hop timings and share the
+        // process-wide flight recorder ring; both are always on.
+        node.obs_mut().set_stage_clock(StageClock::monotonic());
+        node.obs_mut()
+            .set_recorder(process_flight_recorder().clone());
         let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
         let (event_tx, event_rx) = unbounded::<SessionEvent>();
         let name = format!("raincore-node-{}", node.id());
@@ -354,6 +387,21 @@ mod tests {
         assert!(dump.journal.contains("TOKEN_RX"), "{}", dump.journal);
         assert!(dump.json.contains("\"name\":\"raincore_transport_rtt_ns\""));
         assert!(dump.journal_json.starts_with('['));
+        // Trace health and the causal hop pipeline are in the same dump:
+        // overflow counter, per-stage latency, spans with real timings,
+        // and the process-wide flight recorder naming the last hop.
+        assert!(dump
+            .prometheus
+            .contains("raincore_trace_dropped_events{node=\"2\"} 0"));
+        assert!(dump
+            .prometheus
+            .contains("raincore_hop_stage_ns_count{node=\"2\",stage=\"protocol\"}"));
+        assert!(dump.journal.contains("HOP_SPAN"), "{}", dump.journal);
+        assert!(
+            dump.flight.contains("last hop before dump: circ="),
+            "{}",
+            dump.flight
+        );
         for n in &nodes {
             n.leave();
         }
