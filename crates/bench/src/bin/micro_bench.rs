@@ -379,6 +379,20 @@ fn main() {
         "trace context pushed the hop over the 6-alloc floor: {:.3}/hop",
         new_hop.allocs_per_op
     );
+    // State-fingerprinting budget: canonicalizing and hashing a model
+    // state (plus the visited-table bookkeeping) must stay within 250
+    // allocations per state visited, or symmetry reduction costs more
+    // than the exploration it prunes.
+    let mc = results
+        .iter()
+        .find(|r| r.name == "bench_model_check_states")
+        .expect("model-check bench ran");
+    assert!(
+        mc.allocs_per_op <= 250.0,
+        "state fingerprinting pushed the model checker over the \
+         250-allocs-per-state budget: {:.3}/state",
+        mc.allocs_per_op
+    );
 
     // Export the allocations-per-hop gauge alongside the other metrics.
     let registry = raincore_obs::Registry::new();
@@ -400,10 +414,16 @@ fn main() {
 
     if let Some(baseline_path) = compare {
         let baseline = std::fs::read_to_string(&baseline_path).expect("read baseline");
-        // The hard >25% allocation gates: the steady-state wire hop and
-        // the full simulated pipeline hop (which the trace/span plumbing
-        // rides on, so a tracing regression trips it).
-        for gated in ["bench_token_hop", "bench_hop_latency"] {
+        // The hard >25% allocation gates: the steady-state wire hop, the
+        // full simulated pipeline hop (which the trace/span plumbing
+        // rides on, so a tracing regression trips it), and the
+        // model-check state cost (which the fingerprint/symmetry
+        // machinery rides on).
+        for gated in [
+            "bench_token_hop",
+            "bench_hop_latency",
+            "bench_model_check_states",
+        ] {
             let base = extract(&baseline, gated, "allocs_per_op")
                 .unwrap_or_else(|| panic!("baseline has {gated} allocs_per_op"));
             let now = results

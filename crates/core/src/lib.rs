@@ -30,9 +30,11 @@ pub mod metrics;
 pub mod node;
 pub mod obs;
 pub mod open;
+pub mod typestate;
 
 pub use events::{Delivery, SessionEvent};
 pub use metrics::SessionMetrics;
 pub use node::{SessionNode, StartMode};
 pub use obs::NodeObs;
 pub use open::{unwrap_open, wrap_open, OpenClient, OpenOutcome};
+pub use typestate::{Role, TimerFired, VerdictOutcome, VoteProgress};

@@ -41,6 +41,7 @@
 use crate::events::{Delivery, SessionEvent};
 use crate::metrics::SessionMetrics;
 use crate::obs::NodeObs;
+use crate::typestate::{Role, TimerFired, VerdictOutcome, VoteProgress};
 use bytes::Bytes;
 use raincore_net::Addr;
 use raincore_net::Datagram;
@@ -50,9 +51,9 @@ use raincore_transport::{Endpoint, PeerTable, TransportEvent};
 use raincore_types::config::DetectionMode;
 use raincore_types::wire::{WireDecode, WireEncode};
 use raincore_types::{
-    Attached, BodyOdor, Call911, DeliveryMode, Error, GroupId, Incarnation, MsgId, NodeId,
-    OriginSeq, Reply911, Result, Ring, SessionConfig, SessionMsg, Time, Token, TokenEncoder,
-    TraceCtx, TransportConfig, Verdict911,
+    Attached, BodyOdor, Call911, DeliveryMode, DigestInto, Error, GroupId, Incarnation, MsgId,
+    NodeId, OriginSeq, Reply911, Result, Ring, SessionConfig, SessionMsg, StateDigest, Time, Token,
+    TokenEncoder, TraceCtx, TransportConfig, Verdict911,
 };
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -104,33 +105,6 @@ impl PendingDelivery {
     }
 }
 
-#[derive(Debug)]
-struct Vote911 {
-    req_id: u64,
-    awaiting: BTreeSet<NodeId>,
-    /// Members that failed-on-delivery during the vote; excluded from the
-    /// regenerated membership.
-    excluded: Vec<NodeId>,
-}
-
-#[derive(Debug)]
-enum State {
-    Hungry {
-        since: Time,
-    },
-    Eating {
-        token: Token,
-        deadline: Time,
-    },
-    /// `vote` is `None` when the node has no membership to poll (a fresh
-    /// joiner probing the group with join-911s).
-    Starving {
-        vote: Option<Vote911>,
-        retry_at: Time,
-    },
-    Down,
-}
-
 /// The Raincore Distributed Session Service endpoint for one node.
 ///
 /// See the crate documentation for the protocol description and the
@@ -140,7 +114,9 @@ pub struct SessionNode {
     id: NodeId,
     cfg: SessionConfig,
     transport: Endpoint,
-    state: State,
+    /// The typestate protocol core: HUNGRY/EATING/STARVING/DOWN. All
+    /// state transitions go through [`crate::typestate`]'s typed edges.
+    role: Role,
     /// Local view of the membership, refreshed from each token.
     ring: Ring,
     /// Local copy of the last received token (§2.3: "each node makes a
@@ -213,7 +189,7 @@ impl SessionNode {
         let mut node = SessionNode {
             id,
             transport,
-            state: State::Hungry { since: now },
+            role: Role::hungry(now),
             ring: Ring::from_iter([id]),
             last_copy: None,
             last_seen_seq: 0,
@@ -256,10 +232,8 @@ impl SessionNode {
             }
             StartMode::Joining => {
                 node.send_join_probe(now);
-                node.state = State::Starving {
-                    vote: None,
-                    retry_at: now + node.cfg.starving_retry,
-                };
+                let retry_at = now + node.cfg.starving_retry;
+                node.role.begin_starving_probe(retry_at);
             }
             StartMode::Isolated => {
                 let token = Token::founding(Ring::from_iter([id]));
@@ -297,22 +271,135 @@ impl SessionNode {
 
     /// True while the node holds the token (EATING, §2.2).
     pub fn is_eating(&self) -> bool {
-        matches!(self.state, State::Eating { .. })
+        self.role.is_eating()
     }
 
     /// True once the node has shut itself down.
     pub fn is_down(&self) -> bool {
-        matches!(self.state, State::Down)
+        self.role.is_down()
     }
 
     /// Current state name, for traces and tests.
     pub fn state_name(&self) -> &'static str {
-        match self.state {
-            State::Hungry { .. } => "HUNGRY",
-            State::Eating { .. } => "EATING",
-            State::Starving { .. } => "STARVING",
-            State::Down => "DOWN",
+        self.role.name()
+    }
+
+    /// The typestate protocol core (read-only: state fingerprinting and
+    /// assertions; all mutation goes through the session logic).
+    pub fn role(&self) -> &Role {
+        &self.role
+    }
+
+    /// Feeds every behavior-relevant piece of session state (and the
+    /// embedded transport endpoint) into a model-checker state digest.
+    ///
+    /// `payload_digest` handles opaque wire bytes held inside the
+    /// transport (see [`Endpoint::digest_into`]). Application multicast
+    /// payloads (`outgoing`, `holdback`) are hashed raw — they are opaque
+    /// to the protocol and never contain node ids. Deliberately excluded:
+    /// `cfg` (constant), `codec` (a cache of already-digested token
+    /// state), and `metrics`/`obs` (observability only). `join_probe_idx`
+    /// is digested as a plain number: probe order over `cfg.eligible` is
+    /// positional, so two id-permuted states with the same index probe
+    /// the "same" slot — see DESIGN.md §12 for the soundness argument.
+    pub fn digest_into(
+        &self,
+        now: Time,
+        d: &mut StateDigest,
+        payload_digest: &dyn Fn(&[u8], &mut StateDigest),
+    ) {
+        d.node(self.id);
+        self.role.digest_into(d, now);
+        self.ring.digest_into(d);
+        match &self.last_copy {
+            Some(t) => {
+                d.write_bool(true);
+                t.digest_into(d);
+            }
+            None => d.write_bool(false),
         }
+        d.write_u64(self.last_seen_seq);
+        match &self.forwarding {
+            Some(f) => {
+                d.write_bool(true);
+                d.write_u64(f.msg_id.0);
+                f.token.digest_into(d);
+            }
+            None => d.write_bool(false),
+        }
+        match &self.held_tbm {
+            Some(t) => {
+                d.write_bool(true);
+                t.digest_into(d);
+            }
+            None => d.write_bool(false),
+        }
+        d.opt_node(self.merge_target);
+        // Join order matters (it is the ring insertion order), so digest
+        // the list positionally, not sorted.
+        d.write_len(self.pending_joins.len());
+        for &j in &self.pending_joins {
+            d.node(j);
+        }
+        d.write_len(self.outgoing.len());
+        for (seq, mode, payload) in &self.outgoing {
+            seq.digest_into(d);
+            d.tag(matches!(mode, DeliveryMode::Safe) as u8);
+            d.write_bytes(payload);
+        }
+        self.next_origin_seq.digest_into(d);
+        for (label, map) in [(0u8, &self.delivered), (1u8, &self.open_dedup)] {
+            d.tag(label);
+            let mut ids: Vec<NodeId> = map.keys().copied().collect();
+            ids.sort_unstable_by(|a, b| d.canon_cmp(*a, *b));
+            d.write_len(ids.len());
+            for id in ids {
+                d.node(id);
+                map[&id].digest_into(d);
+            }
+        }
+        d.write_len(self.holdback.len());
+        for p in &self.holdback {
+            d.node(p.origin);
+            p.seq.digest_into(d);
+            d.tag(matches!(p.mode, DeliveryMode::Safe) as u8);
+            d.write_bool(p.ready);
+            d.write_bytes(&p.payload);
+        }
+        let mut inflight: Vec<(MsgId, SendKind)> =
+            self.inflight.iter().map(|(k, v)| (*k, *v)).collect();
+        inflight.sort_unstable_by_key(|(k, _)| *k);
+        d.write_len(inflight.len());
+        for (msg_id, kind) in inflight {
+            d.write_u64(msg_id.0);
+            match kind {
+                SendKind::Token => d.tag(0),
+                SendKind::Call911 { req_id } => {
+                    d.tag(1);
+                    d.write_u64(req_id);
+                }
+                SendKind::Reply => d.tag(2),
+                SendKind::Beacon => d.tag(3),
+            }
+        }
+        d.write_u64(self.req_counter);
+        d.write_len(self.join_probe_idx);
+        d.write_u32(self.unanswered_probes);
+        d.time_rel(self.next_beacon, now);
+        d.write_bool(self.master_requested);
+        d.write_bool(self.master_held);
+        let mut resources: Vec<(&String, bool)> =
+            self.resources.iter().map(|(k, v)| (k, *v)).collect();
+        resources.sort_unstable_by_key(|(k, _)| *k);
+        d.write_len(resources.len());
+        for (name, up) in resources {
+            d.write_bytes(name.as_bytes());
+            d.write_bool(up);
+        }
+        // Undrained event queues must never let two different states
+        // merge; drained (the normal case) this contributes a constant.
+        d.write_len(self.events.len());
+        self.transport.digest_into(now, d, payload_digest);
     }
 
     /// Sequence number of the last received token copy (0 = never).
@@ -439,8 +526,7 @@ impl SessionNode {
     }
 
     fn shutdown(&mut self, now: Time, reason: String) {
-        if let State::Eating { token, .. } = &mut self.state {
-            let mut token = token.clone();
+        if let Some(mut token) = self.role.shut_down() {
             token.ring.remove(self.id);
             if !token.ring.is_empty() {
                 // Hand the token off cleanly before going dark: the first
@@ -464,7 +550,6 @@ impl SessionNode {
         }
         self.master_held = false;
         self.master_requested = false;
-        self.state = State::Down;
         self.obs.tick(now);
         self.obs.shut_down();
         self.events.push_back(SessionEvent::ShutDown { reason });
@@ -497,23 +582,14 @@ impl SessionNode {
             return;
         }
 
-        match &self.state {
-            State::Eating { deadline, .. } => {
-                if now >= *deadline && !self.master_held {
-                    self.pass_token(now);
-                }
-            }
-            State::Hungry { since } => {
-                if now.since(*since) >= self.cfg.hungry_timeout {
-                    self.enter_starving(now);
-                }
-            }
-            State::Starving { retry_at, .. } => {
-                if now >= *retry_at {
-                    self.retry_starving(now);
-                }
-            }
-            State::Down => {}
+        match self
+            .role
+            .timer(now, self.cfg.hungry_timeout, self.master_held)
+        {
+            TimerFired::PassToken => self.pass_token(now),
+            TimerFired::Starve => self.enter_starving(now),
+            TimerFired::Retry911 => self.retry_starving(now),
+            TimerFired::Idle => {}
         }
 
         if now >= self.next_beacon {
@@ -531,15 +607,11 @@ impl SessionNode {
         let mut consider = |t: Time| {
             earliest = Some(earliest.map_or(t, |e: Time| e.min(t)));
         };
-        match &self.state {
-            State::Eating { deadline, .. } => {
-                if !self.master_held {
-                    consider(*deadline);
-                }
-            }
-            State::Hungry { since } => consider(*since + self.cfg.hungry_timeout),
-            State::Starving { retry_at, .. } => consider(*retry_at),
-            State::Down => {}
+        if let Some(t) = self
+            .role
+            .next_deadline(self.cfg.hungry_timeout, self.master_held)
+        {
+            consider(t);
         }
         if self.has_absent_eligible() {
             consider(self.next_beacon);
@@ -643,9 +715,7 @@ impl SessionNode {
                             // A stale pass failed after we already moved on:
                             // still treat it as a failure detection of `to`.
                             self.remove_member_locally(to);
-                            if let State::Eating { token, .. } = &mut self.state {
-                                token.ring.remove(to);
-                            }
+                            self.role.remove_from_held(to);
                         }
                     }
                 }
@@ -662,16 +732,19 @@ impl SessionNode {
                 if self.cfg.detection == DetectionMode::Aggressive {
                     self.remove_member_locally(to);
                 }
-                if let State::Starving { vote: Some(v), .. } = &mut self.state {
-                    if v.awaiting.remove(&to) {
-                        // The vote proceeds without the dead voter.
-                        self.metrics.retransmissions_acted += 1;
-                    }
-                    if !v.excluded.contains(&to) {
-                        v.excluded.push(to);
-                    }
-                    if v.awaiting.is_empty() {
-                        self.regenerate(now);
+                match self.role.vote_peer_failed(to) {
+                    VoteProgress::NotVoting => {}
+                    VoteProgress::Recorded {
+                        was_awaiting,
+                        vote_complete,
+                    } => {
+                        if was_awaiting {
+                            // The vote proceeds without the dead voter.
+                            self.metrics.retransmissions_acted += 1;
+                        }
+                        if vote_complete {
+                            self.regenerate(now);
+                        }
                     }
                 }
             }
@@ -712,47 +785,33 @@ impl SessionNode {
         }
         self.last_seen_seq = t.seq;
         self.last_copy = Some(t.clone());
-        if let State::Eating { token: held, .. } = &mut self.state {
-            // Two tokens converged on us (false-alarm fork). Absorb: keep
-            // the newer ring, preserve any messages only the old one had.
-            let mut t = t;
-            for m in held.msgs.take_all() {
-                if !t.msgs.iter().any(|x| x.key() == m.key()) {
-                    t.msgs.push(m);
-                }
-            }
-            self.become_eating(now, t);
-            return;
-        }
+        // If two tokens converged on us (false-alarm fork), absorb: keep
+        // the newer ring, preserve any messages only the old one had.
+        let mut t = t;
+        self.role.absorb_fork(&mut t);
         self.become_eating(now, t);
     }
 
     fn on_tbm_token(&mut self, now: Time, mut t: Token) {
-        match std::mem::replace(&mut self.state, State::Hungry { since: now }) {
-            State::Eating { token: ours, .. } => {
-                // Our own token is in hand: merge right away.
-                let merged = self.merge_tokens(ours, t);
-                self.last_copy = Some(merged.clone());
-                self.last_seen_seq = merged.seq;
-                self.become_eating(now, merged);
-            }
-            prev if self.last_copy.is_none() => {
-                self.state = prev;
-                // We never had a token of our own (fresh joiner): the TBM
-                // token simply becomes ours.
-                t.tbm = false;
-                t.seq += 1;
-                t.trace.hop += 1;
-                self.last_seen_seq = t.seq;
-                self.last_copy = Some(t.clone());
-                self.metrics.merges += 1;
-                self.become_eating(now, t);
-            }
-            prev => {
-                // Hold it until our own group's token arrives (§2.4).
-                self.state = prev;
-                self.held_tbm = Some(t);
-            }
+        if let Some(ours) = self.role.take_token(now) {
+            // Our own token is in hand: merge right away.
+            let merged = self.merge_tokens(ours, t);
+            self.last_copy = Some(merged.clone());
+            self.last_seen_seq = merged.seq;
+            self.become_eating(now, merged);
+        } else if self.last_copy.is_none() {
+            // We never had a token of our own (fresh joiner): the TBM
+            // token simply becomes ours.
+            t.tbm = false;
+            t.seq += 1;
+            t.trace.hop += 1;
+            self.last_seen_seq = t.seq;
+            self.last_copy = Some(t.clone());
+            self.metrics.merges += 1;
+            self.become_eating(now, t);
+        } else {
+            // Hold it until our own group's token arrives (§2.4).
+            self.held_tbm = Some(t);
         }
     }
 
@@ -803,10 +862,7 @@ impl SessionNode {
             self.last_copy = Some(token.clone());
             self.last_seen_seq = token.seq;
         }
-        let hungry_since = match &self.state {
-            State::Hungry { since } => Some(*since),
-            _ => None,
-        };
+        let hungry_since = self.role.hungry_since();
         let hop = token.ring.iter().position(|n| n == self.id).unwrap_or(0) as u64;
         self.obs
             .token_accepted(token.seq, hop, token.ring.len() as u64, hungry_since);
@@ -815,7 +871,7 @@ impl SessionNode {
         self.process_attachments(&mut token);
         self.metrics.tokens_received += 1;
         let deadline = now + self.cfg.token_hold;
-        self.state = State::Eating { token, deadline };
+        self.role.accept_token(token, deadline);
         if self.master_requested && !self.master_held {
             self.master_held = true;
             self.events.push_back(SessionEvent::MasterAcquired);
@@ -934,12 +990,9 @@ impl SessionNode {
     /// Forwards the token to the next member: attach queued multicasts,
     /// admit pending joiners, hand off a TBM token if a merge is due.
     fn pass_token(&mut self, now: Time) {
-        let State::Eating { token, .. } =
-            std::mem::replace(&mut self.state, State::Hungry { since: now })
-        else {
+        let Some(mut token) = self.role.take_token(now) else {
             return;
         };
-        let mut token = token;
         // Stage b3': pass-side work begins. The EATING hold between b3
         // and here is deliberately not a stage — it measures the
         // application's token-hold budget, not the pipeline.
@@ -1039,7 +1092,7 @@ impl SessionNode {
                 self.inflight.insert(msg_id, SendKind::Token);
                 self.forwarding = Some(Forwarding { msg_id, token });
                 self.metrics.tokens_sent += 1;
-                self.state = State::Hungry { since: now };
+                self.role.rearm_hungry(now);
             }
             Err(_) => {
                 // No transport addresses for the successor: treat exactly
@@ -1163,10 +1216,8 @@ impl SessionNode {
                 return;
             }
             self.send_join_probe(now);
-            self.state = State::Starving {
-                vote: None,
-                retry_at: now + self.cfg.starving_retry,
-            };
+            let retry_at = now + self.cfg.starving_retry;
+            self.role.begin_starving_probe(retry_at);
             return;
         }
         self.req_counter += 1;
@@ -1196,27 +1247,13 @@ impl SessionNode {
             polled: awaiting.len() as u64,
         });
         self.obs.called_911(req_id, self.last_copy_seq());
-        if awaiting.is_empty() {
+        let retry_at = now + self.cfg.starving_retry;
+        let empty = awaiting.is_empty();
+        self.role.begin_starving_vote(req_id, awaiting, retry_at);
+        if empty {
             // Nobody to ask: regenerate alone.
-            self.state = State::Starving {
-                vote: Some(Vote911 {
-                    req_id,
-                    awaiting,
-                    excluded: Vec::new(),
-                }),
-                retry_at: now + self.cfg.starving_retry,
-            };
             self.regenerate(now);
-            return;
         }
-        self.state = State::Starving {
-            vote: Some(Vote911 {
-                req_id,
-                awaiting,
-                excluded: Vec::new(),
-            }),
-            retry_at: now + self.cfg.starving_retry,
-        };
     }
 
     /// The STARVING retry fired. Re-calling 911 while a vote is standing
@@ -1230,16 +1267,11 @@ impl SessionNode {
     /// the grants already in flight. Only the still-awaiting voters are
     /// re-polled.
     fn retry_starving(&mut self, now: Time) {
-        let (req_id, targets) = match &self.state {
-            State::Starving { vote: Some(v), .. } if !v.awaiting.is_empty() => {
-                (v.req_id, v.awaiting.iter().copied().collect::<Vec<_>>())
-            }
-            _ => {
-                // Join probing (no standing vote) or a fully-answered
-                // vote: start over.
-                self.enter_starving(now);
-                return;
-            }
+        let Some((req_id, targets)) = self.role.standing_vote() else {
+            // Join probing (no standing vote) or a fully-answered
+            // vote: start over.
+            self.enter_starving(now);
+            return;
         };
         let call = Call911 {
             from: self.id,
@@ -1261,9 +1293,7 @@ impl SessionNode {
             polled,
         });
         self.obs.called_911(req_id, self.last_copy_seq());
-        if let State::Starving { retry_at, .. } = &mut self.state {
-            *retry_at = now + self.cfg.starving_retry;
-        }
+        self.role.rearm_starving(now + self.cfg.starving_retry);
     }
 
     fn send_join_probe(&mut self, now: Time) {
@@ -1354,7 +1384,7 @@ impl SessionNode {
         // recent, or — on a tie — if our id is lower (bootstrap
         // tie-break; distinct real copies always have distinct seqs).
         let my_copy = self.last_copy_seq();
-        let verdict = if self.is_eating() || self.forwarding.is_some() {
+        let verdict = if self.role.holds_token() || self.forwarding.is_some() {
             Verdict911::Deny {
                 newer_seq: self.last_seen_seq,
             }
@@ -1392,41 +1422,35 @@ impl SessionNode {
     }
 
     fn on_reply911(&mut self, now: Time, reply: Reply911) {
-        let State::Starving { vote: Some(v), .. } = &mut self.state else {
-            return;
-        };
-        if reply.req_id != v.req_id {
-            return; // stale verdict from an earlier call
+        let outcome = self
+            .role
+            .on_verdict(reply.from, reply.req_id, &reply.verdict, now);
+        if outcome == VerdictOutcome::Ignored {
+            return; // not voting, or a stale verdict from an earlier call
         }
         self.obs.trace(TraceKind::Verdict911Rx {
             from: reply.from.0,
             granted: matches!(reply.verdict, Verdict911::Grant),
         });
-        match reply.verdict {
-            Verdict911::Grant => {
-                v.awaiting.remove(&reply.from);
-                if v.awaiting.is_empty() {
-                    self.regenerate(now);
-                }
-            }
-            Verdict911::Deny { .. } => {
+        match outcome {
+            // Ignored returned above; grouping it with Waiting keeps the
+            // match total without a panicking arm.
+            VerdictOutcome::Ignored | VerdictOutcome::Waiting => {}
+            VerdictOutcome::Won => self.regenerate(now),
+            VerdictOutcome::Denied => {
                 // Someone has a newer copy or the token itself; it (or
-                // its holder) will keep the ring alive. Back to HUNGRY
-                // with a fresh timeout.
+                // its holder) will keep the ring alive. The role is back
+                // to HUNGRY with a fresh timeout.
                 self.obs.starving_resolved();
-                self.state = State::Hungry { since: now };
             }
         }
     }
 
     /// Won the vote: regenerate the token from our local copy (§2.3).
     fn regenerate(&mut self, now: Time) {
-        let State::Starving { vote, .. } =
-            std::mem::replace(&mut self.state, State::Hungry { since: now })
-        else {
+        let Some(excluded) = self.role.win_vote(now) else {
             return;
         };
-        let excluded = vote.map(|v| v.excluded).unwrap_or_default();
         let mut token = self
             .last_copy
             .clone()

@@ -1,0 +1,12 @@
+//! Seeded lint fixture: `typestate-escape` must fire on this file —
+//! it constructs and matches raw role state outside the typestate
+//! module.
+
+fn regress(r: Role) -> Role {
+    // typestate-escape: matching the private state enum directly.
+    match r.into_inner() {
+        RoleInner::Eating(s) => Role::eating(s),
+        // typestate-escape: constructing a state struct by hand.
+        _ => Role::hungry(Hungry { deferred: Vec::new() }),
+    }
+}

@@ -7,6 +7,7 @@
 //! | `no-wall-clock`       | everywhere but `crates/net`| `std::time::Instant` / `SystemTime` — all protocol time flows through the virtual clock |
 //! | `exhaustive-dispatch` | protocol crates + dispatch files | `_ =>` catch-alls in `match`es over protocol enums — adding a message variant must be a compile-time event everywhere it is handled |
 //! | `relaxed-ordering`    | everywhere but `crates/obs`| `Ordering::Relaxed` — only the obs counters (never used for control flow) may be relaxed |
+//! | `typestate-escape`    | `crates/core` outside `src/typestate.rs` | constructing or matching the raw role-state machinery (`RoleInner`, `Hungry`/`Eating`/`Starving`/`Down` literals) — every transition must go through the `Role` typestate API so illegal ones stay unrepresentable |
 //!
 //! Protocol crates: `crates/core`, `crates/transport`, `crates/broadcast`,
 //! `crates/dlm`. Dispatch files (exhaustive-dispatch only): the sim/chaos
@@ -38,11 +39,16 @@ const PROTOCOL_CRATES: &[&str] = &[
 ];
 
 /// Enum paths whose dispatch must be exhaustive in protocol crates.
+///
+/// `Verdict911::` was retired from this list when the typestate core
+/// landed: verdict handling is a method on every role state
+/// (`on_verdict` returns a `#[must_use]` outcome), so a missing
+/// handler is a compile error — the type system subsumes the textual
+/// rule.
 const PROTOCOL_ENUMS: &[&str] = &[
     "SessionMsg::",
     "SessionEvent::",
     "TransportEvent::",
-    "Verdict911::",
     "BMsg::",
     "Frame::",
     "LockOp::",
@@ -177,9 +183,11 @@ fn main() {
             }
         }
         for a in &unused {
+            // Name the stale entry precisely — rule, path suffix AND
+            // needle — so the fix is an unambiguous one-line delete.
             println!(
-                "lint-allow.txt:{}: unused allowlist entry for rule {} ({})",
-                a.line, a.rule, a.path_suffix
+                "lint-allow.txt:{}: unused allowlist entry `{}|{}|{}` — delete it ({})",
+                a.line, a.rule, a.path_suffix, a.needle, a.reason
             );
         }
         println!(
@@ -273,6 +281,11 @@ fn lint_file(path: &str, source: &str, findings: &mut Vec<Finding>) {
     let dispatch = protocol || DISPATCH_FILES.contains(&path);
     let in_net = path.starts_with("crates/net/");
     let in_obs = path.starts_with("crates/obs/");
+    // The typestate module is the one place allowed to name the raw
+    // role-state machinery; everywhere else in the core crate must go
+    // through the `Role` API.
+    let typestate_guard =
+        path.starts_with("crates/core/") && !path.ends_with("core/src/typestate.rs");
 
     let mut push = |rule: &'static str, line_idx: usize| {
         findings.push(Finding {
@@ -309,6 +322,14 @@ fn lint_file(path: &str, source: &str, findings: &mut Vec<Finding>) {
         if !in_obs && line.contains("Ordering::Relaxed") {
             push("relaxed-ordering", i);
         }
+        if typestate_guard {
+            const ROLE_STATES: &[&str] = &["Hungry", "Eating", "Starving", "Down"];
+            if contains_word(line, "RoleInner")
+                || ROLE_STATES.iter().any(|w| word_constructs(line, w))
+            {
+                push("typestate-escape", i);
+            }
+        }
     }
 
     if dispatch {
@@ -324,6 +345,28 @@ fn lint_file(path: &str, source: &str, findings: &mut Vec<Finding>) {
             });
         }
     }
+}
+
+/// True when `word` occurs as a whole identifier immediately followed
+/// (after whitespace) by `{` or `(` — i.e. a struct/variant literal or
+/// tuple construction, not a mere mention of the name.
+fn word_constructs(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
+        if before_ok && after_ok {
+            let rest = line[after..].trim_start();
+            if rest.starts_with('{') || rest.starts_with('(') {
+                return true;
+            }
+        }
+        start = at + word.len();
+    }
+    false
 }
 
 fn contains_word(line: &str, word: &str) -> bool {
@@ -773,6 +816,47 @@ let b = x.unwrap();
             &mut elsewhere,
         );
         assert!(elsewhere.is_empty(), "{elsewhere:?}");
+    }
+
+    #[test]
+    fn typestate_escape_fires_outside_typestate_module() {
+        let rogue = "fn f(r: &Role) { if let RoleInner::Eating(_) = r.peek() {} }\n\
+                     fn g() -> Hungry { Hungry { deferred: vec![] } }\n";
+        let mut findings = Vec::new();
+        lint_file("crates/core/src/node.rs", rogue, &mut findings);
+        let hits: Vec<usize> = findings
+            .iter()
+            .filter(|f| f.rule == "typestate-escape")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(hits, [1, 2], "{findings:?}");
+
+        // The typestate module itself is the one legal home.
+        let mut home = Vec::new();
+        lint_file("crates/core/src/typestate.rs", rogue, &mut home);
+        assert!(
+            !home.iter().any(|f| f.rule == "typestate-escape"),
+            "{home:?}"
+        );
+        // Other crates never get the rule: `Down`/`Eating` are only
+        // reserved words inside the core crate.
+        let mut sim = Vec::new();
+        lint_file("crates/sim/src/explore.rs", rogue, &mut sim);
+        assert!(sim.iter().all(|f| f.rule != "typestate-escape"), "{sim:?}");
+    }
+
+    #[test]
+    fn typestate_escape_ignores_mentions_and_lookalikes() {
+        // Mentioning a state name without constructing it is fine, and
+        // `ShutDown {` must not trip the word-boundary check for `Down`.
+        let benign = "fn f() { ev(SessionEvent::ShutDown { reason }); }\n\
+                      fn g(r: &Role) -> bool { r.state_name() == HUNGRY_NAME }\n";
+        let mut findings = Vec::new();
+        lint_file("crates/core/src/node.rs", benign, &mut findings);
+        assert!(
+            findings.iter().all(|f| f.rule != "typestate-escape"),
+            "{findings:?}"
+        );
     }
 
     #[test]

@@ -71,6 +71,23 @@ pub trait AuditView {
     /// The member's multicast delivery log, in delivery order.
     fn delivery_log(&self, id: NodeId) -> Vec<(NodeId, OriginSeq)>;
 
+    /// Borrowed view of the member's delivery log, when the
+    /// implementation can lend one without copying. Auditors that
+    /// observe after every explored action fall back on
+    /// [`AuditView::delivery_log`] when this returns `None`.
+    fn delivery_log_ref(&self, _id: NodeId) -> Option<&[(NodeId, OriginSeq)]> {
+        None
+    }
+
+    /// Borrowed view of the member-id set, when the implementation can
+    /// lend one without copying. The auditors observe after every
+    /// explored model-checker action, and each of them starts from the
+    /// member list — per-observe `Vec` copies of it are the largest
+    /// avoidable slice of the per-state allocation budget.
+    fn member_ids_ref(&self) -> Option<&[NodeId]> {
+        None
+    }
+
     /// Ids of members that are alive and not shut down.
     fn live_member_ids(&self) -> Vec<NodeId> {
         self.member_ids()
@@ -273,14 +290,26 @@ impl TokenAuditor {
     /// Observes the view (call after every quantum / explored action).
     pub fn observe(&mut self, v: &impl AuditView) {
         self.observations += 1;
-        let eating = v
-            .live_member_ids()
-            .into_iter()
-            .filter(|&id| v.is_eating(id))
+        let store;
+        let members: &[NodeId] = match v.member_ids_ref() {
+            Some(s) => s,
+            None => {
+                store = v.member_ids();
+                &store
+            }
+        };
+        let eating = members
+            .iter()
+            .filter(|&&id| v.is_live(id) && v.is_eating(id))
             .count();
         self.max_eating = self.max_eating.max(eating);
-        if let Some(g) = v.eating_violation_group() {
-            self.violations.push((v.now(), g));
+        // Only run the (allocating) per-group count when a violation is
+        // even possible; the common zero/one-eater observation stays
+        // allocation-free.
+        if eating > 1 {
+            if let Some(g) = v.eating_violation_group() {
+                self.violations.push((v.now(), g));
+            }
         }
     }
 
@@ -307,10 +336,30 @@ impl OrderAuditor {
 
     /// Observes the view (call after every quantum / explored action).
     pub fn observe(&mut self, v: &impl AuditView) {
+        use std::borrow::Cow;
         self.observations += 1;
-        let members = v.member_ids();
-        let seqs: Vec<(NodeId, Vec<(NodeId, OriginSeq)>)> =
-            members.iter().map(|&id| (id, v.delivery_log(id))).collect();
+        let store;
+        let members: &[NodeId] = match v.member_ids_ref() {
+            Some(s) => s,
+            None => {
+                store = v.member_ids();
+                &store
+            }
+        };
+        // Borrow the logs where the view can lend them (the model checker
+        // observes after *every* explored action, so per-observe clones
+        // of every delivery log dominate its allocation budget).
+        type SeqLog<'a> = Cow<'a, [(NodeId, OriginSeq)]>;
+        let seqs: Vec<(NodeId, SeqLog<'_>)> = members
+            .iter()
+            .map(|&id| {
+                let log = match v.delivery_log_ref(id) {
+                    Some(s) => Cow::Borrowed(s),
+                    None => Cow::Owned(v.delivery_log(id)),
+                };
+                (id, log)
+            })
+            .collect();
         for i in 0..seqs.len() {
             for j in (i + 1)..seqs.len() {
                 let (a, sa) = &seqs[i];
@@ -358,7 +407,15 @@ impl NineElevenAuditor {
     }
 
     fn snapshot(v: &impl AuditView) -> BTreeMap<NodeId, NodeSnap> {
-        v.member_ids()
+        let store;
+        let members: &[NodeId] = match v.member_ids_ref() {
+            Some(s) => s,
+            None => {
+                store = v.member_ids();
+                &store
+            }
+        };
+        members
             .iter()
             .map(|&id| {
                 (
@@ -387,7 +444,14 @@ impl NineElevenAuditor {
     /// Observes the view (call after every quantum / explored action).
     pub fn observe(&mut self, v: &impl AuditView) {
         self.observations += 1;
-        let members = v.member_ids();
+        let store;
+        let members: &[NodeId] = match v.member_ids_ref() {
+            Some(s) => s,
+            None => {
+                store = v.member_ids();
+                &store
+            }
+        };
         let snap: BTreeMap<NodeId, NodeSnap> = Self::snapshot(v);
         // Winners since the last observation. A node restart zeroes the
         // metric snapshot, so compare only non-decreasing counters.
@@ -495,7 +559,14 @@ impl MembershipAuditor {
     /// Observes the view (call after every quantum / explored action).
     pub fn observe(&mut self, v: &impl AuditView) {
         self.observations += 1;
-        let members = v.member_ids();
+        let store;
+        let members: &[NodeId] = match v.member_ids_ref() {
+            Some(s) => s,
+            None => {
+                store = v.member_ids();
+                &store
+            }
+        };
         let live: Vec<NodeId> = members.iter().copied().filter(|&m| v.is_live(m)).collect();
         let rings: Vec<(NodeId, Ring)> = live
             .iter()
@@ -514,7 +585,7 @@ impl MembershipAuditor {
         }
         // Refresh the purged set: dead nodes absent from every live view
         // for `dwell` consecutive observations.
-        for &x in &members {
+        for &x in members {
             if v.is_live(x) {
                 continue;
             }
@@ -528,6 +599,29 @@ impl MembershipAuditor {
                 self.streak.remove(&x);
             }
         }
+    }
+
+    /// Feeds the auditor's continuity state into a model-checker state
+    /// digest. The purged set and dwell streaks are *path-dependent*:
+    /// two identical worlds reached along different schedules can carry
+    /// different purged sets, and a future resurrection only flags on
+    /// the path where the node was purged — so a state cache that
+    /// ignored this state could unsoundly merge them.
+    pub fn digest_into(&self, d: &mut raincore_types::StateDigest) {
+        let mut purged: Vec<NodeId> = self.purged.iter().copied().collect();
+        purged.sort_unstable_by(|a, b| d.canon_cmp(*a, *b));
+        d.write_len(purged.len());
+        for x in purged {
+            d.node(x);
+        }
+        let mut streaks: Vec<(NodeId, u32)> = self.streak.iter().map(|(k, v)| (*k, *v)).collect();
+        streaks.sort_unstable_by(|a, b| d.canon_cmp(a.0, b.0));
+        d.write_len(streaks.len());
+        for (x, s) in streaks {
+            d.node(x);
+            d.write_u32(s);
+        }
+        d.write_u32(self.dwell);
     }
 
     /// Resets the purged set to the current state without checking for

@@ -15,14 +15,15 @@
 //! `std::time::Instant`; this binary is a driver, not protocol code, and
 //! carries a lint allowlist entry for it.
 
-use raincore_sim::explore::{parse_schedule, replay};
+use raincore_sim::explore::{parse_schedule, replay, Reduction};
 use raincore_sim::{Explorer, ModelCheckConfig};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage: model_check [--nodes N] [--depth N] [--crashes N] [--drops N] \
-         [--max-schedules N] [--min-schedules N] [--dump FILE] [--seeded-check] [--replay FILE]"
+         [--max-schedules N] [--min-schedules N] [--dump FILE] [--seeded-check] [--replay FILE] \
+         [--no-symmetry | --no-reduction] [--stats-out FILE]"
     );
     std::process::exit(2);
 }
@@ -33,6 +34,7 @@ fn main() {
     let mut dump_path = String::from("model-check-violation.txt");
     let mut seeded_check = false;
     let mut replay_path: Option<String> = None;
+    let mut stats_out: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -54,6 +56,11 @@ fn main() {
             "--dump" => dump_path = next(&mut i),
             "--seeded-check" => seeded_check = true,
             "--replay" => replay_path = Some(next(&mut i)),
+            // Plain state caching without id-permutation symmetry.
+            "--no-symmetry" => cfg.reduction = Reduction::Hash,
+            // Pure sleep-set DFS (the differential baseline).
+            "--no-reduction" => cfg.reduction = Reduction::None,
+            "--stats-out" => stats_out = Some(next(&mut i)),
             _ => usage(),
         }
     }
@@ -78,20 +85,44 @@ fn main() {
     let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
     let s = report.stats;
     println!(
-        "model-check: nodes={} depth<={} crashes<={} drops<={} forge_token={}",
-        cfg.nodes, cfg.max_depth, cfg.crash_budget, cfg.drop_budget, cfg.forge_token
+        "model-check: nodes={} depth<={} crashes<={} drops<={} forge_token={} reduction={:?}",
+        cfg.nodes, cfg.max_depth, cfg.crash_budget, cfg.drop_budget, cfg.forge_token, cfg.reduction
     );
     println!(
-        "model-check: {} schedules ({} states, {} pruned, {} actions, deepest {}) in {:.2}s — {:.0} schedules/s{}",
+        "model-check: {} schedules ({} states, {} sleep-pruned, {} state-pruned, {} actions, deepest {}) in {:.2}s — {:.0} schedules/s{}",
         s.schedules,
         s.states,
         s.pruned,
+        s.states_pruned,
         s.actions,
         s.deepest,
         elapsed,
         s.schedules as f64 / elapsed,
         if report.capped { " [capped]" } else { " [exhausted]" },
     );
+    if let Some(path) = &stats_out {
+        let json = format!(
+            "{{\n  \"nodes\": {},\n  \"max_depth\": {},\n  \"reduction\": \"{:?}\",\n  \
+             \"schedules\": {},\n  \"states\": {},\n  \"sleep_pruned\": {},\n  \
+             \"states_pruned\": {},\n  \"actions\": {},\n  \"deepest\": {},\n  \
+             \"elapsed_secs\": {:.3},\n  \"capped\": {},\n  \"violation\": {}\n}}\n",
+            cfg.nodes,
+            cfg.max_depth,
+            cfg.reduction,
+            s.schedules,
+            s.states,
+            s.pruned,
+            s.states_pruned,
+            s.actions,
+            s.deepest,
+            elapsed,
+            report.capped,
+            report.violation.is_some(),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("model-check: cannot write {path}: {e}");
+        }
+    }
 
     if seeded_check {
         match report.violation {

@@ -41,10 +41,10 @@ use raincore_session::{SessionEvent, SessionNode, StartMode};
 use raincore_transport::{Frame, PeerTable};
 use raincore_types::wire::{WireDecode, WireEncode};
 use raincore_types::{
-    Duration, GroupId, Incarnation, MsgId, NodeId, OriginSeq, Result, Ring, SessionConfig,
-    SessionMsg, Time, TransportConfig,
+    DigestInto, Duration, Fingerprint, GroupId, Incarnation, MsgId, NodeId, OriginSeq, Result,
+    Ring, SessionConfig, SessionMsg, StateDigest, Time, TransportConfig,
 };
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Stable identity of an in-flight message: `(sender, per-sender send
 /// counter)`. A node's send counter depends only on its own delivery
@@ -145,6 +145,25 @@ fn independent(a: &Action, b: &Action) -> bool {
     }
 }
 
+/// State-space reduction applied on top of sleep-set DPOR.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Reduction {
+    /// No state caching: pure sleep-set DFS (the pre-reduction
+    /// behavior; useful as a differential baseline).
+    None,
+    /// Cache visited states under an identity fingerprint and prune
+    /// revisits. Unconditionally sound: only byte-identical canonical
+    /// snapshots merge.
+    Hash,
+    /// Like [`Reduction::Hash`], plus id-permutation symmetry: live
+    /// nodes pack order-preservingly into the lowest canonical slots
+    /// (crashed nodes follow), merging states that differ only by which
+    /// ids crashed. See DESIGN.md §12 for the soundness argument and
+    /// its one documented caveat (the join-probe cursor).
+    #[default]
+    Symmetry,
+}
+
 /// Bounds and scenario of one exploration.
 #[derive(Clone, Debug)]
 pub struct ModelCheckConfig {
@@ -166,6 +185,9 @@ pub struct ModelCheckConfig {
     /// a different member. Exists to prove the checker can find real
     /// violations (`Explorer` must report one).
     pub forge_token: bool,
+    /// State-space reduction mode (visited-state cache + optional
+    /// id-permutation symmetry) layered over sleep-set pruning.
+    pub reduction: Reduction,
     /// Session-layer timers.
     pub session: SessionConfig,
     /// Transport-layer timers.
@@ -194,6 +216,7 @@ impl Default for ModelCheckConfig {
             max_delay: Duration::from_millis(5),
             max_schedules: 12_000,
             forge_token: false,
+            reduction: Reduction::default(),
             session,
             transport,
         }
@@ -217,6 +240,10 @@ struct PendingWire {
 /// here and over [`Cluster`](crate::Cluster) runs.
 pub struct ModelWorld {
     now: Time,
+    /// All member ids, in id order. Fixed at founding (the model world
+    /// never admits new nodes), so the auditors can borrow it instead of
+    /// re-collecting the slot keys on every observation.
+    ids: Vec<NodeId>,
     slots: BTreeMap<NodeId, ModelSlot>,
     pending: BTreeMap<MsgKey, PendingWire>,
     max_delay: Duration,
@@ -239,6 +266,7 @@ impl ModelWorld {
         }
         let mut world = ModelWorld {
             now: Time::ZERO,
+            ids: ids.clone(),
             slots: BTreeMap::new(),
             pending: BTreeMap::new(),
             max_delay: cfg.max_delay,
@@ -396,19 +424,24 @@ impl ModelWorld {
                 out.push(Action::Drop { key });
             }
         }
-        if self.crashes_left > 0 {
-            for (&id, slot) in &self.slots {
-                if slot.alive {
-                    out.push(Action::Crash(id));
-                }
-            }
-        }
         if let Some(target) = self.tick_target() {
             // Bounded delay: the clock may not advance past a pending
             // message's deadline — it must be delivered or dropped first.
             let blocked = self.pending.values().any(|p| p.deadline < target);
             if !blocked {
                 out.push(Action::Tick);
+            }
+        }
+        // Crashes come last: DFS explores actions in this order, and the
+        // crash subtrees are by far the largest. Listing protocol
+        // progress (deliveries, time) first means planted faults are
+        // found within a small schedule budget even at 5–6 nodes,
+        // instead of after exhausting every crash interleaving.
+        if self.crashes_left > 0 {
+            for (&id, slot) in &self.slots {
+                if slot.alive {
+                    out.push(Action::Crash(id));
+                }
             }
         }
         out
@@ -484,6 +517,107 @@ impl ModelWorld {
         self.pending.len()
     }
 
+    /// The canonical id map for symmetry reduction: live nodes keep
+    /// their relative order but pack into the lowest slots; crashed
+    /// nodes follow, also in raw order. Identity until the first crash,
+    /// so normal (crash-free) exploration pays nothing for symmetry.
+    ///
+    /// Order preservation on the live set matters: node ids are totally
+    /// ordered and the protocol tie-breaks on them (group id = lowest
+    /// member, 911 grant ties toward the lower id), so only
+    /// order-preserving relabelings of the *acting* nodes are protocol
+    /// automorphisms.
+    fn canonical_map(&self) -> Vec<u32> {
+        let len = self
+            .slots
+            .keys()
+            .map(|id| id.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut map = vec![u32::MAX; len];
+        let mut next = 0u32;
+        for (&id, slot) in &self.slots {
+            if slot.alive {
+                map[id.0 as usize] = next;
+                next += 1;
+            }
+        }
+        for (&id, slot) in &self.slots {
+            if !slot.alive {
+                map[id.0 as usize] = next;
+                next += 1;
+            }
+        }
+        map
+    }
+
+    /// A fresh [`StateDigest`] configured with `reduction`'s id map.
+    pub fn digest_for(&self, reduction: Reduction) -> StateDigest {
+        match reduction {
+            Reduction::None | Reduction::Hash => StateDigest::identity(),
+            Reduction::Symmetry => StateDigest::with_map(self.canonical_map()),
+        }
+    }
+
+    /// Digests the complete world state — every node (session + embedded
+    /// transport), the in-flight wire, and the fault budgets. Absolute
+    /// time is deliberately excluded: every deadline is digested relative
+    /// to `now`, so time-shifted copies of the same state merge.
+    pub fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u32(self.crashes_left);
+        d.write_u32(self.drops_left);
+        d.write_bool(self.forged);
+        let mut ids: Vec<NodeId> = self.slots.keys().copied().collect();
+        ids.sort_unstable_by(|a, b| d.canon_cmp(*a, *b));
+        d.write_len(ids.len());
+        for id in ids {
+            let slot = &self.slots[&id];
+            d.node(id);
+            d.write_bool(slot.alive);
+            d.write_len(slot.deliveries.len());
+            for (origin, seq) in &slot.deliveries {
+                d.node(*origin);
+                seq.digest_into(d);
+            }
+            // A crashed slot can never act again — it is not ticked, its
+            // queued output is discarded and pending traffic to it is
+            // dropped — and the auditors read nothing from it beyond the
+            // delivery log digested above. Its frozen internals (send
+            // counter, session history) are unreachable state, so
+            // excluding them is sound and is what lets two worlds that
+            // differ only in *which* id crashed actually merge.
+            if slot.alive {
+                d.write_u64(slot.send_seq);
+                slot.session.digest_into(self.now, d, &digest_wire_payload);
+            }
+        }
+        let mut keys: Vec<MsgKey> = self.pending.keys().copied().collect();
+        keys.sort_unstable_by(|a, b| d.canon_cmp(a.0, b.0).then(a.1.cmp(&b.1)));
+        d.write_len(keys.len());
+        for key in keys {
+            let p = &self.pending[&key];
+            d.node(key.0);
+            d.write_u64(key.1);
+            d.time_rel(p.deadline, self.now);
+            d.node(p.dgram.src.node);
+            d.write_u8(p.dgram.src.nic);
+            d.node(p.dgram.dst.node);
+            d.write_u8(p.dgram.dst.nic);
+            d.write_u8(matches!(p.dgram.class, PacketClass::Data) as u8);
+            digest_wire_payload(&p.dgram.payload, d);
+        }
+    }
+
+    /// Canonical 128-bit fingerprint of the world plus the
+    /// path-dependent membership-auditor continuity state (see
+    /// [`MembershipAuditor::digest_into`]).
+    pub fn fingerprint(&self, reduction: Reduction, membership: &MembershipAuditor) -> Fingerprint {
+        let mut d = self.digest_for(reduction);
+        self.digest_state(&mut d);
+        membership.digest_into(&mut d);
+        d.finish()
+    }
+
     /// One-screen diagnostic snapshot (mirrors `Cluster::dump_state`).
     pub fn dump_state(&self) -> String {
         use std::fmt::Write as _;
@@ -506,6 +640,61 @@ impl ModelWorld {
     }
 }
 
+/// Digests an opaque wire payload. Under the identity map raw encoded
+/// bytes *are* canonical, so they are hashed directly — no decode, no
+/// allocation. Under a non-identity (symmetry) map the payload is decoded
+/// structurally so embedded node ids pass through the map; payloads that
+/// do not decode (e.g. one fragment of a larger message) fall back to raw
+/// bytes, which can only *lose* reduction — two relabeled-but-equal
+/// states get different digests and fail to merge — never merge two
+/// genuinely different states.
+fn digest_wire_payload(bytes: &[u8], d: &mut StateDigest) {
+    if !d.is_identity() {
+        if let Ok(frame) = Frame::decode_from_bytes(bytes) {
+            match frame {
+                Frame::Data {
+                    from,
+                    inc,
+                    msg_id,
+                    frag_index,
+                    frag_count,
+                    payload,
+                } => {
+                    // Only a single-fragment payload holds a whole
+                    // decodable SessionMsg.
+                    if frag_count == 1 {
+                        if let Ok(msg) = SessionMsg::decode_from_bytes(&payload) {
+                            d.tag(1);
+                            d.node(from);
+                            inc.digest_into(d);
+                            msg_id.digest_into(d);
+                            d.write_u32(frag_index);
+                            d.write_u32(frag_count);
+                            msg.digest_into(d);
+                            return;
+                        }
+                    }
+                }
+                Frame::Ack {
+                    from,
+                    inc,
+                    msg_id,
+                    frag_index,
+                } => {
+                    d.tag(2);
+                    d.node(from);
+                    inc.digest_into(d);
+                    msg_id.digest_into(d);
+                    d.write_u32(frag_index);
+                    return;
+                }
+            }
+        }
+    }
+    d.tag(0);
+    d.write_bytes(bytes);
+}
+
 impl AuditView for ModelWorld {
     fn now(&self) -> Time {
         self.now
@@ -513,6 +702,10 @@ impl AuditView for ModelWorld {
 
     fn member_ids(&self) -> Vec<NodeId> {
         self.slots.keys().copied().collect()
+    }
+
+    fn member_ids_ref(&self) -> Option<&[NodeId]> {
+        Some(&self.ids)
     }
 
     fn is_live(&self, id: NodeId) -> bool {
@@ -550,6 +743,10 @@ impl AuditView for ModelWorld {
             .get(&id)
             .map(|s| s.deliveries.clone())
             .unwrap_or_default()
+    }
+
+    fn delivery_log_ref(&self, id: NodeId) -> Option<&[(NodeId, OriginSeq)]> {
+        self.slots.get(&id).map(|s| s.deliveries.as_slice())
     }
 }
 
@@ -699,6 +896,9 @@ pub struct ExploreStats {
     pub states: u64,
     /// Branches skipped by sleep-set pruning.
     pub pruned: u64,
+    /// Subtrees skipped because a dominating visit of the same canonical
+    /// state was already in the cache (hash/symmetry reduction).
+    pub states_pruned: u64,
     /// Total actions applied across all replays.
     pub actions: u64,
     /// Deepest schedule reached.
@@ -717,13 +917,47 @@ pub struct ExploreReport {
     pub capped: bool,
 }
 
-/// Depth-first schedule explorer with sleep-set pruning.
+/// Maps an action's node ids through a digest's canonical map, so the
+/// sleep sets of two symmetric states become comparable.
+fn canon_action(a: &Action, d: &StateDigest) -> Action {
+    match *a {
+        Action::Deliver { key: (src, n), dst } => Action::Deliver {
+            key: (d.canon_node(src), n),
+            dst: d.canon_node(dst),
+        },
+        Action::Drop { key: (src, n) } => Action::Drop {
+            key: (d.canon_node(src), n),
+        },
+        Action::Crash(id) => Action::Crash(d.canon_node(id)),
+        Action::Tick => Action::Tick,
+    }
+}
+
+/// Subset test over two sorted action lists (linear merge walk).
+fn sorted_subset(sub: &[Action], sup: &[Action]) -> bool {
+    let mut it = sup.iter();
+    sub.iter().all(|a| it.any(|b| b == a))
+}
+
+/// One remembered visit of a canonical state: how much search the visit
+/// already performed. A new arrival at the same fingerprint may be
+/// pruned only by a *dominating* entry — one that had at least as much
+/// depth left **and** at most as large a sleep set (a bigger sleep set
+/// explores fewer successors, so it covers less).
+struct VisitedEntry {
+    remaining: usize,
+    sleep: Vec<Action>,
+}
+
+/// Depth-first schedule explorer with sleep-set pruning and (optional)
+/// canonical-state caching.
 pub struct Explorer {
     cfg: ModelCheckConfig,
     stats: ExploreStats,
     violation: Option<Violation>,
     capped: bool,
     registry: raincore_obs::Registry,
+    visited: HashMap<Fingerprint, Vec<VisitedEntry>>,
 }
 
 impl Explorer {
@@ -735,6 +969,7 @@ impl Explorer {
             violation: None,
             capped: false,
             registry: raincore_obs::Registry::new(),
+            visited: HashMap::new(),
         }
     }
 
@@ -764,6 +999,9 @@ impl Explorer {
         self.registry
             .counter("raincore_mc_pruned_total", &[])
             .add(self.stats.pruned);
+        self.registry
+            .counter("raincore_mc_states_pruned_total", &[])
+            .add(self.stats.states_pruned);
         self.registry
             .counter("raincore_mc_actions_total", &[])
             .add(self.stats.actions);
@@ -805,6 +1043,39 @@ impl Explorer {
         if prefix.len() >= self.cfg.max_depth {
             self.stats.schedules += 1;
             return Ok(false);
+        }
+        // Canonical-state cache (after the violation check, so this
+        // state itself has been audited). Prune only under a dominating
+        // prior visit: one with at least as much remaining depth and a
+        // sleep set no larger than ours — it explored a superset of the
+        // traces this call would.
+        if self.cfg.reduction != Reduction::None {
+            let d = r.world.digest_for(self.cfg.reduction);
+            let mut canon_sleep: Vec<Action> = sleep.iter().map(|a| canon_action(a, &d)).collect();
+            canon_sleep.sort_unstable();
+            let mut d = d;
+            r.world.digest_state(&mut d);
+            r.auditors.membership.digest_into(&mut d);
+            let fp = d.finish();
+            let remaining = self.cfg.max_depth - prefix.len();
+            let entries = self.visited.entry(fp).or_default();
+            if entries
+                .iter()
+                .any(|e| e.remaining >= remaining && sorted_subset(&e.sleep, &canon_sleep))
+            {
+                self.stats.states_pruned += 1;
+                // The skipped subtree collapses into one counted
+                // schedule so `max_schedules` keeps bounding the search.
+                self.stats.schedules += 1;
+                return Ok(false);
+            }
+            // This visit is about to explore; drop entries it dominates.
+            entries
+                .retain(|e| !(e.remaining <= remaining && sorted_subset(&canon_sleep, &e.sleep)));
+            entries.push(VisitedEntry {
+                remaining,
+                sleep: canon_sleep,
+            });
         }
         let enabled = r.world.enabled_actions();
         drop(r);

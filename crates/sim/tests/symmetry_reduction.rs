@@ -1,0 +1,120 @@
+//! Soundness tests for the model checker's canonical state cache and
+//! id-permutation symmetry reduction.
+//!
+//! Reduction is only allowed to merge states that genuinely cannot be
+//! distinguished by any future schedule: a reduced exploration must find
+//! the same violations as an unreduced one, never fewer, and a
+//! counterexample minimized under reduction must still be 1-minimal when
+//! replayed without it (replay never prunes — reduction is a search
+//! optimization, not a semantics change).
+//!
+//! The headline >2x state reduction at 4 nodes needs release-build
+//! depths; it is asserted by the CI gate (`scripts/check.sh` runs the
+//! `model_check` binary with and without `--no-reduction` and compares
+//! the `states` counters). These tests pin the *soundness* half at
+//! debug-friendly bounds.
+
+use raincore_sim::explore::{replay, Reduction};
+use raincore_sim::{Explorer, ModelCheckConfig};
+
+fn four_node_cfg(reduction: Reduction) -> ModelCheckConfig {
+    ModelCheckConfig {
+        nodes: 4,
+        max_depth: 7,
+        max_schedules: 2_000_000,
+        reduction,
+        ..ModelCheckConfig::default()
+    }
+}
+
+/// Clean 4-node exploration: reduction must not invent a violation, must
+/// actually prune, and must still exhaust the bounded space.
+#[test]
+fn reduced_clean_exploration_matches_unreduced() {
+    let unreduced = Explorer::new(four_node_cfg(Reduction::None))
+        .run()
+        .expect("setup");
+    let reduced = Explorer::new(four_node_cfg(Reduction::Symmetry))
+        .run()
+        .expect("setup");
+
+    assert!(
+        unreduced.violation.is_none(),
+        "clean space violated without reduction: {:?}",
+        unreduced.violation.map(|v| v.reason)
+    );
+    assert!(
+        reduced.violation.is_none(),
+        "reduction introduced a spurious violation: {:?}",
+        reduced.violation.map(|v| v.reason)
+    );
+    assert!(!unreduced.capped && !reduced.capped, "bounds too tight");
+    assert!(
+        reduced.stats.states_pruned > 0,
+        "state cache never pruned at 4 nodes"
+    );
+    assert!(
+        reduced.stats.states < unreduced.stats.states,
+        "reduction explored no fewer states: {} vs {}",
+        reduced.stats.states,
+        unreduced.stats.states
+    );
+}
+
+/// Seeded 4-node fault: the reduced search finds the same (canonical)
+/// violation the unreduced search finds — same violated property — and
+/// its minimized counterexample replays *without* reduction.
+#[test]
+fn reduced_search_finds_the_seeded_fault() {
+    let mut cfg_none = four_node_cfg(Reduction::None);
+    cfg_none.forge_token = true;
+    cfg_none.max_schedules = 60_000;
+    let mut cfg_sym = cfg_none.clone();
+    cfg_sym.reduction = Reduction::Symmetry;
+
+    let unreduced = Explorer::new(cfg_none.clone()).run().expect("setup");
+    let reduced = Explorer::new(cfg_sym).run().expect("setup");
+
+    let vu = unreduced
+        .violation
+        .expect("unreduced search finds the forged token");
+    let vr = reduced
+        .violation
+        .expect("reduced search must not prune away the forged token");
+    assert!(vu.reason.contains("token uniqueness"), "{}", vu.reason);
+    assert!(
+        vr.reason.contains("token uniqueness"),
+        "reduced search found a different property violation: {}",
+        vr.reason
+    );
+
+    // The counterexample is reduction-independent: replay (which never
+    // prunes) reproduces it under the unreduced config.
+    let rep = replay(&cfg_none, &vr.minimized).expect("replay setup");
+    let (_, reason) = rep
+        .violation
+        .expect("schedule minimized under reduction must replay unreduced");
+    assert!(reason.contains("token uniqueness"), "{reason}");
+}
+
+/// 1-minimality survives reduction: dropping any single action from a
+/// schedule shrunk under the symmetry-reduced search breaks the repro.
+#[test]
+fn minimized_schedule_is_one_minimal_under_reduction() {
+    let mut cfg = four_node_cfg(Reduction::Symmetry);
+    cfg.forge_token = true;
+    cfg.max_schedules = 60_000;
+    let report = Explorer::new(cfg.clone()).run().expect("setup");
+    let v = report.violation.expect("seeded fault found");
+    assert!(!v.minimized.is_empty());
+    for skip in 0..v.minimized.len() {
+        let mut shorter = v.minimized.clone();
+        shorter.remove(skip);
+        let rep = replay(&cfg, &shorter).expect("replay setup");
+        assert!(
+            rep.violation.is_none(),
+            "dropping action {skip} should break the repro, still got: {:?}",
+            rep.violation
+        );
+    }
+}

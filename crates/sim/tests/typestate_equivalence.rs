@@ -1,0 +1,185 @@
+//! Behavioral-equivalence suite for the typestate refactor.
+//!
+//! The HUNGRY/EATING/STARVING core was rebuilt from a data-carrying
+//! `enum State` into consuming typestate transitions ([`Role`] over
+//! `Hungry`/`Eating`/`Starving`/`Down`). The refactor must be *inert at
+//! runtime*: every schedule the old core was pinned against has to
+//! drive the new core to byte-identical audit verdicts.
+//!
+//! Three families of evidence:
+//!
+//! * the two minimized model-checker fixtures replay to the exact
+//!   recorded violation string (time, group and wording included);
+//! * the three `chaos_regression_*` schedules (each a real shrunk
+//!   counterexample from a past soak) still replay clean and converge;
+//! * the committed `BENCH_5.json` allocation counts hold — the
+//!   typestate wrappers must not add a single steady-state allocation
+//!   to the token hop.
+
+use raincore_sim::chaos::{run_chaos, ChaosConfig, ChaosEvent, ChaosScenario};
+use raincore_sim::explore::{parse_schedule, replay};
+use raincore_sim::ModelCheckConfig;
+
+/// Reconstructs the checker config from a fixture's `# scenario:` header.
+fn config_from_header(text: &str) -> ModelCheckConfig {
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("# scenario:"))
+        .expect("fixture has a scenario header");
+    let mut cfg = ModelCheckConfig::default();
+    for kv in line.trim_start_matches("# scenario:").split_whitespace() {
+        let Some((k, v)) = kv.split_once('=') else {
+            continue;
+        };
+        match k {
+            "nodes" => cfg.nodes = v.parse().expect("nodes"),
+            "crash_budget" => cfg.crash_budget = v.parse().expect("crash_budget"),
+            "drop_budget" => cfg.drop_budget = v.parse().expect("drop_budget"),
+            "forge_token" => cfg.forge_token = v.parse().expect("forge_token"),
+            _ => {}
+        }
+    }
+    cfg
+}
+
+/// Replays a fixture and asserts the audit verdict is byte-identical to
+/// the one recorded when the fixture was harvested (pre-refactor).
+fn assert_verdict_exact(text: &str) {
+    let recorded = text
+        .lines()
+        .find(|l| l.starts_with("# reason:"))
+        .expect("fixture has a reason header")
+        .trim_start_matches("# reason:")
+        .trim()
+        .to_string();
+    let cfg = config_from_header(text);
+    let schedule = parse_schedule(text).expect("fixture parses");
+    let replayed = replay(&cfg, &schedule).expect("replay setup");
+    let (_, reason) = replayed
+        .violation
+        .expect("fixture violation must reproduce through the typestate core");
+    assert_eq!(
+        reason, recorded,
+        "typestate core drifted from the recorded audit verdict"
+    );
+}
+
+#[test]
+fn forged_token_3node_verdict_is_byte_exact() {
+    assert_verdict_exact(include_str!("fixtures/forged_token_3node.txt"));
+}
+
+#[test]
+fn forged_token_4node_verdict_is_byte_exact() {
+    assert_verdict_exact(include_str!("fixtures/forged_token_4node.txt"));
+}
+
+/// Replays one of the harvested chaos regression schedules and asserts
+/// the run is clean and reconverges — the same verdict the schedule was
+/// pinned with before the refactor.
+fn assert_chaos_clean(cfg: ChaosConfig, schedule: &[&str]) {
+    let schedule: Vec<ChaosEvent> = schedule.iter().map(|s| s.parse().unwrap()).collect();
+    let report = run_chaos(&cfg, &schedule).expect("setup");
+    assert!(
+        report.violation.is_none(),
+        "typestate core changed a pinned chaos verdict: {}",
+        report.violation.unwrap().reason
+    );
+    assert!(report.converged, "cluster did not reconverge");
+}
+
+#[test]
+fn chaos_crash_restart_911_schedule_still_clean() {
+    assert_chaos_clean(
+        ChaosConfig {
+            nodes: 11,
+            seed: 1,
+            scenario: ChaosScenario::Isolated,
+            ..ChaosConfig::default()
+        },
+        &[
+            "@55 crash n3",
+            "@233 crash n10",
+            "@287 crash n9",
+            "@329 crash n6",
+            "@330 restart n6",
+        ],
+    );
+}
+
+#[test]
+fn chaos_nic_failover_911_schedule_still_clean() {
+    assert_chaos_clean(
+        ChaosConfig {
+            nodes: 5,
+            seed: 67,
+            scenario: ChaosScenario::Isolated,
+            ticks: 2000,
+            ..ChaosConfig::default()
+        },
+        &["@188 nic-down n4.0", "@545 restart n4"],
+    );
+}
+
+#[test]
+fn chaos_total_copy_loss_schedule_still_clean() {
+    assert_chaos_clean(
+        ChaosConfig {
+            nodes: 8,
+            seed: 25,
+            scenario: ChaosScenario::Isolated,
+            ticks: 2000,
+            ..ChaosConfig::default()
+        },
+        &[
+            "@712 crash n3",
+            "@976 crash n4",
+            "@1039 crash n6",
+            "@1059 crash n2",
+            "@1531 link-down n5 n7",
+            "@1582 partition n4,n0,n3,n6|n5,n1,n2,n7",
+            "@1671 restart n0",
+            "@1679 crash n1",
+            "@1686 restart n5",
+            "@1783 crash n7",
+            "@1990 heal",
+        ],
+    );
+}
+
+/// The committed benchmark baseline must keep recording the hot-path
+/// allocation floor: 6 allocations per steady-state token hop, and the
+/// model-check state cost inside its 250-alloc budget. `micro_bench`
+/// re-measures and gates these in release CI; this test pins the
+/// *committed* numbers so a stale or hand-edited baseline fails fast.
+#[test]
+fn committed_bench_baseline_holds_alloc_floors() {
+    let json = include_str!("../../../BENCH_5.json");
+    let alloc_of = |bench: &str| -> f64 {
+        let obj_start = json
+            .find(&format!("\"name\": \"{bench}\""))
+            .unwrap_or_else(|| panic!("BENCH_5.json has {bench}"));
+        let obj = &json[obj_start..];
+        let at = obj.find("\"allocs_per_op\":").expect("allocs_per_op field");
+        obj[at..]
+            .split_once(':')
+            .expect("value")
+            .1
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect::<String>()
+            .parse()
+            .expect("numeric allocs_per_op")
+    };
+    let hop = alloc_of("bench_token_hop");
+    assert!(
+        hop <= 6.01,
+        "committed bench_token_hop allocs/hop drifted above the floor: {hop}"
+    );
+    let mc = alloc_of("bench_model_check_states");
+    assert!(
+        mc <= 250.0,
+        "committed bench_model_check_states allocs/state exceeds the 250 budget: {mc}"
+    );
+}

@@ -11,7 +11,7 @@
 //! practice because ids are delivered nearly in order, and memory is
 //! bounded no matter how long the peer lives.
 
-use raincore_types::MsgId;
+use raincore_types::{MsgId, StateDigest};
 use std::collections::BTreeSet;
 
 /// Exactly-once delivery tracker for one (peer, incarnation).
@@ -56,6 +56,17 @@ impl DedupWindow {
     /// Current watermark (diagnostics / tests).
     pub fn watermark(&self) -> u64 {
         self.watermark
+    }
+
+    /// Feeds the full window state (watermark + sparse set) into a
+    /// model-checker state digest. Message ids are per-sender counters,
+    /// not node ids, so no canonicalization applies.
+    pub fn digest_into(&self, d: &mut StateDigest) {
+        d.write_u64(self.watermark);
+        d.write_len(self.above.len());
+        for &id in &self.above {
+            d.write_u64(id);
+        }
     }
 }
 

@@ -15,7 +15,9 @@ use raincore_types::config::SendStrategy;
 use raincore_types::wire::{WireDecode, WireEncode};
 #[cfg(test)]
 use raincore_types::Duration;
-use raincore_types::{Error, Incarnation, MsgId, NodeId, Result, Time, TransportConfig};
+use raincore_types::{
+    Error, Incarnation, MsgId, NodeId, Result, StateDigest, Time, TransportConfig,
+};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Upper bound on fragments per message: guards reassembly memory against
@@ -238,6 +240,107 @@ impl Endpoint {
     /// Latency histograms (RTT, failure-detection latency).
     pub fn obs(&self) -> &TransportObs {
         &self.obs
+    }
+
+    /// Feeds every behavior-relevant piece of endpoint state into a
+    /// model-checker state digest.
+    ///
+    /// `payload_digest` is how upper-layer payload bytes (message
+    /// fragments, reassembly buffers, queued events) enter the digest —
+    /// the caller decides whether to hash them raw or decode them
+    /// structurally for id canonicalization. Deliberately excluded:
+    /// `cfg`/`class`/`peers` (constant over a model run) and
+    /// `stats`/`obs`/`sent_at` (observability only — they never feed back
+    /// into protocol behavior).
+    pub fn digest_into(
+        &self,
+        now: Time,
+        d: &mut StateDigest,
+        payload_digest: &dyn Fn(&[u8], &mut StateDigest),
+    ) {
+        d.node(self.id);
+        d.write_u64(self.inc.0.into());
+        d.write_u64(self.next_msg_id);
+        d.write_len(self.local_addrs.len());
+        for a in &self.local_addrs {
+            d.node(a.node);
+            d.write_u8(a.nic);
+        }
+        d.write_len(self.pending.len());
+        for (msg_id, p) in &self.pending {
+            d.write_u64(msg_id.0);
+            d.node(p.to);
+            d.write_len(p.addr_index);
+            d.write_u32(p.attempts);
+            d.time_rel(p.next_retry, now);
+            d.write_len(p.acked.len());
+            for &a in &p.acked {
+                d.write_bool(a);
+            }
+            for f in &p.frags {
+                payload_digest(f, d);
+            }
+        }
+        let mut dedup_ids: Vec<NodeId> = self.dedup.keys().copied().collect();
+        dedup_ids.sort_unstable_by(|a, b| d.canon_cmp(*a, *b));
+        d.write_len(dedup_ids.len());
+        for id in dedup_ids {
+            let (inc, window) = &self.dedup[&id];
+            d.node(id);
+            d.write_u64(inc.0.into());
+            window.digest_into(d);
+        }
+        let mut reasm_keys: Vec<(NodeId, MsgId)> = self.reasm.keys().copied().collect();
+        reasm_keys.sort_unstable_by(|a, b| d.canon_cmp(a.0, b.0).then(a.1.cmp(&b.1)));
+        d.write_len(reasm_keys.len());
+        for key in reasm_keys {
+            let r = &self.reasm[&key];
+            d.node(key.0);
+            d.write_u64(key.1 .0);
+            d.write_len(r.received);
+            d.write_len(r.frags.len());
+            for f in &r.frags {
+                match f {
+                    Some(b) => {
+                        d.write_bool(true);
+                        payload_digest(b, d);
+                    }
+                    None => d.write_bool(false),
+                }
+            }
+        }
+        // Outbox and event queue are normally drained between model-checker
+        // steps, but digest them fully so an undrained queue can never
+        // merge two genuinely different states.
+        d.write_len(self.outbox.len());
+        for dg in &self.outbox {
+            d.node(dg.src.node);
+            d.write_u8(dg.src.nic);
+            d.node(dg.dst.node);
+            d.write_u8(dg.dst.nic);
+            d.write_u8(matches!(dg.class, PacketClass::Data) as u8);
+            payload_digest(&dg.payload, d);
+        }
+        d.write_len(self.events.len());
+        for ev in &self.events {
+            match ev {
+                TransportEvent::Delivered { msg_id, to } => {
+                    d.tag(0);
+                    d.write_u64(msg_id.0);
+                    d.node(*to);
+                }
+                TransportEvent::DeliveryFailed { msg_id, to } => {
+                    d.tag(1);
+                    d.write_u64(msg_id.0);
+                    d.node(*to);
+                }
+                TransportEvent::Received { from, payload } => {
+                    d.tag(2);
+                    d.node(*from);
+                    payload_digest(payload, d);
+                }
+            }
+        }
     }
 
     /// Mutable access to the peer table (e.g. to learn a joiner's

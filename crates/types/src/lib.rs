@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod digest;
 pub mod error;
 pub mod id;
 pub mod membership;
@@ -32,6 +33,7 @@ pub mod token_codec;
 pub mod wire;
 
 pub use config::{SessionConfig, TransportConfig};
+pub use digest::{DigestInto, Fingerprint, StateDigest};
 pub use error::{Error, Result};
 pub use id::{GroupId, Incarnation, MsgId, NodeId, OriginSeq, VipId};
 pub use membership::Ring;

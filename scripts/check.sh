@@ -27,7 +27,31 @@ echo "==> model check (seeded two-token fault must be found)"
 cargo run --release -q -p raincore-sim --bin model_check -- --seeded-check
 
 echo "==> model check (bounded exploration must be clean)"
-cargo run --release -q -p raincore-sim --bin model_check -- --min-schedules 10000
+# The canonical state cache collapses the 3-node space: it now exhausts
+# at ~3.3k schedules (previously >10k explored the same states many
+# times over), so the floor guards against *accidentally* tightened
+# bounds, not against the cache doing its job.
+cargo run --release -q -p raincore-sim --bin model_check -- --min-schedules 3000
+
+echo "==> model check (5-node seeded fault found inside the state budget)"
+cargo run --release -q -p raincore-sim --bin model_check -- \
+  --nodes 5 --seeded-check --max-schedules 40000 \
+  --stats-out model-check-5node-stats.json
+
+echo "==> model check (symmetry-reduced search >2x smaller at 4 nodes)"
+cargo run --release -q -p raincore-sim --bin model_check -- \
+  --nodes 4 --depth 10 --max-schedules 2000000 \
+  --stats-out model-check-4node-reduced.json
+cargo run --release -q -p raincore-sim --bin model_check -- \
+  --nodes 4 --depth 10 --max-schedules 2000000 --no-reduction \
+  --stats-out model-check-4node-unreduced.json
+reduced=$(sed -n 's/.*"states": \([0-9]*\).*/\1/p' model-check-4node-reduced.json)
+unreduced=$(sed -n 's/.*"states": \([0-9]*\).*/\1/p' model-check-4node-unreduced.json)
+echo "    states: unreduced=$unreduced reduced=$reduced"
+if [ "$unreduced" -lt $((2 * reduced)) ]; then
+  echo "symmetry reduction under 2x at 4 nodes ($unreduced vs $reduced states)" >&2
+  exit 1
+fi
 
 echo "==> chaos (seeded broken-heal fault must be found, shrunk and dumped)"
 cargo run --release -q -p raincore-sim --bin chaos -- --seeded-fault --dump chaos-seeded.txt
