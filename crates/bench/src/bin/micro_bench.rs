@@ -1,7 +1,7 @@
 //! Hot-path micro-benchmarks with allocation accounting — the PR 5
 //! performance harness.
 //!
-//! Four benchmarks, all dependency-free (std timing, a counting global
+//! The benchmarks, all dependency-free (std timing, a counting global
 //! allocator for exact allocation counts):
 //!
 //! | name | kernel |
@@ -11,6 +11,7 @@
 //! | `bench_wire_codec` | encode+decode round-trip of a message-laden token |
 //! | `bench_chaos_tick` | one seeded chaos run, normalized per engine tick |
 //! | `bench_model_check_states` | one bounded model-check search, normalized per state visited |
+//! | `bench_multicast_throughput` | token hop under 64 in-flight 1KiB multicasts: piggyback payloads vs out-of-band id manifests |
 //!
 //! `bytes_per_op` is **heap bytes allocated** per operation (not wire
 //! bytes): together with `allocs_per_op` it is the deterministic,
@@ -263,6 +264,78 @@ fn hop_latency() -> u64 {
     ops
 }
 
+/// Per-mode token-load bytes and the piggyback→OOB reduction factor,
+/// captured by [`multicast_throughput`] for the report writer.
+static MULTICAST_SUMMARIES: std::sync::OnceLock<Vec<(String, f64)>> = std::sync::OnceLock::new();
+
+/// DESIGN.md §13 measured at the wire: a token carrying 64 in-flight
+/// 1KiB agreed multicasts hops the ring twice over — once with every
+/// payload piggybacked inline (the pre-split path) and once as
+/// out-of-band id manifests (the payloads travel as bulk frames, so the
+/// token carries only `(origin, seq, len)` plus the seen-set watermark).
+/// One op is one hop (decode → seq bump → patch-per-hop encode); the
+/// *token-load* bytes per hop — wire size beyond the quiescent token —
+/// land in the report per mode together with their ratio, and the ≥5x
+/// dissemination/ordering split win is asserted in-process.
+fn multicast_throughput() -> u64 {
+    const MSGS: u64 = 64;
+    const PAYLOAD: usize = 1024;
+    const LOAD_HOPS: u64 = 2_000;
+
+    let quiescent_len = TokenEncoder::new().encode(&quiescent_token(8)).len() as u64;
+
+    let run = |oob: bool| -> f64 {
+        let mut t = quiescent_token(8);
+        for i in 0..MSGS {
+            let origin = NodeId((i % 8) as u32);
+            let mut a = if oob {
+                Attached::new_oob(origin, OriginSeq(i), DeliveryMode::Agreed, PAYLOAD as u64)
+            } else {
+                Attached::new(
+                    origin,
+                    OriginSeq(i),
+                    DeliveryMode::Agreed,
+                    Bytes::from(vec![0xCD; PAYLOAD]),
+                )
+            };
+            a.mark_seen(NodeId(0));
+            t.msgs.push(a);
+        }
+        let mut enc = TokenEncoder::new();
+        let mut wire = enc.encode(&t);
+        let mut load = 0u64;
+        for _ in 0..LOAD_HOPS {
+            let SessionMsg::Token(mut t) = SessionMsg::decode_from_bytes(&wire).expect("decodes")
+            else {
+                unreachable!("wire image is a token")
+            };
+            t.seq += 1;
+            load += (wire.len() as u64).saturating_sub(quiescent_len);
+            wire = enc.encode(&t);
+            black_box(&wire);
+        }
+        load as f64 / LOAD_HOPS as f64
+    };
+
+    let piggyback = run(false);
+    let oob = run(true);
+    let reduction = piggyback / oob;
+    assert!(
+        reduction >= 5.0,
+        "id manifests must shrink the token load at least 5x at 64 in-flight \
+         1KiB multicasts: piggyback {piggyback:.0} B/hop vs oob {oob:.0} B/hop \
+         ({reduction:.1}x)"
+    );
+    MULTICAST_SUMMARIES
+        .set(vec![
+            ("piggyback_load_bytes_per_hop".to_string(), piggyback),
+            ("oob_load_bytes_per_hop".to_string(), oob),
+            ("payload_bytes_reduction_x".to_string(), reduction),
+        ])
+        .expect("set once");
+    2 * LOAD_HOPS
+}
+
 /// One bounded model-check search, normalized per state visited.
 fn model_check_states() -> u64 {
     let cfg = ModelCheckConfig {
@@ -352,11 +425,18 @@ fn main() {
         measure("bench_chaos_tick", chaos_tick),
         measure("bench_model_check_states", model_check_states),
         measure("bench_hop_latency", hop_latency),
+        measure("bench_multicast_throughput", multicast_throughput),
     ];
     if let Some(extras) = HOP_STAGE_SUMMARIES.get() {
         results[5].extras = extras.clone();
         for (k, v) in extras {
             println!("  bench_hop_latency {k:>16} = {v:.0}");
+        }
+    }
+    if let Some(extras) = MULTICAST_SUMMARIES.get() {
+        results[6].extras = extras.clone();
+        for (k, v) in extras {
+            println!("  bench_multicast_throughput {k} = {v:.1}");
         }
     }
 
@@ -423,6 +503,7 @@ fn main() {
             "bench_token_hop",
             "bench_hop_latency",
             "bench_model_check_states",
+            "bench_multicast_throughput",
         ] {
             let base = extract(&baseline, gated, "allocs_per_op")
                 .unwrap_or_else(|| panic!("baseline has {gated} allocs_per_op"));

@@ -63,12 +63,22 @@ pub struct SessionMetrics {
     /// Outgoing token encodes that re-encoded the body (membership or
     /// message-list change, or cold cache).
     pub token_body_cache_misses: u64,
+    /// Out-of-band bulk payload frames unicast to members (origin side).
+    pub bulk_frames_sent: u64,
+    /// Out-of-band bulk payload frames received.
+    pub bulk_frames_received: u64,
+    /// Bulk frames rejected as duplicates of an already-accepted bulk id.
+    pub bulk_duplicates: u64,
+    /// NACK pulls sent for manifest ids whose payload never arrived.
+    pub bulk_nacks_sent: u64,
+    /// NACK pulls answered from the local bulk store.
+    pub bulk_nacks_served: u64,
 }
 
 impl SessionMetrics {
     /// `(field name, value)` view, in declaration order. Single source of
     /// truth for the serde impl, the JSON renderer and metric exporters.
-    pub fn fields(&self) -> [(&'static str, u64); 21] {
+    pub fn fields(&self) -> [(&'static str, u64); 26] {
         [
             ("task_switches", self.task_switches),
             ("tokens_received", self.tokens_received),
@@ -91,6 +101,11 @@ impl SessionMetrics {
             ("retransmissions_acted", self.retransmissions_acted),
             ("token_body_cache_hits", self.token_body_cache_hits),
             ("token_body_cache_misses", self.token_body_cache_misses),
+            ("bulk_frames_sent", self.bulk_frames_sent),
+            ("bulk_frames_received", self.bulk_frames_received),
+            ("bulk_duplicates", self.bulk_duplicates),
+            ("bulk_nacks_sent", self.bulk_nacks_sent),
+            ("bulk_nacks_served", self.bulk_nacks_served),
         ]
     }
 
@@ -137,6 +152,6 @@ mod tests {
         assert!(json.contains("\"safe_held_back\":2"));
         assert!(json.contains("\"retransmissions_acted\":1"));
         assert!(json.contains("\"tokens_received\":0"));
-        assert_eq!(json.matches(':').count(), 21, "all fields present once");
+        assert_eq!(json.matches(':').count(), 26, "all fields present once");
     }
 }

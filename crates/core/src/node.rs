@@ -47,13 +47,13 @@ use raincore_net::Addr;
 use raincore_net::Datagram;
 use raincore_obs::TraceKind;
 use raincore_transport::dedup::DedupWindow;
-use raincore_transport::{Endpoint, PeerTable, TransportEvent};
+use raincore_transport::{BulkDedup, BulkId, BulkStore, Endpoint, PeerTable, TransportEvent};
 use raincore_types::config::DetectionMode;
 use raincore_types::wire::{WireDecode, WireEncode};
 use raincore_types::{
-    Attached, BodyOdor, Call911, DeliveryMode, DigestInto, Error, GroupId, Incarnation, MsgId,
-    NodeId, OriginSeq, Reply911, Result, Ring, SessionConfig, SessionMsg, StateDigest, Time, Token,
-    TokenEncoder, TraceCtx, TransportConfig, Verdict911,
+    Attached, AttachedBody, BodyOdor, BulkData, BulkNack, Call911, DeliveryMode, DigestInto, Error,
+    GroupId, Incarnation, MsgId, NodeId, OriginSeq, Reply911, Result, Ring, SessionConfig,
+    SessionMsg, StateDigest, Time, Token, TokenEncoder, TraceCtx, TransportConfig, Verdict911,
 };
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -93,14 +93,28 @@ struct PendingDelivery {
     origin: NodeId,
     seq: OriginSeq,
     mode: DeliveryMode,
-    payload: Bytes,
+    /// The payload, once in hand. Inline (piggybacked) messages are born
+    /// with it; out-of-band messages start at `None` and fill when the
+    /// bulk frame arrives — a missing payload blocks delivery (and, at
+    /// the queue front, everything behind it: dissemination is decoupled
+    /// from ordering, delivery is not).
+    payload: Option<Bytes>,
     /// Agreed messages are born ready; safe messages become ready when
     /// this node observes that every member has received them.
     ready: bool,
+    /// Next NACK-pull deadline for a missing out-of-band payload.
+    pull_at: Option<Time>,
+    /// NACK pulls fired so far; rotates the pull target (origin first,
+    /// then the other holders).
+    pull_tries: u32,
+    /// Members known to hold the payload (the manifest entry's seen set,
+    /// which is payload-gated for out-of-band entries), refreshed at each
+    /// token pass. Positional order is the ring traversal order.
+    holders: Vec<NodeId>,
 }
 
 impl PendingDelivery {
-    fn key(&self) -> (NodeId, OriginSeq) {
+    fn key(&self) -> BulkId {
         (self.origin, self.seq)
     }
 }
@@ -147,6 +161,13 @@ pub struct SessionNode {
     /// order. The front blocks the rest until it is deliverable, which
     /// keeps the total order consistent across delivery modes.
     holdback: VecDeque<PendingDelivery>,
+    /// Out-of-band payload cache (DESIGN.md §13): origin-side retransmit
+    /// cache and receiver-side buffer for payloads that raced the token.
+    bulk_store: BulkStore,
+    /// Exactly-once acceptance of bulk frames by bulk id — retransmits
+    /// travel under fresh wire ids, so the transport window cannot see
+    /// them as duplicates.
+    bulk_dedup: BulkDedup,
     /// Kind of every in-flight transport send.
     inflight: HashMap<MsgId, SendKind>,
     req_counter: u64,
@@ -203,6 +224,8 @@ impl SessionNode {
             delivered: HashMap::new(),
             open_dedup: HashMap::new(),
             holdback: VecDeque::new(),
+            bulk_store: BulkStore::new(cfg.bulk_cache_entries),
+            bulk_dedup: BulkDedup::new(),
             inflight: HashMap::new(),
             req_counter: 0,
             join_probe_idx: 0,
@@ -364,8 +387,32 @@ impl SessionNode {
             p.seq.digest_into(d);
             d.tag(matches!(p.mode, DeliveryMode::Safe) as u8);
             d.write_bool(p.ready);
-            d.write_bytes(&p.payload);
+            match &p.payload {
+                Some(bytes) => {
+                    d.write_bool(true);
+                    d.write_bytes(bytes);
+                }
+                None => d.write_bool(false),
+            }
+            match p.pull_at {
+                Some(t) => {
+                    d.write_bool(true);
+                    d.time_rel(t, now);
+                }
+                None => d.write_bool(false),
+            }
+            d.write_u32(p.pull_tries);
+            // Holder order is the rotation order — positional.
+            d.write_len(p.holders.len());
+            for &h in &p.holders {
+                d.node(h);
+            }
         }
+        // Buffered-bulk state: two states differing only in which
+        // payloads are resident (or which bulk ids were accepted) behave
+        // differently under loss and must not merge.
+        self.bulk_store.digest_into(d);
+        self.bulk_dedup.digest_into(d);
         let mut inflight: Vec<(MsgId, SendKind)> =
             self.inflight.iter().map(|(k, v)| (*k, *v)).collect();
         inflight.sort_unstable_by_key(|(k, _)| *k);
@@ -592,6 +639,8 @@ impl SessionNode {
             TimerFired::Idle => {}
         }
 
+        self.fire_bulk_pulls(now);
+
         if now >= self.next_beacon {
             self.send_beacons(now);
             self.next_beacon = now + self.cfg.beacon_period;
@@ -615,6 +664,13 @@ impl SessionNode {
         }
         if self.has_absent_eligible() {
             consider(self.next_beacon);
+        }
+        for p in &self.holdback {
+            if p.payload.is_none() {
+                if let Some(t) = p.pull_at {
+                    consider(t);
+                }
+            }
         }
         earliest
     }
@@ -667,6 +723,136 @@ impl SessionNode {
             SessionMsg::Reply911(r) => self.on_reply911(now, r),
             SessionMsg::BodyOdor(b) => self.on_beacon(b),
             SessionMsg::Open(o) => self.on_open(o),
+            SessionMsg::Bulk(b) => self.on_bulk(b),
+            SessionMsg::BulkNack(n) => self.on_bulk_nack(now, n),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Out-of-band bulk dissemination (DESIGN.md §13)
+    // ------------------------------------------------------------------
+
+    /// A bulk payload frame arrived (original send or a NACK answer).
+    /// Buffer it and fill any hold-back entry waiting on this id.
+    fn on_bulk(&mut self, b: BulkData) {
+        self.metrics.bulk_frames_received += 1;
+        let key = (b.origin, b.seq);
+        let fresh = self.bulk_dedup.insert(b.origin, b.seq);
+        if !fresh {
+            self.metrics.bulk_duplicates += 1;
+            // A duplicate can still plug a hole: the first copy may have
+            // been evicted from the bounded store before the manifest
+            // ordered it — the NACK pull re-requests exactly this id.
+            let waiting = self
+                .holdback
+                .iter()
+                .any(|p| p.key() == key && p.payload.is_none());
+            if !waiting {
+                return;
+            }
+        }
+        if self
+            .delivered
+            .get(&b.origin)
+            .is_some_and(|w| w.contains(MsgId(b.seq.0)))
+        {
+            return; // late retransmit of an already-delivered payload
+        }
+        self.bulk_store.insert(key, b.payload.clone());
+        let mut filled = false;
+        for p in self.holdback.iter_mut() {
+            if p.key() == key && p.payload.is_none() {
+                p.payload = Some(b.payload.clone());
+                p.pull_at = None;
+                filled = true;
+            }
+        }
+        if filled {
+            self.drain_holdback();
+        }
+    }
+
+    /// A member is missing a bulk payload we may hold: answer from the
+    /// store, best-effort. Any holder may serve the pull — the requester
+    /// rotates targets, so the origin being dead does not strand it.
+    fn on_bulk_nack(&mut self, now: Time, n: BulkNack) {
+        let key = (n.origin, n.seq);
+        if let Some(payload) = self.bulk_store.get(key).cloned() {
+            let msg = SessionMsg::Bulk(BulkData {
+                origin: n.origin,
+                seq: n.seq,
+                payload,
+            })
+            .encode_to_bytes();
+            if self.transport.send_unreliable(now, n.from, msg).is_ok() {
+                self.metrics.bulk_nacks_served += 1;
+            }
+        }
+    }
+
+    /// Unicasts the payload frame for a newly attached out-of-band
+    /// multicast to every other member. Fire-and-forget: a lost frame is
+    /// recovered by the receiver's NACK pull, never by the transport's
+    /// failure-on-delivery detector (bulk loss must not look like a
+    /// member failure).
+    fn send_bulk_frames(&mut self, now: Time, ring: &Ring, seq: OriginSeq, payload: &Bytes) {
+        let msg = SessionMsg::Bulk(BulkData {
+            origin: self.id,
+            seq,
+            payload: payload.clone(),
+        })
+        .encode_to_bytes();
+        for member in ring.iter().filter(|&m| m != self.id) {
+            if self
+                .transport
+                .send_unreliable(now, member, msg.clone())
+                .is_ok()
+            {
+                self.metrics.bulk_frames_sent += 1;
+            }
+        }
+    }
+
+    /// Fires NACK pulls for hold-back entries whose out-of-band payload
+    /// is overdue, rotating the target: the origin first (it release-gates
+    /// its copy on retirement), then the other members the manifest shows
+    /// as holders.
+    fn fire_bulk_pulls(&mut self, now: Time) {
+        let mut pulls: Vec<(NodeId, BulkNack)> = Vec::new();
+        let me = self.id;
+        let period = self.cfg.bulk_pull_timeout;
+        for p in self.holdback.iter_mut() {
+            if p.payload.is_some() {
+                continue;
+            }
+            let Some(at) = p.pull_at else { continue };
+            if now < at {
+                continue;
+            }
+            let mut candidates: Vec<NodeId> = vec![p.origin];
+            candidates.extend(
+                p.holders
+                    .iter()
+                    .copied()
+                    .filter(|&h| h != me && h != p.origin),
+            );
+            let target = candidates[(p.pull_tries as usize) % candidates.len()];
+            p.pull_tries = p.pull_tries.wrapping_add(1);
+            p.pull_at = Some(now + period);
+            pulls.push((
+                target,
+                BulkNack {
+                    from: me,
+                    origin: p.origin,
+                    seq: p.seq,
+                },
+            ));
+        }
+        for (to, n) in pulls {
+            let bytes = SessionMsg::BulkNack(n).encode_to_bytes();
+            if self.transport.send_unreliable(now, to, bytes).is_ok() {
+                self.metrics.bulk_nacks_sent += 1;
+            }
         }
     }
 
@@ -868,7 +1054,7 @@ impl SessionNode {
             .token_accepted(token.seq, hop, token.ring.len() as u64, hungry_since);
         self.obs.hop_accepted(token.trace); // stage b3: protocol accepted
         self.sync_membership(&token.ring);
-        self.process_attachments(&mut token);
+        self.process_attachments(now, &mut token);
         self.metrics.tokens_received += 1;
         let deadline = now + self.cfg.token_hold;
         self.role.accept_token(token, deadline);
@@ -890,11 +1076,37 @@ impl SessionNode {
     /// the total order hold *across* delivery modes, exactly as "the
     /// message ordering on the token decides the message ordering on each
     /// of the nodes".
-    fn process_attachments(&mut self, token: &mut Token) {
+    fn process_attachments(&mut self, now: Time, token: &mut Token) {
         let ring = token.ring.clone();
         for m in token.msgs.iter_mut() {
-            m.mark_seen(self.id);
-            self.buffer_message(m);
+            // Payload-gated acknowledgement (DESIGN.md §13): an
+            // out-of-band entry is marked seen only once its payload is
+            // actually in hand, so `seen_by_all` certifies every member
+            // can deliver — the stability watermark that makes retirement
+            // (and the origin dropping its retransmit cache) safe without
+            // any new wire state.
+            let have_payload = match &m.body {
+                AttachedBody::Inline(_) => true,
+                AttachedBody::Oob { .. } => {
+                    self.bulk_store.contains(m.key())
+                        || self
+                            .delivered
+                            .get(&m.origin)
+                            .is_some_and(|w| w.contains(MsgId(m.seq.0)))
+                        || self
+                            .holdback
+                            .iter()
+                            .any(|p| p.key() == m.key() && p.payload.is_some())
+                }
+            };
+            if have_payload {
+                m.mark_seen(self.id);
+            }
+            self.buffer_message(now, m);
+            if let Some(p) = self.holdback.iter_mut().find(|p| p.key() == m.key()) {
+                // Refresh the holder snapshot for NACK-pull rotation.
+                p.holders.clone_from(&m.seen);
+            }
             if m.mode == DeliveryMode::Safe && m.seen_by_all(&ring) {
                 // Every member has it: deliverable (§2.6's extra round).
                 m.mark_confirmed(self.id);
@@ -928,10 +1140,30 @@ impl SessionNode {
             self.obs.own_atomic(seq);
             self.events.push_back(SessionEvent::MulticastAtomic { seq });
         }
+        // Release bulk payloads whose manifest entries have retired: an
+        // entry retires only once every member marked it seen, and an
+        // out-of-band entry is marked seen only with the payload in hand,
+        // so no member can still need to pull it.
+        let on_token: BTreeSet<BulkId> = token
+            .msgs
+            .iter()
+            .filter(|m| m.is_oob())
+            .map(|m| m.key())
+            .collect();
+        let resident: Vec<BulkId> = self.bulk_store.keys().collect();
+        for k in resident {
+            let delivered = self
+                .delivered
+                .get(&k.0)
+                .is_some_and(|w| w.contains(MsgId(k.1 .0)));
+            if delivered && !on_token.contains(&k) {
+                self.bulk_store.remove(k);
+            }
+        }
     }
 
     /// Adds a newly seen message to the hold-back queue (idempotent).
-    fn buffer_message(&mut self, m: &Attached) {
+    fn buffer_message(&mut self, now: Time, m: &Attached) {
         let key = m.key();
         let already_delivered = self
             .delivered
@@ -947,18 +1179,41 @@ impl SessionNode {
                 seq: m.seq.0,
             });
         }
+        // Two-phase delivery: inline entries carry their payload on the
+        // token; an out-of-band id is deliverable only once the bulk
+        // frame (which races the token) is in hand, with the NACK pull
+        // timer as the loss backstop.
+        let (payload, pull_at) = match m.inline_payload() {
+            Some(p) => (Some(p.clone()), None),
+            None => match self.bulk_store.get(key).cloned() {
+                Some(p) => (Some(p), None),
+                None => (None, Some(now + self.cfg.bulk_pull_timeout)),
+            },
+        };
         self.holdback.push_back(PendingDelivery {
             origin: m.origin,
             seq: m.seq,
             mode: m.mode,
-            payload: m.payload.clone(),
+            payload,
             ready: m.mode == DeliveryMode::Agreed,
+            pull_at,
+            pull_tries: 0,
+            holders: m.seen.clone(),
         });
     }
 
     /// Delivers the ready prefix of the hold-back queue, in token order.
+    /// "Ready" means ordered (agreed, or safe-confirmed) *and* the
+    /// payload is in hand — unless the `bulk_blind_delivery` fault dial
+    /// is set, which deliberately re-opens the dropped-payload /
+    /// delivered-id gap so the model checker can demonstrate it.
     fn drain_holdback(&mut self) {
-        while self.holdback.front().is_some_and(|front| front.ready) {
+        let blind = self.cfg.bulk_blind_delivery;
+        while self
+            .holdback
+            .front()
+            .is_some_and(|front| front.ready && (front.payload.is_some() || blind))
+        {
             let Some(p) = self.holdback.pop_front() else {
                 return;
             };
@@ -981,7 +1236,7 @@ impl SessionNode {
                     origin: p.origin,
                     seq: p.seq,
                     mode: p.mode,
-                    payload: p.payload,
+                    payload: p.payload.unwrap_or_default(),
                 }));
             }
         }
@@ -1010,8 +1265,20 @@ impl SessionNode {
             let Some((seq, mode, payload)) = self.outgoing.pop_front() else {
                 break;
             };
-            let a = Attached::new(self.id, seq, mode, payload);
-            self.buffer_message(&a);
+            // Size-threshold dial (DESIGN.md §13): payloads at or above
+            // `bulk_threshold` are disseminated out-of-band — the token
+            // carries only the id manifest while the payload is unicast
+            // to every member and cached for NACK retransmission until
+            // the manifest entry retires. Small payloads keep riding the
+            // token (piggyback fallback).
+            let a = if self.cfg.bulk_threshold > 0 && payload.len() >= self.cfg.bulk_threshold {
+                self.bulk_store.insert((self.id, seq), payload.clone());
+                self.send_bulk_frames(now, &token.ring, seq, &payload);
+                Attached::new_oob(self.id, seq, mode, payload.len() as u64)
+            } else {
+                Attached::new(self.id, seq, mode, payload)
+            };
+            self.buffer_message(now, &a);
             token.msgs.push(a);
             self.metrics.multicasts_sent += 1;
             attached_any = true;
@@ -2163,5 +2430,328 @@ mod holdback_tests {
         t.msgs = vec![attached(0, 0, DeliveryMode::Safe, &[0, 2, 1])].into();
         n.on_token(Time::ZERO + Duration::from_millis(20), t);
         assert_eq!(deliveries(&mut n), vec![(NodeId(0), OriginSeq(0))]);
+    }
+}
+
+#[cfg(test)]
+mod bulk_tests {
+    //! Two-phase (out-of-band) delivery: id manifests ride the token,
+    //! payloads travel around it (DESIGN.md §13).
+
+    use super::*;
+    use raincore_types::Duration;
+
+    fn mk_bulk(id: u32, mutate: impl FnOnce(&mut SessionConfig)) -> SessionNode {
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let mut cfg = SessionConfig::for_cluster(3);
+        mutate(&mut cfg);
+        SessionNode::new(
+            NodeId(id),
+            Incarnation::FIRST,
+            cfg,
+            TransportConfig::default(),
+            vec![Addr::primary(NodeId(id))],
+            PeerTable::full_mesh(nodes, 1),
+            StartMode::Founding(Ring::from([0, 1, 2])),
+            Time::ZERO,
+        )
+        .unwrap()
+    }
+
+    fn oob(origin: u32, seq: u64, mode: DeliveryMode, len: u64, seen: &[u32]) -> Attached {
+        let mut a = Attached::new_oob(NodeId(origin), OriginSeq(seq), mode, len);
+        a.seen = seen.iter().map(|&i| NodeId(i)).collect();
+        a
+    }
+
+    fn inline(origin: u32, seq: u64, mode: DeliveryMode, seen: &[u32]) -> Attached {
+        let mut a = Attached::new(
+            NodeId(origin),
+            OriginSeq(seq),
+            mode,
+            Bytes::from_static(b"inl"),
+        );
+        a.seen = seen.iter().map(|&i| NodeId(i)).collect();
+        a
+    }
+
+    fn deliveries(n: &mut SessionNode) -> Vec<(NodeId, OriginSeq, Bytes)> {
+        let mut out = vec![];
+        while let Some(ev) = n.poll_event() {
+            if let SessionEvent::Delivery(d) = ev {
+                out.push((d.origin, d.seq, d.payload));
+            }
+        }
+        out
+    }
+
+    /// Decoded session messages drained from the outgoing queue, with
+    /// their destinations.
+    fn outgoing_msgs(n: &mut SessionNode) -> Vec<(NodeId, SessionMsg)> {
+        let mut out = vec![];
+        while let Some(d) = n.poll_outgoing() {
+            let f = raincore_transport::Frame::decode_from_bytes(&d.payload).unwrap();
+            if let raincore_transport::Frame::Data {
+                payload,
+                frag_index: 0,
+                frag_count: 1,
+                ..
+            } = f
+            {
+                if let Ok(m) = SessionMsg::decode_from_bytes(&payload) {
+                    out.push((d.dst.node, m));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn manifest_without_payload_blocks_until_frame_arrives() {
+        let mut n = mk_bulk(1, |_| {});
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 10;
+        t.msgs = vec![
+            oob(0, 0, DeliveryMode::Agreed, 4, &[0]),
+            inline(2, 0, DeliveryMode::Agreed, &[2, 0]),
+        ]
+        .into();
+        n.on_token(Time::ZERO, t);
+        assert_eq!(
+            deliveries(&mut n),
+            vec![],
+            "ordered id without payload must block the queue"
+        );
+        // The bulk frame arrives out of band: both deliver, token order.
+        n.on_bulk(BulkData {
+            origin: NodeId(0),
+            seq: OriginSeq(0),
+            payload: Bytes::from_static(b"wxyz"),
+        });
+        let got = deliveries(&mut n);
+        assert_eq!(got.len(), 2);
+        assert_eq!(
+            got[0],
+            (NodeId(0), OriginSeq(0), Bytes::from_static(b"wxyz"))
+        );
+        assert_eq!(got[1].0, NodeId(2));
+    }
+
+    #[test]
+    fn payload_arriving_before_manifest_delivers_at_ordering_time() {
+        let mut n = mk_bulk(1, |_| {});
+        // Bulk frames race the token by design.
+        n.on_bulk(BulkData {
+            origin: NodeId(0),
+            seq: OriginSeq(0),
+            payload: Bytes::from_static(b"early"),
+        });
+        assert_eq!(deliveries(&mut n), vec![], "no delivery before ordering");
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 10;
+        t.msgs = vec![oob(0, 0, DeliveryMode::Agreed, 5, &[0])].into();
+        n.on_token(Time::ZERO, t);
+        assert_eq!(
+            deliveries(&mut n),
+            vec![(NodeId(0), OriginSeq(0), Bytes::from_static(b"early"))]
+        );
+    }
+
+    #[test]
+    fn oob_entry_marked_seen_only_with_payload_in_hand() {
+        let mut n = mk_bulk(1, |_| {});
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 10;
+        t.msgs = vec![oob(0, 0, DeliveryMode::Agreed, 4, &[0])].into();
+        n.on_token(Time::ZERO, t);
+        n.on_tick(Time::ZERO + n.config().token_hold);
+        let toks: Vec<_> = outgoing_msgs(&mut n)
+            .into_iter()
+            .filter_map(|(_, m)| match m {
+                SessionMsg::Token(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        let entry = toks[0].msgs.iter().next().unwrap();
+        assert!(
+            !entry.seen.contains(&NodeId(1)),
+            "must not acknowledge a payload we do not hold: {:?}",
+            entry.seen
+        );
+        // With the payload in hand the next pass acknowledges.
+        n.on_bulk(BulkData {
+            origin: NodeId(0),
+            seq: OriginSeq(0),
+            payload: Bytes::from_static(b"wxyz"),
+        });
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 20;
+        t.msgs = vec![oob(0, 0, DeliveryMode::Agreed, 4, &[0])].into();
+        n.on_token(Time::ZERO + Duration::from_millis(40), t);
+        n.on_tick(Time::ZERO + Duration::from_millis(40) + n.config().token_hold);
+        let toks: Vec<_> = outgoing_msgs(&mut n)
+            .into_iter()
+            .filter_map(|(_, m)| match m {
+                SessionMsg::Token(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        let entry = toks[0].msgs.iter().next().unwrap();
+        assert!(entry.seen.contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn origin_splits_large_payloads_and_piggybacks_small_ones() {
+        // Node 0 founds the 3-ring and holds the token.
+        let mut n = mk_bulk(0, |c| c.bulk_threshold = 8);
+        n.multicast(DeliveryMode::Agreed, Bytes::from(vec![7u8; 64]))
+            .unwrap();
+        n.multicast(DeliveryMode::Agreed, Bytes::from_static(b"tiny"))
+            .unwrap();
+        n.on_tick(Time::ZERO + n.config().token_hold);
+        let msgs = outgoing_msgs(&mut n);
+        let bulk_dsts: Vec<NodeId> = msgs
+            .iter()
+            .filter_map(|(dst, m)| match m {
+                SessionMsg::Bulk(b) => {
+                    assert_eq!(b.origin, NodeId(0));
+                    assert_eq!(b.payload.len(), 64);
+                    Some(*dst)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bulk_dsts, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(n.metrics().bulk_frames_sent, 2);
+        let token = msgs
+            .iter()
+            .find_map(|(_, m)| match m {
+                SessionMsg::Token(t) => Some(t.clone()),
+                _ => None,
+            })
+            .expect("token pass");
+        let entries: Vec<&Attached> = token.msgs.iter().collect();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].is_oob(), "64B >= threshold goes out-of-band");
+        assert_eq!(entries[0].payload_len(), 64);
+        assert!(!entries[1].is_oob(), "4B < threshold stays piggybacked");
+        assert_eq!(
+            token.payload_bytes(),
+            4,
+            "token carries only the inline payload bytes"
+        );
+    }
+
+    #[test]
+    fn missing_payload_fires_rotating_nack_pulls() {
+        let mut n = mk_bulk(1, |_| {});
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 10;
+        // Node 2 also holds the payload (it is in the seen set).
+        t.msgs = vec![oob(0, 0, DeliveryMode::Agreed, 4, &[0, 2])].into();
+        n.on_token(Time::ZERO, t);
+        let pull = n.config().bulk_pull_timeout;
+        assert!(
+            n.next_wakeup().is_some_and(|w| w <= Time::ZERO + pull),
+            "wakeup must cover the pull deadline"
+        );
+        let nack_dsts = |msgs: Vec<(NodeId, SessionMsg)>| -> Vec<NodeId> {
+            msgs.into_iter()
+                .filter_map(|(dst, m)| match m {
+                    SessionMsg::BulkNack(nk) => {
+                        assert_eq!(nk.from, NodeId(1));
+                        assert_eq!((nk.origin, nk.seq), (NodeId(0), OriginSeq(0)));
+                        Some(dst)
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        n.on_tick(Time::ZERO + pull);
+        assert_eq!(nack_dsts(outgoing_msgs(&mut n)), vec![NodeId(0)]);
+        n.on_tick(Time::ZERO + pull + pull);
+        assert_eq!(
+            nack_dsts(outgoing_msgs(&mut n)),
+            vec![NodeId(2)],
+            "second pull rotates to another holder"
+        );
+        n.on_tick(Time::ZERO + pull + pull + pull);
+        assert_eq!(nack_dsts(outgoing_msgs(&mut n)), vec![NodeId(0)]);
+        assert_eq!(n.metrics().bulk_nacks_sent, 3);
+    }
+
+    #[test]
+    fn any_holder_serves_a_nack_from_its_store() {
+        let mut n = mk_bulk(1, |_| {});
+        n.on_bulk(BulkData {
+            origin: NodeId(0),
+            seq: OriginSeq(3),
+            payload: Bytes::from_static(b"data"),
+        });
+        n.on_bulk_nack(
+            Time::ZERO,
+            BulkNack {
+                from: NodeId(2),
+                origin: NodeId(0),
+                seq: OriginSeq(3),
+            },
+        );
+        let msgs = outgoing_msgs(&mut n);
+        let served: Vec<_> = msgs
+            .iter()
+            .filter_map(|(dst, m)| match m {
+                SessionMsg::Bulk(b) => Some((*dst, b.payload.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(served, vec![(NodeId(2), Bytes::from_static(b"data"))]);
+        assert_eq!(n.metrics().bulk_nacks_served, 1);
+        // A NACK for something we do not hold is silently ignored.
+        n.on_bulk_nack(
+            Time::ZERO,
+            BulkNack {
+                from: NodeId(2),
+                origin: NodeId(0),
+                seq: OriginSeq(99),
+            },
+        );
+        assert!(outgoing_msgs(&mut n).is_empty());
+        assert_eq!(n.metrics().bulk_nacks_served, 1);
+    }
+
+    #[test]
+    fn duplicate_bulk_frames_deliver_exactly_once() {
+        let mut n = mk_bulk(1, |_| {});
+        let frame = BulkData {
+            origin: NodeId(0),
+            seq: OriginSeq(0),
+            payload: Bytes::from_static(b"wxyz"),
+        };
+        n.on_bulk(frame.clone());
+        n.on_bulk(frame.clone()); // origin resend
+        assert_eq!(n.metrics().bulk_duplicates, 1);
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 10;
+        t.msgs = vec![oob(0, 0, DeliveryMode::Agreed, 4, &[0])].into();
+        n.on_token(Time::ZERO, t);
+        n.on_bulk(frame); // NACK answer racing in after delivery
+        assert_eq!(deliveries(&mut n).len(), 1);
+        assert_eq!(n.metrics().deliveries, 1);
+    }
+
+    #[test]
+    fn blind_delivery_dial_reopens_the_payload_gap() {
+        // The seeded protocol bug the model checker must find: delivering
+        // an ordered id whose payload never arrived.
+        let mut n = mk_bulk(1, |c| c.bulk_blind_delivery = true);
+        let mut t = Token::founding(Ring::from([0, 1, 2]));
+        t.seq = 10;
+        t.msgs = vec![oob(0, 0, DeliveryMode::Agreed, 4, &[0])].into();
+        n.on_token(Time::ZERO, t);
+        assert_eq!(
+            deliveries(&mut n),
+            vec![(NodeId(0), OriginSeq(0), Bytes::new())],
+            "blind delivery hands the application an empty payload"
+        );
     }
 }

@@ -57,6 +57,7 @@ const PROTOCOL_ENUMS: &[&str] = &[
     "TraceKind::",
     "Stage::",
     "RecKind::",
+    "AttachedBody::",
 ];
 
 /// Files outside the protocol crates whose `match`es over the enums in
@@ -68,12 +69,17 @@ const DISPATCH_FILES: &[&str] = &[
     "crates/net/src/sim.rs",
     "crates/sim/src/audit.rs",
     "crates/sim/src/chaos.rs",
+    "crates/sim/src/explore.rs",
+    "crates/types/src/messages.rs",
+    "crates/types/src/digest.rs",
     "crates/types/src/token_codec.rs",
     "crates/bench/src/bin/micro_bench.rs",
     "crates/obs/src/trace.rs",
     "crates/obs/src/span.rs",
     "crates/obs/src/recorder.rs",
     "crates/obs/src/parse.rs",
+    "crates/procher/src/cluster.rs",
+    "crates/procher/src/proxy.rs",
     "crates/procher/src/bin/tracectl.rs",
 ];
 

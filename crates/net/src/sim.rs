@@ -138,10 +138,20 @@ pub struct SimNet {
     reorder: f64,
     /// Extra-delay window for reordered packets and duplicate copies.
     reorder_window: Duration,
+    /// Loss probability applied only to packets selected by `matcher`
+    /// (targeted chaos injection, e.g. bulk-frame loss).
+    matched_loss: f64,
+    /// Payload predicate for `matched_loss`. A plain `fn` pointer: the
+    /// classifier cannot capture state, which keeps the hook `Debug` and
+    /// the net crate free of upper-layer dependencies — callers that can
+    /// decode transport/session frames pass their classifier down.
+    matcher: Option<fn(&[u8]) -> bool>,
     /// Duplicate copies injected so far.
     dups_injected: u64,
     /// Reorder delays injected so far.
     reorders_injected: u64,
+    /// Packets dropped by the matched-loss hook so far.
+    matched_drops: u64,
     stats: NetStats,
 }
 
@@ -163,8 +173,11 @@ impl SimNet {
             dup: 0.0,
             reorder: 0.0,
             reorder_window: Duration::ZERO,
+            matched_loss: 0.0,
+            matcher: None,
             dups_injected: 0,
             reorders_injected: 0,
+            matched_drops: 0,
             stats: NetStats::new(),
         }
     }
@@ -190,6 +203,18 @@ impl SimNet {
         if self.cfg.loss > 0.0 && self.rng.random::<f64>() < self.cfg.loss {
             self.stats.record_dropped(&dgram);
             return;
+        }
+        // Targeted loss draws from the RNG only when the dial is enabled
+        // AND the matcher selects the packet, so runs without it (or for
+        // non-matching traffic) keep the exact historical draw sequence.
+        if self.matched_loss > 0.0 {
+            if let Some(matches) = self.matcher {
+                if matches(&dgram.payload) && self.rng.random::<f64>() < self.matched_loss {
+                    self.stats.record_dropped(&dgram);
+                    self.matched_drops += 1;
+                    return;
+                }
+            }
         }
         let mut at = self.arrival_time(now, &dgram);
         // Injection hooks draw from the RNG only when enabled, so runs
@@ -413,6 +438,21 @@ impl SimNet {
         self.cfg.loss = loss.clamp(0.0, 1.0);
     }
 
+    /// Sets a *targeted* loss dial: packets whose payload the `matches`
+    /// predicate selects are additionally dropped with probability
+    /// `prob`. Non-matching traffic is untouched, and with `prob == 0.0`
+    /// the hook (and its RNG draws) is disabled entirely. Used by the
+    /// chaos harness to drop only out-of-band bulk frames.
+    pub fn set_matched_loss(&mut self, prob: f64, matches: fn(&[u8]) -> bool) {
+        self.matched_loss = prob.clamp(0.0, 1.0);
+        self.matcher = Some(matches);
+    }
+
+    /// Packets dropped by the matched-loss hook since construction.
+    pub fn matched_drops(&self) -> u64 {
+        self.matched_drops
+    }
+
     /// Duplicate copies injected since construction.
     pub fn dups_injected(&self) -> u64 {
         self.dups_injected
@@ -571,6 +611,74 @@ mod tests {
         assert_eq!((d1, l1), (d2, l2), "same seed → same outcome");
         assert_eq!(d1 + l1 as usize, 100);
         assert!(d1 > 20 && d1 < 80, "loss ≈ 0.5, got {d1}/100 delivered");
+    }
+
+    #[test]
+    fn matched_loss_targets_only_selected_packets() {
+        fn starts_with_0xbb(payload: &[u8]) -> bool {
+            payload.first() == Some(&0xBB)
+        }
+        let mk = || {
+            let mut net = SimNet::new(SimNetConfig {
+                latency: Duration::ZERO,
+                seed: 21,
+                ..Default::default()
+            });
+            net.set_matched_loss(1.0, starts_with_0xbb);
+            net
+        };
+        let mut net = mk();
+        for i in 0..50u8 {
+            let tag = if i % 2 == 0 { 0xBB } else { 0x01 };
+            net.send(
+                Time::ZERO,
+                Datagram::control(
+                    Addr::primary(NodeId(0)),
+                    Addr::primary(NodeId(1)),
+                    Bytes::from(vec![tag, i]),
+                ),
+            );
+        }
+        let got = net.pop_arrivals(Time::ZERO + Duration::from_secs(1));
+        assert_eq!(got.len(), 25, "only non-matching packets survive");
+        assert!(got.iter().all(|d| d.payload[0] == 0x01));
+        assert_eq!(net.matched_drops(), 25);
+        // Deterministic from the seed.
+        let mut net2 = mk();
+        for i in 0..50u8 {
+            let tag = if i % 2 == 0 { 0xBB } else { 0x01 };
+            net2.send(
+                Time::ZERO,
+                Datagram::control(
+                    Addr::primary(NodeId(0)),
+                    Addr::primary(NodeId(1)),
+                    Bytes::from(vec![tag, i]),
+                ),
+            );
+        }
+        assert_eq!(
+            net2.pop_arrivals(Time::ZERO + Duration::from_secs(1)).len(),
+            25
+        );
+        // Probability 0 disables the hook even with a matcher installed.
+        let mut off = SimNet::new(SimNetConfig {
+            latency: Duration::ZERO,
+            ..Default::default()
+        });
+        off.set_matched_loss(0.0, starts_with_0xbb);
+        off.send(
+            Time::ZERO,
+            Datagram::control(
+                Addr::primary(NodeId(0)),
+                Addr::primary(NodeId(1)),
+                Bytes::from(vec![0xBB]),
+            ),
+        );
+        assert_eq!(
+            off.pop_arrivals(Time::ZERO + Duration::from_secs(1)).len(),
+            1
+        );
+        assert_eq!(off.matched_drops(), 0);
     }
 
     #[test]

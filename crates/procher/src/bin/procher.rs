@@ -36,9 +36,10 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: procher [--seed N] [--nodes N] [--loss P] [--dup P] [--reorder P] \
          [--delay-us N] [--ticks N] [--tick-ms N] [--scenario founding|isolated] \
-         [--workload-count N] [--workload-period-ms N] [--fault \"@tick fault\"]... \
-         [--out-dir DIR]\n\
-         \x20      procher --differential [--seed N] [--nodes N] [--count N] [--period-ms N]\n\
+         [--workload-count N] [--workload-period-ms N] [--bulk THRESHOLD] \
+         [--fault \"@tick fault\"]... [--out-dir DIR]\n\
+         \x20      procher --differential [--seed N] [--nodes N] [--count N] [--period-ms N] \
+         [--bulk THRESHOLD]\n\
          \x20      procher --regression bootstrap\n\
          \x20      procher --gate"
     );
@@ -104,6 +105,7 @@ fn child_main(mut args: Args) -> Result<i32, String> {
     let mut export_ms = 50u64;
     let mut workload_count = 0u32;
     let mut workload_period_ms = 40u64;
+    let mut bulk_threshold = 0usize;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--node" => node = Some(NodeId(args.parse("--node")?)),
@@ -128,6 +130,7 @@ fn child_main(mut args: Args) -> Result<i32, String> {
             "--export-ms" => export_ms = args.parse("--export-ms")?,
             "--workload-count" => workload_count = args.parse("--workload-count")?,
             "--workload-period-ms" => workload_period_ms = args.parse("--workload-period-ms")?,
+            "--bulk-threshold" => bulk_threshold = args.parse("--bulk-threshold")?,
             other => return Err(format!("unknown child flag `{other}`")),
         }
     }
@@ -142,6 +145,7 @@ fn child_main(mut args: Args) -> Result<i32, String> {
         export_ms,
         workload_count,
         workload_period_ms,
+        bulk_threshold,
     };
     run_child(&child).map_err(|e| e.to_string())
 }
@@ -150,7 +154,7 @@ fn soak_report(cfg: &ProcConfig, schedule: &[ChaosEvent]) -> Result<bool, String
     let report = run_cluster(cfg, schedule).map_err(|e| e.to_string())?;
     println!(
         "procher: nodes={} seed={} ticks_run={} faults={} exports={} regenerations={} \
-         proxy(forwarded={} dropped_loss={} dropped_blocked={} dup={} delayed={})",
+         proxy(forwarded={} dropped_loss={} dropped_bulk={} dropped_blocked={} dup={} delayed={})",
         cfg.nodes,
         cfg.seed,
         report.ticks_run,
@@ -159,6 +163,7 @@ fn soak_report(cfg: &ProcConfig, schedule: &[ChaosEvent]) -> Result<bool, String
         report.total_regenerations,
         report.proxy.forwarded,
         report.proxy.dropped_loss,
+        report.proxy.dropped_bulk,
         report.proxy.dropped_blocked,
         report.proxy.duplicated,
         report.proxy.delayed,
@@ -187,14 +192,16 @@ fn soak_report(cfg: &ProcConfig, schedule: &[ChaosEvent]) -> Result<bool, String
 fn diff_report(cfg: &DiffConfig) -> Result<bool, String> {
     let report = run_differential(cfg).map_err(|e| e.to_string())?;
     println!(
-        "differential: nodes={} count={} sim_deliveries={} real_deliveries={} \
-         sim_regens={} real_regens={}",
+        "differential: nodes={} count={} bulk_threshold={} sim_deliveries={} \
+         real_deliveries={} sim_regens={} real_regens={} real_bulk_drops={}",
         cfg.nodes,
         cfg.count,
+        cfg.bulk_threshold,
         report.sim.values().map(Vec::len).sum::<usize>(),
         report.real.values().map(Vec::len).sum::<usize>(),
         report.sim_regenerations,
         report.real_regenerations,
+        report.real_bulk_drops,
     );
     if report.divergences.is_empty() {
         println!("ok: zero sim<->real divergence");
@@ -263,11 +270,25 @@ fn gate() -> Result<bool, String> {
         seed: 7,
         count: 3,
         period_ms: 30,
+        bulk_threshold: 0,
         out_dir: default_out_dir("gate-diff"),
-        child_exe: exe,
+        child_exe: exe.clone(),
     };
     let diff_ok = diff_report(&diff)?;
-    Ok(soak_ok && diff_ok)
+    // Leg 3: the same differential with the out-of-band path on and the
+    // proxy dropping 20% of the real bulk frames — the delivered-set and
+    // order projections must still match the simulator (NACK recovery).
+    let bulk_diff = DiffConfig {
+        nodes: 3,
+        seed: 7,
+        count: 4,
+        period_ms: 30,
+        bulk_threshold: 512,
+        out_dir: default_out_dir("gate-bulk-diff"),
+        child_exe: exe,
+    };
+    let bulk_ok = diff_report(&bulk_diff)?;
+    Ok(soak_ok && diff_ok && bulk_ok)
 }
 
 fn main() -> ExitCode {
@@ -324,6 +345,7 @@ fn main() -> ExitCode {
                 seed: 1,
                 count: 3,
                 period_ms: 30,
+                bulk_threshold: 0,
                 out_dir: default_out_dir("diff"),
                 child_exe: exe,
             };
@@ -333,6 +355,7 @@ fn main() -> ExitCode {
                     "--seed" => args.parse("--seed").map(|v| cfg.seed = v),
                     "--count" => args.parse("--count").map(|v| cfg.count = v),
                     "--period-ms" => args.parse("--period-ms").map(|v| cfg.period_ms = v),
+                    "--bulk" => args.parse("--bulk").map(|v| cfg.bulk_threshold = v),
                     "--out-dir" => args.value("--out-dir").map(|v| cfg.out_dir = v.into()),
                     other => Err(format!("unknown differential flag `{other}`")),
                 };
@@ -389,6 +412,7 @@ fn main() -> ExitCode {
             "--workload-period-ms" => args
                 .parse("--workload-period-ms")
                 .map(|v| cfg.workload_period_ms = v),
+            "--bulk" => args.parse("--bulk").map(|v| cfg.bulk_threshold = v),
             "--fault" => args
                 .value("--fault")
                 .and_then(|v| v.parse::<ChaosEvent>().map_err(|e| format!("--fault: {e}")))

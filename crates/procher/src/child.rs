@@ -76,12 +76,21 @@ pub struct ChildArgs {
     pub workload_count: u32,
     /// Pacing between originations, milliseconds.
     pub workload_period_ms: u64,
+    /// Out-of-band bulk threshold for the session config (bytes; 0 off).
+    pub bulk_threshold: usize,
 }
 
 /// Deterministic payload of workload message `j` from `node` — the
-/// differential mode relies on both sides using the same scheme.
-pub fn workload_payload(node: NodeId, j: u32) -> bytes::Bytes {
-    bytes::Bytes::from(format!("m{}-{j}", node.0).into_bytes())
+/// differential mode relies on both sides using the same scheme. With
+/// the out-of-band path on (`bulk_threshold > 0`), every odd-numbered
+/// message is padded past the threshold so the run mixes piggybacked
+/// and bulk dissemination.
+pub fn workload_payload(node: NodeId, j: u32, bulk_threshold: usize) -> bytes::Bytes {
+    let mut body = format!("m{}-{j}", node.0).into_bytes();
+    if bulk_threshold > 0 && j % 2 == 1 {
+        body.resize(body.len().max(bulk_threshold), b'.');
+    }
+    bytes::Bytes::from(body)
 }
 
 fn io_err(e: impl std::fmt::Display) -> std::io::Error {
@@ -117,10 +126,12 @@ pub fn run_child(args: &ChildArgs) -> std::io::Result<i32> {
         StartKind::Isolated => StartMode::Isolated,
         StartKind::Joining => StartMode::Joining,
     };
+    let mut profile = fast_profile(args.nodes);
+    profile.bulk_threshold = args.bulk_threshold;
     let session = SessionNode::new(
         args.node,
         Incarnation(args.incarnation),
-        fast_profile(args.nodes),
+        profile,
         TransportConfig::default(),
         vec![me],
         raincore::transport::PeerTable::full_mesh(all_ids, 1),
@@ -185,7 +196,10 @@ pub fn run_child(args: &ChildArgs) -> std::io::Result<i32> {
         if sent < args.workload_count
             && Instant::now() >= next_send
             && rt
-                .multicast(DeliveryMode::Agreed, workload_payload(args.node, sent))
+                .multicast(
+                    DeliveryMode::Agreed,
+                    workload_payload(args.node, sent, args.bulk_threshold),
+                )
                 .is_ok()
         {
             sent += 1;

@@ -78,6 +78,11 @@ pub struct ProcConfig {
     pub workload_count: u32,
     /// Pacing between originations, milliseconds.
     pub workload_period_ms: u64,
+    /// Out-of-band bulk threshold handed to every child's session config
+    /// (bytes; 0 keeps the OOB path off). With it on, odd workload
+    /// multicasts are sized past the threshold so real bulk frames cross
+    /// the proxy.
+    pub bulk_threshold: usize,
     /// Child export period, milliseconds.
     pub export_ms: u64,
     /// Directory for export/ctl files and the run report.
@@ -104,6 +109,7 @@ impl ProcConfig {
             dials: ProxyDials::default(),
             workload_count: 3,
             workload_period_ms: 40,
+            bulk_threshold: 0,
             export_ms: 50,
             out_dir,
             child_exe,
@@ -175,7 +181,8 @@ impl Belief {
             | ChaosFault::Restart(_)
             | ChaosFault::Duplicate(_)
             | ChaosFault::Reorder(_)
-            | ChaosFault::Jitter(_) => {}
+            | ChaosFault::Jitter(_)
+            | ChaosFault::BulkLoss(_) => {}
         }
     }
 
@@ -244,6 +251,7 @@ impl Harness<'_> {
                 "--workload-period-ms",
                 &self.cfg.workload_period_ms.to_string(),
             ])
+            .args(["--bulk-threshold", &self.cfg.bulk_threshold.to_string()])
             .stdout(Stdio::piped())
             .spawn()?;
         let stdout = proc.stdout.take().expect("piped stdout");
@@ -509,6 +517,10 @@ pub fn run_cluster(cfg: &ProcConfig, schedule: &[ChaosEvent]) -> std::io::Result
                 }
                 ChaosFault::Jitter(us) => {
                     dials.delay_us = *us;
+                    h.proxy.set_dials(dials);
+                }
+                ChaosFault::BulkLoss(p) => {
+                    dials.bulk_drop_permille = *p;
                     h.proxy.set_dials(dials);
                 }
             }

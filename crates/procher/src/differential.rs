@@ -47,6 +47,11 @@ pub struct DiffConfig {
     pub count: u32,
     /// Origination pacing, milliseconds (real side; virtual ms sim side).
     pub period_ms: u64,
+    /// Out-of-band bulk threshold applied on *both* sides (bytes; 0 keeps
+    /// the OOB path off). With it on, odd workload messages are padded
+    /// past the threshold, so real bulk frames cross real sockets and the
+    /// delivered-set/order projections must still match the simulator.
+    pub bulk_threshold: usize,
     /// Artifact directory for the real side.
     pub out_dir: PathBuf,
     /// Path of the `procher` binary for spawning children.
@@ -67,13 +72,18 @@ pub struct DiffReport {
     pub sim_regenerations: u64,
     /// Total 911 regenerations on the process side.
     pub real_regenerations: u64,
+    /// Real bulk payload frames dropped by the proxy's targeted dial
+    /// (only non-zero on `bulk_threshold > 0` runs).
+    pub real_bulk_drops: u64,
 }
 
 /// Runs the workload through the simulator and returns each node's
 /// delivery sequence plus the total regeneration count.
 fn run_sim_side(cfg: &DiffConfig) -> Result<(DeliveryLogs, u64), String> {
+    let mut session = fast_profile(cfg.nodes);
+    session.bulk_threshold = cfg.bulk_threshold;
     let ccfg = ClusterConfig {
-        session: fast_profile(cfg.nodes),
+        session,
         nics: 1,
         ..ClusterConfig::default()
     };
@@ -92,7 +102,11 @@ fn run_sim_side(cfg: &DiffConfig) -> Result<(DeliveryLogs, u64), String> {
             let k = sent[id.0 as usize];
             if k < cfg.count
                 && cluster
-                    .multicast(id, DeliveryMode::Agreed, workload_payload(id, k))
+                    .multicast(
+                        id,
+                        DeliveryMode::Agreed,
+                        workload_payload(id, k, cfg.bulk_threshold),
+                    )
                     .is_ok()
             {
                 sent[id.0 as usize] = k + 1;
@@ -174,6 +188,13 @@ pub fn run_differential(cfg: &DiffConfig) -> std::io::Result<DiffReport> {
     pcfg.scenario = Scenario::Founding;
     pcfg.workload_count = cfg.count;
     pcfg.workload_period_ms = cfg.period_ms;
+    pcfg.bulk_threshold = cfg.bulk_threshold;
+    if cfg.bulk_threshold > 0 {
+        // Drop 40% of the real bulk payload frames: the differential's
+        // claim becomes "NACK recovery restores the sim projections
+        // under real bulk loss", not merely "OOB works on a clean wire".
+        pcfg.dials.bulk_drop_permille = 400;
+    }
     // No faults, no dials: the schedule horizon only needs to cover the
     // workload; convergence + delivery completeness end the run.
     pcfg.ticks = (cfg.count as u64 * cfg.period_ms / pcfg.tick_ms).max(50);
@@ -185,6 +206,13 @@ pub fn run_differential(cfg: &DiffConfig) -> std::io::Result<DiffReport> {
     }
     if !report.converged {
         divergences.push("real: process cluster did not converge".to_string());
+    }
+    if cfg.bulk_threshold > 0 && report.proxy.dropped_bulk == 0 {
+        divergences.push(
+            "real: bulk-loss dial was armed but no bulk frame was dropped \
+             (out-of-band path not exercised)"
+                .to_string(),
+        );
     }
     let real: DeliveryLogs = report
         .per_node
@@ -234,5 +262,6 @@ pub fn run_differential(cfg: &DiffConfig) -> std::io::Result<DiffReport> {
         real,
         sim_regenerations,
         real_regenerations: report.total_regenerations,
+        real_bulk_drops: report.proxy.dropped_bulk,
     })
 }

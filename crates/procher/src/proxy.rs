@@ -49,6 +49,11 @@ pub struct ProxyDials {
     pub reorder_permille: u32,
     /// Fixed extra one-way delay applied to every packet, microseconds.
     pub delay_us: u64,
+    /// Extra drop probability (thousandths) applied *only* to
+    /// out-of-band bulk payload frames (DESIGN.md §13), on top of
+    /// `drop_permille` — the real-socket analogue of
+    /// `ChaosFault::BulkLoss`.
+    pub bulk_drop_permille: u32,
 }
 
 /// Counters of what the proxy did to traffic (monotonic over the run).
@@ -58,6 +63,8 @@ pub struct ProxyStats {
     pub forwarded: u64,
     /// Packets dropped by the loss dial.
     pub dropped_loss: u64,
+    /// Bulk frames dropped by the targeted bulk-loss dial.
+    pub dropped_bulk: u64,
     /// Packets dropped by a link cut, node unplug or partition.
     pub dropped_blocked: u64,
     /// Extra copies injected by the duplication dial.
@@ -258,7 +265,7 @@ enum Fate {
     },
 }
 
-fn decide(state: &mut State, src: NodeId, dst: NodeId) -> Fate {
+fn decide(state: &mut State, src: NodeId, dst: NodeId, is_bulk: bool) -> Fate {
     let Some(&to) = state.dests.get(&dst) else {
         state.stats.dropped_blocked += 1;
         return Fate::Drop;
@@ -270,6 +277,12 @@ fn decide(state: &mut State, src: NodeId, dst: NodeId) -> Fate {
     let dials = state.dials;
     let roll =
         |rng: &mut StdRng, permille: u32| permille > 0 && rng.random_range(0u32..1000) < permille;
+    // The targeted dial draws only for bulk frames, so enabling it never
+    // perturbs the fate sequence of the rest of the traffic.
+    if is_bulk && roll(&mut state.rng, dials.bulk_drop_permille) {
+        state.stats.dropped_bulk += 1;
+        return Fate::Drop;
+    }
     if roll(&mut state.rng, dials.drop_permille) {
         state.stats.dropped_loss += 1;
         return Fate::Drop;
@@ -322,7 +335,10 @@ fn spawn_reader(
                             s.stats.undecodable += 1;
                             Fate::Drop
                         }
-                        Some(d) => decide(&mut s, d.src.node, dst),
+                        Some(d) => {
+                            let is_bulk = raincore_sim::is_bulk_frame(&d.payload);
+                            decide(&mut s, d.src.node, dst, is_bulk)
+                        }
                     }
                 };
                 let Fate::Forward { to, copies, delay } = fate else {
@@ -468,6 +484,67 @@ mod tests {
         }
         assert_eq!(recv_on(&dest), None);
         assert_eq!(proxy.stats().dropped_loss, 20);
+    }
+
+    /// Builds a genuine out-of-band bulk payload frame on the wire: a
+    /// `SessionMsg::Bulk` inside a single-fragment transport DATA frame,
+    /// wrapped in a wire datagram — exactly what
+    /// [`raincore_sim::is_bulk_frame`] matches in the simulator.
+    fn bulk_wire(src: u32) -> Vec<u8> {
+        use raincore::transport::Frame;
+        use raincore_types::messages::{BulkData, SessionMsg};
+        use raincore_types::wire::WireEncode;
+        use raincore_types::{Incarnation, MsgId, OriginSeq};
+        let msg = SessionMsg::Bulk(BulkData {
+            origin: NodeId(src),
+            seq: OriginSeq(1),
+            payload: Bytes::from(vec![0xAB; 64]),
+        });
+        let frame = Frame::Data {
+            from: NodeId(src),
+            inc: Incarnation::FIRST,
+            msg_id: MsgId(1),
+            frag_index: 0,
+            frag_count: 1,
+            payload: msg.encode_to_bytes(),
+        };
+        encode_wire(&Datagram::control(
+            Addr::primary(NodeId(src)),
+            Addr::primary(NodeId(99)),
+            frame.encode_to_bytes(),
+        ))
+        .to_vec()
+    }
+
+    /// The targeted bulk-loss dial kills every bulk payload frame while
+    /// ordinary traffic sails through untouched — the real-socket
+    /// analogue of `ChaosFault::BulkLoss` at 1000‰.
+    #[test]
+    fn bulk_dial_drops_only_bulk_frames() {
+        let proxy = LossProxy::bind(&[NodeId(1)], 7).expect("bind proxy");
+        let dest = UdpSocket::bind("127.0.0.1:0").expect("bind dest");
+        proxy.set_dest(NodeId(1), dest.local_addr().unwrap());
+        proxy.set_dials(ProxyDials {
+            bulk_drop_permille: 1000,
+            ..ProxyDials::default()
+        });
+        let sender = UdpSocket::bind("127.0.0.1:0").expect("bind sender");
+        let to = proxy.proxy_addr(NodeId(1)).unwrap();
+
+        // Bulk frames: all dropped by the targeted dial.
+        for _ in 0..10 {
+            sender.send_to(&bulk_wire(0), to).unwrap();
+        }
+        assert_eq!(recv_on(&dest), None);
+        assert_eq!(proxy.stats().dropped_bulk, 10);
+
+        // Non-bulk traffic is untouched even at 1000‰ bulk loss.
+        let pkt = wire(0, b"token");
+        sender.send_to(&pkt, to).unwrap();
+        assert_eq!(recv_on(&dest).as_deref(), Some(&pkt[..]));
+        let stats = proxy.stats();
+        assert_eq!(stats.forwarded, 1);
+        assert_eq!(stats.dropped_loss, 0);
     }
 
     #[test]

@@ -88,6 +88,22 @@ pub trait AuditView {
         None
     }
 
+    /// Payload length of each delivery, index-aligned with the member's
+    /// delivery log, when the harness records them. `None` disables
+    /// completeness auditing for this view (the other auditors only need
+    /// ids).
+    fn delivery_lens_ref(&self, _id: NodeId) -> Option<&[usize]> {
+        None
+    }
+
+    /// The payload length every member must observe for a submitted
+    /// multicast id, when the harness recorded the submission. `None`
+    /// means the id's expected size is unknown and the delivery goes
+    /// unchecked.
+    fn expected_payload_len(&self, _origin: NodeId, _seq: OriginSeq) -> Option<usize> {
+        None
+    }
+
     /// Ids of members that are alive and not shut down.
     fn live_member_ids(&self) -> Vec<NodeId> {
         self.member_ids()
@@ -268,6 +284,18 @@ impl AuditView for Cluster {
             .map(|d| (d.origin, d.seq))
             .collect()
     }
+
+    fn delivery_log_ref(&self, id: NodeId) -> Option<&[(NodeId, OriginSeq)]> {
+        Some(self.delivery_ids(id))
+    }
+
+    fn delivery_lens_ref(&self, id: NodeId) -> Option<&[usize]> {
+        Some(self.delivery_lens(id))
+    }
+
+    fn expected_payload_len(&self, origin: NodeId, seq: OriginSeq) -> Option<usize> {
+        Cluster::expected_payload_len(self, origin, seq)
+    }
 }
 
 /// Whole-run check of token uniqueness per group.
@@ -373,6 +401,77 @@ impl OrderAuditor {
     }
 
     /// True if no divergence was ever observed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Whole-run check of delivery *completeness* under out-of-band
+/// dissemination (DESIGN.md §13): no node may deliver a multicast id
+/// whose payload it lacks. The token's manifest orders ids while the
+/// payloads travel separately, so the dangerous failure mode is a node
+/// handing the application an ordered-but-empty (or truncated) message —
+/// this auditor compares every delivery's payload length against the
+/// length recorded at submission.
+///
+/// Views that do not record payload lengths ([`AuditView::delivery_lens_ref`]
+/// returning `None`) or submission sizes are audited vacuously.
+#[derive(Debug, Default)]
+pub struct CompletenessAuditor {
+    /// `(time, deliverer, origin, seq)` of every incomplete delivery.
+    pub violations: Vec<(Time, NodeId, NodeId, OriginSeq)>,
+    /// Number of observations taken.
+    pub observations: u64,
+    /// Deliveries actually checked against an expected length.
+    pub checked: u64,
+    /// Per-node index of the first unexamined delivery-log entry; a
+    /// delivery's payload never changes after the fact, so each entry is
+    /// judged exactly once across repeated observations.
+    cursors: BTreeMap<NodeId, usize>,
+}
+
+impl CompletenessAuditor {
+    /// Creates an auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes the view (call after every quantum / explored action).
+    pub fn observe(&mut self, v: &impl AuditView) {
+        self.observations += 1;
+        let store;
+        let members: &[NodeId] = match v.member_ids_ref() {
+            Some(s) => s,
+            None => {
+                store = v.member_ids();
+                &store
+            }
+        };
+        for &id in members {
+            let Some(lens) = v.delivery_lens_ref(id) else {
+                continue;
+            };
+            let Some(log) = v.delivery_log_ref(id) else {
+                continue;
+            };
+            let cursor = self.cursors.entry(id).or_insert(0);
+            let upto = log.len().min(lens.len());
+            while *cursor < upto {
+                let (origin, seq) = log[*cursor];
+                let got = lens[*cursor];
+                *cursor += 1;
+                let Some(want) = v.expected_payload_len(origin, seq) else {
+                    continue;
+                };
+                self.checked += 1;
+                if got != want {
+                    self.violations.push((v.now(), id, origin, seq));
+                }
+            }
+        }
+    }
+
+    /// True if every checked delivery carried its full payload.
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
     }

@@ -47,7 +47,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seed N] [--soak N] [--nodes N] [--ticks N] \
          [--fault-period N] [--scenario founding|isolated|split] \
-         [--seeded-fault] [--replay FILE] [--dump FILE] [--no-shrink]"
+         [--bulk THRESHOLD] [--seeded-fault] [--replay FILE] [--dump FILE] \
+         [--no-shrink]"
     );
     std::process::exit(2);
 }
@@ -111,6 +112,7 @@ fn main() {
                 base.scenario = next(&mut i).parse().unwrap_or_else(|_| usage());
                 pin_scenario = true;
             }
+            "--bulk" => base.bulk_threshold = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--seeded-fault" => base.seeded_fault = true,
             "--replay" => replay_path = Some(next(&mut i)),
             "--dump" => dump_path = next(&mut i),
@@ -131,6 +133,8 @@ fn main() {
     let t0 = Instant::now();
     let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut total_ticks = 0u64;
+    let mut bulk_drops = 0u64;
+    let mut completeness_checked = 0u64;
     for k in 0..soak {
         let cfg = soak_cfg(&base, k, pin_nodes, pin_scenario);
         let schedule = generate_schedule(&cfg);
@@ -178,16 +182,37 @@ fn main() {
             eprintln!("chaos: dump written to {dump_path}");
             std::process::exit(1);
         }
+        if cfg.bulk_threshold > 0 && report.completeness_checked == 0 {
+            eprintln!(
+                "chaos: FAIL — seed {}: bulk soak ran but the completeness \
+                 oracle never checked a delivery (vacuous)",
+                cfg.seed
+            );
+            std::process::exit(1);
+        }
+        bulk_drops += report.bulk_drops_injected;
+        completeness_checked += report.completeness_checked;
         println!(
-            "chaos: seed {} nodes {:2} scenario {:8} OK — {} faults, {} dups, {} reorders, {} ticks",
+            "chaos: seed {} nodes {:2} scenario {:8} OK — {} faults, {} dups, {} reorders, {} bulk drops, {} ticks",
             cfg.seed,
             cfg.nodes,
             cfg.scenario.to_string(),
             report.faults_applied,
             report.dups_injected,
             report.reorders_injected,
+            report.bulk_drops_injected,
             report.ticks_run,
         );
+    }
+    if base.bulk_threshold > 0 {
+        println!(
+            "chaos: bulk soak — {bulk_drops} bulk frames dropped, \
+             {completeness_checked} deliveries completeness-checked"
+        );
+        if bulk_drops == 0 {
+            eprintln!("chaos: FAIL — bulk soak dropped no bulk frames (fault not exercised)");
+            std::process::exit(1);
+        }
     }
     let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
     print_fault_summary(&totals);

@@ -33,7 +33,9 @@
 //!
 //! [`SimNet`]: raincore_net::SimNet
 
-use crate::audit::{LivenessOracles, MembershipAuditor, NineElevenAuditor, TokenAuditor};
+use crate::audit::{
+    CompletenessAuditor, LivenessOracles, MembershipAuditor, NineElevenAuditor, TokenAuditor,
+};
 use crate::cluster::{Cluster, ClusterBuilder, ClusterConfig};
 use bytes::Bytes;
 use raincore_net::Addr;
@@ -75,6 +77,11 @@ pub enum ChaosFault {
     Reorder(u32),
     /// Set uniform latency jitter, in microseconds.
     Jitter(u64),
+    /// Set the drop probability (permille) applied *only* to out-of-band
+    /// bulk payload frames (DESIGN.md §13) — the targeted fault behind
+    /// the id-without-payload hazard: the token still orders every id
+    /// while the payloads racing it get lost.
+    BulkLoss(u32),
 }
 
 impl ChaosFault {
@@ -92,6 +99,7 @@ impl ChaosFault {
             ChaosFault::Duplicate(_) => "dup",
             ChaosFault::Reorder(_) => "reorder",
             ChaosFault::Jitter(_) => "jitter",
+            ChaosFault::BulkLoss(_) => "bulk-loss",
         }
     }
 }
@@ -124,6 +132,7 @@ impl fmt::Display for ChaosFault {
             ChaosFault::Duplicate(p) => write!(f, "dup {p}"),
             ChaosFault::Reorder(p) => write!(f, "reorder {p}"),
             ChaosFault::Jitter(us) => write!(f, "jitter {us}"),
+            ChaosFault::BulkLoss(p) => write!(f, "bulk-loss {p}"),
         }
     }
 }
@@ -174,6 +183,9 @@ impl FromStr for ChaosFault {
                 it.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?,
             )),
             "jitter" => Ok(ChaosFault::Jitter(
+                it.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?,
+            )),
+            "bulk-loss" => Ok(ChaosFault::BulkLoss(
                 it.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?,
             )),
             _ => Err(bad()),
@@ -289,6 +301,14 @@ pub struct ChaosConfig {
     /// engine's belief but never reach the network (the chaos analogue
     /// of the model checker's `forge_token`).
     pub seeded_fault: bool,
+    /// Out-of-band dissemination threshold handed to every member's
+    /// [`SessionConfig`](raincore_types::SessionConfig) (0 = piggyback
+    /// only, the pre-§13 behavior). When on, the schedule generator adds
+    /// bulk-loss dial events (from an RNG stream separate from the main
+    /// one, so seeds generate identical non-bulk schedules either way)
+    /// and the workload alternates payloads large enough to take the
+    /// out-of-band path.
+    pub bulk_threshold: usize,
 }
 
 impl Default for ChaosConfig {
@@ -308,6 +328,7 @@ impl Default for ChaosConfig {
             convergence_bound_ticks: 1500,
             post_ticks: 100,
             seeded_fault: false,
+            bulk_threshold: 0,
         }
     }
 }
@@ -334,6 +355,7 @@ impl ChaosConfig {
         c.session.starving_retry = Duration::from_millis(40);
         c.session.beacon_period = Duration::from_millis(50);
         c.transport.retry_timeout = Duration::from_millis(10);
+        c.session.bulk_threshold = self.bulk_threshold;
         c.net.seed = self.seed;
         c.nics = self.nics.max(1);
         c
@@ -373,7 +395,7 @@ impl ChaosConfig {
         format!(
             "nodes={} nics={} seed={} scenario={} ticks={} tick_us={} warmup={} \
              fault_period={} workload={} grace={} token_bound={} conv_bound={} \
-             post={} seeded_fault={}",
+             post={} seeded_fault={} bulk_threshold={}",
             self.nodes,
             self.nics,
             self.seed,
@@ -388,6 +410,7 @@ impl ChaosConfig {
             self.convergence_bound_ticks,
             self.post_ticks,
             self.seeded_fault,
+            self.bulk_threshold,
         )
     }
 
@@ -415,6 +438,7 @@ impl ChaosConfig {
                 "conv_bound" => cfg.convergence_bound_ticks = num()?,
                 "post" => cfg.post_ticks = num()?,
                 "seeded_fault" => cfg.seeded_fault = v == "true",
+                "bulk_threshold" => cfg.bulk_threshold = num()? as usize,
                 _ => {}
             }
         }
@@ -587,6 +611,24 @@ pub fn generate_schedule(cfg: &ChaosConfig) -> Vec<ChaosEvent> {
         }
     }
 
+    // Bulk-loss dials ride a *separate* RNG stream so enabling the
+    // out-of-band path never perturbs the main generator: a seed's
+    // non-bulk schedule is byte-identical with bulk on or off.
+    if cfg.bulk_threshold > 0 && cfg.fault_period > 0 {
+        let mut brng = StdRng::seed_from_u64(
+            cfg.seed
+                .wrapping_mul(0xA076_1D64_78BD_642F)
+                .wrapping_add(u64::from(cfg.nodes)),
+        );
+        for tick in 0..cfg.ticks {
+            if brng.random_range(0..cfg.fault_period.saturating_mul(3)) == 0 {
+                let permille = brng.random_range(50..=400);
+                push(tick, ChaosFault::BulkLoss(permille), &mut events);
+            }
+        }
+        push(cfg.ticks, ChaosFault::BulkLoss(0), &mut events);
+    }
+
     // Epilogue: restore the world so convergence is achievable.
     let end = cfg.ticks;
     push(end, ChaosFault::Duplicate(0), &mut events);
@@ -684,8 +726,13 @@ impl NetBelief {
                 self.pairs.clear();
                 self.partitioned = false;
             }
-            // Injection dials never sever connectivity.
-            ChaosFault::Duplicate(_) | ChaosFault::Reorder(_) | ChaosFault::Jitter(_) => {}
+            // Injection dials never sever connectivity. Bulk loss is a
+            // dial too: it delays bulk payload arrival (NACK recovery
+            // keeps pulling), it never blocks the token path.
+            ChaosFault::Duplicate(_)
+            | ChaosFault::Reorder(_)
+            | ChaosFault::Jitter(_)
+            | ChaosFault::BulkLoss(_) => {}
         }
     }
 }
@@ -734,6 +781,12 @@ pub struct ChaosReport {
     pub dups_injected: u64,
     /// Reorder delays the network injected.
     pub reorders_injected: u64,
+    /// Deliveries the completeness auditor checked against an expected
+    /// payload length — soaks with bulk loss enabled assert this is
+    /// nonzero so the §13 oracle cannot pass vacuously.
+    pub completeness_checked: u64,
+    /// Bulk frames the targeted loss dial actually dropped.
+    pub bulk_drops_injected: u64,
     /// Metrics registry with `raincore_chaos_*` counters.
     pub registry: raincore_obs::Registry,
 }
@@ -755,6 +808,10 @@ pub fn run_chaos(cfg: &ChaosConfig, schedule: &[ChaosEvent]) -> Result<ChaosRepo
     // processing, not a resurrection. 20 calm ticks (200ms virtual)
     // comfortably covers probe cadence + admission + NIC failover.
     let mut membership = MembershipAuditor::with_dwell(20);
+    // Delivery completeness (DESIGN.md §13) is a pure safety claim — a
+    // delivered id always carries its full payload, loss or no loss — so
+    // unlike the calm-scoped auditors it observes every tick.
+    let mut completeness = CompletenessAuditor::new();
     let mut oracles = LivenessOracles::new(cfg.token_bound_ticks, cfg.convergence_bound_ticks);
 
     let mut now = Time::ZERO;
@@ -808,7 +865,10 @@ pub fn run_chaos(cfg: &ChaosConfig, schedule: &[ChaosEvent]) -> Result<ChaosRepo
                 | ChaosFault::NicUp(_)
                 | ChaosFault::Partition(_)
                 | ChaosFault::Heal => last_link_fault = Some(tick),
-                ChaosFault::Duplicate(_) | ChaosFault::Reorder(_) | ChaosFault::Jitter(_) => {}
+                ChaosFault::Duplicate(_)
+                | ChaosFault::Reorder(_)
+                | ChaosFault::Jitter(_)
+                | ChaosFault::BulkLoss(_) => {}
             }
             *fault_counts.entry(fault.class()).or_default() += 1;
             registry
@@ -828,9 +888,17 @@ pub fn run_chaos(cfg: &ChaosConfig, schedule: &[ChaosEvent]) -> Result<ChaosRepo
                 } else {
                     DeliveryMode::Agreed
                 };
+                // With the out-of-band path on, every other message is
+                // fat enough to disseminate as a bulk frame the loss dial
+                // can target; odd-sized so truncation cannot alias.
+                let byte = (workload_turn & 0xff) as u8;
+                let payload = if cfg.bulk_threshold > 0 && workload_turn % 2 == 1 {
+                    Bytes::from(vec![byte; cfg.bulk_threshold * 2 + 1])
+                } else {
+                    Bytes::from(vec![byte])
+                };
                 // Backpressure (token full) is expected under churn.
-                let _ =
-                    cluster.multicast(from, mode, Bytes::from(vec![(workload_turn & 0xff) as u8]));
+                let _ = cluster.multicast(from, mode, payload);
                 workload_turn += 1;
             }
         }
@@ -860,11 +928,13 @@ pub fn run_chaos(cfg: &ChaosConfig, schedule: &[ChaosEvent]) -> Result<ChaosRepo
             cluster.run_until_with(now, |_| {});
         }
         was_link_calm = link_calm;
+        completeness.observe(&cluster);
         let quiet = !belief.blocked()
             && last_fault.is_none_or(|lf| tick.saturating_sub(lf) >= cfg.grace_ticks);
         oracles.observe_tick(&cluster, quiet);
 
-        if let Some(reason) = first_violation(&tokens, &nines, &membership, &oracles) {
+        if let Some(reason) = first_violation(&tokens, &nines, &membership, &completeness, &oracles)
+        {
             violations_counter.inc();
             // Stamp the violation into the shared flight ring (node
             // u32::MAX = the harness itself), then freeze the trace
@@ -910,12 +980,16 @@ pub fn run_chaos(cfg: &ChaosConfig, schedule: &[ChaosEvent]) -> Result<ChaosRepo
     let net = cluster.net_mut();
     let dups_injected = net.dups_injected();
     let reorders_injected = net.reorders_injected();
+    let bulk_drops_injected = net.matched_drops();
     registry
         .counter("raincore_chaos_dups_injected_total", &[])
         .add(dups_injected);
     registry
         .counter("raincore_chaos_reorders_injected_total", &[])
         .add(reorders_injected);
+    registry
+        .counter("raincore_chaos_bulk_drops_injected_total", &[])
+        .add(bulk_drops_injected);
     Ok(ChaosReport {
         violation,
         evidence,
@@ -925,6 +999,8 @@ pub fn run_chaos(cfg: &ChaosConfig, schedule: &[ChaosEvent]) -> Result<ChaosRepo
         fault_counts,
         dups_injected,
         reorders_injected,
+        completeness_checked: completeness.checked,
+        bulk_drops_injected,
         registry,
     })
 }
@@ -963,6 +1039,11 @@ fn apply_fault(cluster: &mut Cluster, fault: &ChaosFault, seeded_fault: bool) {
                 .set_reordering(f64::from(*permille) / 1000.0, window);
         }
         ChaosFault::Jitter(us) => cluster.net_mut().set_jitter(Duration::from_micros(*us)),
+        ChaosFault::BulkLoss(permille) => {
+            cluster
+                .net_mut()
+                .set_matched_loss(f64::from(*permille) / 1000.0, crate::explore::is_bulk_frame);
+        }
     }
 }
 
@@ -970,6 +1051,7 @@ fn first_violation(
     tokens: &TokenAuditor,
     nines: &NineElevenAuditor,
     membership: &MembershipAuditor,
+    completeness: &CompletenessAuditor,
     oracles: &LivenessOracles,
 ) -> Option<String> {
     if let Some((t, g)) = tokens.violations.first() {
@@ -981,6 +1063,12 @@ fn first_violation(
     if let Some((t, viewer, x)) = membership.violations.first() {
         return Some(format!(
             "membership resurrection at {t}: {viewer} saw purged node {x}"
+        ));
+    }
+    if let Some((t, id, origin, seq)) = completeness.violations.first() {
+        return Some(format!(
+            "delivery completeness violated at {t}: {id} delivered {origin}#{} without its payload",
+            seq.0
         ));
     }
     oracles.first_violation().map(|(_, reason)| reason)
@@ -1149,6 +1237,10 @@ mod tests {
                 tick: 15,
                 fault: ChaosFault::Jitter(250),
             },
+            ChaosEvent {
+                tick: 16,
+                fault: ChaosFault::BulkLoss(300),
+            },
         ];
         for e in &events {
             let text = e.to_string();
@@ -1164,6 +1256,7 @@ mod tests {
             seed: 42,
             scenario: ChaosScenario::Split,
             seeded_fault: true,
+            bulk_threshold: 512,
             ..ChaosConfig::default()
         };
         let violation = ChaosViolation {
@@ -1189,6 +1282,39 @@ mod tests {
         assert_eq!(parsed_cfg.scenario, cfg.scenario);
         assert_eq!(parsed_cfg.seeded_fault, cfg.seeded_fault);
         assert_eq!(parsed_cfg.tick, cfg.tick);
+        assert_eq!(parsed_cfg.bulk_threshold, cfg.bulk_threshold);
+    }
+
+    #[test]
+    fn bulk_dial_only_extends_the_schedule() {
+        // Enabling the out-of-band path must not perturb the main RNG
+        // stream: strip the bulk-loss events and the schedules match, so
+        // every pinned seed keeps its exact non-bulk fault sequence.
+        let base = ChaosConfig::default();
+        let bulk = ChaosConfig {
+            bulk_threshold: 512,
+            ..base.clone()
+        };
+        let plain = generate_schedule(&base);
+        let with_bulk = generate_schedule(&bulk);
+        let stripped: Vec<ChaosEvent> = with_bulk
+            .iter()
+            .filter(|e| !matches!(e.fault, ChaosFault::BulkLoss(_)))
+            .cloned()
+            .collect();
+        assert_eq!(stripped, plain, "bulk dial perturbed the base schedule");
+        assert!(
+            with_bulk
+                .iter()
+                .any(|e| matches!(e.fault, ChaosFault::BulkLoss(p) if p > 0)),
+            "bulk-enabled schedule generated no bulk-loss events"
+        );
+        assert!(
+            with_bulk
+                .iter()
+                .any(|e| e.fault == ChaosFault::BulkLoss(0) && e.tick == bulk.ticks),
+            "missing bulk-loss epilogue reset"
+        );
     }
 
     #[test]

@@ -45,6 +45,13 @@ struct Slot {
     session_cfg: Option<SessionConfig>,
     events: Vec<SessionEvent>,
     deliveries: Vec<Delivery>,
+    /// Parallel to `deliveries`: the delivered `(origin, seq)` ids and
+    /// payload lengths, kept as flat vectors so the completeness auditor
+    /// can borrow them without cloning payload bytes. Both are appended
+    /// only where `deliveries` is (in `collect_node_outputs`), so the
+    /// three stay aligned across restarts.
+    delivery_ids: Vec<(NodeId, OriginSeq)>,
+    delivery_lens: Vec<usize>,
 }
 
 /// Builder for heterogeneous clusters (mixed start modes, plain hosts,
@@ -111,6 +118,7 @@ impl ClusterBuilder {
             steps: 0,
             registry: raincore_obs::Registry::new(),
             flight: raincore_obs::FlightRecorder::default(),
+            expected_payloads: BTreeMap::new(),
         };
         // The peer table covers every session member with all its NICs.
         let mut table = PeerTable::new();
@@ -138,6 +146,8 @@ impl ClusterBuilder {
                     session_cfg: None,
                     events: Vec::new(),
                     deliveries: Vec::new(),
+                    delivery_ids: Vec::new(),
+                    delivery_lens: Vec::new(),
                 },
             );
         }
@@ -165,6 +175,12 @@ pub struct Cluster {
     /// a violation dump shows the whole cluster's last moments in one
     /// globally ordered ring.
     flight: raincore_obs::FlightRecorder,
+    /// Payload length every [`Cluster::multicast`] promised per bulk id,
+    /// for the delivery-completeness auditor. `None` marks an id whose
+    /// expected length became ambiguous: after a restart an origin's
+    /// `(origin, seq)` space restarts from zero, so a reused id that was
+    /// multicast with a *different* length can no longer be checked.
+    expected_payloads: BTreeMap<(NodeId, OriginSeq), Option<usize>>,
 }
 
 impl Cluster {
@@ -221,6 +237,8 @@ impl Cluster {
                 session_cfg: Some(session_cfg),
                 events: Vec::new(),
                 deliveries: Vec::new(),
+                delivery_ids: Vec::new(),
+                delivery_lens: Vec::new(),
             },
         );
         Ok(())
@@ -406,6 +424,8 @@ impl Cluster {
             let Some(ev) = s.poll_event() else { break };
             if let SessionEvent::Delivery(d) = &ev {
                 slot.deliveries.push(d.clone());
+                slot.delivery_ids.push((d.origin, d.seq));
+                slot.delivery_lens.push(d.payload.len());
             }
             let mut sends = Vec::new();
             if let Some(app) = &mut slot.app {
@@ -520,7 +540,19 @@ impl Cluster {
         mode: DeliveryMode,
         payload: Bytes,
     ) -> Result<OriginSeq> {
-        self.session_mut(id)?.multicast(mode, payload)
+        let len = payload.len();
+        let seq = self.session_mut(id)?.multicast(mode, payload)?;
+        self.expected_payloads
+            .entry((id, seq))
+            .and_modify(|e| {
+                // (origin, seq) reused after a restart with a different
+                // length: the id's expected length is now ambiguous.
+                if *e != Some(len) {
+                    *e = None;
+                }
+            })
+            .or_insert(Some(len));
+        Ok(seq)
     }
 
     /// Mutable access to a member's session stack.
@@ -557,6 +589,34 @@ impl Cluster {
             .get(&id)
             .map(|s| s.deliveries.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// Delivered `(origin, seq)` ids at a node (parallel to
+    /// [`Cluster::deliveries`], kept flat for borrowing auditors).
+    pub fn delivery_ids(&self, id: NodeId) -> &[(NodeId, OriginSeq)] {
+        self.slots
+            .get(&id)
+            .map(|s| s.delivery_ids.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Delivered payload lengths at a node (parallel to
+    /// [`Cluster::deliveries`]).
+    pub fn delivery_lens(&self, id: NodeId) -> &[usize] {
+        self.slots
+            .get(&id)
+            .map(|s| s.delivery_lens.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The payload length [`Cluster::multicast`] promised for a bulk id,
+    /// or `None` if the id was never multicast through the cluster API or
+    /// became ambiguous through post-restart reuse.
+    pub fn expected_payload_len(&self, origin: NodeId, seq: OriginSeq) -> Option<usize> {
+        self.expected_payloads
+            .get(&(origin, seq))
+            .copied()
+            .flatten()
     }
 
     /// Session metrics of a node.

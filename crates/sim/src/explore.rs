@@ -24,9 +24,10 @@
 //!   (Godefroid-style DPOR): deliveries to different destination nodes
 //!   commute, so only one representative per Mazurkiewicz trace is
 //!   explored.
-//! * Every explored state is fed to the four auditors
+//! * Every explored state is fed to the five auditors
 //!   ([`TokenAuditor`], [`OrderAuditor`], [`NineElevenAuditor`],
-//!   [`MembershipAuditor`]); the first violation stops the search, is
+//!   [`MembershipAuditor`], [`CompletenessAuditor`]); the first
+//!   violation stops the search, is
 //!   **minimized** (greedy delta-debugging over the failing schedule) and
 //!   rendered as a replayable dump (see [`parse_schedule`] /
 //!   [`replay`]).
@@ -35,14 +36,18 @@
 //!
 //! [`SessionNode`]: raincore_session::SessionNode
 
-use crate::audit::{AuditView, MembershipAuditor, NineElevenAuditor, OrderAuditor, TokenAuditor};
+use crate::audit::{
+    AuditView, CompletenessAuditor, MembershipAuditor, NineElevenAuditor, OrderAuditor,
+    TokenAuditor,
+};
+use bytes::Bytes;
 use raincore_net::{Addr, Datagram, PacketClass};
 use raincore_session::{SessionEvent, SessionNode, StartMode};
 use raincore_transport::{Frame, PeerTable};
 use raincore_types::wire::{WireDecode, WireEncode};
 use raincore_types::{
-    DigestInto, Duration, Fingerprint, GroupId, Incarnation, MsgId, NodeId, OriginSeq, Result,
-    Ring, SessionConfig, SessionMsg, StateDigest, Time, TransportConfig,
+    DeliveryMode, DigestInto, Duration, Fingerprint, GroupId, Incarnation, MsgId, NodeId,
+    OriginSeq, Result, Ring, SessionConfig, SessionMsg, StateDigest, Time, TransportConfig,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -69,6 +74,14 @@ pub enum Action {
         /// Message identity.
         key: MsgKey,
     },
+    /// Drop a pending out-of-band bulk payload frame (consumes the
+    /// separate bulk-loss budget). Only enabled for messages that decode
+    /// as [`SessionMsg::Bulk`], so the adversary can target exactly the
+    /// dissemination path while the ordering path stays reliable.
+    DropBulk {
+        /// Message identity.
+        key: MsgKey,
+    },
     /// Crash a node (consumes crash budget).
     Crash(NodeId),
     /// Advance virtual time to the earliest protocol timer and tick
@@ -81,6 +94,7 @@ impl std::fmt::Display for Action {
         match self {
             Action::Deliver { key: (src, n), dst } => write!(f, "deliver {src}#{n}->{dst}"),
             Action::Drop { key: (src, n) } => write!(f, "drop {src}#{n}"),
+            Action::DropBulk { key: (src, n) } => write!(f, "drop-bulk {src}#{n}"),
             Action::Crash(id) => write!(f, "crash {id}"),
             Action::Tick => write!(f, "tick"),
         }
@@ -108,6 +122,11 @@ impl std::str::FromStr for Action {
             return parse_node(rest.trim())
                 .map(Action::Crash)
                 .ok_or_else(|| format!("bad node in {s:?}"));
+        }
+        if let Some(rest) = s.strip_prefix("drop-bulk ") {
+            return parse_key(rest.trim())
+                .map(|key| Action::DropBulk { key })
+                .ok_or_else(|| format!("bad message key in {s:?}"));
         }
         if let Some(rest) = s.strip_prefix("drop ") {
             return parse_key(rest.trim())
@@ -138,9 +157,33 @@ fn independent(a: &Action, b: &Action) -> bool {
         }
         // A drop only removes one message and debits the loss budget; it
         // cannot disable a delivery of a different message, nor vice
-        // versa. (Two drops compete for the budget: dependent.)
+        // versa. (Two drops from the *same* budget compete: dependent.
+        // Drop and DropBulk debit separate budgets, so across different
+        // keys they commute too.)
         (Action::Drop { key: k1 }, Action::Deliver { key: k2, .. })
-        | (Action::Deliver { key: k1, .. }, Action::Drop { key: k2 }) => k1 != k2,
+        | (Action::Deliver { key: k1, .. }, Action::Drop { key: k2 })
+        | (Action::DropBulk { key: k1 }, Action::Deliver { key: k2, .. })
+        | (Action::Deliver { key: k1, .. }, Action::DropBulk { key: k2 })
+        | (Action::DropBulk { key: k1 }, Action::Drop { key: k2 })
+        | (Action::Drop { key: k1 }, Action::DropBulk { key: k2 }) => k1 != k2,
+        _ => false,
+    }
+}
+
+/// True if an on-wire payload is a single-fragment transport frame
+/// carrying an out-of-band bulk payload ([`SessionMsg::Bulk`]). This is
+/// the targeting predicate for [`Action::DropBulk`] and for the chaos
+/// harness's bulk-loss fault class.
+pub fn is_bulk_frame(bytes: &[u8]) -> bool {
+    match Frame::decode_from_bytes(bytes) {
+        Ok(Frame::Data {
+            frag_count: 1,
+            payload,
+            ..
+        }) => matches!(
+            SessionMsg::decode_from_bytes(&payload),
+            Ok(SessionMsg::Bulk(_))
+        ),
         _ => false,
     }
 }
@@ -175,6 +218,19 @@ pub struct ModelCheckConfig {
     pub crash_budget: u32,
     /// How many message losses the adversary may inject per schedule.
     pub drop_budget: u32,
+    /// How many out-of-band bulk payload frames the adversary may drop
+    /// per schedule ([`Action::DropBulk`]) — a budget separate from
+    /// `drop_budget` so the dissemination path can be attacked without
+    /// spending the general loss budget on it.
+    pub bulk_drop_budget: u32,
+    /// Multicasts submitted at world creation: `(origin, payload_len)`
+    /// pairs. With `session.bulk_threshold` set below a payload's
+    /// length, the origin disseminates it out-of-band and the token
+    /// carries only the id manifest — the workload the bulk-loss
+    /// adversary and the completeness auditor exercise. Payload bytes
+    /// are deterministic (a function of origin and length), so replays
+    /// and digests are stable.
+    pub seed_bulk: Vec<(NodeId, usize)>,
     /// Bounded-delay window: a pending message blocks time from
     /// advancing past `sent_at + max_delay`.
     pub max_delay: Duration,
@@ -213,6 +269,8 @@ impl Default for ModelCheckConfig {
             max_depth: 14,
             crash_budget: 1,
             drop_budget: 1,
+            bulk_drop_budget: 0,
+            seed_bulk: Vec::new(),
             max_delay: Duration::from_millis(5),
             max_schedules: 12_000,
             forge_token: false,
@@ -228,6 +286,10 @@ struct ModelSlot {
     alive: bool,
     send_seq: u64,
     deliveries: Vec<(NodeId, OriginSeq)>,
+    /// Payload length of each delivery, index-aligned with `deliveries`
+    /// (the completeness auditor checks these against the submitted
+    /// lengths — a node must never deliver an id whose payload it lacks).
+    delivery_lens: Vec<usize>,
 }
 
 struct PendingWire {
@@ -249,8 +311,19 @@ pub struct ModelWorld {
     max_delay: Duration,
     crashes_left: u32,
     drops_left: u32,
+    bulk_drops_left: u32,
     forge_token: bool,
     forged: bool,
+    /// Submitted payload length per multicast id (from
+    /// [`ModelCheckConfig::seed_bulk`]): what every member must
+    /// eventually deliver, byte-for-byte in length.
+    expected: BTreeMap<(NodeId, OriginSeq), usize>,
+}
+
+/// Deterministic payload for a seeded bulk multicast: a function of the
+/// origin and length only, so schedules replay byte-identically.
+fn seed_payload(origin: NodeId, len: usize) -> Bytes {
+    Bytes::from(vec![0xB0u8 | (origin.0 as u8 & 0x0F); len])
 }
 
 impl ModelWorld {
@@ -272,8 +345,10 @@ impl ModelWorld {
             max_delay: cfg.max_delay,
             crashes_left: cfg.crash_budget,
             drops_left: cfg.drop_budget,
+            bulk_drops_left: cfg.bulk_drop_budget,
             forge_token: cfg.forge_token,
             forged: false,
+            expected: BTreeMap::new(),
         };
         for &id in &ids {
             let session = SessionNode::new(
@@ -293,8 +368,18 @@ impl ModelWorld {
                     alive: true,
                     send_seq: 0,
                     deliveries: Vec::new(),
+                    delivery_lens: Vec::new(),
                 },
             );
+        }
+        for &(origin, len) in &cfg.seed_bulk {
+            let Some(slot) = world.slots.get_mut(&origin) else {
+                continue;
+            };
+            let seq = slot
+                .session
+                .multicast(DeliveryMode::Agreed, seed_payload(origin, len))?;
+            world.expected.insert((origin, seq), len);
         }
         for &id in &ids {
             world.drain(id);
@@ -313,6 +398,7 @@ impl ModelWorld {
         while let Some(ev) = slot.session.poll_event() {
             if let SessionEvent::Delivery(d) = ev {
                 slot.deliveries.push((d.origin, d.seq));
+                slot.delivery_lens.push(d.payload.len());
             }
         }
         let alive = slot.alive;
@@ -424,6 +510,13 @@ impl ModelWorld {
                 out.push(Action::Drop { key });
             }
         }
+        if self.bulk_drops_left > 0 {
+            for (&key, p) in &self.pending {
+                if is_bulk_frame(&p.dgram.payload) {
+                    out.push(Action::DropBulk { key });
+                }
+            }
+        }
         if let Some(target) = self.tick_target() {
             // Bounded delay: the clock may not advance past a pending
             // message's deadline — it must be delivered or dropped first.
@@ -472,6 +565,22 @@ impl ModelWorld {
                     return false;
                 }
                 self.drops_left -= 1;
+            }
+            Action::DropBulk { key } => {
+                if self.bulk_drops_left == 0 {
+                    return false;
+                }
+                // Only an actual bulk payload frame may be targeted; a
+                // stale schedule entry naming something else is skipped.
+                if !self
+                    .pending
+                    .get(&key)
+                    .is_some_and(|p| is_bulk_frame(&p.dgram.payload))
+                {
+                    return false;
+                }
+                self.pending.remove(&key);
+                self.bulk_drops_left -= 1;
             }
             Action::Crash(id) => {
                 if self.crashes_left == 0 {
@@ -566,6 +675,7 @@ impl ModelWorld {
     pub fn digest_state(&self, d: &mut StateDigest) {
         d.write_u32(self.crashes_left);
         d.write_u32(self.drops_left);
+        d.write_u32(self.bulk_drops_left);
         d.write_bool(self.forged);
         let mut ids: Vec<NodeId> = self.slots.keys().copied().collect();
         ids.sort_unstable_by(|a, b| d.canon_cmp(*a, *b));
@@ -575,9 +685,10 @@ impl ModelWorld {
             d.node(id);
             d.write_bool(slot.alive);
             d.write_len(slot.deliveries.len());
-            for (origin, seq) in &slot.deliveries {
+            for ((origin, seq), len) in slot.deliveries.iter().zip(&slot.delivery_lens) {
                 d.node(*origin);
                 seq.digest_into(d);
+                d.write_u64(*len as u64);
             }
             // A crashed slot can never act again — it is not ticked, its
             // queued output is discarded and pending traffic to it is
@@ -748,9 +859,17 @@ impl AuditView for ModelWorld {
     fn delivery_log_ref(&self, id: NodeId) -> Option<&[(NodeId, OriginSeq)]> {
         self.slots.get(&id).map(|s| s.deliveries.as_slice())
     }
+
+    fn delivery_lens_ref(&self, id: NodeId) -> Option<&[usize]> {
+        self.slots.get(&id).map(|s| s.delivery_lens.as_slice())
+    }
+
+    fn expected_payload_len(&self, origin: NodeId, seq: OriginSeq) -> Option<usize> {
+        self.expected.get(&(origin, seq)).copied()
+    }
 }
 
-/// The four auditors run over every explored state.
+/// The five auditors run over every explored state.
 #[derive(Debug, Default)]
 pub struct Auditors {
     /// §2.2/§2.5 token uniqueness.
@@ -761,6 +880,8 @@ pub struct Auditors {
     pub nine_eleven: NineElevenAuditor,
     /// Membership monotonic w.r.t. observed failures.
     pub membership: MembershipAuditor,
+    /// DESIGN.md §13: no delivery of an id without its payload.
+    pub completeness: CompletenessAuditor,
 }
 
 impl Auditors {
@@ -769,12 +890,13 @@ impl Auditors {
         Self::default()
     }
 
-    /// Observes a state with all four auditors.
+    /// Observes a state with all five auditors.
     pub fn observe(&mut self, v: &impl AuditView) {
         self.token.observe(v);
         self.order.observe(v);
         self.nine_eleven.observe(v);
         self.membership.observe(v);
+        self.completeness.observe(v);
     }
 
     /// First violation any auditor has recorded, rendered for humans.
@@ -793,6 +915,12 @@ impl Auditors {
         if let Some((t, viewer, x)) = self.membership.violations.first() {
             return Some(format!(
                 "membership resurrection at {t}: {viewer} re-admitted purged {x}"
+            ));
+        }
+        if let Some((t, node, origin, seq)) = self.completeness.violations.first() {
+            return Some(format!(
+                "delivery completeness violated at {t}: {node} delivered {origin}#{} without its payload",
+                seq.0
             ));
         }
         None
@@ -863,8 +991,9 @@ impl Violation {
         let _ = writeln!(out, "# reason: {}", self.reason);
         let _ = writeln!(
             out,
-            "# scenario: nodes={} crash_budget={} drop_budget={} max_delay={:?} forge_token={}",
-            cfg.nodes, cfg.crash_budget, cfg.drop_budget, cfg.max_delay, cfg.forge_token
+            "# scenario: nodes={} crash_budget={} drop_budget={} bulk_drop_budget={} max_delay={:?} forge_token={}",
+            cfg.nodes, cfg.crash_budget, cfg.drop_budget, cfg.bulk_drop_budget, cfg.max_delay,
+            cfg.forge_token
         );
         let _ = writeln!(
             out,
@@ -926,6 +1055,9 @@ fn canon_action(a: &Action, d: &StateDigest) -> Action {
             dst: d.canon_node(dst),
         },
         Action::Drop { key: (src, n) } => Action::Drop {
+            key: (d.canon_node(src), n),
+        },
+        Action::DropBulk { key: (src, n) } => Action::DropBulk {
             key: (d.canon_node(src), n),
         },
         Action::Crash(id) => Action::Crash(d.canon_node(id)),

@@ -31,8 +31,9 @@ pub mod script;
 
 pub use app::{NodeApp, NodeCtl};
 pub use audit::{
-    AuditView, ConvergenceOracle, GroupIdOracle, LivenessOracles, MembershipAuditor,
-    NineElevenAuditor, NodeStatus, OrderAuditor, StatusView, TokenAuditor, TokenLivenessOracle,
+    AuditView, CompletenessAuditor, ConvergenceOracle, GroupIdOracle, LivenessOracles,
+    MembershipAuditor, NineElevenAuditor, NodeStatus, OrderAuditor, StatusView, TokenAuditor,
+    TokenLivenessOracle,
 };
 pub use chaos::{
     dump_violation, find_and_minimize, generate_schedule, minimize, parse_dump, run_chaos,
@@ -40,7 +41,8 @@ pub use chaos::{
 };
 pub use cluster::{Cluster, ClusterBuilder, ClusterConfig};
 pub use explore::{
-    Action, Auditors, ExploreReport, Explorer, ModelCheckConfig, ModelWorld, Violation,
+    is_bulk_frame, Action, Auditors, ExploreReport, Explorer, ModelCheckConfig, ModelWorld,
+    Violation,
 };
 pub use obs::{standard_invariants, InvariantFailure};
 pub use open_app::OpenClientApp;

@@ -53,6 +53,40 @@ fn chaos_short_soak_all_scenarios_clean() {
     }
 }
 
+/// With the out-of-band path enabled, a sustained bulk-loss dial drops a
+/// hefty fraction of real bulk frames while the token keeps ordering
+/// their ids. The §13 completeness oracle (no node delivers an id whose
+/// payload it lacks) must hold non-vacuously, and the NACK pull path
+/// must still deliver everything — the run converges clean.
+#[test]
+fn chaos_bulk_loss_soak_completeness_holds() {
+    for seed in 1..=3u64 {
+        let cfg = ChaosConfig {
+            bulk_threshold: 512,
+            ..small_cfg(seed, ChaosScenario::Founding)
+        };
+        let schedule: Vec<ChaosEvent> = ["@0 bulk-loss 300", "@100 bulk-loss 0"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let report = run_chaos(&cfg, &schedule).expect("setup");
+        assert!(
+            report.violation.is_none(),
+            "seed {seed}: {}",
+            report.violation.unwrap().reason
+        );
+        assert!(report.converged, "seed {seed} did not converge");
+        assert!(
+            report.bulk_drops_injected > 0,
+            "seed {seed}: bulk-loss dial dropped nothing — fault not exercised"
+        );
+        assert!(
+            report.completeness_checked > 0,
+            "seed {seed}: completeness oracle never checked a delivery"
+        );
+    }
+}
+
 /// The deliberately seeded broken heal (belief updated, network still
 /// partitioned) must be caught by the convergence oracle, shrink to a
 /// 1-minimal schedule, and reproduce from its own dump.

@@ -14,8 +14,10 @@
 //! the `states` counters). These tests pin the *soundness* half at
 //! debug-friendly bounds.
 
-use raincore_sim::explore::{replay, Reduction};
-use raincore_sim::{Explorer, ModelCheckConfig};
+use raincore_sim::audit::MembershipAuditor;
+use raincore_sim::explore::{replay, Action, Reduction};
+use raincore_sim::{Explorer, ModelCheckConfig, ModelWorld};
+use raincore_types::NodeId;
 
 fn four_node_cfg(reduction: Reduction) -> ModelCheckConfig {
     ModelCheckConfig {
@@ -95,6 +97,73 @@ fn reduced_search_finds_the_seeded_fault() {
         .violation
         .expect("schedule minimized under reduction must replay unreduced");
     assert!(reason.contains("token uniqueness"), "{reason}");
+}
+
+/// DESIGN.md §13: buffered-bulk state feeds the canonical digest. Two
+/// worlds that ran the same schedule except for the fate of one
+/// out-of-band payload frame — delivered (resident in the receiver's
+/// bulk store) vs dropped (gone; only a NACK pull can recover it) —
+/// must never share a fingerprint under any reduction map, and the
+/// digest must stay deterministic for the same fate.
+#[test]
+fn digest_separates_bulk_payload_residency() {
+    let mut cfg = ModelCheckConfig {
+        bulk_drop_budget: 1,
+        seed_bulk: vec![(NodeId(0), 16)],
+        ..ModelCheckConfig::default()
+    };
+    cfg.session.bulk_threshold = 8;
+
+    // Walk a deterministic prefix until a bulk payload frame is pending.
+    let mut prefix: Vec<Action> = Vec::new();
+    let mut probe = ModelWorld::new(&cfg).expect("setup");
+    let (key, dst) = loop {
+        let actions = probe.enabled_actions();
+        if let Some(Action::DropBulk { key }) = actions
+            .iter()
+            .find(|a| matches!(a, Action::DropBulk { .. }))
+            .copied()
+        {
+            let dst = actions
+                .iter()
+                .find_map(|a| match a {
+                    Action::Deliver { key: k, dst } if *k == key => Some(*dst),
+                    _ => None,
+                })
+                .expect("a pending frame is always deliverable");
+            break (key, dst);
+        }
+        let a = actions.first().copied().expect("live world has actions");
+        probe.apply(&a);
+        prefix.push(a);
+        assert!(prefix.len() < 100, "no bulk frame within 100 steps");
+    };
+
+    let run = |fate: Action| {
+        let mut w = ModelWorld::new(&cfg).expect("setup");
+        for a in &prefix {
+            assert!(w.apply(a), "prefix must replay deterministically");
+        }
+        assert!(w.apply(&fate), "fate action must be enabled");
+        w
+    };
+    let delivered = run(Action::Deliver { key, dst });
+    let dropped = run(Action::DropBulk { key });
+    let delivered_again = run(Action::Deliver { key, dst });
+
+    let m = MembershipAuditor::default();
+    for red in [Reduction::Hash, Reduction::Symmetry] {
+        assert_ne!(
+            delivered.fingerprint(red, &m),
+            dropped.fingerprint(red, &m),
+            "resident and lost bulk payload merged under {red:?}"
+        );
+        assert_eq!(
+            delivered.fingerprint(red, &m),
+            delivered_again.fingerprint(red, &m),
+            "same schedule digested differently under {red:?}"
+        );
+    }
 }
 
 /// 1-minimality survives reduction: dropping any single action from a

@@ -10,9 +10,17 @@
 //! plus the sparse set of delivered ids above it. The set stays tiny in
 //! practice because ids are delivered nearly in order, and memory is
 //! bounded no matter how long the peer lives.
+//!
+//! Out-of-band bulk payloads need their own tracker ([`BulkDedup`]): a
+//! retransmitted bulk payload — whether a NACK answer or an origin
+//! resend — travels as a *fresh* transport message with a fresh wire
+//! `MsgId`, so the per-peer window above cannot recognize it. The bulk
+//! tracker keys on the session-level bulk id `(origin, seq)` instead,
+//! which is stable across any number of retransmissions and across
+//! *different senders* retransmitting the same payload.
 
-use raincore_types::{MsgId, StateDigest};
-use std::collections::BTreeSet;
+use raincore_types::{MsgId, NodeId, OriginSeq, StateDigest};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Exactly-once delivery tracker for one (peer, incarnation).
 #[derive(Debug, Default, Clone)]
@@ -70,6 +78,53 @@ impl DedupWindow {
     }
 }
 
+/// Exactly-once acceptance tracker for out-of-band bulk payloads, keyed
+/// by the session-level bulk id `(origin, seq)`.
+///
+/// The wire-seq window ([`DedupWindow`]) only suppresses duplicates of
+/// one *transport message*; every bulk retransmission is a new transport
+/// message, so without this tracker a NACK answer racing the original
+/// frame (or a duplicated datagram of a re-send) would hand the same
+/// payload to the session twice. Per-origin seqs are monotonic, so each
+/// origin gets its own watermark window and memory stays bounded.
+#[derive(Debug, Default, Clone)]
+pub struct BulkDedup {
+    per_origin: BTreeMap<NodeId, DedupWindow>,
+}
+
+impl BulkDedup {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if the payload for `(origin, seq)` has already been accepted.
+    pub fn contains(&self, origin: NodeId, seq: OriginSeq) -> bool {
+        self.per_origin
+            .get(&origin)
+            .is_some_and(|w| w.contains(MsgId(seq.0)))
+    }
+
+    /// Records the bulk id as accepted. Returns `true` if it was new (the
+    /// caller should buffer/deliver the payload), `false` on a duplicate.
+    pub fn insert(&mut self, origin: NodeId, seq: OriginSeq) -> bool {
+        self.per_origin
+            .entry(origin)
+            .or_default()
+            .insert(MsgId(seq.0))
+    }
+
+    /// Feeds the full per-origin window state into a model-checker state
+    /// digest (origins canonicalized, seqs are plain counters).
+    pub fn digest_into(&self, d: &mut StateDigest) {
+        d.write_len(self.per_origin.len());
+        for (origin, w) in &self.per_origin {
+            d.node(*origin);
+            w.digest_into(d);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +163,54 @@ mod tests {
         assert!(w.insert(MsgId(0))); // fills the gap
         assert_eq!(w.watermark(), 5);
         assert_eq!(w.sparse_len(), 0);
+    }
+
+    /// Pins the bulk-retransmission double-delivery fix: a retransmitted
+    /// bulk payload arrives as a fresh transport message (fresh wire
+    /// `MsgId`), so the per-peer wire-seq window happily accepts it —
+    /// only the bulk-id tracker can reject it.
+    #[test]
+    fn retransmitted_bulk_payload_cannot_double_deliver() {
+        let origin = NodeId(3);
+        let seq = OriginSeq(7);
+
+        // The wire-seq window sees two distinct transport messages and
+        // accepts both: this is exactly the hole BulkDedup closes.
+        let mut wire = DedupWindow::new();
+        assert!(wire.insert(MsgId(100)), "original frame, wire id 100");
+        assert!(
+            wire.insert(MsgId(101)),
+            "retransmit travels under a fresh wire id and passes wire dedup"
+        );
+
+        let mut bulk = BulkDedup::new();
+        assert!(bulk.insert(origin, seq), "original payload accepted");
+        assert!(
+            !bulk.insert(origin, seq),
+            "retransmit of the same bulk id must be rejected"
+        );
+        // A NACK answer served by a *different* holder is still the same
+        // bulk id — rejected no matter who sent it.
+        assert!(!bulk.insert(origin, seq));
+        assert!(bulk.contains(origin, seq));
+        // Other ids are unaffected: same origin next seq, other origin
+        // same seq.
+        assert!(bulk.insert(origin, OriginSeq(8)));
+        assert!(bulk.insert(NodeId(4), seq));
+    }
+
+    #[test]
+    fn bulk_dedup_windows_are_per_origin_and_compact() {
+        let mut bulk = BulkDedup::new();
+        for s in 0..50 {
+            assert!(bulk.insert(NodeId(1), OriginSeq(s)));
+            assert!(bulk.insert(NodeId(2), OriginSeq(s)));
+        }
+        // In-order seqs ride the watermark: nothing accumulates.
+        assert_eq!(bulk.per_origin[&NodeId(1)].sparse_len(), 0);
+        assert_eq!(bulk.per_origin[&NodeId(1)].watermark(), 50);
+        assert!(bulk.contains(NodeId(1), OriginSeq(0)));
+        assert!(!bulk.contains(NodeId(3), OriginSeq(0)));
     }
 
     proptest! {

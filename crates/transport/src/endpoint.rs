@@ -390,6 +390,53 @@ impl Endpoint {
         Ok(msg_id)
     }
 
+    /// Sends `payload` to `to` *unreliably*: identical fragmentation and
+    /// framing to [`Endpoint::send`], but fire-and-forget — no
+    /// retransmission state is kept, so neither
+    /// [`TransportEvent::Delivered`] nor
+    /// [`TransportEvent::DeliveryFailed`] is ever reported for it.
+    ///
+    /// This is the dissemination path for out-of-band bulk payloads: the
+    /// session layer recovers losses end-to-end by NACK-pulling against
+    /// the token's id manifest, and a lost bulk frame must *not* feed the
+    /// failure-on-delivery detector (losing best-effort bulk traffic is
+    /// not evidence the peer is down). The receiver still acks each
+    /// fragment — harmless, since no pending entry is listening.
+    pub fn send_unreliable(&mut self, now: Time, to: NodeId, payload: Bytes) -> Result<MsgId> {
+        let n_addrs = self.peers.addrs(to).map(<[Addr]>::len).unwrap_or(0);
+        if n_addrs == 0 {
+            return Err(Error::UnknownNode(to));
+        }
+        let msg_id = MsgId(self.next_msg_id);
+        self.next_msg_id += 1;
+        self.stats.msgs_sent += 1;
+
+        let chunk = self.cfg.mtu;
+        let frags: Vec<Bytes> = if payload.is_empty() {
+            vec![Bytes::new()]
+        } else {
+            (0..payload.len())
+                .step_by(chunk)
+                .map(|off| payload.slice(off..payload.len().min(off + chunk)))
+                .collect()
+        };
+        let n = frags.len();
+        // A transient send record drives the shared transmit path once and
+        // is dropped: nothing enters `pending`, so there are no retries,
+        // no failure notification, and acks for it fall on the floor.
+        let mut p = PendingSend {
+            to,
+            frags,
+            acked: vec![false; n],
+            addr_index: 0,
+            attempts: 1,
+            next_retry: now + self.cfg.retry_timeout,
+            sent_at: now,
+        };
+        self.transmit_unacked(&mut p, msg_id);
+        Ok(msg_id)
+    }
+
     /// Abandons an in-flight send without a failure notification (used
     /// when the upper layer has already decided the peer is gone).
     pub fn abort(&mut self, msg_id: MsgId) -> bool {
@@ -771,6 +818,63 @@ mod tests {
                 payload: Bytes::new()
             }]
         );
+    }
+
+    #[test]
+    fn unreliable_send_delivers_without_completion_events() {
+        let cfg = TransportConfig {
+            mtu: 100,
+            ..Default::default()
+        };
+        let (mut a, mut b) = mk_pair(cfg, 1);
+        let mut net = SimNet::new(SimNetConfig::default());
+        let payload: Vec<u8> = (0..350).map(|i| (i % 251) as u8).collect();
+        a.send_unreliable(Time::ZERO, NodeId(1), Bytes::from(payload.clone()))
+            .unwrap();
+        pump(
+            &mut net,
+            &mut [&mut a, &mut b],
+            Time::ZERO,
+            Time::ZERO + Duration::from_secs(1),
+        );
+        // The receiver reassembles and delivers normally...
+        let ev = drain_events(&mut b);
+        assert_eq!(ev.len(), 1);
+        match &ev[0] {
+            TransportEvent::Received { payload: got, .. } => assert_eq!(&got[..], &payload[..]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // ...its acks fall on the floor harmlessly, and the sender keeps
+        // no in-flight state and reports no completion either way.
+        assert_eq!(drain_events(&mut a), vec![]);
+        assert_eq!(a.in_flight(), 0);
+        assert_eq!(a.stats().data_frames_sent, 4);
+    }
+
+    #[test]
+    fn unreliable_send_loss_never_reports_delivery_failure() {
+        let cfg = TransportConfig {
+            retry_timeout: Duration::from_millis(10),
+            max_retries: 3,
+            ..Default::default()
+        };
+        let (mut a, mut b) = mk_pair(cfg, 1);
+        let mut net = SimNet::new(SimNetConfig::default());
+        net.set_node(NodeId(1), false); // peer unreachable: every frame lost
+        a.send_unreliable(Time::ZERO, NodeId(1), Bytes::from_static(b"gone"))
+            .unwrap();
+        pump(
+            &mut net,
+            &mut [&mut a, &mut b],
+            Time::ZERO,
+            Time::ZERO + Duration::from_secs(10),
+        );
+        // Bulk loss is recovered end-to-end by the session's NACK pull; the
+        // transport must not retry it or feed the failure detector.
+        assert_eq!(drain_events(&mut a), vec![]);
+        assert_eq!(drain_events(&mut b), vec![]);
+        assert_eq!(a.stats().retransmissions, 0);
+        assert_eq!(a.stats().msgs_failed, 0);
     }
 
     #[test]

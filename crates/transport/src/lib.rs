@@ -33,9 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bulk;
 pub mod dedup;
 pub mod endpoint;
 pub mod frame;
 
+pub use bulk::{BulkId, BulkStore};
+pub use dedup::BulkDedup;
 pub use endpoint::{Endpoint, PeerTable, TransportEvent, TransportObs, TransportStats};
 pub use frame::Frame;

@@ -111,6 +111,26 @@ pub struct SessionConfig {
     pub max_attached: usize,
     /// Failure-detection mode (Aggressive is the paper's design).
     pub detection: DetectionMode,
+    /// Size threshold (bytes) above which a multicast payload is
+    /// disseminated out of band as bulk frames while the token carries
+    /// only an id-manifest entry (Ring Paxos split). Payloads strictly
+    /// smaller than the threshold ride the token inline as before. `0`
+    /// disables the out-of-band path entirely (every payload piggybacks).
+    pub bulk_threshold: usize,
+    /// How long a node waits for the out-of-band payload of an
+    /// already-ordered manifest id before NACK-pulling it from a holder.
+    /// Re-arms on every retry, rotating through known holders.
+    pub bulk_pull_timeout: Duration,
+    /// Maximum `(origin, seq) → payload` entries in the bulk store (the
+    /// origin's retransmit cache plus buffered not-yet-ordered receives).
+    /// Oldest entries are evicted first when full.
+    pub bulk_cache_entries: usize,
+    /// Test-only fault dial: deliver an ordered manifest id even when the
+    /// out-of-band payload has not arrived (an empty payload is delivered
+    /// in its place). Exists so the model checker and chaos harness can
+    /// demonstrate the id-without-payload hazard their completeness
+    /// oracle guards against. Never enable outside verification.
+    pub bulk_blind_delivery: bool,
 }
 
 impl Default for SessionConfig {
@@ -125,6 +145,10 @@ impl Default for SessionConfig {
             max_payload: 60_000,
             max_attached: 256,
             detection: DetectionMode::Aggressive,
+            bulk_threshold: 0,
+            bulk_pull_timeout: Duration::from_millis(50),
+            bulk_cache_entries: 1024,
+            bulk_blind_delivery: false,
         }
     }
 }
@@ -164,6 +188,14 @@ impl SessionConfig {
         }
         if self.max_attached == 0 {
             return Err("max_attached must be positive");
+        }
+        if self.bulk_threshold > 0 {
+            if self.bulk_pull_timeout.is_zero() {
+                return Err("bulk_pull_timeout must be positive when bulk dissemination is on");
+            }
+            if self.bulk_cache_entries == 0 {
+                return Err("bulk_cache_entries must be positive when bulk dissemination is on");
+            }
         }
         Ok(())
     }
@@ -221,6 +253,36 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bulk_dials_validate_only_when_enabled() {
+        // Disabled (threshold 0): the other bulk dials may be anything.
+        let c = SessionConfig {
+            bulk_threshold: 0,
+            bulk_pull_timeout: Duration::ZERO,
+            bulk_cache_entries: 0,
+            ..Default::default()
+        };
+        c.validate().unwrap();
+        // Enabled: pull timeout and cache bound must be positive.
+        let c = SessionConfig {
+            bulk_threshold: 512,
+            bulk_pull_timeout: Duration::ZERO,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SessionConfig {
+            bulk_threshold: 512,
+            bulk_cache_entries: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SessionConfig {
+            bulk_threshold: 512,
+            ..Default::default()
+        };
+        c.validate().unwrap();
     }
 
     #[test]

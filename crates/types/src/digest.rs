@@ -24,7 +24,7 @@
 
 use crate::id::{GroupId, Incarnation, MsgId, NodeId, OriginSeq};
 use crate::membership::Ring;
-use crate::messages::{Attached, DeliveryMode, SessionMsg, Token, Verdict911};
+use crate::messages::{Attached, AttachedBody, DeliveryMode, SessionMsg, Token, Verdict911};
 use crate::time::Time;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::Hasher;
@@ -238,7 +238,16 @@ impl DigestInto for Attached {
         for n in &self.confirmed {
             d.node(*n);
         }
-        d.write_bytes(&self.payload);
+        match &self.body {
+            AttachedBody::Inline(payload) => {
+                d.tag(0);
+                d.write_bytes(payload);
+            }
+            AttachedBody::Oob { len } => {
+                d.tag(1);
+                d.write_u64(*len);
+            }
+        }
     }
 }
 
@@ -297,6 +306,18 @@ impl DigestInto for SessionMsg {
                 d.node(o.from);
                 o.seq.digest_into(d);
                 d.write_bytes(&o.payload);
+            }
+            SessionMsg::Bulk(b) => {
+                d.tag(5);
+                d.node(b.origin);
+                b.seq.digest_into(d);
+                d.write_bytes(&b.payload);
+            }
+            SessionMsg::BulkNack(n) => {
+                d.tag(6);
+                d.node(n.from);
+                d.node(n.origin);
+                n.seq.digest_into(d);
             }
         }
     }

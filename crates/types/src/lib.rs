@@ -38,8 +38,8 @@ pub use error::{Error, Result};
 pub use id::{GroupId, Incarnation, MsgId, NodeId, OriginSeq, VipId};
 pub use membership::Ring;
 pub use messages::{
-    Attached, BodyOdor, Call911, DeliveryMode, MsgList, OpenSubmit, Reply911, SessionMsg, Token,
-    TraceCtx, Verdict911,
+    Attached, AttachedBody, BodyOdor, BulkData, BulkNack, Call911, DeliveryMode, MsgList,
+    OpenSubmit, Reply911, SessionMsg, Token, TraceCtx, Verdict911,
 };
 pub use time::{Duration, Time};
 pub use token_codec::TokenEncoder;

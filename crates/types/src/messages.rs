@@ -57,6 +57,61 @@ impl WireDecode for DeliveryMode {
     }
 }
 
+/// The body an [`Attached`] entry carries on the token: either the full
+/// application payload inline (the classic piggyback path) or an
+/// out-of-band *manifest* — just the payload length, with the bytes
+/// themselves disseminated directly to members as bulk frames (Ring
+/// Paxos split: the ring fixes the order, the payload travels out of
+/// band). For an `Oob` entry the `seen` set doubles as the stability
+/// watermark: a node marks itself seen only once it holds the payload,
+/// so `seen_by_all` certifies that every member can deliver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttachedBody {
+    /// Full payload rides the token.
+    Inline(Bytes),
+    /// Payload travels out of band as bulk frames; the token carries only
+    /// this id-manifest entry with the expected payload length.
+    Oob {
+        /// Length in bytes of the out-of-band payload.
+        len: u64,
+    },
+}
+
+impl AttachedBody {
+    const TAG_INLINE: u8 = 0;
+    const TAG_OOB: u8 = 1;
+}
+
+impl WireEncode for AttachedBody {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            AttachedBody::Inline(payload) => {
+                w.put_u8(Self::TAG_INLINE);
+                w.put_bytes(payload);
+            }
+            AttachedBody::Oob { len } => {
+                w.put_u8(Self::TAG_OOB);
+                w.put_varint(*len);
+            }
+        }
+    }
+}
+
+impl WireDecode for AttachedBody {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        match r.get_u8()? {
+            Self::TAG_INLINE => Ok(AttachedBody::Inline(r.get_bytes()?)),
+            Self::TAG_OOB => Ok(AttachedBody::Oob {
+                len: r.get_varint()?,
+            }),
+            tag => Err(WireError::BadTag {
+                ty: "AttachedBody",
+                tag,
+            }),
+        }
+    }
+}
+
 /// A multicast message riding the token ("the token is the locomotive for
 /// the reliable multicast transport", §2.2).
 ///
@@ -78,8 +133,8 @@ pub struct Attached {
     /// Members that have observed `seen` cover the membership (safe mode's
     /// second round); unused (empty) for agreed mode.
     pub confirmed: Vec<NodeId>,
-    /// Application payload.
-    pub payload: Bytes,
+    /// Application payload, inline or as an out-of-band manifest entry.
+    pub body: AttachedBody,
 }
 
 impl Attached {
@@ -92,7 +147,42 @@ impl Attached {
             mode,
             seen: vec![origin],
             confirmed: Vec::new(),
-            payload,
+            body: AttachedBody::Inline(payload),
+        }
+    }
+
+    /// Creates a fresh out-of-band manifest entry: the token orders the
+    /// `(origin, seq)` id while the `len`-byte payload travels as bulk
+    /// frames. The originator holds the payload, so it is trivially seen.
+    pub fn new_oob(origin: NodeId, seq: OriginSeq, mode: DeliveryMode, len: u64) -> Self {
+        Attached {
+            origin,
+            seq,
+            mode,
+            seen: vec![origin],
+            confirmed: Vec::new(),
+            body: AttachedBody::Oob { len },
+        }
+    }
+
+    /// The inline payload, if this entry carries one.
+    pub fn inline_payload(&self) -> Option<&Bytes> {
+        match &self.body {
+            AttachedBody::Inline(p) => Some(p),
+            AttachedBody::Oob { .. } => None,
+        }
+    }
+
+    /// True if the payload travels out of band.
+    pub fn is_oob(&self) -> bool {
+        matches!(self.body, AttachedBody::Oob { .. })
+    }
+
+    /// Payload length in bytes, whether inline or out of band.
+    pub fn payload_len(&self) -> usize {
+        match &self.body {
+            AttachedBody::Inline(p) => p.len(),
+            AttachedBody::Oob { len } => *len as usize,
         }
     }
 
@@ -133,7 +223,7 @@ impl WireEncode for Attached {
         self.mode.encode(w);
         self.seen.encode(w);
         self.confirmed.encode(w);
-        w.put_bytes(&self.payload);
+        self.body.encode(w);
     }
 }
 
@@ -145,7 +235,7 @@ impl WireDecode for Attached {
             mode: DeliveryMode::decode(r)?,
             seen: Vec::decode(r)?,
             confirmed: Vec::decode(r)?,
-            payload: r.get_bytes()?,
+            body: AttachedBody::decode(r)?,
         })
     }
 }
@@ -340,8 +430,13 @@ impl Token {
     }
 
     /// Total bytes of piggybacked payloads (for accounting/tests).
+    /// Counts only bytes that actually ride the token: inline payloads,
+    /// not out-of-band manifest entries.
     pub fn payload_bytes(&self) -> usize {
-        self.msgs.iter().map(|m| m.payload.len()).sum()
+        self.msgs
+            .iter()
+            .map(|m| m.inline_payload().map_or(0, Bytes::len))
+            .sum()
     }
 
     /// Encodes the slow-changing *body* of the wire image — ring, tbm and
@@ -539,6 +634,69 @@ impl WireDecode for OpenSubmit {
     }
 }
 
+/// An out-of-band bulk payload frame: the payload of a multicast whose
+/// token entry is an [`AttachedBody::Oob`] manifest, sent directly to
+/// each member (and re-sent by any holder answering a [`BulkNack`]).
+/// Keyed by the same `(origin, seq)` bulk id the manifest orders.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BulkData {
+    /// Node that originated the multicast.
+    pub origin: NodeId,
+    /// Per-origin sequence number (the bulk id, with `origin`).
+    pub seq: OriginSeq,
+    /// The application payload.
+    pub payload: Bytes,
+}
+
+impl WireEncode for BulkData {
+    fn encode(&self, w: &mut Writer) {
+        self.origin.encode(w);
+        self.seq.encode(w);
+        w.put_bytes(&self.payload);
+    }
+}
+
+impl WireDecode for BulkData {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(BulkData {
+            origin: NodeId::decode(r)?,
+            seq: OriginSeq::decode(r)?,
+            payload: r.get_bytes()?,
+        })
+    }
+}
+
+/// A negative acknowledgement for a missing bulk payload: the sender saw
+/// the `(origin, seq)` id ordered on the token but never received (or
+/// lost) the [`BulkData`] frame, and asks the receiver to retransmit it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BulkNack {
+    /// The node requesting retransmission (where to send the payload).
+    pub from: NodeId,
+    /// Origin of the missing multicast.
+    pub origin: NodeId,
+    /// Per-origin sequence number of the missing multicast.
+    pub seq: OriginSeq,
+}
+
+impl WireEncode for BulkNack {
+    fn encode(&self, w: &mut Writer) {
+        self.from.encode(w);
+        self.origin.encode(w);
+        self.seq.encode(w);
+    }
+}
+
+impl WireDecode for BulkNack {
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(BulkNack {
+            from: NodeId::decode(r)?,
+            origin: NodeId::decode(r)?,
+            seq: OriginSeq::decode(r)?,
+        })
+    }
+}
+
 /// Any session-layer datagram.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SessionMsg {
@@ -552,6 +710,10 @@ pub enum SessionMsg {
     BodyOdor(BodyOdor),
     /// Open-group submission from a non-member (§2.6).
     Open(OpenSubmit),
+    /// Out-of-band bulk payload frame.
+    Bulk(BulkData),
+    /// Request to retransmit a missing bulk payload.
+    BulkNack(BulkNack),
 }
 
 impl SessionMsg {
@@ -568,6 +730,10 @@ impl SessionMsg {
     pub const TAG_BODYODOR: u8 = 3;
     /// Wire tag of [`SessionMsg::Open`].
     pub const TAG_OPEN: u8 = 4;
+    /// Wire tag of [`SessionMsg::Bulk`].
+    pub const TAG_BULK: u8 = 5;
+    /// Wire tag of [`SessionMsg::BulkNack`].
+    pub const TAG_BULK_NACK: u8 = 6;
 
     /// Short human-readable kind name (for traces).
     pub fn kind(&self) -> &'static str {
@@ -577,6 +743,8 @@ impl SessionMsg {
             SessionMsg::Reply911(_) => "911-REPLY",
             SessionMsg::BodyOdor(_) => "BODYODOR",
             SessionMsg::Open(_) => "OPEN",
+            SessionMsg::Bulk(_) => "BULK",
+            SessionMsg::BulkNack(_) => "BULK-NACK",
         }
     }
 }
@@ -604,6 +772,14 @@ impl WireEncode for SessionMsg {
                 w.put_u8(Self::TAG_OPEN);
                 o.encode(w);
             }
+            SessionMsg::Bulk(b) => {
+                w.put_u8(Self::TAG_BULK);
+                b.encode(w);
+            }
+            SessionMsg::BulkNack(n) => {
+                w.put_u8(Self::TAG_BULK_NACK);
+                n.encode(w);
+            }
         }
     }
 }
@@ -616,6 +792,8 @@ impl WireDecode for SessionMsg {
             Self::TAG_REPLY911 => Ok(SessionMsg::Reply911(Reply911::decode(r)?)),
             Self::TAG_BODYODOR => Ok(SessionMsg::BodyOdor(BodyOdor::decode(r)?)),
             Self::TAG_OPEN => Ok(SessionMsg::Open(OpenSubmit::decode(r)?)),
+            Self::TAG_BULK => Ok(SessionMsg::Bulk(BulkData::decode(r)?)),
+            Self::TAG_BULK_NACK => Ok(SessionMsg::BulkNack(BulkNack::decode(r)?)),
             tag => Err(WireError::BadTag {
                 ty: "SessionMsg",
                 tag,
@@ -708,6 +886,32 @@ mod tests {
     }
 
     #[test]
+    fn oob_manifest_entries_carry_only_ids() {
+        let inline = Attached::new(
+            NodeId(1),
+            OriginSeq(0),
+            DeliveryMode::Agreed,
+            Bytes::from(vec![0u8; 10]),
+        );
+        let oob = Attached::new_oob(NodeId(1), OriginSeq(1), DeliveryMode::Agreed, 1024);
+        assert!(!inline.is_oob());
+        assert!(oob.is_oob());
+        assert_eq!(inline.payload_len(), 10);
+        assert_eq!(oob.payload_len(), 1024);
+        assert!(inline.inline_payload().is_some());
+        assert!(oob.inline_payload().is_none());
+        assert_eq!(oob.seen, vec![NodeId(1)], "originator holds the payload");
+        // Only inline bytes count as token freight.
+        let mut t = Token::founding(ring(&[1]));
+        t.msgs.push(inline);
+        t.msgs.push(oob);
+        assert_eq!(t.payload_bytes(), 10);
+        // The manifest wire form is a handful of varints, not the payload.
+        let wire = t.msgs[1].encode_to_bytes();
+        assert!(wire.len() < 32, "manifest entry is compact: {}", wire.len());
+    }
+
+    #[test]
     fn msg_list_clone_shares_until_mutated() {
         let mut a = MsgList::new();
         a.push(Attached::new(
@@ -764,6 +968,24 @@ mod tests {
             .kind(),
             "BODYODOR"
         );
+        assert_eq!(
+            SessionMsg::Bulk(BulkData {
+                origin: NodeId(1),
+                seq: OriginSeq(0),
+                payload: Bytes::new()
+            })
+            .kind(),
+            "BULK"
+        );
+        assert_eq!(
+            SessionMsg::BulkNack(BulkNack {
+                from: NodeId(2),
+                origin: NodeId(1),
+                seq: OriginSeq(0)
+            })
+            .kind(),
+            "BULK-NACK"
+        );
     }
 
     #[test]
@@ -777,8 +999,14 @@ mod tests {
             mode: DeliveryMode::Safe,
             seen: vec![NodeId(2), NodeId(3)],
             confirmed: vec![NodeId(2)],
-            payload: Bytes::from_static(b"payload"),
+            body: AttachedBody::Inline(Bytes::from_static(b"payload")),
         });
+        token.msgs.push(Attached::new_oob(
+            NodeId(3),
+            OriginSeq(9),
+            DeliveryMode::Agreed,
+            4096,
+        ));
         let cases = vec![
             SessionMsg::Token(token),
             SessionMsg::Call911(Call911 {
@@ -804,6 +1032,16 @@ mod tests {
                 from: NodeId(99),
                 seq: OriginSeq(3),
                 payload: Bytes::from_static(b"outside"),
+            }),
+            SessionMsg::Bulk(BulkData {
+                origin: NodeId(2),
+                seq: OriginSeq(7),
+                payload: Bytes::from_static(b"bulk payload"),
+            }),
+            SessionMsg::BulkNack(BulkNack {
+                from: NodeId(5),
+                origin: NodeId(2),
+                seq: OriginSeq(7),
             }),
         ];
         for msg in cases {
@@ -832,6 +1070,8 @@ mod tests {
             seen in proptest::collection::vec(0u32..100, 0..8),
             confirmed in proptest::collection::vec(0u32..100, 0..8),
             payload in proptest::collection::vec(any::<u8>(), 0..64),
+            is_oob in any::<bool>(),
+            oob_len in 0u64..1_000_000,
         ) -> Attached {
             Attached {
                 origin: NodeId(origin),
@@ -839,7 +1079,11 @@ mod tests {
                 mode,
                 seen: seen.into_iter().map(NodeId).collect(),
                 confirmed: confirmed.into_iter().map(NodeId).collect(),
-                payload: Bytes::from(payload),
+                body: if is_oob {
+                    AttachedBody::Oob { len: oob_len }
+                } else {
+                    AttachedBody::Inline(Bytes::from(payload))
+                },
             }
         }
     }

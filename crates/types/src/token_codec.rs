@@ -192,4 +192,63 @@ mod tests {
         assert_eq!(enc.encode(&t)[..], full(&t)[..]);
         assert_eq!(enc.cache_hits(), 1);
     }
+
+    #[test]
+    fn manifest_entries_stay_byte_identical_to_full_encode() {
+        let mut enc = TokenEncoder::new();
+        let mut t = Token::founding(Ring::from([1, 2, 3]));
+        assert_eq!(enc.encode(&t)[..], full(&t)[..]);
+        // An id-manifest entry rides the token: the patched-header path
+        // must stay byte-identical to the full encode, hop after hop, as
+        // the watermark (seen set) mutates in place.
+        t.msgs.push(Attached::new_oob(
+            NodeId(2),
+            OriginSeq(4),
+            DeliveryMode::Agreed,
+            4096,
+        ));
+        for hop in 0..4 {
+            t.seq += 1;
+            t.trace.hop += 1;
+            for m in t.msgs.iter_mut() {
+                m.mark_seen(NodeId(1 + hop % 3));
+            }
+            assert_eq!(enc.encode(&t)[..], full(&t)[..], "manifest hop {hop}");
+        }
+        // A mixed token (inline + manifest) is equally faithful.
+        t.msgs.push(Attached::new(
+            NodeId(3),
+            OriginSeq(9),
+            DeliveryMode::Safe,
+            Bytes::from_static(b"inline"),
+        ));
+        t.seq += 1;
+        assert_eq!(enc.encode(&t)[..], full(&t)[..]);
+    }
+
+    #[test]
+    fn manifest_retirement_restores_the_quiescent_cache() {
+        use crate::messages::Attached;
+        let mut enc = TokenEncoder::new();
+        let mut t = Token::founding(Ring::from([1, 2]));
+        assert_eq!(enc.encode(&t)[..], full(&t)[..]); // miss: primes cache
+        t.seq += 1;
+        assert_eq!(enc.encode(&t)[..], full(&t)[..]); // hit
+                                                      // A manifest aboard bypasses the cache like any message...
+        t.msgs.push(Attached::new_oob(
+            NodeId(1),
+            OriginSeq(0),
+            DeliveryMode::Agreed,
+            1024,
+        ));
+        t.seq += 1;
+        assert_eq!(enc.encode(&t)[..], full(&t)[..]); // miss
+                                                      // ...and once it retires the old quiescent body serves again
+                                                      // without re-encoding: the 6-alloc steady-state floor is intact.
+        t.msgs.retain(|_| false);
+        t.seq += 1;
+        assert_eq!(enc.encode(&t)[..], full(&t)[..]); // hit
+        assert_eq!(enc.cache_misses(), 2);
+        assert_eq!(enc.cache_hits(), 2);
+    }
 }

@@ -14,8 +14,8 @@
 
 use bytes::Bytes;
 use raincore_types::messages::{
-    Attached, BodyOdor, Call911, DeliveryMode, OpenSubmit, Reply911, SessionMsg, Token, TraceCtx,
-    Verdict911,
+    Attached, AttachedBody, BodyOdor, BulkData, BulkNack, Call911, DeliveryMode, OpenSubmit,
+    Reply911, SessionMsg, Token, TraceCtx, Verdict911,
 };
 use raincore_types::wire::{WireDecode, WireEncode};
 use raincore_types::{GroupId, NodeId, OriginSeq, Ring, TokenEncoder};
@@ -67,15 +67,21 @@ fn arb_attached(rng: &mut Rng) -> Attached {
         confirmed: (0..rng.below(6))
             .map(|_| NodeId(rng.below(64) as u32))
             .collect(),
-        payload: {
+        body: if rng.below(4) == 0 {
+            // Out-of-band manifest entry: the token carries only the id
+            // and expected payload length.
+            AttachedBody::Oob {
+                len: rng.below(1 << 20),
+            }
+        } else {
             let n = rng.below(128) as usize;
-            Bytes::from(rng.bytes(n))
+            AttachedBody::Inline(Bytes::from(rng.bytes(n)))
         },
     }
 }
 
 fn arb_msg(rng: &mut Rng) -> SessionMsg {
-    match rng.below(6) {
+    match rng.below(8) {
         0 => SessionMsg::Token(Token {
             seq: rng.next(),
             trace: TraceCtx::mint(NodeId(rng.below(64) as u32), rng.next(), rng.next()),
@@ -104,13 +110,26 @@ fn arb_msg(rng: &mut Rng) -> SessionMsg {
             from: NodeId(rng.below(64) as u32),
             group: GroupId(NodeId(rng.below(64) as u32)),
         }),
-        _ => SessionMsg::Open(OpenSubmit {
+        5 => SessionMsg::Open(OpenSubmit {
             from: NodeId(rng.below(64) as u32),
             seq: OriginSeq(rng.below(100_000)),
             payload: {
                 let n = rng.below(128) as usize;
                 Bytes::from(rng.bytes(n))
             },
+        }),
+        6 => SessionMsg::Bulk(BulkData {
+            origin: NodeId(rng.below(64) as u32),
+            seq: OriginSeq(rng.below(100_000)),
+            payload: {
+                let n = rng.below(2048) as usize;
+                Bytes::from(rng.bytes(n))
+            },
+        }),
+        _ => SessionMsg::BulkNack(BulkNack {
+            from: NodeId(rng.below(64) as u32),
+            origin: NodeId(rng.below(64) as u32),
+            seq: OriginSeq(rng.below(100_000)),
         }),
     }
 }
@@ -231,7 +250,7 @@ fn patched_header_encode_matches_full_reencode() {
 #[test]
 fn all_variants_round_trip() {
     let mut rng = Rng::new(0x5EED);
-    let mut seen_tags = [false; 5];
+    let mut seen_tags = [false; 7];
     for _ in 0..5_000 {
         let msg = arb_msg(&mut rng);
         let tag = match &msg {
@@ -240,6 +259,8 @@ fn all_variants_round_trip() {
             SessionMsg::Reply911(_) => 2,
             SessionMsg::BodyOdor(_) => 3,
             SessionMsg::Open(_) => 4,
+            SessionMsg::Bulk(_) => 5,
+            SessionMsg::BulkNack(_) => 6,
         };
         seen_tags[tag] = true;
         let buf = msg.encode_to_bytes();
@@ -250,4 +271,81 @@ fn all_variants_round_trip() {
         seen_tags.iter().all(|&s| s),
         "seeded generator must cover every SessionMsg variant: {seen_tags:?}"
     );
+}
+
+/// Manifest-token ↔ piggyback-token equivalence at the delivery layer:
+/// a payload shipped as an `Oob` manifest entry plus its out-of-band
+/// [`BulkData`] frame must, after a wire round trip of both parts,
+/// reassemble to exactly the `(key, mode, payload)` triple the inline
+/// piggyback encoding of the same multicast delivers — while the
+/// manifest wire image stays payload-free. Seeded walk over sizes,
+/// modes and watermark states.
+#[test]
+fn manifest_round_trip_matches_piggyback_at_delivery() {
+    let mut rng = Rng::new(0x0B_1D5);
+    for step in 0..2_000 {
+        let origin = NodeId(rng.below(64) as u32);
+        let seq = OriginSeq(rng.below(100_000));
+        let mode = if rng.below(2) == 0 {
+            DeliveryMode::Agreed
+        } else {
+            DeliveryMode::Safe
+        };
+        let payload_len = rng.below(4096) as usize;
+        let payload = Bytes::from(rng.bytes(payload_len));
+
+        let mut inline = Attached::new(origin, seq, mode, payload.clone());
+        let mut manifest = Attached::new_oob(origin, seq, mode, payload.len() as u64);
+        // Watermark churn must not disturb the equivalence.
+        for _ in 0..rng.below(4) {
+            let n = NodeId(rng.below(64) as u32);
+            inline.mark_seen(n);
+            manifest.mark_seen(n);
+            if mode == DeliveryMode::Safe {
+                inline.mark_confirmed(n);
+                manifest.mark_confirmed(n);
+            }
+        }
+
+        let inline_wire = inline.encode_to_bytes();
+        let manifest_wire = manifest.encode_to_bytes();
+        let bulk_wire = SessionMsg::Bulk(BulkData {
+            origin,
+            seq,
+            payload: payload.clone(),
+        })
+        .encode_to_bytes();
+
+        let inline_back = Attached::decode_from_bytes(&inline_wire).expect("inline decodes");
+        let manifest_back = Attached::decode_from_bytes(&manifest_wire).expect("manifest decodes");
+        let SessionMsg::Bulk(bulk_back) = SessionMsg::decode_from_bytes(&bulk_wire).expect("bulk")
+        else {
+            panic!("bulk frame decoded to a different variant at step {step}");
+        };
+
+        // Same ordered id, same mode, same watermark on both paths.
+        assert_eq!(manifest_back.key(), inline_back.key());
+        assert_eq!(manifest_back.mode, inline_back.mode);
+        assert_eq!(manifest_back.seen, inline_back.seen);
+        assert_eq!(manifest_back.confirmed, inline_back.confirmed);
+        // Delivery-layer payload: inline carries it, manifest + bulk
+        // frame reassemble it.
+        assert_eq!((bulk_back.origin, bulk_back.seq), manifest_back.key());
+        assert_eq!(
+            bulk_back.payload,
+            inline_back
+                .inline_payload()
+                .expect("piggyback is inline")
+                .clone()
+        );
+        assert_eq!(manifest_back.payload_len(), bulk_back.payload.len());
+        assert!(manifest_back.inline_payload().is_none());
+        // The manifest never smuggles the payload onto the token.
+        if payload.len() > 64 {
+            assert!(
+                manifest_wire.len() < inline_wire.len(),
+                "manifest must be smaller than piggyback at step {step}"
+            );
+        }
+    }
 }

@@ -62,6 +62,13 @@ cargo run --release -q -p raincore-sim --bin chaos -- --replay chaos-seeded.txt
 echo "==> chaos (soak must be clean: 50 seeds, all scenarios)"
 cargo run --release -q -p raincore-sim --bin chaos -- --soak 50 --seed 1
 
+echo "==> chaos (bulk-loss soak: 200 seeds, completeness oracle, non-vacuous drops)"
+# --bulk 512 pads half the workload past the out-of-band threshold and
+# arms the bulk-loss fault class; the run fails if no bulk frame was
+# actually dropped (vacuity guard) or if any node delivers an ordered
+# bulk id without holding its payload (delivery-completeness oracle).
+cargo run --release -q -p raincore-sim --bin chaos -- --soak 200 --seed 1 --ticks 2000 --bulk 512
+
 echo "==> micro-bench (report + <=25% allocation regression vs committed BENCH_5.json)"
 cargo run --release -q -p raincore-bench --bin micro_bench -- \
   --out BENCH_5.current.json --compare BENCH_5.json
