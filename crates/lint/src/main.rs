@@ -11,8 +11,9 @@
 //!
 //! Protocol crates: `crates/core`, `crates/transport`, `crates/broadcast`,
 //! `crates/dlm`. Dispatch files (exhaustive-dispatch only): the sim/chaos
-//! harness sources listed in `DISPATCH_FILES`, which fan out over the
-//! protocol and chaos-fault enums but are allowed to panic.
+//! harness and batched-I/O runtime sources listed in `DISPATCH_FILES`,
+//! which fan out over the protocol and chaos-fault enums but are allowed
+//! to panic.
 //!
 //! Findings can be suppressed by `lint-allow.txt` at the lint root, one
 //! entry per line: `rule|path-suffix|needle|reason`. Unused allowlist
@@ -66,7 +67,10 @@ const PROTOCOL_ENUMS: &[&str] = &[
 /// variant must be a compile-time event there too. Only
 /// `exhaustive-dispatch` applies — harness code may panic.
 const DISPATCH_FILES: &[&str] = &[
+    "crates/net/src/batch.rs",
     "crates/net/src/sim.rs",
+    "src/runtime.rs",
+    "src/shard.rs",
     "crates/sim/src/audit.rs",
     "crates/sim/src/chaos.rs",
     "crates/sim/src/explore.rs",
@@ -74,6 +78,7 @@ const DISPATCH_FILES: &[&str] = &[
     "crates/types/src/digest.rs",
     "crates/types/src/token_codec.rs",
     "crates/bench/src/bin/micro_bench.rs",
+    "crates/bench/src/bin/exp_bulk_macro.rs",
     "crates/obs/src/trace.rs",
     "crates/obs/src/span.rs",
     "crates/obs/src/recorder.rs",

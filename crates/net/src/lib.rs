@@ -23,15 +23,22 @@
 //! values and never touch sockets, which is what lets one implementation
 //! run under both backends.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` so the one FFI module (`mmsg`, the
+// sendmmsg/recvmmsg/poll bindings) can opt in with a module-level allow;
+// everything else in the crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod batch;
+#[cfg(target_os = "linux")]
+mod mmsg;
 pub mod sim;
 pub mod stats;
 pub mod udp;
 
 pub use addr::{Addr, Datagram, PacketClass};
+pub use batch::{BatchConfig, BatchIo, IoBackend, IoMetrics, IoWaker};
 pub use sim::{MediumKind, SimNet, SimNetConfig};
 pub use stats::{ClassCounts, NetStats, NodeStats};
-pub use udp::{decode_wire, encode_wire, UdpNet};
+pub use udp::{decode_wire, decode_wire_shared, encode_wire, UdpNet};

@@ -57,6 +57,61 @@ pub fn decode_wire(buf: &[u8], dst: Addr) -> Option<Datagram> {
     })
 }
 
+/// Zero-copy variant of [`decode_wire`]: the returned datagram's payload
+/// is a slice of `buf` sharing its storage (no copy). Accepts and rejects
+/// exactly the same inputs as [`decode_wire`] — the batched I/O engine
+/// uses this to hand out payloads that alias pooled receive blocks.
+pub fn decode_wire_shared(buf: &Bytes, dst: Addr) -> Option<Datagram> {
+    let total = buf.len();
+    let mut r = Reader::new(buf);
+    let src = Addr::decode(&mut r).ok()?;
+    let class = PacketClass::decode(&mut r).ok()?;
+    let len = r.get_varint().ok()?;
+    // Anything but an exact fit is the copying path's BadLength /
+    // Truncated / TrailingBytes — all of which drop the datagram.
+    if r.remaining() as u64 != len {
+        return None;
+    }
+    let start = total - r.remaining();
+    Some(Datagram {
+        src,
+        dst,
+        class,
+        payload: buf.slice(start..start + len as usize),
+    })
+}
+
+/// Upper bound of the wire header in front of a payload:
+/// varint(node ≤ 5) + nic (1) + class (1) + varint(payload len ≤ 10).
+pub(crate) const WIRE_HDR_MAX: usize = 17;
+
+/// Encodes just the wire header of `d` into a stack buffer, returning its
+/// length. `header ++ payload` is byte-identical to [`encode_wire`] — the
+/// batched send path relies on this to gather header and payload as two
+/// iovecs without allocating (asserted in `header_split_matches_encode`).
+pub(crate) fn encode_wire_header(d: &Datagram, out: &mut [u8; WIRE_HDR_MAX]) -> usize {
+    let mut n = put_varint_raw(out, 0, u64::from(d.src.node.0));
+    out[n] = d.src.nic;
+    n += 1;
+    out[n] = d.class.index() as u8;
+    n += 1;
+    put_varint_raw(out, n, d.payload.len() as u64)
+}
+
+/// LEB128 into a fixed buffer; must match `Writer::put_varint` exactly.
+fn put_varint_raw(out: &mut [u8; WIRE_HDR_MAX], mut n: usize, mut v: u64) -> usize {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out[n] = byte;
+            return n + 1;
+        }
+        out[n] = byte | 0x80;
+        n += 1;
+    }
+}
+
 /// A UDP-backed datagram network endpoint for one node.
 ///
 /// Binds one socket per local NIC and spawns a reader thread per socket;
@@ -133,6 +188,37 @@ impl UdpNet {
     pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Datagram> {
         self.rx.recv_timeout(timeout).ok()
     }
+
+    /// Converts this endpoint into the batched I/O engine, keeping every
+    /// bound socket, the peer map, and any datagrams the reader threads
+    /// already queued (delivered first by the next `recv_batch`). The
+    /// reader threads are stopped and joined; from here on the caller's
+    /// pump thread owns all I/O.
+    pub fn into_batch_io(
+        mut self,
+        cfg: crate::batch::BatchConfig,
+    ) -> std::io::Result<crate::batch::BatchIo> {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake each reader out of its blocking recv with a zero-byte
+        // datagram to its own socket (decodes to None, so it is dropped);
+        // worst case the 100ms read timeout bounds the join anyway.
+        for sock in self.sockets.values() {
+            if let Ok(me) = sock.local_addr() {
+                let _ = sock.send_to(&[], me);
+            }
+        }
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+        let sockets: Vec<(Addr, UdpSocket)> =
+            std::mem::take(&mut self.sockets).into_iter().collect();
+        let peers = std::mem::take(&mut self.peers);
+        let mut pending = std::collections::VecDeque::new();
+        while let Ok(d) = self.rx.try_recv() {
+            pending.push_back(d);
+        }
+        crate::batch::BatchIo::from_parts(sockets, peers, pending, cfg)
+    }
 }
 
 impl Drop for UdpNet {
@@ -203,6 +289,50 @@ mod tests {
     fn garbage_header_rejected() {
         assert!(decode_wire(&[0xff, 0xff, 0xff], Addr::primary(NodeId(0))).is_none());
         assert!(decode_wire(&[], Addr::primary(NodeId(0))).is_none());
+    }
+
+    #[test]
+    fn header_split_matches_encode() {
+        for (node, payload) in [
+            (NodeId(0), Bytes::new()),
+            (NodeId(3), Bytes::from_static(b"abc")),
+            (NodeId(300), Bytes::from(vec![7u8; 1000])),
+            (NodeId(u32::MAX), Bytes::from(vec![1u8; 200])),
+        ] {
+            let d = Datagram::data(Addr::new(node, 5), Addr::primary(NodeId(9)), payload);
+            let mut hdr = [0u8; WIRE_HDR_MAX];
+            let hlen = encode_wire_header(&d, &mut hdr);
+            let mut split = hdr[..hlen].to_vec();
+            split.extend_from_slice(&d.payload);
+            assert_eq!(&split[..], &encode_wire(&d)[..]);
+        }
+    }
+
+    #[test]
+    fn decode_wire_shared_agrees_with_decode_wire() {
+        let dst = Addr::primary(NodeId(9));
+        let good = encode_wire(&Datagram::control(
+            Addr::new(NodeId(7), 2),
+            dst,
+            Bytes::from_static(b"payload"),
+        ));
+        let truncated = good.slice(..good.len() - 3);
+        let trailing = {
+            let mut v = good.to_vec();
+            v.push(0xab);
+            Bytes::from(v)
+        };
+        for case in [
+            good,
+            truncated,
+            trailing,
+            Bytes::from_static(&[0xff, 0xff, 0xff]),
+            Bytes::new(),
+        ] {
+            let copied = decode_wire(&case, dst);
+            let shared = decode_wire_shared(&case, dst);
+            assert_eq!(copied, shared);
+        }
     }
 
     #[test]

@@ -70,8 +70,14 @@ echo "==> chaos (bulk-loss soak: 200 seeds, completeness oracle, non-vacuous dro
 cargo run --release -q -p raincore-sim --bin chaos -- --soak 200 --seed 1 --ticks 2000 --bulk 512
 
 echo "==> micro-bench (report + <=25% allocation regression vs committed BENCH_5.json)"
+# Also asserts, in-process: >=3x packets-per-syscall for the batched I/O
+# engine over the scalar path, and batched throughput above the legacy
+# reader-thread engine (bench_udp_pps / bench_udp_rtt).
 cargo run --release -q -p raincore-bench --bin micro_bench -- \
   --out BENCH_5.current.json --compare BENCH_5.json
+
+echo "==> bulk macro experiment (sustained out-of-band multicast over the batched engine)"
+cargo run --release -q -p raincore-bench --bin exp_bulk_macro -- 60 1024
 
 echo "==> procher (real-socket gate: lossy soak + sim<->real differential)"
 # Exit 77 means the sandbox forbids spawning subprocesses — skip, don't fail.

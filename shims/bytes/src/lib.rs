@@ -47,6 +47,22 @@ impl Bytes {
         }
     }
 
+    /// Zero-copy `Bytes` over a caller-managed shared allocation — the
+    /// `Bytes::from_owner` constructor (real crate ≥ 1.9) specialized to
+    /// the one owner type raincore uses: the `Arc<[u8]>` blocks of the
+    /// UDP receive buffer pool. No bytes are copied; the allocation stays
+    /// alive until the last clone (and the caller's own `Arc`) drops, so
+    /// the caller can probe `Arc::strong_count` to learn when the block
+    /// is reusable.
+    pub fn from_owner(owner: Arc<[u8]>) -> Self {
+        let end = owner.len();
+        Bytes {
+            data: owner,
+            start: 0,
+            end,
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.end - self.start
     }
@@ -469,6 +485,17 @@ mod tests {
         assert_eq!(s.len(), 3);
         let s2 = s.slice(1..);
         assert_eq!(&s2[..], &[3, 4]);
+    }
+
+    #[test]
+    fn from_owner_shares_without_copy() {
+        let block: Arc<[u8]> = vec![9u8; 64].into();
+        let b = Bytes::from_owner(block.clone()).slice(8..12);
+        // One handle in the pool (`block`) + one inside `b`.
+        assert_eq!(Arc::strong_count(&block), 2);
+        assert_eq!(&b[..], &[9, 9, 9, 9]);
+        drop(b);
+        assert_eq!(Arc::strong_count(&block), 1);
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Offline stand-in for `crossbeam`.
 //!
 //! Implements the `crossbeam::channel` API subset raincore uses — unbounded
-//! MPMC channels with clonable senders *and* receivers — on a
-//! `Mutex<VecDeque>` + `Condvar`. Disconnection semantics match the real
-//! crate: `send` fails once every receiver is gone; `recv` fails once every
-//! sender is gone *and* the queue is drained.
+//! *and* bounded MPMC channels with clonable senders *and* receivers — on a
+//! `Mutex<VecDeque>` + `Condvar` pair. Disconnection semantics match the
+//! real crate: `send` fails once every receiver is gone; `recv` fails once
+//! every sender is gone *and* the queue is drained. On a bounded channel
+//! `send` blocks while the queue is at capacity and `try_send` reports
+//! `Full` — the backpressure the UDP runtime's command queue relies on.
+//! (One divergence: a zero-capacity rendezvous channel is approximated as
+//! capacity 1; raincore never creates one.)
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -16,22 +20,30 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// `None` = unbounded; `Some(cap)` = at most `cap` queued values.
+        cap: Option<usize>,
     }
 
     struct Shared<T> {
         state: Mutex<State<T>>,
+        /// Signaled when a value is queued (wakes receivers) or when the
+        /// side counts change.
         ready: Condvar,
+        /// Signaled when a value is dequeued (wakes blocked bounded
+        /// senders).
+        space: Condvar,
     }
 
-    /// Create an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel_with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                cap,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (
             Sender {
@@ -39,6 +51,18 @@ pub mod channel {
             },
             Receiver { shared },
         )
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel_with_cap(None)
+    }
+
+    /// Create a bounded MPMC channel holding at most `cap` values (a
+    /// requested capacity of 0 is rounded up to 1). `send` blocks while
+    /// full; `try_send` returns [`TrySendError::Full`].
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel_with_cap(Some(cap.max(1)))
     }
 
     pub struct Sender<T> {
@@ -52,19 +76,44 @@ pub mod channel {
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match st.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self
+                            .shared
+                            .space
+                            .wait(st)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => {
+                        st.queue.push_back(value);
+                        drop(st);
+                        self.shared.ready.notify_one();
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
+        /// Never blocks: a bounded channel at capacity reports `Full`,
+        /// disconnection reports `Disconnected`.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             if st.receivers == 0 {
-                return Err(SendError(value));
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = st.cap {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
             }
             st.queue.push_back(value);
             drop(st);
             self.shared.ready.notify_one();
             Ok(())
-        }
-
-        /// Unbounded channels never report `Full`; only disconnection fails.
-        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-            self.send(value)
-                .map_err(|SendError(v)| TrySendError::Disconnected(v))
         }
 
         pub fn len(&self) -> usize {
@@ -110,6 +159,8 @@ pub mod channel {
             let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -126,7 +177,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             match st.queue.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(st);
+                    self.shared.space.notify_one();
+                    Ok(v)
+                }
                 None if st.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
@@ -137,6 +192,8 @@ pub mod channel {
             let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -190,6 +247,10 @@ pub mod channel {
         fn drop(&mut self) {
             let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -302,6 +363,30 @@ pub mod channel {
             let h = std::thread::spawn(move || tx.send(42).unwrap());
             assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
             h.join().unwrap();
+        }
+
+        #[test]
+        fn bounded_try_send_full_and_blocking_send() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            // A blocked send completes once a receiver makes room.
+            let h = std::thread::spawn(move || tx.send(3).unwrap());
+            assert_eq!(rx.recv(), Ok(1));
+            h.join().unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn bounded_sender_unblocks_on_receiver_drop() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            drop(rx);
+            assert!(h.join().unwrap().is_err());
         }
 
         #[test]

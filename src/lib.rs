@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub mod runtime;
+pub mod shard;
 
 pub use raincore_broadcast as broadcast;
 pub use raincore_data as data;

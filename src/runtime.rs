@@ -2,16 +2,29 @@
 //! sockets.
 //!
 //! The protocol stack is sans-io; this module supplies the production
-//! driver the paper's deployment implies — one thread per node polling
-//! its sockets, feeding datagrams and wall-clock time into the state
-//! machine, and draining outgoing datagrams and events. The
+//! driver the paper's deployment implies — one **I/O shard** per node
+//! (see [`crate::shard`]): a single pump thread that owns the node's
+//! sockets outright, drains `poll_outgoing()` into `sendmmsg` batches,
+//! blocks in one `poll(2)` across sockets + a wake fd, and feeds
+//! received bursts and wall-clock time straight into the state machine.
+//! No per-socket reader threads, no per-datagram channel hop. The
 //! deterministic simulator (`raincore-sim`) drives the *same* state
 //! machine; nothing protocol-level lives here.
+//!
+//! Command flow is bounded end to end: the command queue is a bounded
+//! channel (senders block when the driver falls behind — backpressure,
+//! not unbounded buffering) and each request carries a bounded
+//! one-shot reply. The event channel stays unbounded on purpose:
+//! dropping a `Delivery` event would silently violate the atomic
+//! multicast contract the conformance harness audits, so event memory
+//! is bounded by the consumer, not by discarding.
 //!
 //! See the `udp_cluster` example for a three-node cluster exchanging
 //! multicasts over localhost UDP.
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use crate::shard::{IoShard, DEFAULT_OUT_CAP};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use raincore_net::batch::{BatchConfig, IoMetrics, IoWaker};
 use raincore_net::udp::UdpNet;
 use raincore_obs::{FlightRecorder, StageClock};
 use raincore_session::{SessionEvent, SessionNode};
@@ -19,6 +32,9 @@ use raincore_types::{DeliveryMode, OriginSeq, Time};
 use std::sync::OnceLock;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Commands queued ahead of a stalled driver before senders block.
+const CMD_QUEUE_CAP: usize = 256;
 
 /// The process-wide flight recorder: every [`RuntimeNode`] spawned in
 /// this process records into the same always-on ring, so a post-mortem
@@ -61,10 +77,47 @@ pub struct ObsDump {
 }
 
 /// Builds the node's metric registry and renders the dump.
-fn dump_node_obs(node: &SessionNode) -> ObsDump {
+fn dump_node_obs(node: &SessionNode, io: &IoMetrics) -> ObsDump {
     let r = raincore_obs::Registry::new();
     let id = node.id().0.to_string();
     let labels: &[(&str, &str)] = &[("node", id.as_str())];
+    // I/O engine instrumentation: syscalls and packets counted
+    // separately per direction so syscalls-per-packet is a first-class
+    // metric, plus the per-flush batch-size distributions and the pool
+    // and drop counters. All of it rides into the procher export via the
+    // same JSON document.
+    for (op, c) in [
+        ("send", &io.syscalls_send),
+        ("recv", &io.syscalls_recv),
+        ("poll", &io.syscalls_poll),
+    ] {
+        r.counter("raincore_io_syscalls", &[("node", id.as_str()), ("op", op)])
+            .add(c.get());
+    }
+    for (op, c) in [("send", &io.packets_sent), ("recv", &io.packets_recv)] {
+        r.counter("raincore_io_packets", &[("node", id.as_str()), ("op", op)])
+            .add(c.get());
+    }
+    r.attach_histogram(
+        "raincore_io_batch_size",
+        &[("node", id.as_str()), ("dir", "send")],
+        io.send_batch.clone(),
+    );
+    r.attach_histogram(
+        "raincore_io_batch_size",
+        &[("node", id.as_str()), ("dir", "recv")],
+        io.recv_batch.clone(),
+    );
+    r.counter("raincore_io_send_dropped", labels)
+        .add(io.send_dropped.get());
+    r.counter("raincore_io_decode_dropped", labels)
+        .add(io.decode_dropped.get());
+    r.counter("raincore_io_pool_reused", labels)
+        .add(io.pool_reused.get());
+    r.counter("raincore_io_pool_grown", labels)
+        .add(io.pool_grown.get());
+    r.gauge("raincore_io_syscalls_per_packet_milli", labels)
+        .set(io.syscalls_per_packet_milli() as i64);
     for (name, v) in node.metrics().fields() {
         r.counter(&format!("raincore_session_{name}"), labels)
             .add(v);
@@ -151,21 +204,40 @@ fn dump_node_obs(node: &SessionNode) -> ObsDump {
 pub struct RuntimeNode {
     cmd_tx: Sender<Cmd>,
     event_rx: Receiver<SessionEvent>,
+    waker: IoWaker,
     handle: Option<JoinHandle<()>>,
 }
 
 impl RuntimeNode {
-    /// Spawns the driver thread for `node` over `net`.
+    /// Spawns the driver thread for `node` over `net` with the default
+    /// batched I/O configuration.
     ///
     /// `node` should have been constructed with the same local addresses
     /// that `net` has bound.
-    pub fn spawn(mut node: SessionNode, net: UdpNet) -> std::io::Result<RuntimeNode> {
+    pub fn spawn(node: SessionNode, net: UdpNet) -> std::io::Result<RuntimeNode> {
+        RuntimeNode::spawn_with(node, net, BatchConfig::default())
+    }
+
+    /// Spawns the driver thread with explicit I/O engine tuning (batch
+    /// size, pool depth, backend choice — see [`BatchConfig`]).
+    ///
+    /// The legacy reader threads inside `net` are stopped and their
+    /// sockets handed to a single [`IoShard`] pump owned by the driver
+    /// thread; any datagrams they had already queued are delivered
+    /// first.
+    pub fn spawn_with(
+        mut node: SessionNode,
+        net: UdpNet,
+        cfg: BatchConfig,
+    ) -> std::io::Result<RuntimeNode> {
         // Real deployments get real per-stage hop timings and share the
         // process-wide flight recorder ring; both are always on.
         node.obs_mut().set_stage_clock(StageClock::monotonic());
         node.obs_mut()
             .set_recorder(process_flight_recorder().clone());
-        let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
+        let mut shard = IoShard::new(net.into_batch_io(cfg)?, DEFAULT_OUT_CAP);
+        let waker = shard.waker()?;
+        let (cmd_tx, cmd_rx) = bounded::<Cmd>(CMD_QUEUE_CAP);
         let (event_tx, event_rx) = unbounded::<SessionEvent>();
         let name = format!("raincore-node-{}", node.id());
         let handle = std::thread::Builder::new().name(name).spawn(move || {
@@ -187,7 +259,7 @@ impl RuntimeNode {
                             let _ = node.release_master(t);
                         }
                         Cmd::ObsDump(reply) => {
-                            let _ = reply.send(dump_node_obs(&node));
+                            let _ = reply.send(dump_node_obs(&node, shard.metrics()));
                         }
                         Cmd::Leave => {
                             node.leave(t);
@@ -195,42 +267,53 @@ impl RuntimeNode {
                         }
                     }
                 }
-                // Drive timers and I/O.
+                // Drive timers, then gather this round's outgoing frames
+                // into one batched flush (the shard auto-flushes if the
+                // protocol produces more than the queue bound).
                 node.on_tick(t);
                 while let Some(d) = node.poll_outgoing() {
-                    let _ = net.send(&d);
+                    shard.enqueue(d);
                 }
+                shard.flush();
                 while let Some(ev) = node.poll_event() {
                     let _ = event_tx.send(ev);
                 }
                 if leaving || node.is_down() {
                     // Flush the handoff token, then stop.
                     while let Some(d) = node.poll_outgoing() {
-                        let _ = net.send(&d);
+                        shard.enqueue(d);
                     }
+                    shard.flush();
                     return;
                 }
-                // Sleep until the next wakeup or a datagram, whichever
-                // comes first.
+                // Block until the next protocol wakeup, a received
+                // burst, or a command poke on the wake socket —
+                // whichever comes first.
                 let budget = node
                     .next_wakeup()
                     .map(|w| w.since(now(start)).to_std())
                     .unwrap_or(std::time::Duration::from_millis(50))
                     .min(std::time::Duration::from_millis(50));
-                if let Some(d) = net.recv_timeout(budget) {
+                for d in shard.pump_recv(budget) {
                     node.on_datagram(now(start), d);
-                    // Drain any burst without sleeping.
-                    while let Some(d) = net.try_recv() {
-                        node.on_datagram(now(start), d);
-                    }
                 }
             }
         })?;
         Ok(RuntimeNode {
             cmd_tx,
             event_rx,
+            waker,
             handle: Some(handle),
         })
+    }
+
+    /// Enqueues a command (blocking briefly if the bounded queue is
+    /// full — that is the backpressure) and pokes the driver's wake
+    /// socket so a thread blocked in `poll` handles it immediately.
+    fn send_cmd(&self, cmd: Cmd) -> Result<(), ()> {
+        self.cmd_tx.send(cmd).map_err(|_| ())?;
+        self.waker.wake();
+        Ok(())
     }
 
     /// Queues a reliable atomic multicast; returns its origin sequence.
@@ -239,34 +322,33 @@ impl RuntimeNode {
         mode: DeliveryMode,
         payload: bytes::Bytes,
     ) -> raincore_types::Result<OriginSeq> {
-        let (tx, rx) = unbounded();
-        self.cmd_tx
-            .send(Cmd::Multicast(mode, payload, tx))
-            .map_err(|_| raincore_types::Error::ShutDown)?;
+        let (tx, rx) = bounded(1);
+        self.send_cmd(Cmd::Multicast(mode, payload, tx))
+            .map_err(|()| raincore_types::Error::ShutDown)?;
         rx.recv().map_err(|_| raincore_types::Error::ShutDown)?
     }
 
     /// Requests the master lock (granted via [`SessionEvent::MasterAcquired`]).
     pub fn request_master(&self) {
-        let _ = self.cmd_tx.send(Cmd::RequestMaster);
+        let _ = self.send_cmd(Cmd::RequestMaster);
     }
 
     /// Releases the master lock.
     pub fn release_master(&self) {
-        let _ = self.cmd_tx.send(Cmd::ReleaseMaster);
+        let _ = self.send_cmd(Cmd::ReleaseMaster);
     }
 
     /// Leaves the group gracefully and stops the thread.
     pub fn leave(&self) {
-        let _ = self.cmd_tx.send(Cmd::Leave);
+        let _ = self.send_cmd(Cmd::Leave);
     }
 
     /// Snapshots the node's observability state (Prometheus text, JSON
-    /// metrics, trace journal) from the driver thread. `None` if the node
-    /// has stopped.
+    /// metrics, trace journal, I/O engine counters) from the driver
+    /// thread. `None` if the node has stopped.
     pub fn obs_dump(&self) -> Option<ObsDump> {
-        let (tx, rx) = unbounded();
-        self.cmd_tx.send(Cmd::ObsDump(tx)).ok()?;
+        let (tx, rx) = bounded(1);
+        self.send_cmd(Cmd::ObsDump(tx)).ok()?;
         rx.recv().ok()
     }
 
@@ -301,6 +383,7 @@ impl Drop for RuntimeNode {
         match self.cmd_tx.try_send(Cmd::Leave) {
             Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
         }
+        self.waker.wake();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -402,6 +485,22 @@ mod tests {
             "{}",
             dump.flight
         );
+        // The batched I/O engine's instrumentation is in the same dump:
+        // syscalls vs packets per direction, the batch-size histograms,
+        // and the derived syscalls-per-packet gauge.
+        assert!(dump
+            .prometheus
+            .contains("raincore_io_syscalls{node=\"2\",op=\"recv\"}"));
+        assert!(dump
+            .prometheus
+            .contains("raincore_io_packets{node=\"2\",op=\"send\"}"));
+        assert!(dump
+            .prometheus
+            .contains("raincore_io_batch_size_count{dir=\"recv\",node=\"2\"}"));
+        assert!(dump
+            .prometheus
+            .contains("raincore_io_syscalls_per_packet_milli{node=\"2\"}"));
+        assert!(dump.json.contains("\"name\":\"raincore_io_syscalls\""));
         for n in &nodes {
             n.leave();
         }
